@@ -1,0 +1,80 @@
+// Ablation: online-adaptive PLogGP aggregation (the auto-tuning the
+// paper's §IV-D defers to future work).
+//
+// A 64 MiB / 32-partition channel runs 24 rounds whose thread imbalance
+// changes regime twice: nearly balanced (5 us spread), then heavily
+// imbalanced (8 ms), then moderately imbalanced (500 us).  The table
+// shows the adaptive plan tracking the measured spread round by round,
+// against the static PLogGP plan which is chosen once at init.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agg/strategies.hpp"
+#include "bench/report.hpp"
+#include "common/units.hpp"
+#include "mpi/world.hpp"
+#include "part/partitioned.hpp"
+#include "sim/engine.hpp"
+#include "support/bench_main.hpp"
+
+using namespace partib;
+
+int main(int argc, char** argv) {
+  const bench::Cli cli(argc, argv);
+  constexpr std::size_t kParts = 32;
+  constexpr std::size_t kBytes = 64 * MiB;
+
+  sim::Engine engine;
+  mpi::WorldOptions wopts;
+  wopts.copy_data = false;
+  mpi::World world(engine, wopts);
+  std::vector<std::byte> sbuf(kBytes), rbuf(kBytes);
+
+  part::Options opts;
+  opts.aggregator = std::make_shared<agg::AdaptivePLogGPAggregator>(
+      model::LogGPParams::niagara_mpi_measured(), /*initial=*/msec(4),
+      /*alpha=*/0.5);
+  std::unique_ptr<part::PsendRequest> send;
+  std::unique_ptr<part::PrecvRequest> recv;
+  if (!ok(part::psend_init(world.rank(0), sbuf, kParts, 1, 0, 0, opts,
+                           &send)) ||
+      !ok(part::precv_init(world.rank(1), rbuf, kParts, 0, 0, 0, opts,
+                           &recv))) {
+    return 1;
+  }
+  engine.run();
+
+  const std::size_t static_tp = model::optimal_transport_partitions(
+      model::LogGPParams::niagara_mpi_measured(), kBytes, kParts);
+
+  bench::Table table(
+      "Ablation: online-adaptive aggregation under shifting imbalance "
+      "(64 MiB, 32 partitions; static PLogGP plan would stay at " +
+          std::to_string(static_tp) + " transport partitions)",
+      {"round", "injected_spread_us", "measured_ewma_us", "adaptive_tp"});
+
+  const int rounds = cli.iterations(24);
+  for (int round = 1; round <= rounds; ++round) {
+    Duration spread = usec(5);
+    if (round > rounds / 3) spread = msec(8);
+    if (round > 2 * rounds / 3) spread = usec(500);
+
+    (void)send->start();
+    (void)recv->start();
+    const Time t0 = engine.now();
+    for (std::size_t i = 0; i < kParts; ++i) {
+      const Time at = t0 + (spread * static_cast<Duration>(i)) /
+                               static_cast<Duration>(kParts - 1);
+      engine.schedule_at(at, [&send, i] { (void)send->pready(i); });
+    }
+    engine.run();
+    table.add_row({std::to_string(round), bench::fmt(to_usec(spread), 0),
+                   send->adapted_delay() < 0
+                       ? std::string("-")
+                       : bench::fmt(to_usec(send->adapted_delay()), 1),
+                   std::to_string(send->transport_partitions())});
+  }
+  cli.emit(table);
+  return 0;
+}

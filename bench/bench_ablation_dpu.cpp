@@ -1,0 +1,56 @@
+// Ablation (future work §VI-A): host-driven vs DPU-offloaded aggregation.
+//
+// The DPU frees the host of per-message WR-build work (visible when
+// threads are oversubscribed and every CPU cycle counts) at the price of
+// a hand-off overhead per message.  Reported: overhead-benchmark round
+// time for both modes at 32 (undersubscribed) and 128 (oversubscribed)
+// partitions.
+#include <string>
+
+#include "bench/overhead.hpp"
+#include "bench/report.hpp"
+#include "common/units.hpp"
+#include "support/bench_main.hpp"
+
+using namespace partib;
+
+int main(int argc, char** argv) {
+  const bench::Cli cli(argc, argv);
+
+  for (std::size_t parts : {32u, 128u}) {
+    bench::Table table(
+        "Ablation: DPU-offloaded aggregation (" + std::to_string(parts) +
+            " user partitions, persistent-grade per-partition traffic)",
+        {"msg_size", "round_host_us", "round_dpu_us", "host_cpu_us",
+         "dpu_mode_cpu_us", "cpu_freed_pct"});
+    for (std::size_t bytes : pow2_sizes(16 * KiB, 16 * MiB)) {
+      auto run = [&](bool dpu) {
+        bench::OverheadConfig cfg;
+        cfg.total_bytes = bytes;
+        cfg.user_partitions = parts;
+        // One WR per partition maximises per-message host work — the
+        // regime a DPU offload targets.
+        cfg.options = bench::static_options(parts, 2);
+        cfg.iterations = cli.iterations(10);
+        cfg.warmup = 2;
+        cfg.world.dpu_aggregation = dpu;
+        return bench::run_overhead(cfg);
+      };
+      const auto host = run(false);
+      const auto dpu = run(true);
+      const double freed =
+          100.0 *
+          static_cast<double>(host.host_cpu_per_round -
+                              dpu.host_cpu_per_round) /
+          static_cast<double>(host.host_cpu_per_round);
+      table.add_row({format_bytes(bytes),
+                     bench::fmt(to_usec(host.mean_round), 2),
+                     bench::fmt(to_usec(dpu.mean_round), 2),
+                     bench::fmt(to_usec(host.host_cpu_per_round), 2),
+                     bench::fmt(to_usec(dpu.host_cpu_per_round), 2),
+                     bench::fmt(freed, 1)});
+    }
+    cli.emit(table);
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation (§V-C3): how sensitive is the Timer-based PLogGP aggregator to
+// the delta value?  Sweeps delta across three orders of magnitude at a
+// fixed medium message size and reports perceived bandwidth plus WRs per
+// round.  Also compares the refined drain-aware PLogGP model against the
+// headline model (the design-choice ablation DESIGN.md calls out).
+#include <string>
+#include <vector>
+
+#include "bench/perceived.hpp"
+#include "bench/report.hpp"
+#include "common/units.hpp"
+#include "model/ploggp.hpp"
+#include "support/bench_main.hpp"
+
+using namespace partib;
+
+int main(int argc, char** argv) {
+  const bench::Cli cli(argc, argv);
+  constexpr std::size_t kPartitions = 32;
+  constexpr std::size_t kBytes = 8 * MiB;
+
+  bench::Table table(
+      "Ablation: timer delta sensitivity (8 MiB, 32 partitions, 100 ms "
+      "compute, 4% noise)",
+      {"delta_us", "perceived_gbps", "wrs_per_round"});
+  for (Duration delta : {usec(1), usec(3), usec(10), usec(35), usec(100),
+                         usec(350), usec(1000), usec(3000)}) {
+    bench::PerceivedConfig cfg;
+    cfg.total_bytes = kBytes;
+    cfg.user_partitions = kPartitions;
+    cfg.options = bench::timer_options(delta);
+    cfg.iterations = cli.iterations(5);
+    cfg.warmup = 2;
+    const auto r = bench::run_perceived_bandwidth(cfg);
+    table.add_row({bench::fmt(to_usec(delta), 0),
+                   bench::fmt(r.mean_gbytes_per_s, 1),
+                   bench::fmt(r.mean_wrs_per_round, 1)});
+  }
+  cli.emit(table);
+
+  bench::Table model_table(
+      "Ablation: headline vs drain-aware PLogGP completion model "
+      "(4 ms delay, 32 transport partitions)",
+      {"msg_size", "headline_ms", "with_drain_ms"});
+  const auto params = model::LogGPParams::niagara_mpi_measured();
+  for (std::size_t bytes : pow2_sizes(1 * MiB, 512 * MiB)) {
+    const model::PLogGPQuery q{bytes, 32, msec(4)};
+    model_table.add_row(
+        {format_bytes(bytes),
+         bench::fmt(to_msec(model::completion_time(params, q)), 3),
+         bench::fmt(to_msec(model::completion_time_with_drain(params, q)),
+                    3)});
+  }
+  cli.emit(model_table);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// The brute-force tuning-table builder (§IV-B).
+//
+// Searches power-of-two transport-partition counts and QP counts with the
+// overhead benchmark as the objective, exactly as the paper's 23-hour
+// two-node search did (the simulator makes it cheap).  Prints the winning
+// configuration per (user partitions, message size) as CSV suitable for
+// agg::TuningTable::from_csv.
+#include <iostream>
+#include <limits>
+#include <vector>
+
+#include "agg/tuning_table.hpp"
+#include "bench/overhead.hpp"
+#include "common/units.hpp"
+#include "support/bench_main.hpp"
+
+using namespace partib;
+
+int main(int argc, char** argv) {
+  const bench::Cli cli(argc, argv);
+  agg::TuningTable table;
+
+  for (std::size_t parts : {4u, 16u, 32u, 128u}) {
+    for (std::size_t bytes : pow2_sizes(2 * KiB, 16 * MiB)) {
+      if (bytes < parts) continue;
+      Duration best_time = std::numeric_limits<Duration>::max();
+      agg::TuningTable::Entry best;
+      for (std::size_t tp = 1; tp <= parts && tp <= 32; tp *= 2) {
+        for (int qp = 1; qp <= 4; qp *= 2) {
+          bench::OverheadConfig cfg;
+          cfg.total_bytes = bytes;
+          cfg.user_partitions = parts;
+          cfg.options = bench::static_options(tp, qp);
+          cfg.iterations = cli.iterations(10);
+          cfg.warmup = 2;
+          const Duration t = bench::run_overhead(cfg).mean_round;
+          if (t < best_time) {
+            best_time = t;
+            best = agg::TuningTable::Entry{tp, qp};
+          }
+        }
+      }
+      table.set(parts, bytes, best);
+      std::cerr << "searched parts=" << parts << " bytes=" << bytes
+                << " -> tp=" << best.transport_partitions
+                << " qp=" << best.qp_count << "\n";
+    }
+  }
+  std::cout << table.to_csv();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Fig 6: overhead benchmark, 32 user partitions, 2 QPs, varying the
+// number of transport partitions.  Speedup is relative to the persistent
+// (Open MPI part_persist / UCX-like) implementation.
+//
+// Paper shape: below ~8 KiB the transport-partition counts are within a
+// couple of percent of each other; past 16 KiB more transport partitions
+// win; by ~4 MiB speedup decays toward 1.0 as the wire saturates.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/overhead.hpp"
+#include "bench/report.hpp"
+#include "common/units.hpp"
+#include "support/bench_main.hpp"
+
+using namespace partib;
+
+int main(int argc, char** argv) {
+  const bench::Cli cli(argc, argv);
+  constexpr std::size_t kUserPartitions = 32;
+  const std::vector<std::size_t> tps = {2, 4, 8, 16, 32};
+
+  std::vector<std::string> headers = {"msg_size"};
+  for (std::size_t tp : tps) headers.push_back("speedup_tp" + std::to_string(tp));
+  bench::Table table(
+      "Fig 6: overhead benchmark speedup vs persistent "
+      "(32 user partitions, 2 QPs)",
+      headers);
+
+  for (std::size_t bytes : pow2_sizes(512, 16 * MiB)) {
+    bench::OverheadConfig base;
+    base.total_bytes = bytes;
+    base.user_partitions = kUserPartitions;
+    base.options = bench::persistent_options();
+    base.iterations = cli.iterations(20);
+    base.warmup = 3;
+    const Duration t_persistent = bench::run_overhead(base).mean_round;
+
+    std::vector<std::string> row = {format_bytes(bytes)};
+    for (std::size_t tp : tps) {
+      bench::OverheadConfig cfg = base;
+      cfg.options = bench::static_options(tp, /*qps=*/2);
+      const Duration t = bench::run_overhead(cfg).mean_round;
+      row.push_back(bench::fmt(static_cast<double>(t_persistent) /
+                               static_cast<double>(t)));
+    }
+    table.add_row(std::move(row));
+  }
+  cli.emit(table);
+  return 0;
+}

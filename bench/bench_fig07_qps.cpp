@@ -1,0 +1,50 @@
+// Fig 7: overhead benchmark, 16 user partitions = 16 transport partitions
+// (no aggregation on our side), varying the number of QPs.
+//
+// Paper shape: one QP is sufficient until ~64 KiB; past that, more QPs
+// (up to one per partition) perform better — large messages prefer
+// engine concurrency, small messages pay QP activation for nothing.
+#include <string>
+#include <vector>
+
+#include "bench/overhead.hpp"
+#include "bench/report.hpp"
+#include "common/units.hpp"
+#include "support/bench_main.hpp"
+
+using namespace partib;
+
+int main(int argc, char** argv) {
+  const bench::Cli cli(argc, argv);
+  constexpr std::size_t kPartitions = 16;
+  const std::vector<int> qps = {1, 2, 4, 8, 16};
+
+  std::vector<std::string> headers = {"msg_size"};
+  for (int q : qps) headers.push_back("speedup_qp" + std::to_string(q));
+  bench::Table table(
+      "Fig 7: overhead benchmark speedup vs persistent "
+      "(16 user partitions, 16 transport partitions)",
+      headers);
+
+  for (std::size_t bytes : pow2_sizes(512, 64 * MiB)) {
+    bench::OverheadConfig base;
+    base.total_bytes = bytes;
+    base.user_partitions = kPartitions;
+    base.options = bench::persistent_options();
+    base.iterations = cli.iterations(20);
+    base.warmup = 3;
+    const Duration t_persistent = bench::run_overhead(base).mean_round;
+
+    std::vector<std::string> row = {format_bytes(bytes)};
+    for (int q : qps) {
+      bench::OverheadConfig cfg = base;
+      cfg.options = bench::static_options(kPartitions, q);
+      const Duration t = bench::run_overhead(cfg).mean_round;
+      row.push_back(bench::fmt(static_cast<double>(t_persistent) /
+                               static_cast<double>(t)));
+    }
+    table.add_row(std::move(row));
+  }
+  cli.emit(table);
+  return 0;
+}

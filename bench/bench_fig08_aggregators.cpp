@@ -1,0 +1,52 @@
+// Fig 8: overhead benchmark comparing the brute-force Tuning Table
+// aggregator against the PLogGP aggregator, for 4 / 32 / 128 user
+// partitions (speedup vs the persistent implementation).
+//
+// Paper shape: narrow benefit window for 4 partitions; ~2.17x peak around
+// 128 KiB for 32 partitions; large (~8.8x) wins for 128 partitions, where
+// threads are oversubscribed (128 threads on a 40-core node) and
+// aggregation relieves posting-lock contention; the two aggregators track
+// each other within ~10%.
+#include <string>
+#include <vector>
+
+#include "bench/overhead.hpp"
+#include "bench/report.hpp"
+#include "common/units.hpp"
+#include "support/bench_main.hpp"
+
+using namespace partib;
+
+int main(int argc, char** argv) {
+  const bench::Cli cli(argc, argv);
+  const std::vector<std::size_t> partition_counts = {4, 32, 128};
+
+  for (std::size_t parts : partition_counts) {
+    bench::Table table(
+        "Fig 8: overhead speedup vs persistent (" + std::to_string(parts) +
+            " user partitions)",
+        {"msg_size", "tuning_table", "ploggp"});
+    for (std::size_t bytes : pow2_sizes(2 * KiB, 16 * MiB)) {
+      if (bytes < parts) continue;
+      bench::OverheadConfig base;
+      base.total_bytes = bytes;
+      base.user_partitions = parts;
+      base.options = bench::persistent_options();
+      base.iterations = cli.iterations(20);
+      base.warmup = 3;
+      const Duration t_persistent = bench::run_overhead(base).mean_round;
+
+      auto speedup = [&](const part::Options& opts) {
+        bench::OverheadConfig cfg = base;
+        cfg.options = opts;
+        return static_cast<double>(t_persistent) /
+               static_cast<double>(bench::run_overhead(cfg).mean_round);
+      };
+      table.add_row({format_bytes(bytes),
+                     bench::fmt(speedup(bench::tuning_table_options())),
+                     bench::fmt(speedup(bench::ploggp_options()))});
+    }
+    cli.emit(table);
+  }
+  return 0;
+}

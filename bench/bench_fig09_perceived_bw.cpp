@@ -1,0 +1,51 @@
+// Fig 9: perceived bandwidth of the persistent implementation, the PLogGP
+// aggregator, and the Timer-based PLogGP aggregator (delta = 3000 us,
+// illustrative).  100 ms compute, 4% noise, single-thread-delay model,
+// for 16 and 32 user partitions.
+//
+// Paper shape: persistent highest (no aggregation => minimal latency for
+// the last partition); Timer-PLogGP close behind; plain PLogGP lower
+// (aggregation enlarges the laggard's message); all remain above the
+// single-threaded wire line for medium sizes, converging toward it for
+// 128 MiB+.
+#include <string>
+#include <vector>
+
+#include "bench/perceived.hpp"
+#include "bench/report.hpp"
+#include "common/units.hpp"
+#include "support/bench_main.hpp"
+
+using namespace partib;
+
+int main(int argc, char** argv) {
+  const bench::Cli cli(argc, argv);
+
+  for (std::size_t parts : {16u, 32u}) {
+    bench::Table table(
+        "Fig 9: perceived bandwidth, GB/s (" + std::to_string(parts) +
+            " partitions, 100 ms compute, 4% noise)",
+        {"msg_size", "persistent", "ploggp", "timer_3000us", "wire_limit"});
+    for (std::size_t bytes : pow2_sizes(512 * KiB, 256 * MiB)) {
+      auto run = [&](const part::Options& opts) {
+        bench::PerceivedConfig cfg;
+        cfg.total_bytes = bytes;
+        cfg.user_partitions = parts;
+        cfg.options = opts;
+        cfg.iterations = cli.iterations(5);
+        cfg.warmup = 2;
+        return bench::run_perceived_bandwidth(cfg);
+      };
+      const auto persistent = run(bench::persistent_options());
+      const auto ploggp = run(bench::ploggp_options());
+      const auto timer = run(bench::timer_options(usec(3000)));
+      table.add_row({format_bytes(bytes),
+                     bench::fmt(persistent.mean_gbytes_per_s, 1),
+                     bench::fmt(ploggp.mean_gbytes_per_s, 1),
+                     bench::fmt(timer.mean_gbytes_per_s, 1),
+                     bench::fmt(persistent.wire_gbytes_per_s, 1)});
+    }
+    cli.emit(table);
+  }
+  return 0;
+}

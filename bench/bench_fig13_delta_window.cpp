@@ -1,0 +1,51 @@
+// Fig 13: perceived bandwidth with delta values bracketing the estimated
+// minimum (~35 us for 32 partitions): 10 us, 35 us, 100 us.
+//
+// Paper result: at most ~6.15% difference across the three — the delta
+// choice has a wide tolerance window.
+#include <string>
+
+#include "bench/perceived.hpp"
+#include "bench/report.hpp"
+#include "common/units.hpp"
+#include "support/bench_main.hpp"
+
+using namespace partib;
+
+int main(int argc, char** argv) {
+  const bench::Cli cli(argc, argv);
+  constexpr std::size_t kPartitions = 32;
+
+  bench::Table table(
+      "Fig 13: perceived bandwidth, GB/s (32 partitions, delta window "
+      "around the estimated minimum); wrs = mean WRs posted per round",
+      {"msg_size", "delta_10us", "delta_35us", "delta_100us", "max_diff_pct",
+       "wrs_10us", "wrs_35us", "wrs_100us"});
+  for (std::size_t bytes : pow2_sizes(512 * KiB, 256 * MiB)) {
+    auto run = [&](Duration delta) {
+      bench::PerceivedConfig cfg;
+      cfg.total_bytes = bytes;
+      cfg.user_partitions = kPartitions;
+      cfg.options = bench::timer_options(delta);
+      cfg.iterations = cli.iterations(5);
+      cfg.warmup = 2;
+      return bench::run_perceived_bandwidth(cfg);
+    };
+    const auto r10 = run(usec(10));
+    const auto r35 = run(usec(35));
+    const auto r100 = run(usec(100));
+    const double lo = std::min({r10.mean_gbytes_per_s, r35.mean_gbytes_per_s,
+                                r100.mean_gbytes_per_s});
+    const double hi = std::max({r10.mean_gbytes_per_s, r35.mean_gbytes_per_s,
+                                r100.mean_gbytes_per_s});
+    table.add_row({format_bytes(bytes), bench::fmt(r10.mean_gbytes_per_s, 1),
+                   bench::fmt(r35.mean_gbytes_per_s, 1),
+                   bench::fmt(r100.mean_gbytes_per_s, 1),
+                   bench::fmt(100.0 * (hi - lo) / hi, 2),
+                   bench::fmt(r10.mean_wrs_per_round, 1),
+                   bench::fmt(r35.mean_wrs_per_round, 1),
+                   bench::fmt(r100.mean_wrs_per_round, 1)});
+  }
+  cli.emit(table);
+  return 0;
+}

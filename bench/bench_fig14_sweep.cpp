@@ -1,0 +1,61 @@
+// Fig 14: Sweep3D communication-pattern speedup at 1024 cores (8x8 ranks
+// x 16 threads), PLogGP and Timer-based PLogGP vs the persistent
+// implementation, for three (compute, noise) settings whose laggard
+// delays are 10 us / 40 us / 400 us.
+//
+// Paper results at 1 MB: up to 1.60x / 1.63x / 1.04x respectively;
+// Timer-based adds benefit for medium messages, both designs converge for
+// large ones, and very large messages see no speedup.
+#include <string>
+#include <vector>
+
+#include "bench/report.hpp"
+#include "bench/sweep.hpp"
+#include "common/units.hpp"
+#include "support/bench_main.hpp"
+
+using namespace partib;
+
+int main(int argc, char** argv) {
+  const bench::Cli cli(argc, argv);
+  struct NoiseCase {
+    const char* label;
+    Duration compute;
+    double noise;
+  };
+  const std::vector<NoiseCase> cases = {
+      {"1ms compute, 1% noise (10us delay)", msec(1), 0.01},
+      {"1ms compute, 4% noise (40us delay)", msec(1), 0.04},
+      {"10ms compute, 4% noise (400us delay)", msec(10), 0.04},
+  };
+
+  for (const NoiseCase& nc : cases) {
+    bench::Table table(
+        std::string("Fig 14: sweep communication speedup vs persistent, ") +
+            nc.label,
+        {"msg_size", "ploggp", "timer_ploggp"});
+    for (std::size_t bytes :
+         {64 * KiB, 256 * KiB, 1 * MiB, 4 * MiB, 16 * MiB}) {
+      auto run = [&](const part::Options& opts) {
+        bench::SweepConfig cfg;
+        cfg.message_bytes = bytes;
+        cfg.options = opts;
+        cfg.compute = nc.compute;
+        cfg.noise = nc.noise;
+        cfg.iterations = cli.iterations(5);
+        cfg.warmup = 2;
+        return bench::run_sweep(cfg).comm_time;
+      };
+      const Duration base = run(bench::persistent_options());
+      const Duration ploggp = run(bench::ploggp_options());
+      const Duration timer = run(bench::timer_options(usec(35)));
+      table.add_row({format_bytes(bytes),
+                     bench::fmt(static_cast<double>(base) /
+                                static_cast<double>(ploggp)),
+                     bench::fmt(static_cast<double>(base) /
+                                static_cast<double>(timer))});
+    }
+    cli.emit(table);
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Halo-exchange application pattern (from the paper's micro-benchmark
+// suite reference [14]) at the paper's 1024-core geometry: communication
+// speedup of each design vs the persistent baseline.
+#include <string>
+
+#include "bench/halo.hpp"
+#include "bench/report.hpp"
+#include "common/units.hpp"
+#include "support/bench_main.hpp"
+
+using namespace partib;
+
+int main(int argc, char** argv) {
+  const bench::Cli cli(argc, argv);
+  bench::Table table(
+      "Halo exchange, 8x8 ranks x 16 threads, 1 ms compute, 4% noise: "
+      "communication speedup vs persistent",
+      {"face_size", "ploggp", "timer_ploggp"});
+  for (std::size_t bytes :
+       {64 * KiB, 256 * KiB, 1 * MiB, 4 * MiB}) {
+    auto run = [&](const part::Options& opts) {
+      bench::HaloConfig cfg;
+      cfg.px = 8;
+      cfg.py = 8;
+      cfg.face_bytes = bytes;
+      cfg.options = opts;
+      cfg.iterations = cli.iterations(5);
+      cfg.warmup = 2;
+      return bench::run_halo(cfg).comm_time;
+    };
+    const Duration base = run(bench::persistent_options());
+    table.add_row(
+        {format_bytes(bytes),
+         bench::fmt(static_cast<double>(base) /
+                    static_cast<double>(run(bench::ploggp_options()))),
+         bench::fmt(static_cast<double>(base) /
+                    static_cast<double>(run(bench::timer_options(usec(35)))))});
+  }
+  cli.emit(table);
+  return 0;
+}

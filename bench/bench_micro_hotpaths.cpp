@@ -1,0 +1,118 @@
+// google-benchmark micro-benchmarks of the library's hot paths: the
+// per-partition fast path (imm encode/decode, Pready flag logic), the
+// DES engine, the contended-resource models and the fluid network.
+// These measure *host* cost of the simulator itself, complementing the
+// virtual-time figure benches.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "fabric/fluid_network.hpp"
+#include "part/imm.hpp"
+#include "sim/engine.hpp"
+#include "sim/resources.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace partib;
+
+void BM_ImmEncodeDecode(benchmark::State& state) {
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    const std::uint32_t imm = part::encode_imm(i & 0xFFFF, (i + 1) & 0xFFFF);
+    const part::ImmRange r = part::decode_imm(imm);
+    benchmark::DoNotOptimize(r);
+    ++i;
+  }
+}
+BENCHMARK(BM_ImmEncodeDecode);
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < events; ++i) {
+      engine.schedule_at(static_cast<Time>(i * 7 % 1000), [&sum] { ++sum; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_EngineScheduleRun)->Arg(1024)->Arg(16384);
+
+void BM_EngineCancel(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::vector<sim::Engine::EventId> ids;
+    ids.reserve(1024);
+    for (int i = 0; i < 1024; ++i) {
+      ids.push_back(engine.schedule_at(i, [] {}));
+    }
+    for (const auto& id : ids) engine.cancel(id);
+    benchmark::DoNotOptimize(engine.pending());
+  }
+}
+BENCHMARK(BM_EngineCancel);
+
+void BM_FifoResource(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    sim::FifoResource res(engine, 4);
+    std::uint64_t done = 0;
+    for (int i = 0; i < 1024; ++i) {
+      res.request(100, [&done](Time, Time) { ++done; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(done);
+  }
+}
+BENCHMARK(BM_FifoResource);
+
+void BM_ProcessorSharing(benchmark::State& state) {
+  const auto jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    sim::ProcessorSharingCpu cpu(engine, 40);
+    std::uint64_t done = 0;
+    for (int i = 0; i < jobs; ++i) {
+      cpu.submit(1000 + i * 13, [&done] { ++done; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(done);
+  }
+}
+BENCHMARK(BM_ProcessorSharing)->Arg(32)->Arg(128);
+
+void BM_FluidNetworkFanIn(benchmark::State& state) {
+  const auto flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    fabric::FluidNetwork net(engine, 12.1);
+    net.set_node_count(flows + 1);
+    std::uint64_t done = 0;
+    for (int i = 0; i < flows; ++i) {
+      net.submit(i + 1, 0, 64.0 * 1024, 11.3,
+                 [&done](Time) { ++done; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(done);
+  }
+}
+BENCHMARK(BM_FluidNetworkFanIn)->Arg(8)->Arg(64);
+
+void BM_Rng(benchmark::State& state) {
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_u64());
+  }
+}
+BENCHMARK(BM_Rng);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,31 @@
+// Motivation (§III): measure LogGP parameters against the fabric, the way
+// the paper used Netgauge.  Prints fitted vs configured values so the
+// measurement error is visible — the paper's own Netgauge numbers came
+// from the MPI transport and mismatched the verbs-level truth, a
+// discrepancy it discusses in §V-B1.
+#include <string>
+
+#include "bench/probe.hpp"
+#include "bench/report.hpp"
+#include "fabric/nic_params.hpp"
+#include "support/bench_main.hpp"
+
+using namespace partib;
+
+int main(int argc, char** argv) {
+  const bench::Cli cli(argc, argv);
+  const auto params = fabric::NicParams::connectx5_edr();
+  const auto probe = bench::run_parameter_probe(params);
+
+  bench::Table table("Netgauge-like LogGP parameter probe (direct verbs)",
+                     {"parameter", "measured", "configured"});
+  table.add_row({"G (ns/B)", bench::fmt(probe.G, 4),
+                 bench::fmt(params.wire.G, 4)});
+  table.add_row({"gap g (ns)", std::to_string(probe.gap),
+                 std::to_string(params.wire.g)});
+  table.add_row({"intercept g+o_s+L+o_r (ns)", std::to_string(probe.intercept),
+                 std::to_string(params.wire.g + params.wire.o_s +
+                                params.wire.L + params.wire.o_r)});
+  cli.emit(table);
+  return 0;
+}

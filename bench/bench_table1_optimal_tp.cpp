@@ -1,0 +1,29 @@
+// Table I: optimal number of transport partitions predicted by the PLogGP
+// model for different aggregate message sizes on Niagara-like parameters.
+//
+// Paper values: <256KiB -> 1; 512KiB-1MiB -> 2; 2-4MiB -> 4; 8-16MiB -> 8;
+// 32-64MiB -> 16; >=128MiB -> 32.
+#include <string>
+
+#include "bench/report.hpp"
+#include "common/units.hpp"
+#include "model/ploggp.hpp"
+#include "support/bench_main.hpp"
+
+using namespace partib;
+
+int main(int argc, char** argv) {
+  const bench::Cli cli(argc, argv);
+  const auto params = model::LogGPParams::niagara_mpi_measured();
+
+  bench::Table table(
+      "Table I: PLogGP-optimal transport partitions (user partitions = 32)",
+      {"aggregate_msg_size", "transport_partitions"});
+  for (std::size_t bytes : pow2_sizes(64 * KiB, 512 * MiB)) {
+    const std::size_t tp =
+        model::optimal_transport_partitions(params, bytes, /*user=*/32);
+    table.add_row({format_bytes(bytes), std::to_string(tp)});
+  }
+  cli.emit(table);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Shared helpers for the figure/table bench binaries: a tiny CLI
+// (--csv for machine-readable output, --iters=N to override iteration
+// counts) and canned part::Options constructors for each design.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "agg/strategies.hpp"
+#include "bench/report.hpp"
+#include "part/options.hpp"
+
+namespace partib::bench {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--csv") == 0) {
+        csv_ = true;
+      } else if (std::strncmp(argv[i], "--iters=", 8) == 0) {
+        iters_override_ = std::atoi(argv[i] + 8);
+      }
+    }
+  }
+
+  bool csv() const { return csv_; }
+  int iterations(int fallback) const {
+    return iters_override_ > 0 ? iters_override_ : fallback;
+  }
+
+  void emit(const Table& table) const {
+    if (csv_) {
+      std::cout << table.to_csv();
+    } else {
+      table.print(std::cout);
+    }
+  }
+
+ private:
+  bool csv_ = false;
+  int iters_override_ = 0;
+};
+
+inline part::Options options_with(
+    std::shared_ptr<const agg::Aggregator> a) {
+  part::Options o;
+  o.aggregator = std::move(a);
+  return o;
+}
+
+inline part::Options persistent_options() {
+  return options_with(std::make_shared<agg::PersistentBaseline>());
+}
+
+inline part::Options static_options(std::size_t tp, int qps) {
+  return options_with(std::make_shared<agg::StaticAggregator>(tp, qps));
+}
+
+inline part::Options ploggp_options() {
+  return options_with(std::make_shared<agg::PLogGPAggregator>(
+      model::LogGPParams::niagara_mpi_measured()));
+}
+
+inline part::Options timer_options(Duration delta) {
+  return options_with(std::make_shared<agg::TimerPLogGPAggregator>(
+      model::LogGPParams::niagara_mpi_measured(), delta));
+}
+
+inline part::Options tuning_table_options() {
+  return options_with(std::make_shared<agg::TuningTableAggregator>(
+      agg::TuningTable::niagara_prebuilt()));
+}
+
+}  // namespace partib::bench

@@ -1,0 +1,31 @@
+// Shared option constructors for the examples.
+#pragma once
+
+#include <memory>
+
+#include "agg/strategies.hpp"
+#include "part/options.hpp"
+
+namespace partib::examples {
+
+inline part::Options persistent_options() {
+  part::Options o;
+  o.aggregator = std::make_shared<agg::PersistentBaseline>();
+  return o;
+}
+
+inline part::Options ploggp_options() {
+  part::Options o;
+  o.aggregator = std::make_shared<agg::PLogGPAggregator>(
+      model::LogGPParams::niagara_mpi_measured());
+  return o;
+}
+
+inline part::Options timer_options(Duration delta) {
+  part::Options o;
+  o.aggregator = std::make_shared<agg::TimerPLogGPAggregator>(
+      model::LogGPParams::niagara_mpi_measured(), delta);
+  return o;
+}
+
+}  // namespace partib::examples

@@ -1,0 +1,70 @@
+// Aggregation strategies: how user partitions map onto transport
+// partitions (the paper's central design space, §IV).
+//
+// An Aggregator is consulted once per channel, at Psend_init time, and
+// produces a Plan: how many transport partitions to use, across how many
+// QPs, whether the timer-based dynamic refinement is active, and which
+// software path the messages take (direct verbs for our designs, the
+// UCX-like stack for the Open MPI `part_persist` baseline).
+//
+// Vocabulary (paper §IV-A): *user partitions* are what the application
+// marks ready; *transport partitions* are what actually goes on the wire,
+// one work request each.  Aggregation means multiple contiguous user
+// partitions ride in a single WR — data is never staged in another buffer.
+#pragma once
+
+#include <cstddef>
+
+#include "common/time.hpp"
+#include "model/ploggp.hpp"
+
+namespace partib::agg {
+
+enum class Path {
+  kVerbs,    ///< direct InfiniBand verbs (this paper's designs)
+  kUcxLike,  ///< Open MPI + UCX software path (the persistent baseline)
+};
+
+struct Plan {
+  /// Number of transport partitions P; always a power of two in
+  /// [1, user_partitions].  Groups are contiguous and aligned on
+  /// (user_partitions / P) boundaries.
+  std::size_t transport_partitions = 1;
+  /// QPs to spread transport partitions across (group g uses QP g mod q).
+  int qp_count = 1;
+  /// Timer-based dynamic aggregation (§IV-D): the first thread of a group
+  /// to arrive waits up to `timer_delta` for the rest, then flushes the
+  /// maximal contiguous runs that have arrived.
+  bool timer_based = false;
+  Duration timer_delta = 0;
+  Path path = Path::kVerbs;
+
+  /// Online adaptation (the auto-tuning the paper's §IV-D defers to
+  /// future work): the send request measures each round's Pready spread,
+  /// keeps an exponentially weighted average, and re-runs the drain-aware
+  /// PLogGP optimizer with the *measured* delay at every Start.  Only the
+  /// transport-partition count adapts; QPs are fixed at init.
+  bool adaptive = false;
+  model::LogGPParams model_params{};
+  model::OptimizerConfig optimizer{};
+  double ewma_alpha = 0.25;
+};
+
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+
+  /// Decide the plan for a channel of `user_partitions` partitions
+  /// totalling `total_bytes`.
+  virtual Plan plan(std::size_t user_partitions,
+                    std::size_t total_bytes) const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Clamp a requested transport-partition count to the legal range
+/// [1, user_partitions], preserving power-of-two-ness.
+std::size_t clamp_transport_partitions(std::size_t requested,
+                                       std::size_t user_partitions);
+
+}  // namespace partib::agg

@@ -1,0 +1,132 @@
+#include "agg/strategies.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace partib::agg {
+
+std::size_t clamp_transport_partitions(std::size_t requested,
+                                       std::size_t user_partitions) {
+  PARTIB_ASSERT(is_pow2(user_partitions));
+  const std::size_t p = prev_pow2(std::max<std::size_t>(requested, 1));
+  return std::min(p, user_partitions);
+}
+
+// -- PersistentBaseline ------------------------------------------------------
+
+Plan PersistentBaseline::plan(std::size_t user_partitions,
+                              std::size_t) const {
+  Plan p;
+  p.transport_partitions = user_partitions;  // no aggregation
+  p.qp_count = 1;                            // UCX: one RC channel per peer
+  p.path = Path::kUcxLike;
+  return p;
+}
+
+// -- StaticAggregator --------------------------------------------------------
+
+StaticAggregator::StaticAggregator(std::size_t transport_partitions,
+                                   int qp_count)
+    : transport_partitions_(transport_partitions), qp_count_(qp_count) {
+  PARTIB_ASSERT(is_pow2(transport_partitions) && qp_count >= 1);
+}
+
+Plan StaticAggregator::plan(std::size_t user_partitions, std::size_t) const {
+  Plan p;
+  p.transport_partitions =
+      clamp_transport_partitions(transport_partitions_, user_partitions);
+  p.qp_count = qp_count_;
+  return p;
+}
+
+// -- TuningTableAggregator ---------------------------------------------------
+
+TuningTableAggregator::TuningTableAggregator(TuningTable table)
+    : table_(std::move(table)) {
+  PARTIB_ASSERT_MSG(!table_.empty(), "tuning table must not be empty");
+}
+
+Plan TuningTableAggregator::plan(std::size_t user_partitions,
+                                 std::size_t total_bytes) const {
+  Plan p;
+  auto entry = table_.lookup(user_partitions, total_bytes);
+  if (!entry) entry = table_.lookup_nearest(user_partitions, total_bytes);
+  if (entry) {
+    p.transport_partitions = clamp_transport_partitions(
+        entry->transport_partitions, user_partitions);
+    p.qp_count = entry->qp_count;
+  }
+  return p;
+}
+
+// -- PLogGPAggregator --------------------------------------------------------
+
+PLogGPAggregator::PLogGPAggregator(model::LogGPParams params,
+                                   model::OptimizerConfig cfg,
+                                   int max_wr_per_qp)
+    : params_(params), cfg_(cfg), max_wr_per_qp_(max_wr_per_qp) {
+  PARTIB_ASSERT(max_wr_per_qp >= 1);
+}
+
+Plan PLogGPAggregator::plan(std::size_t user_partitions,
+                            std::size_t total_bytes) const {
+  Plan p;
+  const std::size_t tp = model::optimal_transport_partitions(
+      params_, total_bytes, user_partitions, cfg_);
+  p.transport_partitions = clamp_transport_partitions(tp, user_partitions);
+  // Only as many QPs as the outstanding-WR limit requires (§IV-A: multiple
+  // QPs exist to respect the 16-concurrent-RDMA-WR hardware limit).
+  p.qp_count = static_cast<int>(
+      ceil_div(p.transport_partitions,
+               static_cast<std::size_t>(max_wr_per_qp_)));
+  return p;
+}
+
+// -- AdaptivePLogGPAggregator ------------------------------------------------
+
+AdaptivePLogGPAggregator::AdaptivePLogGPAggregator(model::LogGPParams params,
+                                                   Duration initial_delay,
+                                                   double ewma_alpha)
+    : params_(params), initial_delay_(initial_delay), alpha_(ewma_alpha) {
+  PARTIB_ASSERT(initial_delay >= 0);
+  PARTIB_ASSERT(ewma_alpha > 0.0 && ewma_alpha <= 1.0);
+}
+
+Plan AdaptivePLogGPAggregator::plan(std::size_t user_partitions,
+                                    std::size_t total_bytes) const {
+  Plan p;
+  model::OptimizerConfig cfg;
+  cfg.delay = initial_delay_;
+  p.transport_partitions = clamp_transport_partitions(
+      model::optimal_transport_partitions_with_drain(params_, total_bytes,
+                                                     user_partitions, cfg),
+      user_partitions);
+  p.qp_count = 1;  // see class comment
+  p.adaptive = true;
+  p.model_params = params_;
+  p.optimizer = cfg;
+  p.ewma_alpha = alpha_;
+  return p;
+}
+
+// -- TimerPLogGPAggregator ---------------------------------------------------
+
+TimerPLogGPAggregator::TimerPLogGPAggregator(model::LogGPParams params,
+                                             Duration delta,
+                                             model::OptimizerConfig cfg,
+                                             int max_wr_per_qp)
+    : PLogGPAggregator(params, cfg, max_wr_per_qp), delta_(delta) {
+  PARTIB_ASSERT(delta >= 0);
+}
+
+Plan TimerPLogGPAggregator::plan(std::size_t user_partitions,
+                                 std::size_t total_bytes) const {
+  Plan p = PLogGPAggregator::plan(user_partitions, total_bytes);
+  p.timer_based = true;
+  p.timer_delta = delta_;
+  return p;
+}
+
+}  // namespace partib::agg

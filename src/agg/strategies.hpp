@@ -1,0 +1,106 @@
+// Concrete aggregation strategies.
+#pragma once
+
+#include <cstddef>
+
+#include "agg/aggregator.hpp"
+#include "agg/tuning_table.hpp"
+#include "model/ploggp.hpp"
+
+namespace partib::agg {
+
+/// Open MPI `part_persist` + UCX baseline: one message per user partition,
+/// one QP, UCX software path, no aggregation.  This is the comparator every
+/// figure's speedups are computed against.
+class PersistentBaseline final : public Aggregator {
+ public:
+  Plan plan(std::size_t user_partitions, std::size_t) const override;
+  const char* name() const override { return "persistent"; }
+};
+
+/// Fixed transport-partition / QP counts (the knob sweeps of Figs 6-7 and
+/// the values a tuning table stores).
+class StaticAggregator final : public Aggregator {
+ public:
+  StaticAggregator(std::size_t transport_partitions, int qp_count);
+  Plan plan(std::size_t user_partitions, std::size_t) const override;
+  const char* name() const override { return "static"; }
+
+ private:
+  std::size_t transport_partitions_;
+  int qp_count_;
+};
+
+/// Brute-force tuning table (§IV-B): looks up (user partitions, message
+/// size) in a pre-searched table.
+class TuningTableAggregator final : public Aggregator {
+ public:
+  explicit TuningTableAggregator(TuningTable table);
+  Plan plan(std::size_t user_partitions,
+            std::size_t total_bytes) const override;
+  const char* name() const override { return "tuning-table"; }
+
+  const TuningTable& table() const { return table_; }
+
+ private:
+  TuningTable table_;
+};
+
+/// PLogGP-model-driven aggregation (§IV-C): the optimizer picks the
+/// transport-partition count; QPs are added only as needed to stay within
+/// the per-QP outstanding-WR limit.
+class PLogGPAggregator : public Aggregator {
+ public:
+  PLogGPAggregator(model::LogGPParams params,
+                   model::OptimizerConfig cfg = {},
+                   int max_wr_per_qp = 16);
+  Plan plan(std::size_t user_partitions,
+            std::size_t total_bytes) const override;
+  const char* name() const override { return "ploggp"; }
+
+ protected:
+  model::LogGPParams params_;
+  model::OptimizerConfig cfg_;
+  int max_wr_per_qp_;
+};
+
+/// Online-adaptive PLogGP aggregation — the auto-tuning approach the
+/// paper explicitly defers ("An online auto-tuning approach could be used
+/// to tune the PLogGP model input delay parameter", §IV-D).  Starts from
+/// the drain-aware PLogGP plan for an initial delay guess; the runtime
+/// then re-optimizes the transport-partition count each round against the
+/// measured arrival spread.  Restricted to a single QP so the receiver's
+/// worst-case receive-WR budget is independent of the evolving plan.
+class AdaptivePLogGPAggregator final : public Aggregator {
+ public:
+  AdaptivePLogGPAggregator(model::LogGPParams params,
+                           Duration initial_delay_guess = msec(4),
+                           double ewma_alpha = 0.25);
+  Plan plan(std::size_t user_partitions,
+            std::size_t total_bytes) const override;
+  const char* name() const override { return "adaptive-ploggp"; }
+
+ private:
+  model::LogGPParams params_;
+  Duration initial_delay_;
+  double alpha_;
+};
+
+/// Timer-based PLogGP aggregation (§IV-D): the PLogGP plan plus the
+/// arrival-aware delta timer.
+class TimerPLogGPAggregator final : public PLogGPAggregator {
+ public:
+  TimerPLogGPAggregator(model::LogGPParams params, Duration delta,
+                        model::OptimizerConfig cfg = {},
+                        int max_wr_per_qp = 16);
+  Plan plan(std::size_t user_partitions,
+            std::size_t total_bytes) const override;
+  const char* name() const override { return "timer-ploggp"; }
+
+  Duration delta() const { return delta_; }
+
+ private:
+  Duration delta_;
+};
+
+}  // namespace partib::agg

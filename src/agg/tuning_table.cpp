@@ -1,0 +1,108 @@
+#include "agg/tuning_table.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+#include "common/units.hpp"
+
+namespace partib::agg {
+
+void TuningTable::set(std::size_t user_partitions, std::size_t total_bytes,
+                      Entry e) {
+  PARTIB_ASSERT(e.transport_partitions >= 1 && e.qp_count >= 1);
+  table_[Key{user_partitions, total_bytes}] = e;
+}
+
+std::optional<TuningTable::Entry> TuningTable::lookup(
+    std::size_t user_partitions, std::size_t total_bytes) const {
+  auto it = table_.find(Key{user_partitions, total_bytes});
+  if (it == table_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<TuningTable::Entry> TuningTable::lookup_nearest(
+    std::size_t user_partitions, std::size_t total_bytes) const {
+  std::optional<Entry> best;
+  double best_dist = 0.0;
+  const double want = std::log2(static_cast<double>(total_bytes));
+  for (const auto& [key, entry] : table_) {
+    if (key.first != user_partitions) continue;
+    const double dist =
+        std::fabs(std::log2(static_cast<double>(key.second)) - want);
+    if (!best || dist < best_dist) {
+      best = entry;
+      best_dist = dist;
+    }
+  }
+  return best;
+}
+
+std::string TuningTable::to_csv() const {
+  std::ostringstream out;
+  out << "user_partitions,total_bytes,transport_partitions,qp_count\n";
+  for (const auto& [key, e] : table_) {
+    out << key.first << ',' << key.second << ',' << e.transport_partitions
+        << ',' << e.qp_count << '\n';
+  }
+  return out.str();
+}
+
+TuningTable TuningTable::from_csv(const std::string& csv) {
+  TuningTable t;
+  std::istringstream in(csv);
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (first && line.find("user_partitions") != std::string::npos) {
+      first = false;
+      continue;
+    }
+    first = false;
+    std::size_t up = 0, bytes = 0, tp = 0;
+    int qp = 0;
+    const int n = std::sscanf(line.c_str(), "%zu,%zu,%zu,%d", &up, &bytes,
+                              &tp, &qp);
+    PARTIB_ASSERT_MSG(n == 4, "malformed tuning-table CSV line");
+    t.set(up, bytes, Entry{tp, qp});
+  }
+  return t;
+}
+
+TuningTable TuningTable::niagara_prebuilt() {
+  // Verbatim output of bench/bench_build_tuning_table on the default
+  // ConnectX-5/EDR simulated fabric (brute force over power-of-two
+  // transport-partition and QP counts, overhead-benchmark objective,
+  // 10 iterations per point).  Like the paper's searched table it shares
+  // the PLogGP trend (transport partitions never shrink with message
+  // size) but splits more aggressively at medium sizes: the benchmark's
+  // thread-release jitter rewards early-bird streaming, which the
+  // many-before-one model does not credit.  The paper saw the same
+  // effect — its table reached 2.13x at 512 KiB where PLogGP's plan got
+  // 1.38x (§V-B2) — and "the exact cut off points varied" (§V-B1).
+  static const char* kSearched =
+      "user_partitions,total_bytes,transport_partitions,qp_count\n"
+      "4,2048,1,1\n4,4096,2,2\n4,8192,2,2\n4,16384,4,4\n4,32768,4,4\n"
+      "4,65536,4,4\n4,131072,4,4\n4,262144,4,4\n4,524288,4,4\n"
+      "4,1048576,4,4\n4,2097152,4,4\n4,4194304,4,4\n4,8388608,4,4\n"
+      "4,16777216,4,4\n"
+      "16,2048,16,4\n16,4096,16,4\n16,8192,16,4\n16,16384,16,4\n"
+      "16,32768,16,4\n16,65536,16,4\n16,131072,16,4\n16,262144,16,4\n"
+      "16,524288,16,4\n16,1048576,16,4\n16,2097152,16,4\n"
+      "16,4194304,16,4\n16,8388608,16,4\n16,16777216,16,4\n"
+      "32,2048,16,4\n32,4096,16,4\n32,8192,32,4\n32,16384,32,4\n"
+      "32,32768,32,4\n32,65536,32,4\n32,131072,32,4\n32,262144,32,4\n"
+      "32,524288,32,4\n32,1048576,32,4\n32,2097152,32,4\n"
+      "32,4194304,32,4\n32,8388608,32,4\n32,16777216,32,4\n"
+      "128,2048,32,4\n128,4096,32,4\n128,8192,32,4\n128,16384,32,4\n"
+      "128,32768,32,4\n128,65536,32,4\n128,131072,32,4\n"
+      "128,262144,32,4\n128,524288,32,4\n128,1048576,32,4\n"
+      "128,2097152,32,4\n128,4194304,32,4\n128,8388608,32,4\n"
+      "128,16777216,32,4\n";
+  return from_csv(kSearched);
+}
+
+}  // namespace partib::agg

@@ -1,0 +1,56 @@
+// The brute-force tuning table (§IV-B).
+//
+// The paper searched a subset of the six-dimensional configuration space
+// (two processes, 4 KiB MTU) for ~23 hours on two Niagara nodes to build a
+// table keyed by (user partitions, message size) holding the best
+// (transport partitions, QPs).  Here the equivalent search runs on the
+// simulated fabric (tools/bench_build_tuning_table); a pre-searched table
+// for the default NIC parameters ships as `niagara_prebuilt()` so library
+// users do not pay the search cost.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace partib::agg {
+
+class TuningTable {
+ public:
+  struct Entry {
+    std::size_t transport_partitions = 1;
+    int qp_count = 1;
+  };
+
+  void set(std::size_t user_partitions, std::size_t total_bytes, Entry e);
+
+  /// Exact lookup.
+  std::optional<Entry> lookup(std::size_t user_partitions,
+                              std::size_t total_bytes) const;
+
+  /// Lookup with fallback: same user-partition count, nearest message size
+  /// (log scale).  Returns nullopt only when the partition count is
+  /// entirely absent.
+  std::optional<Entry> lookup_nearest(std::size_t user_partitions,
+                                      std::size_t total_bytes) const;
+
+  std::size_t size() const { return table_.size(); }
+  bool empty() const { return table_.empty(); }
+
+  /// CSV round-trip: "user_partitions,total_bytes,transport_partitions,qps"
+  /// per line.  Used by the table-builder tool.
+  std::string to_csv() const;
+  static TuningTable from_csv(const std::string& csv);
+
+  /// Table produced by running the brute-force search on the simulated
+  /// ConnectX-5/EDR fabric with default parameters.
+  static TuningTable niagara_prebuilt();
+
+ private:
+  using Key = std::pair<std::size_t, std::size_t>;
+  std::map<Key, Entry> table_;
+};
+
+}  // namespace partib::agg

@@ -1,0 +1,35 @@
+// Netgauge-like LogGP parameter measurement (§III).
+//
+// The paper measures LogGP parameters with Netgauge and feeds them into
+// the PLogGP model.  This probe does the equivalent against the simulated
+// fabric, using raw verbs (the "experimental InfiniBand implementation"
+// Netgauge could not offer the authors): single-message timings at two
+// sizes recover G (per-byte cost) and the fixed per-message intercept;
+// a back-to-back message train recovers the injection gap g.
+#pragma once
+
+#include "common/time.hpp"
+#include "fabric/nic_params.hpp"
+#include "model/loggp.hpp"
+
+namespace partib::bench {
+
+struct ProbeResult {
+  /// Fitted per-byte time (ns/B), including MTU header amortisation.
+  double G = 0.0;
+  /// Fitted inter-message gap from the train probe.
+  Duration gap = 0;
+  /// Fixed per-message cost: g + o_s + L + o_r (not separable from one
+  /// endpoint, exactly as the paper's MPI-level measurements were not).
+  Duration intercept = 0;
+
+  /// Package the fit as LogGP parameters for the PLogGP model, splitting
+  /// the unattributable intercept remainder into L (the dominant term on a
+  /// real fabric).
+  model::LogGPParams as_loggp() const;
+};
+
+/// Run the probe on a fresh two-node fabric with the given NIC parameters.
+ProbeResult run_parameter_probe(const fabric::NicParams& params);
+
+}  // namespace partib::bench

@@ -1,0 +1,67 @@
+#include "bench/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace partib::bench {
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers)) {
+  PARTIB_ASSERT(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  PARTIB_ASSERT(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+    for (const auto& row : rows_) width[c] = std::max(width[c], row[c].size());
+  }
+  out << "== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      out << cells[c];
+      for (std::size_t pad = cells[c].size(); pad < width[c]; ++pad)
+        out << ' ';
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = headers_.size() - 1;
+  for (std::size_t w : width) total += w + 1;
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  out << '\n';
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << (c ? "," : "") << headers_[c];
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c ? "," : "") << row[c];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace partib::bench

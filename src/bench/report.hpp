@@ -1,0 +1,35 @@
+// Plain-text table reporting for the benchmark harness.
+//
+// Every figure/table binary prints the same rows/series the paper reports,
+// through this one formatter, plus an optional CSV dump for plotting.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace partib::bench {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Column-aligned human-readable rendering.
+  void print(std::ostream& out) const;
+
+  std::string to_csv() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double ("1.73").
+std::string fmt(double v, int precision = 2);
+
+}  // namespace partib::bench

@@ -1,0 +1,34 @@
+// Internal invariant checking.
+//
+// PARTIB_ASSERT guards conditions that indicate a bug in this library (not
+// user error); it is active in all build types because the simulator is the
+// test oracle for everything above it and must fail loudly.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace partib::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "partib: assertion failed: %s at %s:%d%s%s\n", expr,
+               file, line, msg[0] ? ": " : "", msg);
+  std::abort();
+}
+
+}  // namespace partib::detail
+
+#define PARTIB_ASSERT(cond)                                             \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::partib::detail::assert_fail(#cond, __FILE__, __LINE__, "");      \
+    }                                                                    \
+  } while (0)
+
+#define PARTIB_ASSERT_MSG(cond, msg)                                    \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::partib::detail::assert_fail(#cond, __FILE__, __LINE__, (msg));   \
+    }                                                                    \
+  } while (0)

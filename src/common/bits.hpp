@@ -1,0 +1,31 @@
+// Small bit-manipulation helpers (checked wrappers over <bit>).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace partib {
+
+constexpr bool is_pow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+constexpr std::size_t next_pow2(std::size_t v) {
+  return v <= 1 ? 1 : std::bit_ceil(v);
+}
+
+constexpr std::size_t prev_pow2(std::size_t v) {
+  return v == 0 ? 0 : std::bit_floor(v);
+}
+
+/// floor(log2(v)); v must be nonzero.
+constexpr unsigned log2_floor(std::size_t v) {
+  return static_cast<unsigned>(std::bit_width(v) - 1);
+}
+
+/// Ceiling division for non-negative integers.
+template <typename T>
+constexpr T ceil_div(T a, T b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace partib

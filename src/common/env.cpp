@@ -1,0 +1,35 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace partib {
+
+std::optional<std::string> env_string(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return std::nullopt;
+  return std::string(v);
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  auto v = env_string(name);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v->c_str(), &end, 10);
+  PARTIB_ASSERT_MSG(end != nullptr && *end == '\0',
+                    "non-numeric value in integer environment variable");
+  return parsed;
+}
+
+bool env_bool(const char* name, bool fallback) {
+  auto v = env_string(name);
+  if (!v) return fallback;
+  if (*v == "0" || *v == "false" || *v == "off") return false;
+  if (*v == "1" || *v == "true" || *v == "on") return true;
+  PARTIB_ASSERT_MSG(false, "unrecognised boolean environment variable value");
+  return fallback;
+}
+
+}  // namespace partib

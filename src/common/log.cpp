@@ -1,0 +1,28 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+#include "common/env.hpp"
+
+namespace partib {
+
+LogLevel log_level() {
+  static const LogLevel level =
+      static_cast<LogLevel>(env_int("PARTIB_LOG_LEVEL", 0));
+  return level;
+}
+
+void log_emit(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) > static_cast<int>(log_level())) return;
+  const char* tag = level == LogLevel::kWarn   ? "W"
+                    : level == LogLevel::kInfo ? "I"
+                                               : "D";
+  std::fprintf(stderr, "[partib:%s] ", tag);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace partib

@@ -1,0 +1,25 @@
+// Minimal leveled logging.
+//
+// Controlled by PARTIB_LOG_LEVEL (0 = off, 1 = warn, 2 = info, 3 = debug).
+// Logging is for diagnosing simulator/runtime behaviour; benchmark results
+// are emitted through the bench reporters, never through the log.
+#pragma once
+
+#include <cstdarg>
+
+namespace partib {
+
+enum class LogLevel : int { kOff = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Current level, read once from the environment on first use.
+LogLevel log_level();
+
+/// printf-style emit; no-op when `level` is above the configured level.
+void log_emit(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace partib
+
+#define PARTIB_WARN(...) ::partib::log_emit(::partib::LogLevel::kWarn, __VA_ARGS__)
+#define PARTIB_INFO(...) ::partib::log_emit(::partib::LogLevel::kInfo, __VA_ARGS__)
+#define PARTIB_DEBUG(...) ::partib::log_emit(::partib::LogLevel::kDebug, __VA_ARGS__)

@@ -1,0 +1,47 @@
+// Error handling for the public API.
+//
+// The library mirrors MPI's convention of returning status codes from API
+// calls rather than throwing: partitioned-communication fast paths
+// (Pready/Parrived) are called from tight multi-threaded loops where
+// exceptions are unwelcome.  Internal logic errors use PARTIB_ASSERT
+// (common/assert.hpp) instead.
+#pragma once
+
+namespace partib {
+
+enum class Status {
+  kOk = 0,
+  /// Argument outside its documented domain (null buffer, partition index
+  /// out of range, non-positive counts, ...).
+  kInvalidArgument,
+  /// Operation is illegal in the object's current state (e.g. Pready before
+  /// Start, post_send on a QP that is not RTS).
+  kInvalidState,
+  /// A referenced resource does not exist (unknown rank, unregistered
+  /// memory key, ...).
+  kNotFound,
+  /// A fixed capacity was exhausted (send queue full, CQ overrun).
+  kResourceExhausted,
+  /// Feature deliberately not provided (e.g. wildcard matching, which MPI
+  /// Partitioned forbids).
+  kUnsupported,
+  /// Remote side reported an error completion.
+  kRemoteError,
+};
+
+constexpr const char* to_string(Status s) {
+  switch (s) {
+    case Status::kOk: return "OK";
+    case Status::kInvalidArgument: return "INVALID_ARGUMENT";
+    case Status::kInvalidState: return "INVALID_STATE";
+    case Status::kNotFound: return "NOT_FOUND";
+    case Status::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case Status::kUnsupported: return "UNSUPPORTED";
+    case Status::kRemoteError: return "REMOTE_ERROR";
+  }
+  return "UNKNOWN";
+}
+
+constexpr bool ok(Status s) { return s == Status::kOk; }
+
+}  // namespace partib

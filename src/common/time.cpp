@@ -1,0 +1,25 @@
+#include "common/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace partib {
+
+std::string format_duration(Duration d) {
+  const char* sign = d < 0 ? "-" : "";
+  const double abs = std::fabs(static_cast<double>(d));
+  char buf[64];
+  if (abs >= static_cast<double>(kSecond)) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fs", sign, abs / kSecond);
+  } else if (abs >= static_cast<double>(kMillisecond)) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fms", sign, abs / kMillisecond);
+  } else if (abs >= static_cast<double>(kMicrosecond)) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fus", sign, abs / kMicrosecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%lldns", sign,
+                  static_cast<long long>(std::llabs(d)));
+  }
+  return buf;
+}
+
+}  // namespace partib

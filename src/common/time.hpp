@@ -1,0 +1,45 @@
+// Virtual-time primitives shared by the whole library.
+//
+// All simulated timestamps and durations are signed 64-bit nanosecond
+// counts.  Using a plain integer (instead of std::chrono on the system
+// clock) keeps the discrete-event engine deterministic and host
+// independent: a benchmark run produces the same timeline on any machine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace partib {
+
+/// A point in virtual time, in nanoseconds since simulation start.
+using Time = std::int64_t;
+
+/// A span of virtual time, in nanoseconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1'000;
+inline constexpr Duration kMillisecond = 1'000'000;
+inline constexpr Duration kSecond = 1'000'000'000;
+
+/// Shorthand constructors so call sites read `5 * kMicrosecond` or
+/// `usec(5)` interchangeably.
+constexpr Duration nsec(std::int64_t n) { return n; }
+constexpr Duration usec(std::int64_t n) { return n * kMicrosecond; }
+constexpr Duration msec(std::int64_t n) { return n * kMillisecond; }
+constexpr Duration sec(std::int64_t n) { return n * kSecond; }
+
+constexpr double to_usec(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+constexpr double to_msec(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+constexpr double to_sec(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Human-readable rendering with an auto-selected unit ("3.20ms", "17ns").
+std::string format_duration(Duration d);
+
+}  // namespace partib

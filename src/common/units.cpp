@@ -1,0 +1,32 @@
+#include "common/units.hpp"
+
+#include <cstdio>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace partib {
+
+std::string format_bytes(std::size_t n) {
+  char buf[64];
+  if (n >= GiB && n % GiB == 0) {
+    std::snprintf(buf, sizeof(buf), "%zuGiB", n / GiB);
+  } else if (n >= MiB && n % MiB == 0) {
+    std::snprintf(buf, sizeof(buf), "%zuMiB", n / MiB);
+  } else if (n >= KiB && n % KiB == 0) {
+    std::snprintf(buf, sizeof(buf), "%zuKiB", n / KiB);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zuB", n);
+  }
+  return buf;
+}
+
+std::vector<std::size_t> pow2_sizes(std::size_t lo, std::size_t hi) {
+  PARTIB_ASSERT_MSG(is_pow2(lo) && is_pow2(hi) && lo <= hi,
+                    "pow2_sizes requires power-of-two bounds");
+  std::vector<std::size_t> out;
+  for (std::size_t s = lo; s <= hi; s *= 2) out.push_back(s);
+  return out;
+}
+
+}  // namespace partib

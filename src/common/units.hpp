@@ -1,0 +1,21 @@
+// Byte-size helpers used by benchmarks and configuration.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace partib {
+
+inline constexpr std::size_t KiB = 1024;
+inline constexpr std::size_t MiB = 1024 * KiB;
+inline constexpr std::size_t GiB = 1024 * MiB;
+
+/// "4KiB", "128MiB", "512B" — used for table headers in the bench harness.
+std::string format_bytes(std::size_t n);
+
+/// Power-of-two sweep [lo, hi] inclusive, both must be powers of two.
+std::vector<std::size_t> pow2_sizes(std::size_t lo, std::size_t hi);
+
+}  // namespace partib

@@ -1,0 +1,133 @@
+#include "fabric/fabric.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace partib::fabric {
+
+Fabric::Fabric(sim::Engine& engine, NicParams params, bool copy_data)
+    : engine_(engine),
+      params_(params),
+      copy_data_(copy_data),
+      network_(engine, params.link_bytes_per_ns()) {}
+
+NodeId Fabric::add_node() {
+  const NodeId id = node_count();
+  wqe_engines_.push_back(std::make_unique<sim::FifoResource>(engine_, 1));
+  network_.set_node_count(id + 1);
+  return id;
+}
+
+std::size_t Fabric::wire_bytes_for(std::size_t bytes) const {
+  const std::size_t segments =
+      bytes == 0 ? 1 : ceil_div(bytes, params_.mtu);
+  return bytes + segments * params_.segment_header_bytes;
+}
+
+void Fabric::post_rdma_write(RdmaOp op) {
+  PARTIB_ASSERT(op.src >= 0 && op.src < node_count());
+  PARTIB_ASSERT(op.dst >= 0 && op.dst < node_count());
+  PARTIB_ASSERT(op.on_send_complete != nullptr);
+  ++stats_.rdma_ops;
+  stats_.payload_bytes += op.bytes;
+  stats_.wire_bytes += wire_bytes_for(op.bytes);
+  if (trace_ != nullptr) {
+    op.trace_id =
+        trace_->begin(op.src, op.dst, op.src_qp, op.bytes, engine_.now());
+  }
+
+  auto& chain = chains_[op.src_qp];
+  chain.pending.push_back(std::move(op));
+  if (!chain.busy) issue_next(chain.pending.back().src_qp);
+}
+
+void Fabric::issue_next(std::uint64_t src_qp) {
+  auto& chain = chains_[src_qp];
+  if (chain.busy || chain.pending.empty()) return;
+  chain.busy = true;
+  RdmaOp op = std::move(chain.pending.front());
+  chain.pending.pop_front();
+  const bool first_use = !chain.activated;
+  chain.activated = true;
+
+  // Stage 1: NIC-wide WQE engine (serial at gap g across all QPs).
+  auto& wqe = *wqe_engines_[static_cast<std::size_t>(op.src)];
+  wqe.request(params_.wire.g,
+              [this, op = std::move(op), first_use](Time, Time end) mutable {
+                if (TraceRecord* t = trace_of(op.trace_id)) {
+                  t->wqe_grant = end;
+                }
+                start_wire(std::move(op), first_use);
+              });
+}
+
+TraceRecord* Fabric::trace_of(std::uint64_t trace_id) {
+  if (trace_ == nullptr || trace_id == RdmaOp::kNoTraceId) return nullptr;
+  return &trace_->at(trace_id);
+}
+
+void Fabric::start_wire(RdmaOp op, bool charge_activation) {
+  // Stage 2: NIC processing before the first byte (o_s), plus QP context
+  // activation on first use.
+  Duration pre = params_.wire.o_s;
+  if (charge_activation) pre += params_.qp_activation;
+
+  engine_.schedule_after(pre, [this, op = std::move(op)]() mutable {
+    const auto wire_bytes = static_cast<double>(wire_bytes_for(op.bytes));
+    const double cap = params_.qp_bw_share * op.rate_cap_factor *
+                       params_.link_bytes_per_ns();
+    const std::uint64_t qp = op.src_qp;
+    if (TraceRecord* t = trace_of(op.trace_id)) {
+      t->wire_start = engine_.now();
+    }
+    network_.submit(
+        op.src, op.dst, wire_bytes, cap,
+        [this, op = std::move(op), qp](Time wire_end) mutable {
+          if (TraceRecord* t = trace_of(op.trace_id)) {
+            t->wire_end = wire_end;
+          }
+          // Landing at the destination after L; the payload copy happens
+          // at landing, the remote CQE o_r later, and the local send CQE
+          // only after the ACK travels back (RC completion semantics:
+          // a send completion implies remote delivery).
+          engine_.schedule_at(
+              wire_end + params_.wire.L, [this, op = std::move(op)] {
+                if (TraceRecord* t = trace_of(op.trace_id)) {
+                  t->landed = engine_.now();
+                }
+                if (op.move_data) op.move_data();
+                if (op.on_recv_complete) {
+                  engine_.schedule_after(params_.wire.o_r, [this, op] {
+                    if (TraceRecord* t = trace_of(op.trace_id)) {
+                      t->recv_cqe = engine_.now();
+                    }
+                    op.on_recv_complete(engine_.now());
+                  });
+                }
+                engine_.schedule_after(params_.wire.L, [this, op] {
+                  if (TraceRecord* t = trace_of(op.trace_id)) {
+                    t->send_cqe = engine_.now();
+                  }
+                  op.on_send_complete(engine_.now());
+                });
+              });
+          // Unblock the QP chain: next WR may now occupy the wire.
+          auto& chain = chains_[qp];
+          chain.busy = false;
+          issue_next(qp);
+        });
+  });
+}
+
+void Fabric::send_control(NodeId src, NodeId dst,
+                          std::function<void()> deliver) {
+  PARTIB_ASSERT(src >= 0 && src < node_count());
+  PARTIB_ASSERT(dst >= 0 && dst < node_count());
+  ++stats_.control_msgs;
+  engine_.schedule_after(params_.wire.L + params_.ctrl_overhead,
+                         std::move(deliver));
+}
+
+}  // namespace partib::fabric

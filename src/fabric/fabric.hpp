@@ -1,0 +1,121 @@
+// The simulated InfiniBand fabric.
+//
+// Sits under the verbs layer (src/verbs) and above the fluid network.
+// Responsibilities:
+//   * per-node WQE engine: the NIC fetches and processes work-queue
+//     entries serially at gap `g` regardless of which QP they belong to
+//     (doorbell + WQE fetch share one PCIe path);
+//   * per-QP ordering: a QP's WRs occupy the wire strictly in post order
+//     (InfiniBand RC ordering guarantee);
+//   * per-QP engine bandwidth share and one-time activation cost;
+//   * MTU segmentation, modelled as per-segment header bytes on the wire;
+//   * delivery: executes the payload copy when the last byte lands
+//     (wire_end + L) and raises the receive completion o_r later;
+//   * an out-of-band control plane for connection setup / matching.
+//
+// Data movement is real (the `move_data` closure memcpy's into the
+// destination memory region) unless copy_data is disabled, which the
+// benchmark harness does for multi-hundred-MiB sweeps where only the
+// timeline matters.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/time.hpp"
+#include "fabric/fluid_network.hpp"
+#include "fabric/nic_params.hpp"
+#include "fabric/trace.hpp"
+#include "sim/engine.hpp"
+#include "sim/resources.hpp"
+
+namespace partib::fabric {
+
+/// One RDMA operation handed down by the verbs layer.
+struct RdmaOp {
+  NodeId src = -1;
+  NodeId dst = -1;
+  /// Globally unique id of the sending QP (for ordering + activation).
+  std::uint64_t src_qp = 0;
+  std::size_t bytes = 0;
+  /// Scales the per-QP engine bandwidth share for this transfer (< 1 for
+  /// software paths that cannot keep the pipeline full).
+  double rate_cap_factor = 1.0;
+  /// Executed exactly when the last byte lands at the destination
+  /// (before the receive completion).  May be empty.
+  std::function<void()> move_data;
+  /// Local send completion (CQE on the sender's CQ).
+  std::function<void(Time)> on_send_complete;
+  /// Remote completion (CQE on the receiver's CQ, o_r after landing).
+  /// Empty for plain RDMA_WRITE (no immediate => no remote CQE).
+  std::function<void(Time)> on_recv_complete;
+  /// Internal: trace record index (set by the fabric when tracing).
+  std::uint64_t trace_id = kNoTraceId;
+
+  static constexpr std::uint64_t kNoTraceId = ~std::uint64_t{0};
+};
+
+struct FabricStats {
+  std::uint64_t rdma_ops = 0;
+  std::uint64_t control_msgs = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t wire_bytes = 0;  ///< payload + segment headers
+};
+
+class Fabric {
+ public:
+  Fabric(sim::Engine& engine, NicParams params, bool copy_data = true);
+
+  NodeId add_node();
+  int node_count() const { return static_cast<int>(wqe_engines_.size()); }
+
+  sim::Engine& engine() { return engine_; }
+  const NicParams& nic() const { return params_; }
+  bool copies_data() const { return copy_data_; }
+
+  /// Post an RDMA write (with or without immediate).  Timing starts now;
+  /// host-side posting costs are the caller's concern.
+  void post_rdma_write(RdmaOp op);
+
+  /// Deliver a small out-of-band control message (QP exchange, match
+  /// handshake).  `deliver` runs on the destination after
+  /// L + ctrl_overhead.
+  void send_control(NodeId src, NodeId dst, std::function<void()> deliver);
+
+  const FabricStats& stats() const { return stats_; }
+
+  /// Attach (or detach, with nullptr) a per-operation trace sink; see
+  /// fabric/trace.hpp.  The sink must outlive all traced operations.
+  void set_trace(TraceSink* sink) { trace_ = sink; }
+  TraceSink* trace() { return trace_; }
+
+  /// Wire bytes for a payload of `bytes` after MTU segmentation.
+  std::size_t wire_bytes_for(std::size_t bytes) const;
+
+ private:
+  struct QpChain {
+    std::deque<RdmaOp> pending;
+    bool busy = false;
+    bool activated = false;
+  };
+
+  sim::Engine& engine_;
+  NicParams params_;
+  bool copy_data_;
+  FluidNetwork network_;
+  // One serial WQE engine per node (index == NodeId).
+  std::vector<std::unique_ptr<sim::FifoResource>> wqe_engines_;
+  std::map<std::uint64_t, QpChain> chains_;
+  FabricStats stats_;
+  TraceSink* trace_ = nullptr;
+
+  void issue_next(std::uint64_t src_qp);
+  void start_wire(RdmaOp op, bool charge_activation);
+  TraceRecord* trace_of(std::uint64_t trace_id);
+};
+
+}  // namespace partib::fabric

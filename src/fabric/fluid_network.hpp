@@ -1,0 +1,79 @@
+// Max-min fair fluid-flow network model.
+//
+// Every node has full-duplex links into a non-blocking switch (Niagara's
+// Dragonfly+ is modelled as non-blocking for the traffic scales in the
+// paper's evaluation).  Active transfers are fluid flows; each flow is
+// constrained by (a) its source's egress capacity, (b) its destination's
+// ingress capacity, and (c) a per-flow rate cap (the per-QP engine share).
+// Rates are allocated by progressive filling (max-min fairness) and
+// re-computed whenever a flow starts or finishes.  This captures the two
+// effects the paper's figures depend on without per-packet simulation:
+// per-QP bandwidth limits (Fig 7) and fan-in congestion (Fig 14's sweep).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sim/engine.hpp"
+
+namespace partib::fabric {
+
+using NodeId = int;
+
+class FluidNetwork {
+ public:
+  /// Called when the flow's last byte leaves the wire.
+  using Done = std::function<void(Time wire_end)>;
+
+  FluidNetwork(sim::Engine& engine, double link_bytes_per_ns);
+
+  /// Declare nodes [0, n).  Flows may only reference declared nodes.
+  void set_node_count(int n);
+
+  /// Override one node's link capacities (bytes/ns); defaults to the
+  /// homogeneous link rate.  Models mixed-generation clusters or a
+  /// tapered uplink.  Only affects flows whose rates are recomputed after
+  /// the call (i.e. set capacities before traffic starts).
+  void set_node_capacity(NodeId node, double egress_bytes_per_ns,
+                         double ingress_bytes_per_ns);
+
+  /// Start a flow of `bytes` from src to dst, individually capped at
+  /// `rate_cap` bytes/ns.  Loopback (src == dst) completes after
+  /// bytes / rate_cap without touching link capacity.
+  void submit(NodeId src, NodeId dst, double bytes, double rate_cap,
+              Done done);
+
+  std::size_t active_flows() const { return flows_.size(); }
+  std::uint64_t completed_flows() const { return completed_; }
+
+ private:
+  struct Flow {
+    NodeId src;
+    NodeId dst;
+    double remaining;
+    double cap;
+    double rate = 0.0;
+    Done done;
+  };
+
+  sim::Engine& engine_;
+  double capacity_;
+  int nodes_ = 0;
+  /// Per-node overrides; missing entries use `capacity_`.
+  std::map<NodeId, std::pair<double, double>> node_caps_;
+  std::map<std::uint64_t, Flow> flows_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t completed_ = 0;
+  Time last_update_ = 0;
+  sim::Engine::EventId next_event_{};
+
+  void drain_progress();
+  void recompute_rates();
+  void schedule_next_completion();
+  void on_completion_event();
+};
+
+}  // namespace partib::fabric

@@ -1,0 +1,18 @@
+#include "fabric/nic_params.hpp"
+
+namespace partib::fabric {
+
+NicParams NicParams::connectx5_edr() {
+  NicParams p;
+  // 100 Gb/s line rate with protocol efficiency ~= 12.1 GB/s payload.
+  p.wire.G = 0.0826;  // ns per byte
+  p.wire.L = nsec(1'000);
+  p.wire.o_s = nsec(100);
+  p.wire.o_r = nsec(150);
+  // ConnectX-5 sustains O(100M) messages/s: the WQE-engine gap is tens of
+  // nanoseconds, not the microseconds an MPI-level measurement reports.
+  p.wire.g = nsec(20);
+  return p;
+}
+
+}  // namespace partib::fabric

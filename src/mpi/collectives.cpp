@@ -1,0 +1,167 @@
+#include "mpi/collectives.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace partib::mpi {
+
+namespace {
+
+/// Shared round-driving state for a dissemination-style exchange.
+template <typename Step>
+struct Rounds : std::enable_shared_from_this<Rounds<Step>> {
+  Step step;
+  int round = 0;
+  int total_rounds;
+  Collectives::Done done;
+
+  Rounds(Step s, int rounds, Collectives::Done d)
+      : step(std::move(s)), total_rounds(rounds), done(std::move(d)) {}
+
+  void advance() {
+    if (round == total_rounds) {
+      done();
+      return;
+    }
+    // step(round, next): calls next() when this round's exchange is done.
+    const int r = round++;
+    step(r, [self = this->shared_from_this()] { self->advance(); });
+  }
+};
+
+template <typename Step>
+void run_rounds(Step step, int rounds, Collectives::Done done) {
+  auto state = std::make_shared<Rounds<Step>>(std::move(step), rounds,
+                                              std::move(done));
+  state->advance();
+}
+
+}  // namespace
+
+Status Collectives::barrier(int base_tag, Done done) {
+  if (base_tag < 0) return Status::kInvalidArgument;
+  const int n = size();
+  if (n == 1) {
+    ep_.defer(std::move(done));
+    return Status::kOk;
+  }
+  int rounds = 0;
+  for (int span = 1; span < n; span *= 2) ++rounds;
+
+  const int me = rank();
+  auto step = [this, me, n, base_tag](int r, std::function<void()> next) {
+    const int span = 1 << r;
+    const int to = (me + span) % n;
+    const int from = (me - span % n + n) % n;
+    // A zero-byte token each way; the round completes when the incoming
+    // token arrives (the outgoing send needs no tracking).
+    static std::byte dummy;
+    PARTIB_ASSERT(ok(ep_.send(to, base_tag + r, {})));
+    PARTIB_ASSERT(ok(ep_.recv(from, base_tag + r,
+                              std::span<std::byte>(&dummy, 0),
+                              [next = std::move(next)](std::size_t) {
+                                next();
+                              })));
+  };
+  run_rounds(std::move(step), rounds, std::move(done));
+  return Status::kOk;
+}
+
+Status Collectives::broadcast(int root, int base_tag,
+                              std::span<std::byte> buffer, Done done) {
+  const int n = size();
+  if (root < 0 || root >= n || base_tag < 0) return Status::kInvalidArgument;
+  if (buffer.size() > P2pEndpoint::kEagerLimit) {
+    return Status::kResourceExhausted;
+  }
+  if (n == 1) {
+    ep_.defer(std::move(done));
+    return Status::kOk;
+  }
+  // Rotate so the root is virtual rank 0 in a binomial tree.
+  const int me = (rank() - root + n) % n;
+
+  // Virtual rank v receives through its lowest set bit b and forwards to
+  // v + span for every power-of-two span < b (the root uses the largest
+  // power of two below n), largest span first.
+  auto forward = [this, me, n, root, base_tag, buffer,
+                  done = std::move(done)]() mutable {
+    int start = 1;
+    if (me == 0) {
+      while (start * 2 < n) start *= 2;
+    } else {
+      int lsb = 1;
+      while ((me & lsb) == 0) lsb <<= 1;
+      start = lsb >> 1;
+    }
+    auto remaining = std::make_shared<int>(0);
+    auto fin = std::make_shared<Done>(std::move(done));
+    int outstanding = 0;
+    for (int span = start; span >= 1; span >>= 1) {
+      if (me + span >= n) continue;
+      ++outstanding;
+      const int to = (me + span + root) % n;
+      PARTIB_ASSERT(ok(ep_.send(to, base_tag, buffer, [remaining, fin] {
+        if (--*remaining == 0) (*fin)();
+      })));
+    }
+    *remaining = outstanding;
+    if (outstanding == 0) ep_.defer([fin] { (*fin)(); });
+  };
+
+  if (me == 0) {
+    forward();
+    return Status::kOk;
+  }
+  int bit = 1;
+  while ((me & bit) == 0) bit <<= 1;
+  const int from = (me - bit + root + n) % n;
+  PARTIB_ASSERT(ok(ep_.recv(from, base_tag, buffer,
+                            [forward = std::move(forward)](std::size_t) mutable {
+                              forward();
+                            })));
+  return Status::kOk;
+}
+
+Status Collectives::allreduce_sum(int base_tag, std::span<double> values,
+                                  Done done) {
+  const int n = size();
+  if (base_tag < 0) return Status::kInvalidArgument;
+  if (!is_pow2(static_cast<std::size_t>(n))) return Status::kUnsupported;
+  if (values.size() * sizeof(double) > P2pEndpoint::kEagerLimit) {
+    return Status::kResourceExhausted;
+  }
+  if (n == 1) {
+    ep_.defer(std::move(done));
+    return Status::kOk;
+  }
+  const int me = rank();
+  const int rounds = static_cast<int>(log2_floor(static_cast<std::size_t>(n)));
+  // Scratch shared across rounds.
+  auto incoming = std::make_shared<std::vector<double>>(values.size());
+
+  auto step = [this, me, base_tag, values, incoming](
+                  int r, std::function<void()> next) {
+    const int partner = me ^ (1 << r);
+    auto in_bytes = std::as_writable_bytes(std::span<double>(*incoming));
+    PARTIB_ASSERT(ok(ep_.send(partner, base_tag + r,
+                              std::as_bytes(values))));
+    PARTIB_ASSERT(ok(ep_.recv(partner, base_tag + r, in_bytes,
+                              [values, incoming,
+                               next = std::move(next)](std::size_t bytes) {
+                                PARTIB_ASSERT(bytes ==
+                                              values.size() * sizeof(double));
+                                for (std::size_t i = 0; i < values.size();
+                                     ++i) {
+                                  values[i] += (*incoming)[i];
+                                }
+                                next();
+                              })));
+  };
+  run_rounds(std::move(step), rounds, std::move(done));
+  return Status::kOk;
+}
+
+}  // namespace partib::mpi

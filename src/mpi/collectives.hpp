@@ -1,0 +1,49 @@
+// Collective operations over the two-sided eager layer.
+//
+// Classic log-P algorithms, one instance per rank, driven entirely by
+// completions (no blocking):
+//   * barrier    — dissemination: round k talks to rank +/- 2^k
+//   * broadcast  — binomial tree rooted anywhere
+//   * allreduce  — recursive doubling (power-of-two communicator sizes)
+//
+// Tags: each call stamps its messages with (base_tag + round), so
+// back-to-back collectives on distinct base tags cannot cross-match.
+// Concurrent collectives on the same base tag are erroneous, as in MPI.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "mpi/p2p.hpp"
+
+namespace partib::mpi {
+
+class Collectives {
+ public:
+  using Done = std::function<void()>;
+
+  explicit Collectives(P2pEndpoint& ep) : ep_(ep) {}
+
+  /// Dissemination barrier; `done` fires when every rank has reached it.
+  Status barrier(int base_tag, Done done);
+
+  /// Binomial-tree broadcast of `buffer` from `root`; on non-root ranks
+  /// the buffer is overwritten.
+  Status broadcast(int root, int base_tag, std::span<std::byte> buffer,
+                   Done done);
+
+  /// Recursive-doubling sum-allreduce over doubles.  Requires a
+  /// power-of-two rank count (kUnsupported otherwise).
+  Status allreduce_sum(int base_tag, std::span<double> values, Done done);
+
+ private:
+  P2pEndpoint& ep_;
+  int rank() const { return ep_.rank_id(); }
+  int size() const { return ep_.world_size(); }
+};
+
+}  // namespace partib::mpi

@@ -1,0 +1,41 @@
+#include "mpi/matcher.hpp"
+
+namespace partib::mpi {
+
+void InitMatcher::post_recv_init(const MatchKey& key, OnMatch on_match) {
+  auto uit = unexpected_send_.find(key);
+  if (uit != unexpected_send_.end() && !uit->second.empty()) {
+    const SendInit init = uit->second.front();
+    uit->second.pop_front();
+    if (uit->second.empty()) unexpected_send_.erase(uit);
+    on_match(init);
+    return;
+  }
+  pending_recv_[key].push_back(std::move(on_match));
+}
+
+void InitMatcher::on_send_init(const SendInit& init) {
+  auto pit = pending_recv_.find(init.key);
+  if (pit != pending_recv_.end() && !pit->second.empty()) {
+    OnMatch on_match = std::move(pit->second.front());
+    pit->second.pop_front();
+    if (pit->second.empty()) pending_recv_.erase(pit);
+    on_match(init);
+    return;
+  }
+  unexpected_send_[init.key].push_back(init);
+}
+
+std::size_t InitMatcher::pending_recvs() const {
+  std::size_t n = 0;
+  for (const auto& [k, q] : pending_recv_) n += q.size();
+  return n;
+}
+
+std::size_t InitMatcher::unexpected_sends() const {
+  std::size_t n = 0;
+  for (const auto& [k, q] : unexpected_send_) n += q.size();
+  return n;
+}
+
+}  // namespace partib::mpi

@@ -1,0 +1,61 @@
+// Ordered matching of partitioned-channel initialisation.
+//
+// MPI Partitioned matches Psend_init/Precv_init pairs on
+// (source rank, tag, communicator) strictly in posted order, with no
+// wildcards (§II-A: avoiding wildcard matching is one of the interface's
+// deliberate benefits for threaded codes).  Matching happens once, at
+// initialisation — never on the per-partition fast path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace partib::mpi {
+
+struct MatchKey {
+  int peer = 0;  ///< source rank as seen by the receiver
+  int tag = 0;
+  int comm_id = 0;
+
+  auto operator<=>(const MatchKey&) const = default;
+};
+
+/// The handshake record a sender's Psend_init ships to the receiver.
+struct SendInit {
+  MatchKey key;  ///< key.peer = sender's rank
+  std::size_t total_bytes = 0;
+  std::size_t user_partitions = 0;
+  std::size_t transport_partitions = 0;
+  int qp_count = 0;
+  std::vector<std::uint32_t> qp_nums;
+  /// Opaque sender-side request handle echoed back in the ack path
+  /// (in-process simulation: the ack closure resolves it).
+  void* sender_request = nullptr;
+};
+
+/// Receiver-side matcher: pairs incoming SendInit records with posted
+/// Precv_init descriptors, queuing whichever side arrives first.
+class InitMatcher {
+ public:
+  using OnMatch = std::function<void(const SendInit&)>;
+
+  /// A local Precv_init was posted; `on_match` fires (possibly
+  /// immediately) when the corresponding Psend_init handshake arrives.
+  void post_recv_init(const MatchKey& key, OnMatch on_match);
+
+  /// A remote Psend_init handshake arrived.
+  void on_send_init(const SendInit& init);
+
+  std::size_t pending_recvs() const;
+  std::size_t unexpected_sends() const;
+
+ private:
+  std::map<MatchKey, std::deque<OnMatch>> pending_recv_;
+  std::map<MatchKey, std::deque<SendInit>> unexpected_send_;
+};
+
+}  // namespace partib::mpi

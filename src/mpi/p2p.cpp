@@ -1,0 +1,303 @@
+#include "mpi/p2p.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace partib::mpi {
+
+namespace {
+
+// The lower rank id always initiates connection setup, so simultaneous
+// dial attempts can never race.
+bool initiates(int me, int peer) { return me < peer; }
+
+}  // namespace
+
+P2pEndpoint::P2pEndpoint(Rank& rank)
+    : rank_(rank), arena_(kTotalSlots * kSlotBytes) {
+  cq_ = &rank_.context().create_cq(1 << 16);
+  cq_->set_on_push([this] { schedule_progress(); });
+  arena_mr_ = &rank_.pd().register_mr(
+      arena_, verbs::kLocalWrite | verbs::kLocalRead);
+  free_slots_.reserve(kTotalSlots);
+  for (std::size_t i = 0; i < kTotalSlots; ++i) {
+    free_slots_.push_back(i * kSlotBytes);
+  }
+  rank_.set_p2p(this);
+}
+
+P2pEndpoint::~P2pEndpoint() {
+  cq_->set_on_push(nullptr);
+  rank_.set_p2p(nullptr);
+}
+
+P2pEndpoint::Peer& P2pEndpoint::peer_state(int peer) {
+  return peers_[peer];
+}
+
+verbs::Qp& P2pEndpoint::make_qp() {
+  verbs::QpCaps caps;
+  caps.max_send_wr = 64;  // software endpoint, not the RDMA-WR-limited path
+  caps.max_recv_wr = static_cast<int>(kRecvSlotsPerPeer) * 2;
+  return rank_.pd().create_qp(*cq_, *cq_, caps);
+}
+
+void P2pEndpoint::connect(int peer) {
+  Peer& p = peer_state(peer);
+  if (p.connected || p.connect_initiated) return;
+  p.connect_initiated = true;
+  World& world = rank_.world();
+  const int me = rank_.id();
+  if (initiates(me, peer)) {
+    p.qp = &make_qp();
+    PARTIB_ASSERT(ok(p.qp->to_init()));
+    const std::uint32_t qpn = p.qp->qp_num();
+    P2pEndpoint* remote_ep = world.rank(peer).p2p();
+    PARTIB_ASSERT_MSG(remote_ep != nullptr,
+                      "peer rank has no P2pEndpoint");
+    world.send_control(me, peer, [remote_ep, me, qpn] {
+      remote_ep->on_connect_request(me, qpn);
+    });
+  } else {
+    // Poke the lower rank to dial us.
+    P2pEndpoint* remote_ep = world.rank(peer).p2p();
+    PARTIB_ASSERT_MSG(remote_ep != nullptr,
+                      "peer rank has no P2pEndpoint");
+    world.send_control(me, peer,
+                       [remote_ep, me] { remote_ep->on_connect_poke(me); });
+  }
+}
+
+void P2pEndpoint::on_connect_poke(int peer) { connect(peer); }
+
+void P2pEndpoint::on_connect_request(int peer, std::uint32_t peer_qp_num) {
+  Peer& p = peer_state(peer);
+  PARTIB_ASSERT(!p.connected);
+  p.qp = &make_qp();
+  PARTIB_ASSERT(ok(p.qp->to_init()));
+  PARTIB_ASSERT(ok(p.qp->to_rtr(peer_qp_num)));
+  PARTIB_ASSERT(ok(p.qp->to_rts()));
+  allocate_and_post_recv_slots(peer);
+  p.connected = true;
+  p.send_credits = static_cast<int>(kRecvSlotsPerPeer);
+  const std::uint32_t qpn = p.qp->qp_num();
+  const int me = rank_.id();
+  P2pEndpoint* remote_ep = rank_.world().rank(peer).p2p();
+  rank_.world().send_control(me, peer, [remote_ep, me, qpn] {
+    remote_ep->on_connect_ack(me, qpn);
+  });
+  flush_deferred(p);
+}
+
+void P2pEndpoint::on_connect_ack(int peer, std::uint32_t peer_qp_num) {
+  Peer& p = peer_state(peer);
+  PARTIB_ASSERT(p.qp != nullptr && !p.connected);
+  PARTIB_ASSERT(ok(p.qp->to_rtr(peer_qp_num)));
+  PARTIB_ASSERT(ok(p.qp->to_rts()));
+  allocate_and_post_recv_slots(peer);
+  p.connected = true;
+  p.send_credits = static_cast<int>(kRecvSlotsPerPeer);
+  flush_deferred(p);
+}
+
+std::size_t P2pEndpoint::take_slot() {
+  PARTIB_ASSERT_MSG(!free_slots_.empty(), "p2p slot arena exhausted");
+  const std::size_t offset = free_slots_.back();
+  free_slots_.pop_back();
+  return offset;
+}
+
+void P2pEndpoint::allocate_and_post_recv_slots(int peer) {
+  for (std::size_t i = 0; i < kRecvSlotsPerPeer; ++i) {
+    post_recv_slot(peer, take_slot());
+  }
+}
+
+void P2pEndpoint::post_recv_slot(int peer, std::size_t offset) {
+  Peer& p = peer_state(peer);
+  verbs::RecvWr wr;
+  wr.wr_id = next_wr_id_++;
+  wr.sg_list.push_back(verbs::Sge{
+      reinterpret_cast<std::uint64_t>(arena_.data() + offset),
+      static_cast<std::uint32_t>(kSlotBytes), arena_mr_->lkey()});
+  PARTIB_ASSERT(ok(p.qp->post_recv(wr)));
+  recv_slot_of_wr_[wr.wr_id] = {peer, offset};
+}
+
+Status P2pEndpoint::send(int dst, int tag, std::span<const std::byte> data,
+                         SendDone done) {
+  if (dst < 0 || dst >= rank_.world().size() || dst == rank_.id() ||
+      tag < 0) {
+    return Status::kInvalidArgument;
+  }
+  if (data.size() > kEagerLimit) return Status::kResourceExhausted;
+  connect(dst);
+  Peer& p = peer_state(dst);
+  if (!p.connected || p.send_credits == 0) {
+    // Stage a copy now (eager semantics: the caller's buffer is reusable
+    // on return) and dispatch once connected / credited.
+    std::vector<std::byte> copy(data.begin(), data.end());
+    p.deferred_sends.push_back(
+        [this, dst, tag, copy = std::move(copy), done = std::move(done)] {
+          send_now(dst, tag, copy, done);
+        });
+    return Status::kOk;
+  }
+  send_now(dst, tag, data, std::move(done));
+  return Status::kOk;
+}
+
+void P2pEndpoint::send_now(int dst, int tag,
+                           std::span<const std::byte> data, SendDone done) {
+  Peer& p = peer_state(dst);
+  PARTIB_ASSERT(p.connected && p.send_credits > 0);
+  --p.send_credits;
+  const std::size_t offset = take_slot();
+  Header header;
+  header.tag = static_cast<std::uint32_t>(tag);
+  header.size = static_cast<std::uint32_t>(data.size());
+  std::memcpy(arena_.data() + offset, &header, sizeof(header));
+  if (!data.empty()) {
+    std::memcpy(arena_.data() + offset + sizeof(header), data.data(),
+                data.size());
+  }
+  verbs::SendWr wr;
+  wr.wr_id = next_wr_id_++;
+  wr.opcode = verbs::Opcode::kSend;
+  wr.sg_list.push_back(verbs::Sge{
+      reinterpret_cast<std::uint64_t>(arena_.data() + offset),
+      static_cast<std::uint32_t>(sizeof(header) + data.size()),
+      arena_mr_->lkey()});
+  PARTIB_ASSERT(ok(p.qp->post_send(wr)));
+  inflight_sends_[wr.wr_id] = {offset, std::move(done)};
+}
+
+Status P2pEndpoint::recv(int src, int tag, std::span<std::byte> buffer,
+                         RecvDone done) {
+  if (src < 0 || src >= rank_.world().size() || src == rank_.id() ||
+      tag < 0) {
+    return Status::kInvalidArgument;  // wildcards unsupported, as ever
+  }
+  const auto key = std::make_pair(src, tag);
+  auto uit = unexpected_.find(key);
+  if (uit != unexpected_.end() && !uit->second.empty()) {
+    std::vector<std::byte> payload = std::move(uit->second.front());
+    uit->second.pop_front();
+    if (uit->second.empty()) unexpected_.erase(uit);
+    PARTIB_ASSERT_MSG(payload.size() <= buffer.size(),
+                      "receive buffer too small (truncation is erroneous)");
+    if (!payload.empty()) {
+      std::memcpy(buffer.data(), payload.data(), payload.size());
+    }
+    ++recvs_completed_;
+    const std::size_t n = payload.size();
+    rank_.world().engine().schedule_after(
+        0, [done = std::move(done), n] { done(n); });
+    return Status::kOk;
+  }
+  posted_[key].push_back(PendingRecv{buffer, std::move(done)});
+  return Status::kOk;
+}
+
+void P2pEndpoint::flush_deferred(Peer& peer) {
+  while (!peer.deferred_sends.empty() && peer.connected &&
+         peer.send_credits > 0) {
+    auto fn = std::move(peer.deferred_sends.front());
+    peer.deferred_sends.pop_front();
+    fn();
+  }
+}
+
+void P2pEndpoint::on_credit(int peer) {
+  Peer& p = peer_state(peer);
+  ++p.send_credits;
+  flush_deferred(p);
+}
+
+void P2pEndpoint::schedule_progress() {
+  if (progress_scheduled_) return;
+  progress_scheduled_ = true;
+  rank_.world().engine().schedule_after(0, [this] {
+    progress_scheduled_ = false;
+    progress();
+  });
+}
+
+void P2pEndpoint::progress() {
+  verbs::Wc wcs[16];
+  int n;
+  while ((n = cq_->poll(std::span<verbs::Wc>(wcs))) > 0) {
+    for (int i = 0; i < n; ++i) {
+      const verbs::Wc& wc = wcs[i];
+      PARTIB_ASSERT_MSG(wc.status == verbs::WcStatus::kSuccess,
+                        to_string(wc.status));
+      if (wc.opcode == verbs::WcOpcode::kSend) {
+        auto it = inflight_sends_.find(wc.wr_id);
+        PARTIB_ASSERT(it != inflight_sends_.end());
+        free_slots_.push_back(it->second.first);
+        SendDone done = std::move(it->second.second);
+        inflight_sends_.erase(it);
+        ++sends_completed_;
+        if (done) done();
+      } else {
+        PARTIB_ASSERT(wc.opcode == verbs::WcOpcode::kRecv);
+        auto it = recv_slot_of_wr_.find(wc.wr_id);
+        PARTIB_ASSERT(it != recv_slot_of_wr_.end());
+        const auto [peer, offset] = it->second;
+        recv_slot_of_wr_.erase(it);
+        deliver(peer, wc, offset);
+      }
+    }
+  }
+}
+
+void P2pEndpoint::deliver(int peer, const verbs::Wc& wc,
+                          std::size_t slot_offset) {
+  Header header;
+  PARTIB_ASSERT(wc.byte_len >= sizeof(header));
+  std::memcpy(&header, arena_.data() + slot_offset, sizeof(header));
+  PARTIB_ASSERT(wc.byte_len == sizeof(header) + header.size);
+  const std::byte* payload = arena_.data() + slot_offset + sizeof(header);
+
+  const auto key = std::make_pair(peer, static_cast<int>(header.tag));
+  auto pit = posted_.find(key);
+  if (pit != posted_.end() && !pit->second.empty()) {
+    PendingRecv pending = std::move(pit->second.front());
+    pit->second.pop_front();
+    if (pit->second.empty()) posted_.erase(pit);
+    PARTIB_ASSERT_MSG(header.size <= pending.buffer.size(),
+                      "receive buffer too small (truncation is erroneous)");
+    if (header.size > 0) {
+      std::memcpy(pending.buffer.data(), payload, header.size);
+    }
+    ++recvs_completed_;
+    pending.done(header.size);
+  } else {
+    unexpected_[key].emplace_back(payload, payload + header.size);
+  }
+
+  // The slot is drained: re-post it and return a credit to the sender.
+  post_recv_slot(peer, slot_offset);
+  P2pEndpoint* remote_ep = rank_.world().rank(peer).p2p();
+  if (remote_ep != nullptr) {
+    const int me = rank_.id();
+    rank_.world().send_control(rank_.id(), peer, [remote_ep, me] {
+      remote_ep->on_credit(me);
+    });
+  }
+}
+
+std::size_t P2pEndpoint::unexpected_count() const {
+  std::size_t n = 0;
+  for (const auto& [k, q] : unexpected_) n += q.size();
+  return n;
+}
+
+std::size_t P2pEndpoint::pending_recvs() const {
+  std::size_t n = 0;
+  for (const auto& [k, q] : posted_) n += q.size();
+  return n;
+}
+
+}  // namespace partib::mpi

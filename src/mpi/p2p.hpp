@@ -1,0 +1,134 @@
+// Two-sided eager point-to-point messaging over verbs SEND/RECV.
+//
+// The partitioned runtime needs no two-sided traffic (its handshake rides
+// the control plane), but a mini-MPI substrate without send/recv would be
+// a strange thing to hand a downstream user, and it exercises the verbs
+// SEND path end to end.  Design: one RC QP pair per connected rank pair,
+// created lazily through the control plane; the receiver keeps a pool of
+// bounce-buffer slots pre-posted as recv WRs (classic eager protocol);
+// each message carries an 8-byte header (tag, sequence) in front of the
+// payload; matching is ordered per (source, tag) with an
+// unexpected-message queue, wildcards deliberately unsupported.
+//
+// Eager-only: messages larger than the slot size are rejected
+// (kResourceExhausted) rather than silently falling back to a rendezvous
+// this substrate does not need.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "mpi/world.hpp"
+#include "verbs/verbs.hpp"
+
+namespace partib::mpi {
+
+class P2pEndpoint {
+ public:
+  /// Called when a receive completes: (payload size).
+  using RecvDone = std::function<void(std::size_t)>;
+  /// Called when a send completes locally (buffer reusable).
+  using SendDone = std::function<void()>;
+
+  static constexpr std::size_t kEagerLimit = 64 * KiB;
+
+  explicit P2pEndpoint(Rank& rank);
+  ~P2pEndpoint();
+  P2pEndpoint(const P2pEndpoint&) = delete;
+  P2pEndpoint& operator=(const P2pEndpoint&) = delete;
+
+  /// Eager send of `data` to `dst` with `tag`.  The data is staged into a
+  /// bounce slot immediately, so the user buffer is reusable on return;
+  /// `done` (optional) fires when the wire-level send completes.
+  Status send(int dst, int tag, std::span<const std::byte> data,
+              SendDone done = nullptr);
+
+  /// Post a receive for (src, tag) into `buffer`.  `done` fires with the
+  /// actual payload size once matched and copied.  Messages that arrived
+  /// early are matched immediately from the unexpected queue.
+  Status recv(int src, int tag, std::span<std::byte> buffer, RecvDone done);
+
+  // -- introspection ----------------------------------------------------------
+  int rank_id() const { return rank_.id(); }
+  int world_size() const { return rank_.world().size(); }
+  /// Run `fn` from a fresh engine event (used by collectives to keep
+  /// zero-rank cases asynchronous like every other completion).
+  void defer(std::function<void()> fn) {
+    rank_.world().engine().schedule_after(0, std::move(fn));
+  }
+  std::size_t unexpected_count() const;
+  std::size_t pending_recvs() const;
+  std::uint64_t sends_completed() const { return sends_completed_; }
+  std::uint64_t recvs_completed() const { return recvs_completed_; }
+
+  // Internal (control-plane entries).
+  void on_connect_request(int peer, std::uint32_t peer_qp_num);
+  void on_connect_ack(int peer, std::uint32_t peer_qp_num);
+  void on_connect_poke(int peer);
+  void on_credit(int peer);
+
+  static constexpr std::size_t kRecvSlotsPerPeer = 8;
+
+ private:
+  struct Header {
+    std::uint32_t tag = 0;
+    std::uint32_t size = 0;  // payload bytes (excluding header)
+  };
+  static constexpr std::size_t kSlotBytes = kEagerLimit + sizeof(Header);
+  static constexpr std::size_t kTotalSlots = 256;
+
+  struct Peer {
+    verbs::Qp* qp = nullptr;
+    bool connected = false;
+    bool connect_initiated = false;
+    int send_credits = 0;  ///< remote recv slots we may still consume
+    std::deque<std::function<void()>> deferred_sends;
+  };
+
+  struct PendingRecv {
+    std::span<std::byte> buffer;
+    RecvDone done;
+  };
+
+  Rank& rank_;
+  verbs::Cq* cq_;
+  std::vector<std::byte> arena_;  // slot pool, registered once
+  verbs::Mr* arena_mr_ = nullptr;
+  std::vector<std::size_t> free_slots_;  // offsets into arena_
+  std::map<int, Peer> peers_;
+  // Matching state: ordered queues per (src, tag).
+  std::map<std::pair<int, int>, std::deque<PendingRecv>> posted_;
+  std::map<std::pair<int, int>, std::deque<std::vector<std::byte>>>
+      unexpected_;
+  std::uint64_t sends_completed_ = 0;
+  std::uint64_t recvs_completed_ = 0;
+  bool progress_scheduled_ = false;
+  std::uint64_t next_wr_id_ = 1;
+  // In-flight send slots: wr_id -> (slot offset, completion).
+  std::map<std::uint64_t, std::pair<std::size_t, SendDone>> inflight_sends_;
+  // Posted recv slots: wr_id -> (peer, slot offset).
+  std::map<std::uint64_t, std::pair<int, std::size_t>> recv_slot_of_wr_;
+
+  Peer& peer_state(int peer);
+  void connect(int peer);
+  verbs::Qp& make_qp();
+  void allocate_and_post_recv_slots(int peer);
+  void post_recv_slot(int peer, std::size_t offset);
+  std::size_t take_slot();
+  void send_now(int dst, int tag, std::span<const std::byte> data,
+                SendDone done);
+  void flush_deferred(Peer& peer);
+  void schedule_progress();
+  void progress();
+  void deliver(int peer, const verbs::Wc& wc, std::size_t slot_offset);
+};
+
+}  // namespace partib::mpi

@@ -1,0 +1,39 @@
+#include "mpi/world.hpp"
+
+namespace partib::mpi {
+
+Rank::Rank(World& world, int id, fabric::NodeId node, verbs::Context& ctx,
+           int cores)
+    : world_(world),
+      id_(id),
+      node_(node),
+      ctx_(ctx),
+      pd_(&ctx.alloc_pd()),
+      cpu_(world.engine(), cores),
+      doorbell_(world.engine(), 1) {
+  if (world.options().dpu_aggregation) {
+    dpu_ = std::make_unique<sim::FifoResource>(world.engine(), 1);
+  }
+}
+
+World::World(sim::Engine& engine, WorldOptions options)
+    : engine_(engine), options_(options) {
+  PARTIB_ASSERT(options.ranks > 0);
+  fabric_ = std::make_unique<fabric::Fabric>(engine_, options_.nic,
+                                             options_.copy_data);
+  device_ = std::make_unique<verbs::Device>(*fabric_);
+  for (int i = 0; i < options_.ranks; ++i) {
+    const fabric::NodeId node = fabric_->add_node();
+    verbs::Context& ctx = device_->open(node);
+    ranks_.push_back(std::make_unique<Rank>(*this, i, node, ctx,
+                                            options_.cores_per_rank));
+  }
+}
+
+void World::send_control(int from, int to, std::function<void()> deliver) {
+  PARTIB_ASSERT(from >= 0 && from < size() && to >= 0 && to < size());
+  fabric_->send_control(rank(from).node(), rank(to).node(),
+                        std::move(deliver));
+}
+
+}  // namespace partib::mpi

@@ -1,0 +1,31 @@
+// Immediate-value encoding for partition ranges (§IV-A).
+//
+// IBV_WR_RDMA_WRITE_WITH_IMM carries a 32-bit immediate (__be32).  The
+// paper packs the first user partition and the number of contiguous user
+// partitions in a transport partition as two uint16_t halves so the
+// receiver can mark exactly the partitions a WR delivered.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace partib::part {
+
+struct ImmRange {
+  std::uint16_t first = 0;  ///< starting user partition
+  std::uint16_t count = 0;  ///< number of contiguous user partitions
+};
+
+constexpr std::uint32_t encode_imm(std::uint32_t first, std::uint32_t count) {
+  PARTIB_ASSERT_MSG(first <= 0xFFFF && count <= 0xFFFF,
+                    "partition index/count exceeds the 16-bit immediate field");
+  return (first << 16) | count;
+}
+
+constexpr ImmRange decode_imm(std::uint32_t imm) {
+  return ImmRange{static_cast<std::uint16_t>(imm >> 16),
+                  static_cast<std::uint16_t>(imm & 0xFFFF)};
+}
+
+}  // namespace partib::part

@@ -1,0 +1,56 @@
+// Per-channel options for partitioned communication.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "agg/aggregator.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace partib::part {
+
+/// UCX-like software-path cost model used by the persistent baseline
+/// (agg::Path::kUcxLike).  Thresholds follow the protocol switches the
+/// paper observes in Open MPI + UCX speedup curves (§V-B2: the
+/// eager/bcopy -> eager/zcopy switch at 1 KiB shows up as a dip at a
+/// 4 KiB aggregate with four partitions).
+struct UcxModel {
+  std::size_t bcopy_max = 1 * KiB;   ///< <= this: eager/bcopy (extra copy)
+  std::size_t rndv_min = 64 * KiB;   ///< >= this: rendezvous
+  Duration o_bcopy = nsec(120);      ///< per-message bcopy software cost
+  double copy_G = 0.10;              ///< ns per byte for the bcopy staging copy
+  Duration o_zcopy = nsec(1'400);    ///< per-message zcopy software cost
+                                     ///< (registration-cache pressure)
+  Duration o_rndv = nsec(900);       ///< per-message rendezvous software cost
+  /// Rendezvous adds a ready-to-send handshake before the payload moves;
+  /// modelled as this many extra wire latencies.
+  int rndv_extra_latencies = 2;
+  /// Wire-rate factor of the eager paths (bcopy/zcopy cannot keep the DMA
+  /// pipeline full); rendezvous streams at the full per-QP share.
+  double eager_wire_share = 0.72;
+  /// When more threads than cores contend for the UCX worker lock, the
+  /// holder can be descheduled mid-critical-section (lock convoy); the
+  /// serialized per-message cost scales by sqrt(threads / cores).  This is
+  /// the oversubscription penalty behind the paper's 128-partition
+  /// results (§V-B2).
+  bool model_lock_convoy = true;
+};
+
+/// Options accepted by psend_init / precv_init.  The aggregator is the
+/// strategy object (shared, immutable); overrides pin individual plan
+/// fields for knob-sweep experiments, mirroring the environment variables
+/// a real deployment would expose:
+///   PARTIB_TRANSPORT_PARTITIONS, PARTIB_QP_COUNT, PARTIB_TIMER_DELTA_US.
+struct Options {
+  std::shared_ptr<const agg::Aggregator> aggregator;
+  std::size_t transport_partitions_override = 0;  ///< 0 = plan decides
+  int qp_count_override = 0;                      ///< 0 = plan decides
+  UcxModel ucx;
+
+  /// Default options: PLogGP aggregation with Niagara-like measured
+  /// parameters, honouring the PARTIB_* environment variables.
+  static Options defaults();
+};
+
+}  // namespace partib::part

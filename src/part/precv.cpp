@@ -1,0 +1,213 @@
+#include "part/precv.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+#include "part/imm.hpp"
+#include "part/psend.hpp"
+
+namespace partib::part {
+
+Status PrecvRequest::init(mpi::Rank& rank, std::span<std::byte> buffer,
+                          std::size_t partitions, int src, int tag,
+                          int comm_id, const Options& opts,
+                          std::unique_ptr<PrecvRequest>* out) {
+  PARTIB_ASSERT(out != nullptr);
+  if (partitions == 0 || !is_pow2(partitions) || buffer.empty() ||
+      buffer.size() % partitions != 0) {
+    return Status::kInvalidArgument;
+  }
+  if (src < 0 || src >= rank.world().size() || tag < 0) {
+    return Status::kInvalidArgument;  // wildcards are not part of the API
+  }
+  if (src == rank.id()) return Status::kUnsupported;
+
+  auto req = std::unique_ptr<PrecvRequest>(
+      new PrecvRequest(rank, buffer, partitions, src, tag, comm_id, opts));
+  PrecvRequest* raw = req.get();
+  rank.matcher().post_recv_init(
+      mpi::MatchKey{src, tag, comm_id},
+      [raw](const mpi::SendInit& si) { raw->on_match(si); });
+  *out = std::move(req);
+  return Status::kOk;
+}
+
+PrecvRequest::PrecvRequest(mpi::Rank& rank, std::span<std::byte> buffer,
+                           std::size_t partitions, int src, int tag,
+                           int comm_id, const Options& opts)
+    : rank_(rank),
+      buf_(buffer),
+      n_(partitions),
+      psize_(buffer.size() / partitions),
+      src_(src),
+      tag_(tag),
+      comm_id_(comm_id),
+      opts_(opts) {
+  bytes_arrived_.assign(n_, 0);
+}
+
+PrecvRequest::~PrecvRequest() {
+  if (cq_ != nullptr) cq_->set_on_push(nullptr);
+}
+
+void PrecvRequest::on_match(const mpi::SendInit& si) {
+  PARTIB_ASSERT(!matched_);
+  // MPI-4.0 semantics: the two sides may partition differently; only the
+  // aggregate buffer sizes must agree (geometry mismatch is erroneous).
+  PARTIB_ASSERT_MSG(si.total_bytes == buf_.size(),
+                    "sender/receiver partitioned-channel geometry mismatch");
+  mpi::World& world = rank_.world();
+  sender_request_ = si.sender_request;
+  sender_tp_ = si.transport_partitions;
+  sender_group_size_ = si.user_partitions / sender_tp_;
+  sender_psize_ = si.total_bytes / si.user_partitions;
+
+  cq_ = &rank_.context().create_cq(world.options().cq_depth);
+  cq_->set_on_push([this] { schedule_progress(); });
+  mr_ = &rank_.pd().register_mr(
+      buf_, verbs::kLocalWrite | verbs::kRemoteWrite);
+
+  // Receive WR budget: in the worst case (timer-based sender, fully
+  // scattered arrivals) every user partition of a group arrives in its own
+  // message, so a QP needs group_size WRs per group mapped to it.
+  verbs::QpCaps caps;
+  caps.max_recv_wr = static_cast<int>(std::max<std::size_t>(n_, 64));
+
+  RecvAck ack;
+  ack.rkey = mr_->rkey();
+  ack.base_addr = mr_->addr();
+  for (int i = 0; i < si.qp_count; ++i) {
+    verbs::Qp& qp = rank_.pd().create_qp(*cq_, *cq_, caps);
+    PARTIB_ASSERT(ok(qp.to_init()));
+    PARTIB_ASSERT(ok(qp.to_rtr(si.qp_nums[static_cast<std::size_t>(i)])));
+    PARTIB_ASSERT(ok(qp.to_rts()));
+    qps_.push_back(&qp);
+    ack.qp_nums.push_back(qp.qp_num());
+  }
+  posted_recvs_.assign(qps_.size(), 0);
+  matched_ = true;
+
+  auto* sender = static_cast<PsendRequest*>(sender_request_);
+  world.send_control(rank_.id(), src_, [sender, ack] { sender->on_ack(ack); });
+
+  if (started_) {
+    // Start() ran before the handshake arrived; complete its deferred
+    // side effects now.
+    post_recv_wrs();
+    send_credit();
+  }
+}
+
+Status PrecvRequest::start() {
+  if (started_ && !test()) return Status::kInvalidState;
+  started_ = true;
+  ++round_;
+  arrived_count_ = 0;
+  std::fill(bytes_arrived_.begin(), bytes_arrived_.end(), std::size_t{0});
+  if (matched_) {
+    post_recv_wrs();
+    send_credit();
+  }
+  return Status::kOk;
+}
+
+void PrecvRequest::post_recv_wrs() {
+  // Top up each QP to its worst-case WR count for one round.  Unconsumed
+  // WRs from aggregated rounds carry over; we only post the difference.
+  for (std::size_t q = 0; q < qps_.size(); ++q) {
+    std::size_t groups_on_qp = 0;
+    for (std::size_t g = 0; g < sender_tp_; ++g) {
+      if (g % qps_.size() == q) ++groups_on_qp;
+    }
+    const int needed =
+        static_cast<int>(groups_on_qp * sender_group_size_);
+    while (posted_recvs_[q] < needed) {
+      verbs::RecvWr wr;
+      wr.wr_id = static_cast<std::uint64_t>(q);
+      PARTIB_ASSERT(ok(qps_[q]->post_recv(wr)));
+      ++posted_recvs_[q];
+    }
+  }
+}
+
+void PrecvRequest::send_credit() {
+  auto* sender = static_cast<PsendRequest*>(sender_request_);
+  rank_.world().send_control(rank_.id(), src_,
+                             [sender] { sender->on_credit(); });
+}
+
+void PrecvRequest::schedule_progress() {
+  if (progress_scheduled_) return;
+  progress_scheduled_ = true;
+  rank_.world().engine().schedule_after(0, [this] {
+    progress_scheduled_ = false;
+    progress();
+  });
+}
+
+void PrecvRequest::progress() {
+  verbs::Wc wcs[16];
+  int n;
+  while ((n = cq_->poll(std::span<verbs::Wc>(wcs))) > 0) {
+    for (int i = 0; i < n; ++i) {
+      const verbs::Wc& wc = wcs[i];
+      PARTIB_ASSERT_MSG(wc.status == verbs::WcStatus::kSuccess,
+                        to_string(wc.status));
+      PARTIB_ASSERT(wc.opcode == verbs::WcOpcode::kRecvRdmaWithImm);
+      PARTIB_ASSERT(wc.has_imm);
+      --posted_recvs_[wc.wr_id];
+      ++msgs_received_;
+      // The immediate names a run of *sender* partitions; translate the
+      // byte range it covers into receive partitions.
+      const ImmRange range = decode_imm(wc.imm);
+      PARTIB_ASSERT(range.count >= 1);
+      const std::size_t byte_lo = range.first * sender_psize_;
+      const std::size_t byte_hi =
+          byte_lo + std::size_t{range.count} * sender_psize_;
+      PARTIB_ASSERT(byte_hi <= buf_.size());
+      std::size_t pos = byte_lo;
+      while (pos < byte_hi) {
+        const std::size_t p = pos / psize_;
+        const std::size_t chunk =
+            std::min(byte_hi, (p + 1) * psize_) - pos;
+        PARTIB_ASSERT_MSG(bytes_arrived_[p] + chunk <= psize_,
+                          "duplicate partition arrival");
+        bytes_arrived_[p] += chunk;
+        if (bytes_arrived_[p] == psize_) {
+          ++arrived_count_;
+          if (arrival_hook_) arrival_hook_(p, wc.completion_time);
+        }
+        pos += chunk;
+      }
+    }
+  }
+  check_completion();
+}
+
+bool PrecvRequest::parrived(std::size_t partition) const {
+  PARTIB_ASSERT(partition < n_);
+  return started_ && bytes_arrived_[partition] == psize_;
+}
+
+bool PrecvRequest::test() const {
+  if (!started_) return true;
+  return arrived_count_ == n_;
+}
+
+void PrecvRequest::when_complete(Completion cb) {
+  if (test()) {
+    rank_.world().engine().schedule_after(0, std::move(cb));
+    return;
+  }
+  completions_.push_back(std::move(cb));
+}
+
+void PrecvRequest::check_completion() {
+  if (!test() || completions_.empty()) return;
+  std::vector<Completion> cbs;
+  cbs.swap(completions_);
+  for (auto& cb : cbs) cb();
+}
+
+}  // namespace partib::part

@@ -1,0 +1,116 @@
+// Receive-side partitioned request.
+//
+// precv_init registers with the rank's matcher and completes the channel
+// handshake whenever the sender's record arrives (either order works).
+// start() posts the receive WRs RDMA_WRITE_WITH_IMM requires and issues
+// one round credit to the sender.  Partition arrival is decoded from the
+// immediate value of each receive completion; parrived()/test() read the
+// per-partition arrival flags, exactly as the paper's receive path does.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "mpi/world.hpp"
+#include "part/options.hpp"
+#include "part/wire.hpp"
+#include "verbs/verbs.hpp"
+
+namespace partib::part {
+
+class PrecvRequest {
+ public:
+  using Completion = std::function<void()>;
+  /// Observer invoked on every partition arrival (profiler hook):
+  /// (partition index, arrival virtual time).
+  using ArrivalHook = std::function<void(std::size_t, Time)>;
+
+  /// MPI_Precv_init analogue.  Non-blocking; matching is by
+  /// (src, tag, comm_id) in posted order, no wildcards.
+  static Status init(mpi::Rank& rank, std::span<std::byte> buffer,
+                     std::size_t partitions, int src, int tag, int comm_id,
+                     const Options& opts,
+                     std::unique_ptr<PrecvRequest>* out);
+
+  ~PrecvRequest();
+  PrecvRequest(const PrecvRequest&) = delete;
+  PrecvRequest& operator=(const PrecvRequest&) = delete;
+
+  /// MPI_Start: begin the next round (reposts receive WRs, credits the
+  /// sender).
+  Status start();
+
+  /// MPI_Parrived analogue: has user partition `partition` landed this
+  /// round?
+  bool parrived(std::size_t partition) const;
+
+  /// MPI_Test analogue: all partitions arrived this round (an inactive
+  /// request is trivially complete).
+  bool test() const;
+
+  void when_complete(Completion cb);
+
+  void set_arrival_hook(ArrivalHook hook) { arrival_hook_ = std::move(hook); }
+
+  // -- introspection ---------------------------------------------------------
+  std::size_t user_partitions() const { return n_; }
+  std::size_t partition_bytes() const { return psize_; }
+  bool matched() const { return matched_; }
+  int round() const { return round_; }
+  std::uint64_t messages_received_total() const { return msgs_received_; }
+
+ private:
+  PrecvRequest(mpi::Rank& rank, std::span<std::byte> buffer,
+               std::size_t partitions, int src, int tag, int comm_id,
+               const Options& opts);
+
+  void on_match(const mpi::SendInit& si);
+  void post_recv_wrs();
+  void send_credit();
+  void schedule_progress();
+  void progress();
+  void check_completion();
+
+  mpi::Rank& rank_;
+  std::span<std::byte> buf_;
+  std::size_t n_;
+  std::size_t psize_;
+  int src_;
+  int tag_;
+  int comm_id_;
+  Options opts_;
+
+  verbs::Cq* cq_ = nullptr;
+  verbs::Mr* mr_ = nullptr;
+  std::vector<verbs::Qp*> qps_;
+
+  bool matched_ = false;
+  void* sender_request_ = nullptr;  ///< peer PsendRequest (opaque)
+  std::size_t sender_tp_ = 1;
+  std::size_t sender_group_size_ = 1;
+  /// Sender-side user partition size.  MPI-4.0 allows the two sides to
+  /// partition the buffer differently as long as the totals match; all
+  /// wire traffic is in sender units and translated to receive partitions
+  /// by byte accounting.
+  std::size_t sender_psize_ = 0;
+
+  bool started_ = false;
+  int round_ = 0;
+  std::size_t arrived_count_ = 0;  ///< completed *receive* partitions
+  /// Bytes landed in each receive partition this round.
+  std::vector<std::size_t> bytes_arrived_;
+  /// Receive WRs currently posted per QP (topped up each Start).
+  std::vector<int> posted_recvs_;
+
+  std::uint64_t msgs_received_ = 0;
+  bool progress_scheduled_ = false;
+  std::vector<Completion> completions_;
+  ArrivalHook arrival_hook_;
+};
+
+}  // namespace partib::part

@@ -1,0 +1,183 @@
+// Send-side partitioned request.
+//
+// Lifecycle (mirrors MPI_Psend_init / MPI_Start / MPI_Pready / MPI_Wait):
+//
+//   psend_init  — picks the aggregation plan, creates QPs and the MR,
+//                 ships the handshake; returns without blocking.
+//   start       — begins a round: resets partition flags.
+//   pready(i)   — marks user partition i ready.  The *last* arrival of a
+//                 transport group posts the group's WR
+//                 (IBV_WR_RDMA_WRITE_WITH_IMM, immediate =
+//                 (first << 16) | count).  With a timer-based plan the
+//                 *first* arrival arms a delta deadline; on expiry the
+//                 maximal contiguous arrived runs are flushed and later
+//                 arrivals send immediately (§IV-D).
+//   test/wait   — the round completes when every partition was marked
+//                 ready and every posted WR has a send completion.
+//
+// The simulation is single-threaded (the DES serialises all events), so
+// the flag arrays are plain integers; the counters the paper implements
+// with atomic add-and-fetch are modelled, not executed concurrently.  The
+// contended doorbell cost of posting is charged through the rank's
+// FifoResource.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "agg/aggregator.hpp"
+#include "common/status.hpp"
+#include "mpi/world.hpp"
+#include "part/options.hpp"
+#include "part/wire.hpp"
+#include "verbs/verbs.hpp"
+
+namespace partib::part {
+
+class PsendRequest {
+ public:
+  using Completion = std::function<void()>;
+
+  /// MPI_Psend_init analogue.  `buffer` must divide evenly into
+  /// `partitions` (a power of two); `dst`/`tag` identify the matching
+  /// Precv_init on communicator `comm_id`.  Non-blocking.
+  static Status init(mpi::Rank& rank, std::span<std::byte> buffer,
+                     std::size_t partitions, int dst, int tag, int comm_id,
+                     const Options& opts,
+                     std::unique_ptr<PsendRequest>* out);
+
+  ~PsendRequest();
+  PsendRequest(const PsendRequest&) = delete;
+  PsendRequest& operator=(const PsendRequest&) = delete;
+
+  /// MPI_Start: begin the next round.  Fails if the previous round is
+  /// still in flight.
+  Status start();
+
+  /// MPI_Pready: mark one user partition ready for transfer.
+  Status pready(std::size_t partition);
+
+  /// MPI_Pready_range: inclusive range, as in the standard.
+  Status pready_range(std::size_t first, std::size_t last);
+
+  /// MPI_Test analogue: true when the current round is complete (an
+  /// inactive request is trivially complete).
+  bool test() const;
+
+  /// MPI_Wait analogue for event-driven callers: `cb` fires when the
+  /// current round completes (immediately if it already has).
+  void when_complete(Completion cb);
+
+  /// MPI_Pbuf_prepare (MPI Forum proposal the paper discusses in §IV-A):
+  /// `cb` fires once the remote buffer is guaranteed ready (the QP
+  /// exchange finished and the receiver's rkey arrived), removing the
+  /// first-round readiness polling a plain Start would need.
+  void pbuf_prepare(Completion cb);
+  bool buffer_prepared() const { return remote_ready_; }
+
+  // -- introspection ---------------------------------------------------------
+  const agg::Plan& plan() const { return plan_; }
+  std::size_t user_partitions() const { return n_; }
+  std::size_t transport_partitions() const { return tp_; }
+  std::size_t group_size() const { return group_size_; }
+  std::size_t partition_bytes() const { return psize_; }
+  int qp_count() const { return static_cast<int>(qps_.size()); }
+  int round() const { return round_; }
+  bool handshake_done() const { return remote_ready_; }
+  std::uint64_t wrs_posted_total() const { return wrs_posted_total_; }
+  /// EWMA of measured round Pready spread (adaptive plans; -1 before the
+  /// first completed round).
+  Duration adapted_delay() const { return ewma_delay_; }
+
+  // -- control-plane entry points (called via World::send_control) ----------
+  void on_ack(const RecvAck& ack);
+  void on_credit();
+
+ private:
+  PsendRequest(mpi::Rank& rank, std::span<std::byte> buffer,
+               std::size_t partitions, int dst, int tag, int comm_id,
+               const Options& opts);
+
+  struct Group {
+    std::size_t arrived = 0;
+    bool any_sent = false;
+    bool timer_fired = false;
+    sim::Engine::EventId timer{};
+  };
+
+  void setup_verbs_and_handshake();
+  bool can_post() const { return remote_ready_ && credits_ >= round_; }
+  void flush_deferred();
+
+  std::size_t group_of(std::size_t partition) const {
+    return partition / group_size_;
+  }
+  /// Post (or defer) one WR covering partitions [first, first+count).
+  void post_message(std::size_t first, std::size_t count);
+  void post_now(std::size_t qp_index, verbs::SendWr wr);
+  /// Send every maximal contiguous arrived-but-unsent run of group `g`.
+  void flush_group_runs(std::size_t g);
+  void on_group_timer(std::size_t g);
+  void on_partition_complete_group(std::size_t g);
+
+  void schedule_progress();
+  void progress();
+  void check_completion();
+  /// Adaptive plans: fold the finished round's Pready spread into the
+  /// EWMA and re-run the drain-aware optimizer for the next round.
+  void adapt_transport_partitions();
+
+  Duration ucx_software_cost(std::size_t bytes) const;
+  Duration ucx_pre_post_delay(std::size_t bytes) const;
+
+  // -- immutable channel state ----------------------------------------------
+  mpi::Rank& rank_;
+  std::span<std::byte> buf_;
+  std::size_t n_;       ///< user partitions
+  std::size_t psize_;   ///< bytes per user partition
+  int dst_;
+  int tag_;
+  int comm_id_;
+  Options opts_;
+  agg::Plan plan_;
+  std::size_t tp_ = 1;          ///< transport partitions
+  std::size_t group_size_ = 1;  ///< user partitions per transport partition
+
+  verbs::Cq* cq_ = nullptr;
+  verbs::Mr* mr_ = nullptr;
+  std::vector<verbs::Qp*> qps_;
+
+  // -- handshake / flow control ----------------------------------------------
+  bool remote_ready_ = false;
+  verbs::Rkey remote_rkey_ = 0;
+  std::uint64_t remote_base_ = 0;
+  int credits_ = 0;
+
+  // -- per-round state --------------------------------------------------------
+  bool started_ = false;
+  int round_ = 0;
+  std::size_t ready_count_ = 0;
+  Time round_first_pready_ = -1;
+  Time round_last_pready_ = -1;
+  Duration ewma_delay_ = -1;
+  std::vector<std::uint8_t> arrived_;
+  std::vector<std::uint8_t> sent_;
+  std::vector<Group> groups_;
+
+  // -- message bookkeeping -----------------------------------------------------
+  std::size_t inflight_msgs_ = 0;  ///< intents not yet send-completed
+  std::deque<std::function<void()>> deferred_;  ///< waiting for credit/ack
+  std::vector<std::deque<verbs::SendWr>> qp_backlog_;  ///< waiting for WR slots
+  std::uint64_t next_wr_id_ = 1;
+  std::uint64_t wrs_posted_total_ = 0;
+  bool progress_scheduled_ = false;
+  std::vector<Completion> completions_;
+  std::vector<Completion> prepare_callbacks_;
+};
+
+}  // namespace partib::part

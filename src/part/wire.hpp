@@ -1,0 +1,26 @@
+// Control-plane records exchanged during channel setup.
+//
+// The Psend_init/Precv_init handshake (paper §IV-A) is asynchronous to
+// keep the init calls non-blocking: the sender ships a SendInit (see
+// mpi/matcher.hpp) carrying its QP numbers and plan; the receiver answers
+// with this ack carrying its rkey, buffer address and QP numbers; and each
+// receiver Start issues one round credit so the sender never RDMA-writes
+// into a buffer whose receive WRs are not posted yet (the paper polls in
+// MPI_Start for the same guarantee; a credit generalises it to every
+// round).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "verbs/types.hpp"
+
+namespace partib::part {
+
+struct RecvAck {
+  verbs::Rkey rkey = 0;
+  std::uint64_t base_addr = 0;
+  std::vector<std::uint32_t> qp_nums;
+};
+
+}  // namespace partib::part

@@ -1,0 +1,82 @@
+#include "prof/profiler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace partib::prof {
+
+void PartProfiler::begin_round(Time now) {
+  RoundProfile r;
+  r.start_time = now;
+  r.pready_times.assign(partitions_, Time{-1});
+  r.arrival_times.assign(partitions_, Time{-1});
+  rounds_.push_back(std::move(r));
+}
+
+void PartProfiler::record_pready(std::size_t partition, Time now) {
+  PARTIB_ASSERT(!rounds_.empty() && partition < partitions_);
+  rounds_.back().pready_times[partition] = now;
+}
+
+void PartProfiler::record_arrival(std::size_t partition, Time now) {
+  PARTIB_ASSERT(!rounds_.empty() && partition < partitions_);
+  rounds_.back().arrival_times[partition] = now;
+}
+
+Duration PartProfiler::min_delta_estimate(const RoundProfile& round) {
+  // Identify the laggard (latest Pready), then take the spread of the
+  // remaining arrivals.
+  Time latest = -1;
+  std::size_t laggard = 0;
+  std::size_t valid = 0;
+  for (std::size_t i = 0; i < round.pready_times.size(); ++i) {
+    const Time t = round.pready_times[i];
+    if (t < 0) continue;
+    ++valid;
+    if (t > latest) {
+      latest = t;
+      laggard = i;
+    }
+  }
+  if (valid < 3) return 0;
+  Time first = std::numeric_limits<Time>::max();
+  Time last = std::numeric_limits<Time>::min();
+  for (std::size_t i = 0; i < round.pready_times.size(); ++i) {
+    const Time t = round.pready_times[i];
+    if (t < 0 || i == laggard) continue;
+    first = std::min(first, t);
+    last = std::max(last, t);
+  }
+  return last - first;
+}
+
+Duration PartProfiler::mean_min_delta() const {
+  if (rounds_.empty()) return 0;
+  Duration sum = 0;
+  for (const RoundProfile& r : rounds_) sum += min_delta_estimate(r);
+  return sum / static_cast<Duration>(rounds_.size());
+}
+
+Duration PartProfiler::estimated_comm_time(std::size_t partition_bytes,
+                                           double bytes_per_ns) {
+  PARTIB_ASSERT(bytes_per_ns > 0.0);
+  return static_cast<Duration>(static_cast<double>(partition_bytes) /
+                               bytes_per_ns);
+}
+
+std::string PartProfiler::to_csv() const {
+  std::ostringstream out;
+  out << "round,partition,pready_ns,arrival_ns\n";
+  for (std::size_t r = 0; r < rounds_.size(); ++r) {
+    for (std::size_t p = 0; p < partitions_; ++p) {
+      out << r << ',' << p << ',' << rounds_[r].pready_times[p] << ','
+          << rounds_[r].arrival_times[p] << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace partib::prof

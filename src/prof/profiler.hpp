@@ -1,0 +1,62 @@
+// Partitioned-communication profiler.
+//
+// Reproduces the paper's PMPI-based profiler (§V-A, footnote 1): it
+// records when each round starts, when each user partition is marked
+// ready (MPI_Pready) and when it lands at the receiver, and derives the
+// analyses behind Figs 10-12: arrival-pattern timelines, estimated
+// per-partition communication times, and the minimum-delta estimate
+// (spread between the first and last non-laggard arrival).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace partib::prof {
+
+struct RoundProfile {
+  Time start_time = 0;
+  /// Per user partition: virtual time of the Pready call (-1 = never).
+  std::vector<Time> pready_times;
+  /// Per user partition: virtual time of arrival at the receiver (-1 =
+  /// never).
+  std::vector<Time> arrival_times;
+};
+
+class PartProfiler {
+ public:
+  explicit PartProfiler(std::size_t partitions) : partitions_(partitions) {}
+
+  void begin_round(Time now);
+  void record_pready(std::size_t partition, Time now);
+  void record_arrival(std::size_t partition, Time now);
+
+  std::size_t partitions() const { return partitions_; }
+  const std::vector<RoundProfile>& rounds() const { return rounds_; }
+
+  /// Fig 12's estimator: the spread between the first and the last
+  /// *non-laggard* Pready in a round (the laggard is the partition with
+  /// the latest Pready).  Returns 0 for rounds with fewer than three
+  /// partitions ready.
+  static Duration min_delta_estimate(const RoundProfile& round);
+
+  /// Mean of min_delta_estimate over all completed rounds.
+  Duration mean_min_delta() const;
+
+  /// Per-partition estimated communication time from the bandwidth
+  /// equation the paper uses for Figs 10-11:
+  ///   comm = partition_bytes / bandwidth.
+  static Duration estimated_comm_time(std::size_t partition_bytes,
+                                      double bytes_per_ns);
+
+  /// CSV dump: round,partition,pready_ns,arrival_ns
+  std::string to_csv() const;
+
+ private:
+  std::size_t partitions_;
+  std::vector<RoundProfile> rounds_;
+};
+
+}  // namespace partib::prof

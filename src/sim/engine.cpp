@@ -1,0 +1,62 @@
+#include "sim/engine.hpp"
+
+#include "common/assert.hpp"
+
+namespace partib::sim {
+
+Engine::EventId Engine::schedule_at(Time t, Callback cb) {
+  PARTIB_ASSERT_MSG(t >= now_, "cannot schedule an event in the past");
+  PARTIB_ASSERT(cb != nullptr);
+  const Key key{t, next_seq_++};
+  queue_.emplace(key, std::move(cb));
+  return EventId{key.first, key.second};
+}
+
+Engine::EventId Engine::schedule_after(Duration d, Callback cb) {
+  PARTIB_ASSERT_MSG(d >= 0, "negative delay");
+  return schedule_at(now_ + d, std::move(cb));
+}
+
+bool Engine::cancel(EventId id) {
+  if (!id.valid()) return false;
+  return queue_.erase(Key{id.time, id.seq}) > 0;
+}
+
+void Engine::dispatch_front() {
+  auto it = queue_.begin();
+  now_ = it->first.first;
+  // Move the callback out before erasing: the callback may schedule or
+  // cancel other events (but must not touch this, already-removed, one).
+  Callback cb = std::move(it->second);
+  queue_.erase(it);
+  ++processed_;
+  cb();
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  dispatch_front();
+  return true;
+}
+
+std::size_t Engine::run() {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    dispatch_front();
+    ++n;
+  }
+  return n;
+}
+
+std::size_t Engine::run_until(Time deadline) {
+  PARTIB_ASSERT_MSG(deadline >= now_, "deadline in the past");
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.begin()->first.first <= deadline) {
+    dispatch_front();
+    ++n;
+  }
+  now_ = deadline;
+  return n;
+}
+
+}  // namespace partib::sim

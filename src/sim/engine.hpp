@@ -1,0 +1,74 @@
+// Discrete-event simulation engine.
+//
+// The engine owns virtual time for an entire simulated cluster.  Components
+// (NICs, wires, CPU cores, aggregation timers) schedule callbacks at future
+// virtual instants; `run()` dispatches them in (time, insertion-order).
+// Determinism is a hard requirement — the engine is the clock for every
+// benchmark figure — so ties are broken by a monotonically increasing
+// sequence number, never by pointer or hash order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "common/time.hpp"
+
+namespace partib::sim {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Token for cancelling a pending event (e.g. disarming an aggregation
+  /// timer when all partitions arrive before the deadline).
+  struct EventId {
+    Time time = 0;
+    std::uint64_t seq = 0;
+    bool valid() const { return seq != 0; }
+  };
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Schedule `cb` at absolute virtual time `t` (must be >= now()).
+  EventId schedule_at(Time t, Callback cb);
+
+  /// Schedule `cb` `d` nanoseconds from now (d must be >= 0).
+  EventId schedule_after(Duration d, Callback cb);
+
+  /// Remove a pending event.  Returns false if it already ran, was already
+  /// cancelled, or the id is invalid.
+  bool cancel(EventId id);
+
+  /// Dispatch the single earliest event.  Returns false if none pending.
+  bool step();
+
+  /// Dispatch until no events remain.  Returns the number dispatched.
+  std::size_t run();
+
+  /// Dispatch every event with time <= deadline, then advance the clock to
+  /// `deadline` even if idle.  Returns the number dispatched.
+  std::size_t run_until(Time deadline);
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t processed_count() const { return processed_; }
+
+ private:
+  using Key = std::pair<Time, std::uint64_t>;
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t processed_ = 0;
+  // Ordered map doubles as priority queue and cancellation index.
+  std::map<Key, Callback> queue_;
+
+  void dispatch_front();
+};
+
+}  // namespace partib::sim

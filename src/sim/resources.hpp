@@ -1,0 +1,88 @@
+// Contended-resource models in virtual time.
+//
+// Two service disciplines cover everything the paper's evaluation needs:
+//
+//  * FifoResource — k identical servers, FIFO order.  With k = 1 this is a
+//    virtual-time mutex and models the QP doorbell lock whose contention
+//    the paper credits for the 128-partition aggregation win (§V-B2).
+//
+//  * ProcessorSharingCpu — n jobs timeshare c cores at rate min(1, c/n).
+//    Models compute on an oversubscribed node (128 threads on 40 cores),
+//    where the OS interleaves threads rather than running them in waves.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sim/engine.hpp"
+
+namespace partib::sim {
+
+/// k-server FIFO queue.  A request occupies one server for `service`
+/// nanoseconds; `done(start, end)` fires at completion with the interval
+/// during which the server was held.
+class FifoResource {
+ public:
+  using Done = std::function<void(Time start, Time end)>;
+
+  FifoResource(Engine& engine, int servers);
+
+  void request(Duration service, Done done);
+
+  int servers() const { return static_cast<int>(free_at_.size()); }
+
+  /// Earliest virtual time at which a new zero-length request would start.
+  Time next_free() const;
+
+  /// Total busy time accumulated across servers (for utilisation stats).
+  Duration busy_time() const { return busy_; }
+
+ private:
+  Engine& engine_;
+  std::vector<Time> free_at_;
+  Duration busy_ = 0;
+};
+
+/// Processor-sharing CPU: every active job progresses at rate
+/// min(1, cores / active_jobs).  Completion callbacks fire in virtual time.
+class ProcessorSharingCpu {
+ public:
+  using Done = std::function<void()>;
+  using JobId = std::uint64_t;
+
+  ProcessorSharingCpu(Engine& engine, int cores);
+
+  /// Submit a job needing `work` nanoseconds of dedicated-core time.
+  JobId submit(Duration work, Done done);
+
+  std::size_t active_jobs() const { return jobs_.size(); }
+  int cores() const { return cores_; }
+
+  /// Total dedicated-core work ever submitted (ns); the CPU-cycle budget
+  /// consumed, used e.g. to account host cycles spent on communication.
+  Duration total_work_submitted() const { return work_submitted_; }
+
+ private:
+  struct Job {
+    double remaining;  // ns of dedicated-core work left
+    Done done;
+  };
+
+  Engine& engine_;
+  int cores_;
+  JobId next_id_ = 1;
+  std::map<JobId, Job> jobs_;
+  Time last_update_ = 0;
+  Duration work_submitted_ = 0;
+  Engine::EventId pending_completion_{};
+
+  double rate() const;
+  void drain_elapsed();
+  void reschedule_completion();
+  void complete_due_jobs();
+};
+
+}  // namespace partib::sim

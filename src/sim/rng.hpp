@@ -1,0 +1,93 @@
+// Deterministic random-number generation for workloads.
+//
+// xoshiro256** seeded via SplitMix64 — small, fast, and unlike
+// std::mt19937 its output is identical across standard-library
+// implementations, which keeps benchmark timelines reproducible anywhere.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace partib::sim {
+
+/// SplitMix64: used to expand a single seed into xoshiro's state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5EEDDEADBEEF1234ULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    PARTIB_ASSERT(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_u64() % span);
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Standard normal via Box-Muller (one value per call; simple > fast).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    double u1 = next_double();
+    // Avoid log(0).
+    while (u1 <= 0.0) u1 = next_double();
+    const double u2 = next_double();
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+    return mean + stddev * z;
+  }
+
+  /// Exponential with given mean.
+  double exponential(double mean) {
+    double u = next_double();
+    while (u <= 0.0) u = next_double();
+    return -mean * std::log(u);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace partib::sim

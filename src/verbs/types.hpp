@@ -1,0 +1,103 @@
+// Wire-level verb types, mirroring the libibverbs vocabulary
+// (ibv_sge, ibv_send_wr, ibv_wc, ...) in C++ form.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace partib::verbs {
+
+using Lkey = std::uint32_t;
+using Rkey = std::uint32_t;
+
+/// MR access flags (a subset of IBV_ACCESS_*).
+enum Access : unsigned {
+  kLocalRead = 0,          // always granted
+  kLocalWrite = 1u << 0,   // required for receive buffers
+  kRemoteWrite = 1u << 1,  // required for RDMA-write targets
+  kRemoteRead = 1u << 2,
+};
+
+/// Scatter/gather element: a slice of a registered memory region.
+struct Sge {
+  std::uint64_t addr = 0;
+  std::uint32_t length = 0;
+  Lkey lkey = 0;
+};
+
+enum class Opcode {
+  kRdmaWrite,         // IBV_WR_RDMA_WRITE
+  kRdmaWriteWithImm,  // IBV_WR_RDMA_WRITE_WITH_IMM
+  kSend,              // IBV_WR_SEND (two-sided)
+};
+
+struct SendWr {
+  std::uint64_t wr_id = 0;
+  Opcode opcode = Opcode::kRdmaWrite;
+  std::vector<Sge> sg_list;
+  /// Network-byte-order 32-bit immediate (only *_WITH_IMM delivers it).
+  std::uint32_t imm = 0;
+  /// RDMA target (ignored for kSend).
+  std::uint64_t remote_addr = 0;
+  Rkey rkey = 0;
+  /// Simulator extension: scales the per-QP wire-rate cap for this WR.
+  /// Software stacks whose eager path cannot keep the DMA pipeline full
+  /// (e.g. UCX eager/zcopy) post with a factor < 1.
+  double rate_cap_factor = 1.0;
+};
+
+struct RecvWr {
+  std::uint64_t wr_id = 0;
+  /// Landing buffers for kSend traffic; RDMA-write-with-immediate consumes
+  /// the WR but writes through the rkey'd region instead.
+  std::vector<Sge> sg_list;
+};
+
+enum class WcStatus {
+  kSuccess,
+  kLocalProtectionError,  // sge outside a registered MR
+  kRemoteAccessError,     // bad rkey / range / permissions at the target
+  kRemoteNotReady,        // no receive WR posted at the target
+  kLocalLengthError,      // receive buffer too small for incoming send
+};
+
+enum class WcOpcode {
+  kRdmaWrite,       // send-side completion of an RDMA write
+  kSend,            // send-side completion of a two-sided send
+  kRecv,            // receive completion of a two-sided send
+  kRecvRdmaWithImm, // receive completion of RDMA_WRITE_WITH_IMM
+};
+
+struct Wc {
+  std::uint64_t wr_id = 0;
+  WcStatus status = WcStatus::kSuccess;
+  WcOpcode opcode = WcOpcode::kRdmaWrite;
+  std::uint32_t byte_len = 0;
+  std::uint32_t imm = 0;
+  bool has_imm = false;
+  std::uint32_t qp_num = 0;
+  /// Simulator extension: virtual time at which the CQE was raised.
+  Time completion_time = 0;
+};
+
+enum class QpState { kReset, kInit, kRtr, kRts, kError };
+
+struct QpCaps {
+  int max_send_wr = 16;  ///< ConnectX-5 concurrent-RDMA-WR limit
+  int max_recv_wr = 1024;
+};
+
+constexpr const char* to_string(WcStatus s) {
+  switch (s) {
+    case WcStatus::kSuccess: return "SUCCESS";
+    case WcStatus::kLocalProtectionError: return "LOCAL_PROTECTION_ERROR";
+    case WcStatus::kRemoteAccessError: return "REMOTE_ACCESS_ERROR";
+    case WcStatus::kRemoteNotReady: return "REMOTE_NOT_READY";
+    case WcStatus::kLocalLengthError: return "LOCAL_LENGTH_ERROR";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace partib::verbs

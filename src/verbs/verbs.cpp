@@ -1,0 +1,299 @@
+#include "verbs/verbs.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace partib::verbs {
+
+// ---------------------------------------------------------------------------
+// Device / Context
+// ---------------------------------------------------------------------------
+
+Context& Device::open(fabric::NodeId node) {
+  PARTIB_ASSERT(node >= 0 && node < fabric_.node_count());
+  contexts_.push_back(std::make_unique<Context>(*this, node));
+  return *contexts_.back();
+}
+
+Qp* Device::find_qp(std::uint32_t qp_num) {
+  auto it = qp_registry_.find(qp_num);
+  return it == qp_registry_.end() ? nullptr : it->second;
+}
+
+Pd& Context::alloc_pd() {
+  pds_.push_back(std::make_unique<Pd>(*this));
+  return *pds_.back();
+}
+
+Cq& Context::create_cq(int depth) {
+  PARTIB_ASSERT(depth > 0);
+  cqs_.push_back(std::make_unique<Cq>(depth));
+  return *cqs_.back();
+}
+
+Mr* Context::find_remote_mr(Rkey rkey) {
+  auto it = mr_registry_.find(rkey);
+  return it == mr_registry_.end() ? nullptr : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Mr / Cq / Pd
+// ---------------------------------------------------------------------------
+
+bool Mr::contains(std::uint64_t addr, std::size_t len) const {
+  const std::uint64_t base = this->addr();
+  return addr >= base && addr + len <= base + length();
+}
+
+int Cq::poll(std::span<Wc> out) {
+  int n = 0;
+  while (n < static_cast<int>(out.size()) && !entries_.empty()) {
+    out[static_cast<std::size_t>(n)] = entries_.front();
+    entries_.pop_front();
+    ++n;
+  }
+  return n;
+}
+
+void Cq::push(Wc wc) {
+  if (entries_.size() >= static_cast<std::size_t>(depth_)) {
+    // CQ overrun is fatal on real hardware too; surfacing it loudly keeps
+    // sizing bugs out of the upper layers.
+    overrun_ = true;
+    PARTIB_ASSERT_MSG(false, "completion queue overrun");
+  }
+  entries_.push_back(wc);
+  if (on_push_) on_push_();
+}
+
+Mr& Pd::register_mr(std::span<std::byte> range, unsigned access) {
+  Device& dev = context_.device();
+  const Lkey lkey = dev.next_key_++;
+  const Rkey rkey = dev.next_key_++;
+  mrs_.push_back(std::make_unique<Mr>(range, access, lkey, rkey));
+  Mr& mr = *mrs_.back();
+  context_.mr_registry_.emplace(rkey, &mr);
+  return mr;
+}
+
+Qp& Pd::create_qp(Cq& send_cq, Cq& recv_cq, QpCaps caps) {
+  Device& dev = context_.device();
+  const std::uint32_t num = dev.next_qp_num_++;
+  qps_.push_back(std::make_unique<Qp>(*this, send_cq, recv_cq, caps, num));
+  Qp& qp = *qps_.back();
+  dev.qp_registry_.emplace(num, &qp);
+  return qp;
+}
+
+Mr* Pd::find_local_mr(Lkey lkey, std::uint64_t addr, std::size_t len) {
+  for (const auto& mr : mrs_) {
+    if (mr->lkey() == lkey && mr->contains(addr, len)) return mr.get();
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Qp
+// ---------------------------------------------------------------------------
+
+Qp::Qp(Pd& pd, Cq& send_cq, Cq& recv_cq, QpCaps caps, std::uint32_t qp_num)
+    : pd_(pd),
+      send_cq_(send_cq),
+      recv_cq_(recv_cq),
+      caps_(caps),
+      qp_num_(qp_num) {
+  PARTIB_ASSERT(caps.max_send_wr > 0 && caps.max_recv_wr > 0);
+}
+
+Status Qp::to_init() {
+  if (state_ != QpState::kReset) return Status::kInvalidState;
+  state_ = QpState::kInit;
+  return Status::kOk;
+}
+
+Status Qp::to_rtr(std::uint32_t remote_qp_num) {
+  if (state_ != QpState::kInit) return Status::kInvalidState;
+  Qp* remote = pd_.context().device().find_qp(remote_qp_num);
+  if (remote == nullptr) return Status::kNotFound;
+  remote_qp_num_ = remote_qp_num;
+  remote_ = remote;
+  state_ = QpState::kRtr;
+  return Status::kOk;
+}
+
+Status Qp::to_rts() {
+  if (state_ != QpState::kRtr) return Status::kInvalidState;
+  state_ = QpState::kRts;
+  return Status::kOk;
+}
+
+Status Qp::validate_sges(const std::vector<Sge>& sges,
+                         unsigned required_access, std::size_t* total) const {
+  std::size_t sum = 0;
+  for (const Sge& sge : sges) {
+    Mr* mr = const_cast<Pd&>(pd_).find_local_mr(sge.lkey, sge.addr,
+                                                sge.length);
+    if (mr == nullptr) return Status::kInvalidArgument;
+    if (required_access != 0 &&
+        (mr->access() & required_access) != required_access) {
+      return Status::kInvalidArgument;
+    }
+    sum += sge.length;
+  }
+  *total = sum;
+  return Status::kOk;
+}
+
+Status Qp::post_recv(const RecvWr& wr) {
+  if (state_ == QpState::kReset || state_ == QpState::kError) {
+    return Status::kInvalidState;
+  }
+  if (recv_queue_.size() >= static_cast<std::size_t>(caps_.max_recv_wr)) {
+    return Status::kResourceExhausted;
+  }
+  std::size_t total = 0;
+  const Status st = validate_sges(wr.sg_list, Access::kLocalWrite, &total);
+  if (!ok(st)) return st;
+  recv_queue_.push_back(PostedRecv{wr, total});
+  return Status::kOk;
+}
+
+Status Qp::post_send(const SendWr& wr) {
+  if (state_ != QpState::kRts) return Status::kInvalidState;
+  if (outstanding_ >= caps_.max_send_wr) return Status::kResourceExhausted;
+  std::size_t total = 0;
+  const Status st = validate_sges(wr.sg_list, /*required_access=*/0, &total);
+  if (!ok(st)) return st;
+  PARTIB_ASSERT(remote_ != nullptr);
+
+  ++outstanding_;
+  fabric::Fabric& fab = pd_.context().device().fab();
+  const bool copy = fab.copies_data();
+  const bool with_imm = wr.opcode == Opcode::kRdmaWriteWithImm;
+  auto result = std::make_shared<DeliveryResult>();
+
+  fabric::RdmaOp op;
+  op.src = pd_.context().node();
+  op.dst = remote_->pd_.context().node();
+  op.src_qp = qp_num_;
+  op.bytes = total;
+  op.rate_cap_factor = wr.rate_cap_factor;
+  op.move_data = [this, wr, with_imm, copy, result] {
+    *result = wr.opcode == Opcode::kSend
+                  ? remote_->deliver_send(wr, copy)
+                  : remote_->deliver_rdma_write(wr, with_imm, copy);
+  };
+  op.on_send_complete = [this, wr, result](Time when) {
+    complete_send(wr, *result, when);
+  };
+  if (with_imm || wr.opcode == Opcode::kSend) {
+    op.on_recv_complete = [this, wr, with_imm, result](Time when) {
+      if (!result->recv_wr_consumed) return;
+      Wc wc;
+      wc.wr_id = result->recv_wr_id;
+      wc.status = result->status;
+      wc.opcode = with_imm ? WcOpcode::kRecvRdmaWithImm : WcOpcode::kRecv;
+      wc.byte_len = result->byte_len;
+      wc.imm = with_imm ? wr.imm : 0;
+      wc.has_imm = with_imm;
+      wc.qp_num = remote_->qp_num();
+      wc.completion_time = when;
+      remote_->recv_cq_.push(wc);
+    };
+  }
+  fab.post_rdma_write(std::move(op));
+  return Status::kOk;
+}
+
+Qp::DeliveryResult Qp::deliver_rdma_write(const SendWr& wr, bool with_imm,
+                                          bool copy_data) {
+  DeliveryResult res;
+  std::size_t total = 0;
+  for (const Sge& sge : wr.sg_list) total += sge.length;
+  res.byte_len = static_cast<std::uint32_t>(total);
+
+  Mr* mr = pd_.context().find_remote_mr(wr.rkey);
+  if (mr == nullptr || !mr->contains(wr.remote_addr, total) ||
+      (mr->access() & Access::kRemoteWrite) == 0) {
+    res.status = WcStatus::kRemoteAccessError;
+    return res;
+  }
+  if (with_imm) {
+    if (recv_queue_.empty()) {
+      res.status = WcStatus::kRemoteNotReady;
+      return res;
+    }
+    res.recv_wr_consumed = true;
+    res.recv_wr_id = recv_queue_.front().wr.wr_id;
+    recv_queue_.pop_front();
+  }
+  if (copy_data) {
+    auto* dst = reinterpret_cast<std::byte*>(wr.remote_addr);
+    for (const Sge& sge : wr.sg_list) {
+      std::memcpy(dst, reinterpret_cast<const std::byte*>(sge.addr),
+                  sge.length);
+      dst += sge.length;
+    }
+  }
+  return res;
+}
+
+Qp::DeliveryResult Qp::deliver_send(const SendWr& wr, bool copy_data) {
+  DeliveryResult res;
+  std::size_t total = 0;
+  for (const Sge& sge : wr.sg_list) total += sge.length;
+  res.byte_len = static_cast<std::uint32_t>(total);
+
+  if (recv_queue_.empty()) {
+    res.status = WcStatus::kRemoteNotReady;
+    return res;
+  }
+  const PostedRecv posted = recv_queue_.front();
+  recv_queue_.pop_front();
+  res.recv_wr_consumed = true;
+  res.recv_wr_id = posted.wr.wr_id;
+  if (total > posted.total_length) {
+    res.status = WcStatus::kLocalLengthError;
+    return res;
+  }
+  if (copy_data) {
+    // Scatter the gathered send stream across the receive sges.
+    std::size_t recv_idx = 0;
+    std::uint64_t recv_off = 0;
+    for (const Sge& src : wr.sg_list) {
+      std::size_t copied = 0;
+      while (copied < src.length) {
+        const Sge& dst = posted.wr.sg_list[recv_idx];
+        const std::size_t space = dst.length - recv_off;
+        const std::size_t n = std::min(space, src.length - copied);
+        std::memcpy(reinterpret_cast<std::byte*>(dst.addr + recv_off),
+                    reinterpret_cast<const std::byte*>(src.addr + copied), n);
+        copied += n;
+        recv_off += n;
+        if (recv_off == dst.length) {
+          ++recv_idx;
+          recv_off = 0;
+        }
+      }
+    }
+  }
+  return res;
+}
+
+void Qp::complete_send(const SendWr& wr, const DeliveryResult& result,
+                       Time when) {
+  --outstanding_;
+  Wc wc;
+  wc.wr_id = wr.wr_id;
+  wc.status = result.status;
+  wc.opcode =
+      wr.opcode == Opcode::kSend ? WcOpcode::kSend : WcOpcode::kRdmaWrite;
+  wc.byte_len = result.byte_len;
+  wc.qp_num = qp_num_;
+  wc.completion_time = when;
+  if (result.status != WcStatus::kSuccess) state_ = QpState::kError;
+  send_cq_.push(wc);
+}
+
+}  // namespace partib::verbs

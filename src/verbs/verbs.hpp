@@ -1,0 +1,233 @@
+// The verbs API over the simulated fabric.
+//
+// Object model mirrors libibverbs:
+//
+//   Device (one per fabric)
+//    └─ Context (one per node; cf. ibv_open_device)
+//        ├─ Cq  (completion queues)
+//        └─ Pd  (protection domains)
+//            ├─ Mr (registered memory regions with lkey/rkey)
+//            └─ Qp (RC queue pairs; RESET→INIT→RTR→RTS state machine)
+//
+// Ownership follows the factory-keeps-ownership idiom: create_* /
+// register_* return non-owning references whose lifetime is bounded by the
+// parent object.  All operations are driven by the simulation engine; the
+// API itself performs no blocking.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "fabric/fabric.hpp"
+#include "verbs/types.hpp"
+
+namespace partib::verbs {
+
+class Context;
+class Pd;
+class Mr;
+class Cq;
+class Qp;
+
+/// The "HCA": entry point tying contexts to the simulated fabric and
+/// providing device-wide qp_num / key allocation.
+class Device {
+ public:
+  explicit Device(fabric::Fabric& fab) : fabric_(fab) {}
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  /// Open a context on a fabric node (creates the node's verbs state).
+  Context& open(fabric::NodeId node);
+
+  fabric::Fabric& fab() { return fabric_; }
+
+  /// Device-wide QP lookup used to resolve a connected remote QP.
+  Qp* find_qp(std::uint32_t qp_num);
+
+ private:
+  friend class Context;
+  friend class Pd;
+
+  fabric::Fabric& fabric_;
+  std::vector<std::unique_ptr<Context>> contexts_;
+  std::map<std::uint32_t, Qp*> qp_registry_;
+  std::uint32_t next_qp_num_ = 100;
+  std::uint32_t next_key_ = 1;
+};
+
+/// Per-node device context.
+class Context {
+ public:
+  Context(Device& dev, fabric::NodeId node) : device_(dev), node_(node) {}
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  Pd& alloc_pd();
+  Cq& create_cq(int depth);
+
+  Device& device() { return device_; }
+  fabric::NodeId node() const { return node_; }
+
+  /// Resolve an rkey to a region registered on this node (target-side
+  /// validation of incoming RDMA).
+  Mr* find_remote_mr(Rkey rkey);
+
+ private:
+  friend class Pd;
+
+  Device& device_;
+  fabric::NodeId node_;
+  std::vector<std::unique_ptr<Pd>> pds_;
+  std::vector<std::unique_ptr<Cq>> cqs_;
+  std::map<Rkey, Mr*> mr_registry_;
+};
+
+/// Registered memory region.
+class Mr {
+ public:
+  Mr(std::span<std::byte> range, unsigned access, Lkey lkey, Rkey rkey)
+      : range_(range), access_(access), lkey_(lkey), rkey_(rkey) {}
+
+  std::uint64_t addr() const {
+    return reinterpret_cast<std::uint64_t>(range_.data());
+  }
+  std::size_t length() const { return range_.size(); }
+  unsigned access() const { return access_; }
+  Lkey lkey() const { return lkey_; }
+  Rkey rkey() const { return rkey_; }
+
+  /// True when [addr, addr+len) lies inside this region.
+  bool contains(std::uint64_t addr, std::size_t len) const;
+
+ private:
+  std::span<std::byte> range_;
+  unsigned access_;
+  Lkey lkey_;
+  Rkey rkey_;
+};
+
+/// Completion queue.
+class Cq {
+ public:
+  explicit Cq(int depth) : depth_(depth) {}
+  Cq(const Cq&) = delete;
+  Cq& operator=(const Cq&) = delete;
+
+  /// Pop up to out.size() completions; returns the number written
+  /// (cf. ibv_poll_cq).
+  int poll(std::span<Wc> out);
+
+  std::size_t pending() const { return entries_.size(); }
+  bool overrun() const { return overrun_; }
+
+  /// Internal: raise a completion (called by Qp / delivery paths).
+  void push(Wc wc);
+
+  /// Completion-channel analogue: invoked after every push so the owner
+  /// can schedule a progress poll (cf. ibv_req_notify_cq + comp channel).
+  void set_on_push(std::function<void()> fn) { on_push_ = std::move(fn); }
+
+ private:
+  int depth_;
+  bool overrun_ = false;
+  std::deque<Wc> entries_;
+  std::function<void()> on_push_;
+};
+
+/// Protection domain.
+class Pd {
+ public:
+  explicit Pd(Context& ctx) : context_(ctx) {}
+  Pd(const Pd&) = delete;
+  Pd& operator=(const Pd&) = delete;
+
+  /// Register `range` for the given access; the PD keeps ownership of the
+  /// Mr object (not of the memory).
+  Mr& register_mr(std::span<std::byte> range, unsigned access);
+
+  /// Create an RC queue pair with separate (or shared) send/recv CQs.
+  Qp& create_qp(Cq& send_cq, Cq& recv_cq, QpCaps caps = {});
+
+  Context& context() { return context_; }
+
+  /// Find a local MR covering [addr, addr+len) whose lkey matches.
+  Mr* find_local_mr(Lkey lkey, std::uint64_t addr, std::size_t len);
+
+ private:
+  Context& context_;
+  std::vector<std::unique_ptr<Mr>> mrs_;
+  std::vector<std::unique_ptr<Qp>> qps_;
+};
+
+/// RC queue pair.
+class Qp {
+ public:
+  Qp(Pd& pd, Cq& send_cq, Cq& recv_cq, QpCaps caps, std::uint32_t qp_num);
+  Qp(const Qp&) = delete;
+  Qp& operator=(const Qp&) = delete;
+
+  std::uint32_t qp_num() const { return qp_num_; }
+  QpState state() const { return state_; }
+  int outstanding_send_wrs() const { return outstanding_; }
+  const QpCaps& caps() const { return caps_; }
+
+  // -- state machine (cf. ibv_modify_qp) -----------------------------------
+  Status to_init();
+  /// Ready-to-receive: binds this QP to its remote peer.
+  Status to_rtr(std::uint32_t remote_qp_num);
+  Status to_rts();
+
+  // -- work submission ------------------------------------------------------
+  /// cf. ibv_post_send.  Returns kResourceExhausted when
+  /// max_send_wr WRs are already outstanding (the ConnectX-5 16-WR limit
+  /// the paper designs around).
+  Status post_send(const SendWr& wr);
+
+  /// cf. ibv_post_recv.  Legal from INIT onwards.
+  Status post_recv(const RecvWr& wr);
+
+ private:
+  friend class Device;
+
+  struct PostedRecv {
+    RecvWr wr;
+    std::size_t total_length;
+  };
+
+  Pd& pd_;
+  Cq& send_cq_;
+  Cq& recv_cq_;
+  QpCaps caps_;
+  std::uint32_t qp_num_;
+  QpState state_ = QpState::kReset;
+  std::uint32_t remote_qp_num_ = 0;
+  Qp* remote_ = nullptr;  // resolved at to_rtr time
+  int outstanding_ = 0;
+  std::deque<PostedRecv> recv_queue_;
+
+  Status validate_sges(const std::vector<Sge>& sges, unsigned required_access,
+                       std::size_t* total) const;
+
+  // Target-side handlers (run on delivery).
+  struct DeliveryResult {
+    WcStatus status = WcStatus::kSuccess;
+    std::uint32_t byte_len = 0;
+    bool recv_wr_consumed = false;
+    std::uint64_t recv_wr_id = 0;
+  };
+  DeliveryResult deliver_rdma_write(const SendWr& wr, bool with_imm,
+                                    bool copy_data);
+  DeliveryResult deliver_send(const SendWr& wr, bool copy_data);
+
+  void complete_send(const SendWr& wr, const DeliveryResult& result,
+                     Time when);
+};
+
+}  // namespace partib::verbs

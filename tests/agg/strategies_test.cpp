@@ -1,0 +1,158 @@
+// Aggregation strategies and the tuning table.
+#include <gtest/gtest.h>
+
+#include "agg/strategies.hpp"
+#include "agg/tuning_table.hpp"
+#include "common/units.hpp"
+
+namespace partib::agg {
+namespace {
+
+TEST(Clamp, PreservesPowerOfTwoAndRange) {
+  EXPECT_EQ(clamp_transport_partitions(0, 16), 1u);
+  EXPECT_EQ(clamp_transport_partitions(1, 16), 1u);
+  EXPECT_EQ(clamp_transport_partitions(8, 16), 8u);
+  EXPECT_EQ(clamp_transport_partitions(16, 16), 16u);
+  EXPECT_EQ(clamp_transport_partitions(32, 16), 16u);  // clamp to user count
+  EXPECT_EQ(clamp_transport_partitions(6, 16), 4u);    // round down to pow2
+}
+
+TEST(Persistent, OneMessagePerPartitionOnUcx) {
+  const PersistentBaseline agg;
+  const Plan p = agg.plan(32, 1 * MiB);
+  EXPECT_EQ(p.transport_partitions, 32u);
+  EXPECT_EQ(p.qp_count, 1);
+  EXPECT_EQ(p.path, Path::kUcxLike);
+  EXPECT_FALSE(p.timer_based);
+}
+
+TEST(Static, HonoursRequestWithinUserCount) {
+  const StaticAggregator agg(8, 2);
+  const Plan p = agg.plan(32, 1 * MiB);
+  EXPECT_EQ(p.transport_partitions, 8u);
+  EXPECT_EQ(p.qp_count, 2);
+  EXPECT_EQ(p.path, Path::kVerbs);
+}
+
+TEST(Static, ClampsToUserPartitions) {
+  const StaticAggregator agg(32, 1);
+  EXPECT_EQ(agg.plan(4, 1 * MiB).transport_partitions, 4u);
+}
+
+TEST(PLogGP, FollowsTableI) {
+  const PLogGPAggregator agg(model::LogGPParams::niagara_mpi_measured());
+  EXPECT_EQ(agg.plan(32, 128 * KiB).transport_partitions, 1u);
+  EXPECT_EQ(agg.plan(32, 1 * MiB).transport_partitions, 2u);
+  EXPECT_EQ(agg.plan(32, 4 * MiB).transport_partitions, 4u);
+  EXPECT_EQ(agg.plan(32, 16 * MiB).transport_partitions, 8u);
+  EXPECT_EQ(agg.plan(32, 64 * MiB).transport_partitions, 16u);
+  EXPECT_EQ(agg.plan(32, 256 * MiB).transport_partitions, 32u);
+}
+
+TEST(PLogGP, FallsBackToUserRequestWhenModelWantsMore) {
+  // Paper §IV-C: "If the model suggests a transport partition count that
+  // is larger than what the user requested, then we fall back to the
+  // user's request."
+  const PLogGPAggregator agg(model::LogGPParams::niagara_mpi_measured());
+  EXPECT_EQ(agg.plan(4, 256 * MiB).transport_partitions, 4u);
+  EXPECT_EQ(agg.plan(2, 256 * MiB).transport_partitions, 2u);
+}
+
+TEST(PLogGP, QpCountCoversOutstandingLimit) {
+  const PLogGPAggregator agg(model::LogGPParams::niagara_mpi_measured(),
+                             model::OptimizerConfig{msec(4), 64},
+                             /*max_wr_per_qp=*/16);
+  const Plan p32 = agg.plan(64, 256 * MiB);
+  EXPECT_GE(p32.qp_count,
+            static_cast<int>(p32.transport_partitions + 15) / 16);
+  EXPECT_EQ(agg.plan(32, 64 * KiB).qp_count, 1);
+}
+
+TEST(Timer, InheritsPlanAndAddsDelta) {
+  const TimerPLogGPAggregator agg(model::LogGPParams::niagara_mpi_measured(),
+                                  usec(35));
+  const Plan p = agg.plan(32, 1 * MiB);
+  EXPECT_TRUE(p.timer_based);
+  EXPECT_EQ(p.timer_delta, usec(35));
+  EXPECT_EQ(p.transport_partitions, 2u);  // same as PLogGP
+  EXPECT_EQ(agg.delta(), usec(35));
+}
+
+TEST(TuningTable, ExactLookup) {
+  TuningTable t;
+  t.set(32, 1 * MiB, {4, 2});
+  const auto e = t.lookup(32, 1 * MiB);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->transport_partitions, 4u);
+  EXPECT_EQ(e->qp_count, 2);
+  EXPECT_FALSE(t.lookup(32, 2 * MiB).has_value());
+  EXPECT_FALSE(t.lookup(16, 1 * MiB).has_value());
+}
+
+TEST(TuningTable, NearestFallsBackOnLogScale) {
+  TuningTable t;
+  t.set(32, 1 * MiB, {4, 2});
+  t.set(32, 16 * MiB, {16, 4});
+  const auto near_small = t.lookup_nearest(32, 2 * MiB);
+  ASSERT_TRUE(near_small.has_value());
+  EXPECT_EQ(near_small->transport_partitions, 4u);
+  const auto near_big = t.lookup_nearest(32, 8 * MiB);
+  ASSERT_TRUE(near_big.has_value());
+  EXPECT_EQ(near_big->transport_partitions, 16u);
+  EXPECT_FALSE(t.lookup_nearest(64, 1 * MiB).has_value());
+}
+
+TEST(TuningTable, CsvRoundTrip) {
+  TuningTable t;
+  t.set(4, 64 * KiB, {2, 1});
+  t.set(32, 1 * MiB, {4, 2});
+  const TuningTable parsed = TuningTable::from_csv(t.to_csv());
+  EXPECT_EQ(parsed.size(), 2u);
+  const auto e = parsed.lookup(32, 1 * MiB);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->transport_partitions, 4u);
+  EXPECT_EQ(e->qp_count, 2);
+}
+
+TEST(TuningTable, PrebuiltCoversBenchmarkSpace) {
+  const TuningTable t = TuningTable::niagara_prebuilt();
+  EXPECT_FALSE(t.empty());
+  for (std::size_t parts : {4u, 32u, 128u}) {
+    for (std::size_t bytes = 512; bytes <= 256 * MiB; bytes *= 4) {
+      EXPECT_TRUE(t.lookup_nearest(parts, bytes).has_value())
+          << parts << " " << bytes;
+    }
+  }
+}
+
+TEST(TuningTable, PrebuiltTrendsMatchPLogGP) {
+  // §V-B1: the brute-force table shows the same trend as the model —
+  // transport partitions grow with message size.
+  const TuningTable t = TuningTable::niagara_prebuilt();
+  std::size_t prev = 1;
+  for (std::size_t bytes = 512; bytes <= 256 * MiB; bytes *= 4) {
+    const auto e = t.lookup_nearest(32, bytes);
+    ASSERT_TRUE(e.has_value());
+    EXPECT_GE(e->transport_partitions, prev);
+    prev = e->transport_partitions;
+  }
+}
+
+TEST(TuningTableAggregator, UsesTableEntries) {
+  TuningTable t;
+  t.set(16, 64 * KiB, {8, 2});
+  const TuningTableAggregator agg(std::move(t));
+  const Plan p = agg.plan(16, 64 * KiB);
+  EXPECT_EQ(p.transport_partitions, 8u);
+  EXPECT_EQ(p.qp_count, 2);
+}
+
+TEST(TuningTableAggregator, ClampsTableValueToUserCount) {
+  TuningTable t;
+  t.set(4, 64 * KiB, {32, 1});  // table says more than the user has
+  const TuningTableAggregator agg(std::move(t));
+  EXPECT_EQ(agg.plan(4, 64 * KiB).transport_partitions, 4u);
+}
+
+}  // namespace
+}  // namespace partib::agg

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "common/bits.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace partib {
+namespace {
+
+TEST(Units, FormatBytesPicksLargestExactUnit) {
+  EXPECT_EQ(format_bytes(512), "512B");
+  EXPECT_EQ(format_bytes(1024), "1KiB");
+  EXPECT_EQ(format_bytes(4 * KiB), "4KiB");
+  EXPECT_EQ(format_bytes(MiB), "1MiB");
+  EXPECT_EQ(format_bytes(256 * MiB), "256MiB");
+  EXPECT_EQ(format_bytes(GiB), "1GiB");
+}
+
+TEST(Units, FormatBytesInexactFallsBackToBytes) {
+  EXPECT_EQ(format_bytes(1500), "1500B");
+  EXPECT_EQ(format_bytes(KiB + 1), "1025B");
+}
+
+TEST(Units, Pow2SizesInclusiveSweep) {
+  const auto sizes = pow2_sizes(512, 4 * KiB);
+  ASSERT_EQ(sizes.size(), 4u);
+  EXPECT_EQ(sizes.front(), 512u);
+  EXPECT_EQ(sizes.back(), 4 * KiB);
+}
+
+TEST(Units, Pow2SizesSingleElement) {
+  const auto sizes = pow2_sizes(64, 64);
+  ASSERT_EQ(sizes.size(), 1u);
+  EXPECT_EQ(sizes[0], 64u);
+}
+
+TEST(Bits, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(1ull << 40));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(6));
+}
+
+TEST(Bits, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(4), 4u);
+  EXPECT_EQ(next_pow2(5), 8u);
+}
+
+TEST(Bits, PrevPow2) {
+  EXPECT_EQ(prev_pow2(0), 0u);
+  EXPECT_EQ(prev_pow2(1), 1u);
+  EXPECT_EQ(prev_pow2(3), 2u);
+  EXPECT_EQ(prev_pow2(8), 8u);
+  EXPECT_EQ(prev_pow2(9), 8u);
+}
+
+TEST(Bits, Log2Floor) {
+  EXPECT_EQ(log2_floor(1), 0u);
+  EXPECT_EQ(log2_floor(2), 1u);
+  EXPECT_EQ(log2_floor(3), 1u);
+  EXPECT_EQ(log2_floor(1024), 10u);
+}
+
+TEST(Bits, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(1, 4096), 1);
+  EXPECT_EQ(ceil_div<std::size_t>(4097, 4096), 2u);
+}
+
+TEST(Time, UnitConstructors) {
+  EXPECT_EQ(usec(1), 1000);
+  EXPECT_EQ(msec(1), 1'000'000);
+  EXPECT_EQ(sec(1), 1'000'000'000);
+  EXPECT_EQ(nsec(42), 42);
+}
+
+TEST(Time, Conversions) {
+  EXPECT_DOUBLE_EQ(to_usec(usec(5)), 5.0);
+  EXPECT_DOUBLE_EQ(to_msec(msec(4)), 4.0);
+  EXPECT_DOUBLE_EQ(to_sec(sec(2)), 2.0);
+  EXPECT_DOUBLE_EQ(to_usec(nsec(1500)), 1.5);
+}
+
+TEST(Time, FormatDurationUnits) {
+  EXPECT_EQ(format_duration(17), "17ns");
+  EXPECT_EQ(format_duration(usec(3)), "3.000us");
+  EXPECT_EQ(format_duration(msec(2) + usec(500)), "2.500ms");
+  EXPECT_EQ(format_duration(sec(1)), "1.000s");
+}
+
+TEST(Time, FormatDurationNegative) {
+  EXPECT_EQ(format_duration(-17), "-17ns");
+  EXPECT_EQ(format_duration(-usec(3)), "-3.000us");
+}
+
+}  // namespace
+}  // namespace partib

@@ -1,0 +1,151 @@
+// Max-min fluid network: rate caps, link sharing, fan-in, and conservation
+// properties.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fabric/fluid_network.hpp"
+#include "sim/engine.hpp"
+
+namespace partib::fabric {
+namespace {
+
+constexpr double kCap = 10.0;  // bytes per ns
+
+class Net : public ::testing::Test {
+ protected:
+  sim::Engine engine;
+  FluidNetwork net{engine, kCap};
+  void SetUp() override { net.set_node_count(8); }
+};
+
+TEST_F(Net, SingleFlowRunsAtItsCap) {
+  Time end = -1;
+  net.submit(0, 1, /*bytes=*/1000.0, /*cap=*/5.0, [&](Time t) { end = t; });
+  engine.run();
+  EXPECT_EQ(end, 200);  // 1000 / 5
+}
+
+TEST_F(Net, SingleFlowLimitedByLink) {
+  Time end = -1;
+  net.submit(0, 1, 1000.0, /*cap=*/100.0, [&](Time t) { end = t; });
+  engine.run();
+  EXPECT_EQ(end, 100);  // 1000 / 10
+}
+
+TEST_F(Net, TwoFlowsShareEgressFairly) {
+  std::vector<Time> ends;
+  net.submit(0, 1, 1000.0, 100.0, [&](Time t) { ends.push_back(t); });
+  net.submit(0, 2, 1000.0, 100.0, [&](Time t) { ends.push_back(t); });
+  engine.run();
+  ASSERT_EQ(ends.size(), 2u);
+  EXPECT_EQ(ends[0], 200);  // each at 5 B/ns
+  EXPECT_EQ(ends[1], 200);
+}
+
+TEST_F(Net, FanInSharesIngress) {
+  std::vector<Time> ends;
+  net.submit(1, 0, 1000.0, 100.0, [&](Time t) { ends.push_back(t); });
+  net.submit(2, 0, 1000.0, 100.0, [&](Time t) { ends.push_back(t); });
+  engine.run();
+  ASSERT_EQ(ends.size(), 2u);
+  EXPECT_EQ(ends[0], 200);
+  EXPECT_EQ(ends[1], 200);
+}
+
+TEST_F(Net, DisjointPairsDoNotInterfere) {
+  std::vector<Time> ends;
+  net.submit(0, 1, 1000.0, 100.0, [&](Time t) { ends.push_back(t); });
+  net.submit(2, 3, 1000.0, 100.0, [&](Time t) { ends.push_back(t); });
+  engine.run();
+  for (Time t : ends) EXPECT_EQ(t, 100);
+}
+
+TEST_F(Net, CappedFlowLeavesHeadroomForOthers) {
+  // Flow A capped at 2 B/ns; flow B (same egress) may use the remaining 8.
+  Time a = -1, b = -1;
+  net.submit(0, 1, 1000.0, 2.0, [&](Time t) { a = t; });
+  net.submit(0, 2, 1000.0, 100.0, [&](Time t) { b = t; });
+  engine.run();
+  EXPECT_EQ(a, 500);  // 1000 / 2
+  EXPECT_EQ(b, 125);  // 1000 / 8
+}
+
+TEST_F(Net, DepartureSpeedsUpSurvivor) {
+  // Equal shares until the short flow drains, then the long one gets the
+  // full link: 500 bytes at 5 => t=100; remaining 1500 at 10 => +150.
+  Time long_end = -1;
+  net.submit(0, 1, 2000.0, 100.0, [&](Time t) { long_end = t; });
+  net.submit(0, 2, 500.0, 100.0, [](Time) {});
+  engine.run();
+  EXPECT_EQ(long_end, 250);
+}
+
+TEST_F(Net, LateArrivalSlowsExisting) {
+  // Flow A alone for 100ns (1000 bytes done), then B arrives; both at 5.
+  Time a = -1, b = -1;
+  net.submit(0, 1, 2000.0, 100.0, [&](Time t) { a = t; });
+  engine.schedule_at(100, [&] {
+    net.submit(0, 2, 1000.0, 100.0, [&](Time t) { b = t; });
+  });
+  engine.run();
+  EXPECT_EQ(a, 300);  // 1000 left at rate 5 => +200
+  EXPECT_EQ(b, 300);  // 1000 at rate 5
+}
+
+TEST_F(Net, ZeroByteFlowCompletesImmediately) {
+  Time end = -1;
+  net.submit(0, 1, 0.0, 1.0, [&](Time t) { end = t; });
+  engine.run();
+  EXPECT_EQ(end, 0);
+}
+
+TEST_F(Net, LoopbackBypassesLink) {
+  Time loop = -1, wire = -1;
+  net.submit(0, 0, 1000.0, 2.0, [&](Time t) { loop = t; });
+  net.submit(0, 1, 1000.0, 100.0, [&](Time t) { wire = t; });
+  engine.run();
+  EXPECT_EQ(loop, 500);  // cap-limited only
+  EXPECT_EQ(wire, 100);  // full link despite the loopback flow
+}
+
+TEST_F(Net, CompletionCallbackMaySubmit) {
+  Time second = -1;
+  net.submit(0, 1, 1000.0, 100.0, [&](Time) {
+    net.submit(0, 1, 1000.0, 100.0, [&](Time t) { second = t; });
+  });
+  engine.run();
+  EXPECT_EQ(second, 200);
+}
+
+TEST_F(Net, ManyFlowsConservation) {
+  // N flows from distinct sources into one sink: aggregate throughput is
+  // exactly the sink's ingress capacity, so total time = total bytes / C.
+  std::vector<Time> ends;
+  constexpr int kFlows = 6;
+  for (int i = 1; i <= kFlows; ++i) {
+    net.submit(i, 0, 600.0, 100.0, [&](Time t) { ends.push_back(t); });
+  }
+  engine.run();
+  ASSERT_EQ(ends.size(), static_cast<std::size_t>(kFlows));
+  for (Time t : ends) EXPECT_EQ(t, 360);  // 3600 bytes / 10 B/ns
+}
+
+TEST_F(Net, CompletedFlowsCounter) {
+  net.submit(0, 1, 10.0, 1.0, [](Time) {});
+  net.submit(0, 1, 10.0, 1.0, [](Time) {});
+  engine.run();
+  EXPECT_EQ(net.completed_flows(), 2u);
+  EXPECT_EQ(net.active_flows(), 0u);
+}
+
+TEST_F(Net, AsymmetricBytesFinishInSizeOrder) {
+  std::vector<int> order;
+  net.submit(0, 1, 100.0, 100.0, [&](Time) { order.push_back(0); });
+  net.submit(0, 2, 10'000.0, 100.0, [&](Time) { order.push_back(1); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+}  // namespace
+}  // namespace partib::fabric

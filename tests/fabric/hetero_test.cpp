@@ -1,0 +1,68 @@
+// Heterogeneous link capacities in the fluid network.
+#include <gtest/gtest.h>
+
+#include "fabric/fluid_network.hpp"
+#include "sim/engine.hpp"
+
+namespace partib::fabric {
+namespace {
+
+TEST(Hetero, SlowNodeEgressLimitsItsFlow) {
+  sim::Engine engine;
+  FluidNetwork net(engine, 10.0);
+  net.set_node_count(4);
+  net.set_node_capacity(0, /*egress=*/2.0, /*ingress=*/10.0);
+  Time slow = -1, fast = -1;
+  net.submit(0, 1, 1000.0, 100.0, [&](Time t) { slow = t; });
+  net.submit(2, 3, 1000.0, 100.0, [&](Time t) { fast = t; });
+  engine.run();
+  EXPECT_EQ(slow, 500);  // 2 B/ns egress
+  EXPECT_EQ(fast, 100);  // untouched
+}
+
+TEST(Hetero, SlowIngressThrottlesFanIn) {
+  sim::Engine engine;
+  FluidNetwork net(engine, 10.0);
+  net.set_node_count(3);
+  net.set_node_capacity(0, 10.0, /*ingress=*/4.0);
+  std::vector<Time> ends;
+  net.submit(1, 0, 1000.0, 100.0, [&](Time t) { ends.push_back(t); });
+  net.submit(2, 0, 1000.0, 100.0, [&](Time t) { ends.push_back(t); });
+  engine.run();
+  // 2 flows share 4 B/ns ingress: each at 2 B/ns.
+  ASSERT_EQ(ends.size(), 2u);
+  EXPECT_EQ(ends[0], 500);
+  EXPECT_EQ(ends[1], 500);
+}
+
+TEST(Hetero, FastNodeCanExceedDefaultRate) {
+  sim::Engine engine;
+  FluidNetwork net(engine, 10.0);
+  net.set_node_count(2);
+  net.set_node_capacity(0, 40.0, 40.0);
+  net.set_node_capacity(1, 40.0, 40.0);
+  Time end = -1;
+  net.submit(0, 1, 1000.0, 100.0, [&](Time t) { end = t; });
+  engine.run();
+  EXPECT_EQ(end, 25);  // 40 B/ns end to end
+}
+
+TEST(Hetero, MaxMinStillFairUnderMixedCaps) {
+  // Slow egress (3) feeding node 2 alongside a fast sender: the fast
+  // sender takes the residual ingress.
+  sim::Engine engine;
+  FluidNetwork net(engine, 10.0);
+  net.set_node_count(3);
+  net.set_node_capacity(0, 3.0, 10.0);
+  Time slow = -1, fast = -1;
+  net.submit(0, 2, 3000.0, 100.0, [&](Time t) { slow = t; });
+  net.submit(1, 2, 7000.0, 100.0, [&](Time t) { fast = t; });
+  engine.run();
+  // Progressive filling: both raised to 3 (node 0 saturates at 3), flow 1
+  // continues to 7 (ingress of node 2 saturates at 10).
+  EXPECT_EQ(slow, 1000);  // 3000 / 3
+  EXPECT_EQ(fast, 1000);  // 7000 / 7
+}
+
+}  // namespace
+}  // namespace partib::fabric

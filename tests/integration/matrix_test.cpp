@@ -1,0 +1,140 @@
+// Parameterized end-to-end matrix: every aggregator strategy across
+// message sizes and partition counts must deliver byte-exact data and
+// satisfy the channel invariants, over multiple reused rounds.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "common/units.hpp"
+#include "support/test_world.hpp"
+
+namespace partib::test {
+namespace {
+
+enum class AggKind { kPersistent, kStatic1, kStatic8, kPLogGP, kTimer };
+
+const char* name_of(AggKind k) {
+  switch (k) {
+    case AggKind::kPersistent: return "persistent";
+    case AggKind::kStatic1: return "static1";
+    case AggKind::kStatic8: return "static8";
+    case AggKind::kPLogGP: return "ploggp";
+    case AggKind::kTimer: return "timer";
+  }
+  return "?";
+}
+
+part::Options options_for(AggKind k) {
+  switch (k) {
+    case AggKind::kPersistent: return persistent_options();
+    case AggKind::kStatic1: return static_options(1, 1);
+    case AggKind::kStatic8: return static_options(8, 2);
+    case AggKind::kPLogGP: return ploggp_options();
+    case AggKind::kTimer: return timer_options(usec(35));
+  }
+  return ploggp_options();
+}
+
+using MatrixParam = std::tuple<AggKind, std::size_t /*bytes*/,
+                               std::size_t /*partitions*/>;
+
+std::string matrix_name(const ::testing::TestParamInfo<MatrixParam>& info) {
+  return std::string(name_of(std::get<0>(info.param))) + "_" +
+         format_bytes(std::get<1>(info.param)) + "_p" +
+         std::to_string(std::get<2>(info.param));
+}
+
+std::string size_name(const ::testing::TestParamInfo<std::size_t>& info) {
+  return format_bytes(info.param);
+}
+
+class ChannelMatrix : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(ChannelMatrix, ThreeRoundsByteExact) {
+  const auto [kind, bytes, partitions] = GetParam();
+  if (bytes < partitions) GTEST_SKIP() << "sub-byte partitions";
+  ChannelFixture fx(bytes, partitions, options_for(kind));
+
+  for (int round = 1; round <= 3; ++round) {
+    fx.run_round(round);
+    ASSERT_TRUE(fx.send->test()) << "round " << round;
+    ASSERT_TRUE(fx.recv->test()) << "round " << round;
+    ASSERT_TRUE(buffers_equal(fx.sbuf, fx.rbuf)) << "round " << round;
+    for (std::size_t i = 0; i < partitions; ++i) {
+      ASSERT_TRUE(fx.recv->parrived(i)) << "partition " << i;
+    }
+  }
+  // Invariants on wire usage.
+  const std::uint64_t wrs = fx.send->wrs_posted_total();
+  EXPECT_EQ(fx.recv->messages_received_total(), wrs);
+  EXPECT_GE(wrs, 3u * fx.send->transport_partitions());
+  EXPECT_LE(wrs, 3u * partitions);
+  EXPECT_LE(fx.send->transport_partitions(), partitions);
+  EXPECT_EQ(partitions % fx.send->transport_partitions(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAggregators, ChannelMatrix,
+    ::testing::Combine(
+        ::testing::Values(AggKind::kPersistent, AggKind::kStatic1,
+                          AggKind::kStatic8, AggKind::kPLogGP,
+                          AggKind::kTimer),
+        ::testing::Values(std::size_t{4} * KiB, std::size_t{128} * KiB,
+                          std::size_t{2} * MiB),
+        ::testing::Values(std::size_t{4}, std::size_t{32},
+                          std::size_t{128})),
+    matrix_name);
+
+// --- Out-of-order Pready ----------------------------------------------------
+
+class PreadyOrder : public ::testing::TestWithParam<int> {};
+
+TEST_P(PreadyOrder, PermutedReadyOrderStillByteExact) {
+  constexpr std::size_t kParts = 16;
+  ChannelFixture fx(64 * KiB, kParts, ploggp_options());
+  fx.engine.run();
+  fill_pattern(fx.sbuf, GetParam());
+  ASSERT_TRUE(ok(fx.send->start()));
+  ASSERT_TRUE(ok(fx.recv->start()));
+  // Deterministic permutation: stride through the partitions.
+  const std::size_t stride = static_cast<std::size_t>(GetParam());
+  for (std::size_t i = 0; i < kParts; ++i) {
+    const std::size_t p = (i * stride) % kParts;
+    ASSERT_TRUE(ok(fx.send->pready(p)));
+  }
+  fx.engine.run();
+  EXPECT_TRUE(fx.send->test());
+  EXPECT_TRUE(fx.recv->test());
+  EXPECT_TRUE(buffers_equal(fx.sbuf, fx.rbuf));
+}
+
+// Strides coprime with 16 enumerate full permutations.
+INSTANTIATE_TEST_SUITE_P(Strides, PreadyOrder,
+                         ::testing::Values(1, 3, 5, 7, 9, 11, 13, 15));
+
+// --- Message-size sweep with real payload copies ----------------------------
+
+class SizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SizeSweep, PLogGPPlanMatchesTableIAndDelivers) {
+  const std::size_t bytes = GetParam();
+  constexpr std::size_t kParts = 32;
+  ChannelFixture fx(bytes, kParts, ploggp_options());
+  const std::size_t expected_tp = model::optimal_transport_partitions(
+      model::LogGPParams::niagara_mpi_measured(), bytes, kParts);
+  EXPECT_EQ(fx.send->transport_partitions(), expected_tp);
+  fx.run_round(1);
+  EXPECT_TRUE(buffers_equal(fx.sbuf, fx.rbuf));
+  EXPECT_EQ(fx.send->wrs_posted_total(), expected_tp);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pow2Sizes, SizeSweep,
+    ::testing::Values(std::size_t{64} * KiB, std::size_t{256} * KiB,
+                      std::size_t{512} * KiB, std::size_t{2} * MiB,
+                      std::size_t{8} * MiB, std::size_t{32} * MiB),
+    size_name);
+
+}  // namespace
+}  // namespace partib::test

@@ -1,0 +1,106 @@
+// Ordered matching of Psend_init/Precv_init pairs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mpi/matcher.hpp"
+
+namespace partib::mpi {
+namespace {
+
+SendInit init_for(int peer, int tag, int comm, std::size_t bytes = 64) {
+  SendInit si;
+  si.key = MatchKey{peer, tag, comm};
+  si.total_bytes = bytes;
+  return si;
+}
+
+TEST(Matcher, RecvFirstThenSend) {
+  InitMatcher m;
+  std::size_t matched_bytes = 0;
+  m.post_recv_init(MatchKey{0, 1, 2},
+                   [&](const SendInit& si) { matched_bytes = si.total_bytes; });
+  EXPECT_EQ(m.pending_recvs(), 1u);
+  m.on_send_init(init_for(0, 1, 2, 128));
+  EXPECT_EQ(matched_bytes, 128u);
+  EXPECT_EQ(m.pending_recvs(), 0u);
+  EXPECT_EQ(m.unexpected_sends(), 0u);
+}
+
+TEST(Matcher, SendFirstThenRecv) {
+  InitMatcher m;
+  m.on_send_init(init_for(3, 4, 5, 256));
+  EXPECT_EQ(m.unexpected_sends(), 1u);
+  std::size_t matched_bytes = 0;
+  m.post_recv_init(MatchKey{3, 4, 5},
+                   [&](const SendInit& si) { matched_bytes = si.total_bytes; });
+  EXPECT_EQ(matched_bytes, 256u);
+  EXPECT_EQ(m.unexpected_sends(), 0u);
+}
+
+TEST(Matcher, DifferentTagsDoNotMatch) {
+  InitMatcher m;
+  bool matched = false;
+  m.post_recv_init(MatchKey{0, 1, 0}, [&](const SendInit&) { matched = true; });
+  m.on_send_init(init_for(0, 2, 0));
+  EXPECT_FALSE(matched);
+  EXPECT_EQ(m.pending_recvs(), 1u);
+  EXPECT_EQ(m.unexpected_sends(), 1u);
+}
+
+TEST(Matcher, DifferentPeersDoNotMatch) {
+  InitMatcher m;
+  bool matched = false;
+  m.post_recv_init(MatchKey{0, 1, 0}, [&](const SendInit&) { matched = true; });
+  m.on_send_init(init_for(7, 1, 0));
+  EXPECT_FALSE(matched);
+}
+
+TEST(Matcher, DifferentCommunicatorsDoNotMatch) {
+  InitMatcher m;
+  bool matched = false;
+  m.post_recv_init(MatchKey{0, 1, 0}, [&](const SendInit&) { matched = true; });
+  m.on_send_init(init_for(0, 1, 9));
+  EXPECT_FALSE(matched);
+}
+
+TEST(Matcher, SameKeyMatchesInPostedOrder) {
+  InitMatcher m;
+  std::vector<std::size_t> matched;
+  m.post_recv_init(MatchKey{0, 1, 0},
+                   [&](const SendInit& si) { matched.push_back(si.total_bytes); });
+  m.post_recv_init(MatchKey{0, 1, 0},
+                   [&](const SendInit& si) { matched.push_back(si.total_bytes); });
+  m.on_send_init(init_for(0, 1, 0, 111));
+  m.on_send_init(init_for(0, 1, 0, 222));
+  EXPECT_EQ(matched, (std::vector<std::size_t>{111, 222}));
+}
+
+TEST(Matcher, UnexpectedQueueDrainsInArrivalOrder) {
+  InitMatcher m;
+  m.on_send_init(init_for(0, 1, 0, 111));
+  m.on_send_init(init_for(0, 1, 0, 222));
+  std::vector<std::size_t> matched;
+  m.post_recv_init(MatchKey{0, 1, 0},
+                   [&](const SendInit& si) { matched.push_back(si.total_bytes); });
+  m.post_recv_init(MatchKey{0, 1, 0},
+                   [&](const SendInit& si) { matched.push_back(si.total_bytes); });
+  EXPECT_EQ(matched, (std::vector<std::size_t>{111, 222}));
+}
+
+TEST(Matcher, InterleavedKeysStaySeparate) {
+  InitMatcher m;
+  std::vector<int> tags;
+  m.post_recv_init(MatchKey{0, 1, 0}, [&](const SendInit& si) {
+    tags.push_back(si.key.tag);
+  });
+  m.post_recv_init(MatchKey{0, 2, 0}, [&](const SendInit& si) {
+    tags.push_back(si.key.tag);
+  });
+  m.on_send_init(init_for(0, 2, 0));
+  m.on_send_init(init_for(0, 1, 0));
+  EXPECT_EQ(tags, (std::vector<int>{2, 1}));
+}
+
+}  // namespace
+}  // namespace partib::mpi

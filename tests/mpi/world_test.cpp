@@ -1,0 +1,97 @@
+// World / Rank wiring: per-rank resources, control-plane routing,
+// communicator-id allocation, option plumbing.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mpi/world.hpp"
+#include "sim/engine.hpp"
+
+namespace partib::mpi {
+namespace {
+
+TEST(World, RanksGetDistinctNodesAndIds) {
+  sim::Engine engine;
+  WorldOptions o;
+  o.ranks = 4;
+  World world(engine, o);
+  ASSERT_EQ(world.size(), 4);
+  std::vector<fabric::NodeId> nodes;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(world.rank(i).id(), i);
+    nodes.push_back(world.rank(i).node());
+  }
+  std::sort(nodes.begin(), nodes.end());
+  EXPECT_TRUE(std::adjacent_find(nodes.begin(), nodes.end()) == nodes.end());
+}
+
+TEST(World, CpuUsesConfiguredCoreCount) {
+  sim::Engine engine;
+  WorldOptions o;
+  o.cores_per_rank = 12;
+  World world(engine, o);
+  EXPECT_EQ(world.rank(0).cpu().cores(), 12);
+}
+
+TEST(World, ControlMessagesArriveWithControlLatency) {
+  sim::Engine engine;
+  WorldOptions o;
+  World world(engine, o);
+  Time delivered = -1;
+  world.send_control(0, 1, [&] { delivered = engine.now(); });
+  engine.run();
+  EXPECT_EQ(delivered, o.nic.wire.L + o.nic.ctrl_overhead);
+}
+
+TEST(World, ControlMessagesPreserveOrderPerPair) {
+  sim::Engine engine;
+  World world(engine, {});
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    world.send_control(0, 1, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(World, CommIdsMonotonic) {
+  sim::Engine engine;
+  World world(engine, {});
+  const int a = world.next_comm_id();
+  const int b = world.next_comm_id();
+  EXPECT_LT(a, b);
+}
+
+TEST(World, DpuResourceOnlyWhenEnabled) {
+  sim::Engine engine;
+  WorldOptions off;
+  World w1(engine, off);
+  EXPECT_EQ(w1.rank(0).dpu(), nullptr);
+  WorldOptions on;
+  on.dpu_aggregation = true;
+  World w2(engine, on);
+  EXPECT_NE(w2.rank(0).dpu(), nullptr);
+}
+
+TEST(World, FabricSharedAcrossRanks) {
+  sim::Engine engine;
+  WorldOptions o;
+  o.ranks = 3;
+  World world(engine, o);
+  EXPECT_EQ(world.fab().node_count(), 3);
+  EXPECT_EQ(&world.rank(0).world(), &world);
+}
+
+TEST(World, DoorbellIsPerRank) {
+  sim::Engine engine;
+  WorldOptions o;
+  o.ranks = 2;
+  World world(engine, o);
+  world.rank(0).doorbell().request(100, [](Time, Time) {});
+  engine.run();
+  EXPECT_EQ(world.rank(0).doorbell().busy_time(), 100);
+  EXPECT_EQ(world.rank(1).doorbell().busy_time(), 0);
+}
+
+}  // namespace
+}  // namespace partib::mpi

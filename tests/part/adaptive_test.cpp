@@ -1,0 +1,122 @@
+// Online-adaptive PLogGP aggregation: the transport-partition count must
+// follow the measured arrival spread across rounds.
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "model/ploggp.hpp"
+#include "support/test_world.hpp"
+
+namespace partib::test {
+namespace {
+
+part::Options adaptive_options(Duration initial_guess = msec(4)) {
+  return options_with(std::make_shared<agg::AdaptivePLogGPAggregator>(
+      model::LogGPParams::niagara_mpi_measured(), initial_guess,
+      /*ewma_alpha=*/1.0));  // alpha 1: track the last round exactly
+}
+
+// Drive one round whose Pready spread is exactly `spread` (first thread
+// at t0, last at t0 + spread, the rest in between).
+void run_round_with_spread(ChannelFixture& fx, int round, Duration spread) {
+  fill_pattern(fx.sbuf, round);
+  ASSERT_TRUE(ok(fx.send->start()));
+  ASSERT_TRUE(ok(fx.recv->start()));
+  const Time t0 = fx.engine.now();
+  const std::size_t n = fx.send->user_partitions();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Time at =
+        t0 + (spread * static_cast<Duration>(i)) /
+                 static_cast<Duration>(n - 1);
+    fx.engine.schedule_at(at, [&fx, i] {
+      ASSERT_TRUE(ok(fx.send->pready(i)));
+    });
+  }
+  fx.engine.run();
+  ASSERT_TRUE(fx.send->test());
+  ASSERT_TRUE(fx.recv->test());
+  ASSERT_TRUE(buffers_equal(fx.sbuf, fx.rbuf));
+}
+
+TEST(Adaptive, MeasuresRoundSpread) {
+  ChannelFixture fx(64 * MiB, 32, adaptive_options());
+  fx.engine.run();
+  EXPECT_EQ(fx.send->adapted_delay(), -1);  // nothing measured yet
+  run_round_with_spread(fx, 1, msec(2));
+  run_round_with_spread(fx, 2, msec(2));
+  // After round 2's Start, round 1's spread has been folded in.
+  EXPECT_NEAR(static_cast<double>(fx.send->adapted_delay()),
+              static_cast<double>(msec(2)),
+              static_cast<double>(usec(10)));
+}
+
+TEST(Adaptive, LargeSpreadRaisesPartitionCount) {
+  // 64 MiB: with a large measured delay the drain-aware optimizer can
+  // afford many partitions; with a tiny delay it cannot.
+  ChannelFixture fx(64 * MiB, 32, adaptive_options(/*initial=*/usec(1)));
+  fx.engine.run();
+  const std::size_t tp_initial = fx.send->transport_partitions();
+
+  // Several imbalanced rounds: spread ~8 ms.
+  run_round_with_spread(fx, 1, msec(8));
+  run_round_with_spread(fx, 2, msec(8));
+  const std::size_t tp_imbalanced = fx.send->transport_partitions();
+  EXPECT_GT(tp_imbalanced, tp_initial);
+
+  // Matches the drain-aware optimizer fed the measured delay.
+  model::OptimizerConfig cfg;
+  cfg.delay = fx.send->adapted_delay();
+  EXPECT_EQ(tp_imbalanced,
+            model::optimal_transport_partitions_with_drain(
+                model::LogGPParams::niagara_mpi_measured(), 64 * MiB, 32,
+                cfg));
+}
+
+TEST(Adaptive, BalancedRoundsReduceSplitting) {
+  ChannelFixture fx(64 * MiB, 32, adaptive_options(msec(8)));
+  fx.engine.run();
+  const std::size_t tp_before = fx.send->transport_partitions();
+  run_round_with_spread(fx, 1, usec(5));  // nearly balanced
+  run_round_with_spread(fx, 2, usec(5));
+  EXPECT_LT(fx.send->transport_partitions(), tp_before);
+}
+
+TEST(Adaptive, AdaptedPlanStillDeliversByteExact) {
+  ChannelFixture fx(8 * MiB, 16, adaptive_options());
+  fx.engine.run();
+  // Alternate wildly different spreads; correctness must be unaffected.
+  const Duration spreads[] = {usec(3), msec(6), usec(50), msec(1)};
+  int round = 0;
+  for (Duration s : spreads) {
+    run_round_with_spread(fx, ++round, s);
+  }
+  EXPECT_EQ(fx.recv->messages_received_total(),
+            fx.send->wrs_posted_total());
+}
+
+TEST(Adaptive, SingleQpPlanRespectsOutstandingLimitViaBacklog) {
+  // Even if the adapted count exceeds the 16-WR QP limit, the software
+  // backlog must absorb it.
+  ChannelFixture fx(256 * MiB, 32, adaptive_options(msec(50)));
+  fx.engine.run();
+  run_round_with_spread(fx, 1, msec(40));
+  run_round_with_spread(fx, 2, msec(40));
+  EXPECT_GT(fx.send->transport_partitions(), 16u);
+  run_round_with_spread(fx, 3, msec(40));  // > 16 WRs on one QP
+  EXPECT_TRUE(fx.send->test());
+}
+
+TEST(ModelDrain, DelayMovesTheDrainAwareOptimum) {
+  const auto p = model::LogGPParams::niagara_mpi_measured();
+  model::OptimizerConfig small_delay;
+  small_delay.delay = usec(10);
+  model::OptimizerConfig big_delay;
+  big_delay.delay = msec(20);
+  const std::size_t tp_small = model::optimal_transport_partitions_with_drain(
+      p, 256 * MiB, 32, small_delay);
+  const std::size_t tp_big = model::optimal_transport_partitions_with_drain(
+      p, 256 * MiB, 32, big_delay);
+  EXPECT_LT(tp_small, tp_big);
+}
+
+}  // namespace
+}  // namespace partib::test

@@ -1,0 +1,189 @@
+// API misuse: the error paths psend_init / precv_init / start / pready /
+// parrived must reject, mirroring MPI's erroneous-program rules (no
+// wildcards, no double Pready, power-of-two geometry, ...).
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "support/test_world.hpp"
+
+namespace partib::test {
+namespace {
+
+struct ErrFixture {
+  sim::Engine engine;
+  mpi::World world{engine, {}};
+  std::vector<std::byte> buf = std::vector<std::byte>(16 * KiB);
+  std::unique_ptr<part::PsendRequest> send;
+  std::unique_ptr<part::PrecvRequest> recv;
+  part::Options opts = ploggp_options();
+};
+
+TEST(InitErrors, NonPowerOfTwoPartitions) {
+  ErrFixture fx;
+  EXPECT_EQ(part::psend_init(fx.world.rank(0), fx.buf, 3, 1, 0, 0, fx.opts,
+                             &fx.send),
+            Status::kInvalidArgument);
+  EXPECT_EQ(part::precv_init(fx.world.rank(1), fx.buf, 12, 0, 0, 0, fx.opts,
+                             &fx.recv),
+            Status::kInvalidArgument);
+}
+
+TEST(InitErrors, ZeroPartitions) {
+  ErrFixture fx;
+  EXPECT_EQ(part::psend_init(fx.world.rank(0), fx.buf, 0, 1, 0, 0, fx.opts,
+                             &fx.send),
+            Status::kInvalidArgument);
+}
+
+TEST(InitErrors, BufferNotDivisible) {
+  ErrFixture fx;
+  std::vector<std::byte> odd(1000);  // not divisible by 16
+  EXPECT_EQ(part::psend_init(fx.world.rank(0), odd, 16, 1, 0, 0, fx.opts,
+                             &fx.send),
+            Status::kInvalidArgument);
+}
+
+TEST(InitErrors, EmptyBuffer) {
+  ErrFixture fx;
+  std::vector<std::byte> empty;
+  EXPECT_EQ(part::psend_init(fx.world.rank(0), empty, 4, 1, 0, 0, fx.opts,
+                             &fx.send),
+            Status::kInvalidArgument);
+}
+
+TEST(InitErrors, WildcardLikeNegativeTagRejected) {
+  ErrFixture fx;
+  EXPECT_EQ(part::psend_init(fx.world.rank(0), fx.buf, 4, 1, -1, 0, fx.opts,
+                             &fx.send),
+            Status::kInvalidArgument);
+  EXPECT_EQ(part::precv_init(fx.world.rank(1), fx.buf, 4, 0, -1, 0, fx.opts,
+                             &fx.recv),
+            Status::kInvalidArgument);
+}
+
+TEST(InitErrors, WildcardLikeNegativeSourceRejected) {
+  ErrFixture fx;
+  EXPECT_EQ(part::precv_init(fx.world.rank(1), fx.buf, 4, -1, 0, 0, fx.opts,
+                             &fx.recv),
+            Status::kInvalidArgument);
+}
+
+TEST(InitErrors, PeerOutOfRange) {
+  ErrFixture fx;
+  EXPECT_EQ(part::psend_init(fx.world.rank(0), fx.buf, 4, 9, 0, 0, fx.opts,
+                             &fx.send),
+            Status::kInvalidArgument);
+}
+
+TEST(InitErrors, SelfChannelUnsupported) {
+  ErrFixture fx;
+  EXPECT_EQ(part::psend_init(fx.world.rank(0), fx.buf, 4, 0, 0, 0, fx.opts,
+                             &fx.send),
+            Status::kUnsupported);
+  EXPECT_EQ(part::precv_init(fx.world.rank(0), fx.buf, 4, 0, 0, 0, fx.opts,
+                             &fx.recv),
+            Status::kUnsupported);
+}
+
+TEST(InitErrors, MissingAggregator) {
+  ErrFixture fx;
+  part::Options bad;  // aggregator left null
+  EXPECT_EQ(part::psend_init(fx.world.rank(0), fx.buf, 4, 1, 0, 0, bad,
+                             &fx.send),
+            Status::kInvalidArgument);
+}
+
+TEST(UsageErrors, PreadyBeforeStart) {
+  ChannelFixture fx(16 * KiB, 4, ploggp_options());
+  fx.engine.run();
+  EXPECT_EQ(fx.send->pready(0), Status::kInvalidState);
+}
+
+TEST(UsageErrors, PreadyOutOfRange) {
+  ChannelFixture fx(16 * KiB, 4, ploggp_options());
+  ASSERT_TRUE(ok(fx.send->start()));
+  EXPECT_EQ(fx.send->pready(4), Status::kInvalidArgument);
+  EXPECT_EQ(fx.send->pready(1000), Status::kInvalidArgument);
+}
+
+TEST(UsageErrors, DoublePreadyIsErroneous) {
+  ChannelFixture fx(16 * KiB, 4, ploggp_options());
+  ASSERT_TRUE(ok(fx.send->start()));
+  ASSERT_TRUE(ok(fx.recv->start()));
+  ASSERT_TRUE(ok(fx.send->pready(1)));
+  EXPECT_EQ(fx.send->pready(1), Status::kInvalidArgument);
+}
+
+TEST(UsageErrors, PreadyRangeBadBounds) {
+  ChannelFixture fx(16 * KiB, 4, ploggp_options());
+  ASSERT_TRUE(ok(fx.send->start()));
+  EXPECT_EQ(fx.send->pready_range(2, 1), Status::kInvalidArgument);
+  EXPECT_EQ(fx.send->pready_range(0, 4), Status::kInvalidArgument);
+}
+
+TEST(UsageErrors, StartWhileRoundInFlight) {
+  ChannelFixture fx(16 * KiB, 4, ploggp_options());
+  ASSERT_TRUE(ok(fx.send->start()));
+  ASSERT_TRUE(ok(fx.recv->start()));
+  ASSERT_TRUE(ok(fx.send->pready(0)));  // round incomplete
+  EXPECT_EQ(fx.send->start(), Status::kInvalidState);
+  // Receiver likewise: nothing arrived yet.
+  EXPECT_EQ(fx.recv->start(), Status::kInvalidState);
+}
+
+TEST(UsageErrors, InactiveRequestTestsComplete) {
+  ChannelFixture fx(16 * KiB, 4, ploggp_options());
+  EXPECT_TRUE(fx.send->test());
+  EXPECT_TRUE(fx.recv->test());
+}
+
+TEST(UsageErrors, GeometryMismatchAborts) {
+  // Sender and receiver disagreeing on the *total buffer size* is a fatal
+  // program error.  (Differing partition counts are legal per MPI-4.0 and
+  // exercised in integration/uneven_test.cpp.)
+  sim::Engine engine;
+  mpi::World world(engine, {});
+  std::vector<std::byte> sbuf(16 * KiB), rbuf(32 * KiB);
+  std::unique_ptr<part::PsendRequest> send;
+  std::unique_ptr<part::PrecvRequest> recv;
+  ASSERT_TRUE(ok(part::psend_init(world.rank(0), sbuf, 4, 1, 0, 0,
+                                  ploggp_options(), &send)));
+  ASSERT_TRUE(ok(part::precv_init(world.rank(1), rbuf, 4, 0, 0, 0,
+                                  ploggp_options(), &recv)));
+  EXPECT_DEATH(engine.run(), "geometry mismatch");
+}
+
+TEST(InitErrors, PartitionCountBeyondImmediateFieldRejected) {
+  // The (start, count) pair must fit two 16-bit immediate halves.
+  sim::Engine engine;
+  mpi::World world(engine, {});
+  std::vector<std::byte> big(128 * KiB);
+  std::unique_ptr<part::PsendRequest> send;
+  EXPECT_EQ(part::psend_init(world.rank(0), big, 1 << 17, 1, 0, 0,
+                             ploggp_options(), &send),
+            Status::kInvalidArgument);
+}
+
+TEST(Overrides, TransportPartitionOverrideWins) {
+  part::Options opts = ploggp_options();
+  opts.transport_partitions_override = 16;
+  ChannelFixture fx(64 * KiB, 16, opts);
+  EXPECT_EQ(fx.send->transport_partitions(), 16u);
+}
+
+TEST(Overrides, QpCountOverrideWins) {
+  part::Options opts = ploggp_options();
+  opts.qp_count_override = 4;
+  ChannelFixture fx(64 * KiB, 16, opts);
+  EXPECT_EQ(fx.send->qp_count(), 4);
+}
+
+TEST(Overrides, OverrideAboveUserCountClamps) {
+  part::Options opts = ploggp_options();
+  opts.transport_partitions_override = 64;
+  ChannelFixture fx(16 * KiB, 4, opts);
+  EXPECT_EQ(fx.send->transport_partitions(), 4u);
+}
+
+}  // namespace
+}  // namespace partib::test

@@ -1,0 +1,49 @@
+// The 32-bit immediate encoding of partition ranges (§IV-A).
+#include <gtest/gtest.h>
+
+#include "part/imm.hpp"
+
+namespace partib::part {
+namespace {
+
+TEST(Imm, RoundTripBasics) {
+  const auto r = decode_imm(encode_imm(3, 7));
+  EXPECT_EQ(r.first, 3);
+  EXPECT_EQ(r.count, 7);
+}
+
+TEST(Imm, LayoutMatchesPaper) {
+  // start partition in the high 16 bits, count in the low 16.
+  EXPECT_EQ(encode_imm(1, 2), 0x00010002u);
+  EXPECT_EQ(encode_imm(0xABCD, 0x1234), 0xABCD1234u);
+}
+
+TEST(Imm, ZeroValues) {
+  const auto r = decode_imm(encode_imm(0, 0));
+  EXPECT_EQ(r.first, 0);
+  EXPECT_EQ(r.count, 0);
+}
+
+TEST(Imm, MaxValues) {
+  const auto r = decode_imm(encode_imm(0xFFFF, 0xFFFF));
+  EXPECT_EQ(r.first, 0xFFFF);
+  EXPECT_EQ(r.count, 0xFFFF);
+}
+
+TEST(Imm, ExhaustiveRoundTripSample) {
+  for (std::uint32_t first = 0; first <= 0xFFFF; first += 257) {
+    for (std::uint32_t count = 1; count <= 0xFFFF; count += 509) {
+      const auto r = decode_imm(encode_imm(first, count));
+      ASSERT_EQ(r.first, first);
+      ASSERT_EQ(r.count, count);
+    }
+  }
+}
+
+TEST(ImmDeath, OverflowingFieldAborts) {
+  EXPECT_DEATH((void)encode_imm(0x10000, 1), "16-bit immediate");
+  EXPECT_DEATH((void)encode_imm(1, 0x10000), "16-bit immediate");
+}
+
+}  // namespace
+}  // namespace partib::part

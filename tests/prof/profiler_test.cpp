@@ -1,0 +1,85 @@
+// The PMPI-style profiler and its Fig-12 min-delta estimator.
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "prof/profiler.hpp"
+
+namespace partib::prof {
+namespace {
+
+TEST(Profiler, RecordsRounds) {
+  PartProfiler p(4);
+  p.begin_round(100);
+  p.record_pready(0, 110);
+  p.record_arrival(0, 150);
+  ASSERT_EQ(p.rounds().size(), 1u);
+  EXPECT_EQ(p.rounds()[0].start_time, 100);
+  EXPECT_EQ(p.rounds()[0].pready_times[0], 110);
+  EXPECT_EQ(p.rounds()[0].arrival_times[0], 150);
+  EXPECT_EQ(p.rounds()[0].pready_times[1], -1);  // unrecorded
+}
+
+TEST(Profiler, MinDeltaExcludesLaggard) {
+  PartProfiler p(4);
+  p.begin_round(0);
+  p.record_pready(0, 100);
+  p.record_pready(1, 130);
+  p.record_pready(2, 110);
+  p.record_pready(3, 5000);  // laggard
+  // Non-laggard spread: 130 - 100 = 30.
+  EXPECT_EQ(PartProfiler::min_delta_estimate(p.rounds()[0]), 30);
+}
+
+TEST(Profiler, MinDeltaLaggardDetectedAnywhere) {
+  PartProfiler p(4);
+  p.begin_round(0);
+  p.record_pready(0, 9000);  // laggard at index 0
+  p.record_pready(1, 100);
+  p.record_pready(2, 160);
+  p.record_pready(3, 120);
+  EXPECT_EQ(PartProfiler::min_delta_estimate(p.rounds()[0]), 60);
+}
+
+TEST(Profiler, MinDeltaNeedsThreePreadys) {
+  PartProfiler p(4);
+  p.begin_round(0);
+  p.record_pready(0, 100);
+  p.record_pready(1, 500);
+  EXPECT_EQ(PartProfiler::min_delta_estimate(p.rounds()[0]), 0);
+}
+
+TEST(Profiler, MeanMinDeltaAveragesRounds) {
+  PartProfiler p(3);
+  p.begin_round(0);
+  p.record_pready(0, 100);
+  p.record_pready(1, 120);
+  p.record_pready(2, 9000);
+  p.begin_round(10000);
+  p.record_pready(0, 10100);
+  p.record_pready(1, 10140);
+  p.record_pready(2, 19000);
+  EXPECT_EQ(p.mean_min_delta(), (20 + 40) / 2);
+}
+
+TEST(Profiler, EstimatedCommTimeIsBandwidthEquation) {
+  // comm = bytes / bandwidth; 1 MiB at 12.1 B/ns.
+  const Duration t = PartProfiler::estimated_comm_time(MiB, 12.1);
+  EXPECT_EQ(t, static_cast<Duration>(static_cast<double>(MiB) / 12.1));
+}
+
+TEST(Profiler, CsvContainsEveryPartitionRow) {
+  PartProfiler p(2);
+  p.begin_round(0);
+  p.record_pready(0, 10);
+  p.record_arrival(0, 20);
+  p.begin_round(100);
+  const std::string csv = p.to_csv();
+  EXPECT_NE(csv.find("round,partition,pready_ns,arrival_ns"),
+            std::string::npos);
+  EXPECT_NE(csv.find("0,0,10,20"), std::string::npos);
+  EXPECT_NE(csv.find("0,1,-1,-1"), std::string::npos);
+  EXPECT_NE(csv.find("1,0,-1,-1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace partib::prof

@@ -1,0 +1,243 @@
+// Reproduction regression tests: every figure's *qualitative claim* from
+// EXPERIMENTS.md, encoded as an assertion on a scaled-down run.  If a
+// parameter or model change silently breaks a paper shape, these fail —
+// the benches only print.
+#include <gtest/gtest.h>
+
+#include "bench/overhead.hpp"
+#include "bench/perceived.hpp"
+#include "bench/sweep.hpp"
+#include "common/units.hpp"
+#include "model/ploggp.hpp"
+#include "support/test_world.hpp"
+
+namespace partib::test {
+namespace {
+
+Duration overhead(std::size_t bytes, std::size_t parts,
+                  const part::Options& opts) {
+  bench::OverheadConfig cfg;
+  cfg.total_bytes = bytes;
+  cfg.user_partitions = parts;
+  cfg.options = opts;
+  cfg.iterations = 5;
+  cfg.warmup = 2;
+  return bench::run_overhead(cfg).mean_round;
+}
+
+double perceived(std::size_t bytes, std::size_t parts,
+                 const part::Options& opts) {
+  bench::PerceivedConfig cfg;
+  cfg.total_bytes = bytes;
+  cfg.user_partitions = parts;
+  cfg.options = opts;
+  cfg.iterations = 3;
+  cfg.warmup = 1;
+  return bench::run_perceived_bandwidth(cfg).mean_gbytes_per_s;
+}
+
+// --- Fig 6 -------------------------------------------------------------------
+
+TEST(Fig6, SmallMessagesTransportCountInconclusive) {
+  // "0.16% to 1.77% difference between two and 32 transport partitions
+  //  up to 8KiB" — ours must stay within a few percent.
+  for (std::size_t bytes : {std::size_t{2} * KiB, std::size_t{8} * KiB}) {
+    const auto t2 = overhead(bytes, 32, static_options(2, 2));
+    const auto t32 = overhead(bytes, 32, static_options(32, 2));
+    const double ratio = static_cast<double>(t2) / static_cast<double>(t32);
+    EXPECT_GT(ratio, 0.95) << bytes;
+    EXPECT_LT(ratio, 1.05) << bytes;
+  }
+}
+
+TEST(Fig6, MediumMessagesFavourMoreTransportPartitions) {
+  // "After 16KiB, more transport partitions are favourable."
+  const auto t2 = overhead(128 * KiB, 32, static_options(2, 2));
+  const auto t32 = overhead(128 * KiB, 32, static_options(32, 2));
+  EXPECT_LT(t32, t2);
+}
+
+TEST(Fig6, LargeMessagesSaturateTowardBaseline) {
+  // "Once we reach around 4MiB we drop to a speedup of 1.0."
+  const auto base = overhead(16 * MiB, 32, persistent_options());
+  const auto ours = overhead(16 * MiB, 32, static_options(8, 2));
+  const double speedup =
+      static_cast<double>(base) / static_cast<double>(ours);
+  EXPECT_LT(speedup, 1.25);
+  EXPECT_GT(speedup, 0.95);
+}
+
+// --- Fig 7 -------------------------------------------------------------------
+
+TEST(Fig7, SingleQpSufficientForSmallMessages) {
+  const auto q1 = overhead(4 * KiB, 16, static_options(16, 1));
+  const auto q16 = overhead(4 * KiB, 16, static_options(16, 16));
+  const double ratio = static_cast<double>(q1) / static_cast<double>(q16);
+  EXPECT_LT(ratio, 1.05);  // no benefit from 16 QPs
+}
+
+TEST(Fig7, ManyQpsWinForLargeMessages) {
+  const auto q1 = overhead(4 * MiB, 16, static_options(16, 1));
+  const auto q16 = overhead(4 * MiB, 16, static_options(16, 16));
+  EXPECT_LT(q16, q1);  // "large messages prefer more concurrency"
+}
+
+// --- Fig 8 -------------------------------------------------------------------
+
+TEST(Fig8, MediumMessagePeakSpeedupAt32Partitions) {
+  // "peak speedup of 2.17x over the persistent implementation" at
+  // 128 KiB; ours must land in the same band.
+  const auto base = overhead(128 * KiB, 32, persistent_options());
+  const auto ours = overhead(128 * KiB, 32, ploggp_options());
+  const double speedup =
+      static_cast<double>(base) / static_cast<double>(ours);
+  EXPECT_GT(speedup, 1.8);
+  EXPECT_LT(speedup, 3.2);
+}
+
+TEST(Fig8, OversubscribedPartitionsAmplifyAggregationWin) {
+  // "With 128 user partitions, we see up to 8.80x speedup ... we have
+  //  over-subscribed the number of threads on our system."
+  const auto base = overhead(256 * KiB, 128, persistent_options());
+  const auto ours = overhead(256 * KiB, 128, ploggp_options());
+  const double speedup =
+      static_cast<double>(base) / static_cast<double>(ours);
+  EXPECT_GT(speedup, 4.0);
+  // And it must exceed the 32-partition win at the same size.
+  const auto base32 = overhead(256 * KiB, 32, persistent_options());
+  const auto ours32 = overhead(256 * KiB, 32, ploggp_options());
+  EXPECT_GT(speedup, static_cast<double>(base32) /
+                         static_cast<double>(ours32));
+}
+
+TEST(Fig8, TuningTableTracksPLogGPTrends) {
+  // "using the Tuning Table Aggregator and the PLogGP Aggregator
+  //  generally follow similar trends" — both must beat the baseline
+  //  wherever the other does, medium range.
+  for (std::size_t bytes : {std::size_t{64} * KiB, std::size_t{256} * KiB}) {
+    const auto base = overhead(bytes, 32, persistent_options());
+    const auto table = overhead(bytes, 32, tuning_table_options());
+    const auto model = overhead(bytes, 32, ploggp_options());
+    EXPECT_LT(table, base) << bytes;
+    EXPECT_LT(model, base) << bytes;
+  }
+}
+
+// --- Fig 9 -------------------------------------------------------------------
+
+TEST(Fig9, EarlyBirdBeatsWireBandwidth) {
+  // All designs' perceived bandwidth sits above the single-threaded wire
+  // line for medium messages.
+  const double wire = 1.0 / fabric::NicParams::connectx5_edr().wire.G;
+  EXPECT_GT(perceived(8 * MiB, 32, persistent_options()), wire);
+  EXPECT_GT(perceived(8 * MiB, 32, ploggp_options()), wire);
+  EXPECT_GT(perceived(8 * MiB, 32, timer_options(usec(3000))), wire);
+}
+
+TEST(Fig9, AggregationLowersPerceivedBandwidth) {
+  EXPECT_LT(perceived(8 * MiB, 32, ploggp_options()),
+            0.5 * perceived(8 * MiB, 32, persistent_options()));
+}
+
+TEST(Fig9, TimerClosesTheGap) {
+  const double p = perceived(8 * MiB, 32, persistent_options());
+  const double t = perceived(8 * MiB, 32, timer_options(usec(3000)));
+  EXPECT_GT(t, 0.85 * p);  // "performs much closer to the persistent"
+}
+
+TEST(Fig9, LargeMessagesConvergeTowardWire) {
+  const double wire = 1.0 / fabric::NicParams::connectx5_edr().wire.G;
+  const double big = perceived(256 * MiB, 32, persistent_options());
+  EXPECT_LT(big, 2.0 * wire);  // within 2x of the dotted line
+}
+
+// --- Fig 12 / 13 -------------------------------------------------------------
+
+TEST(Fig12, MinDeltaGrowsWithPartitionCount) {
+  auto min_delta = [](std::size_t parts) {
+    prof::PartProfiler profiler(parts);
+    bench::PerceivedConfig cfg;
+    cfg.total_bytes = 32 * MiB;
+    cfg.user_partitions = parts;
+    cfg.options = ploggp_options();
+    cfg.iterations = 3;
+    cfg.warmup = 1;
+    cfg.profiler = &profiler;
+    (void)bench::run_perceived_bandwidth(cfg);
+    return profiler.mean_min_delta();
+  };
+  const Duration d8 = min_delta(8);
+  const Duration d32 = min_delta(32);
+  const Duration d128 = min_delta(128);
+  EXPECT_LT(d8, d32);
+  EXPECT_LT(d32, d128);
+  // "a minimum delta value of 35us should be sufficient" at 32 parts.
+  EXPECT_GT(d32, usec(15));
+  EXPECT_LT(d32, usec(60));
+}
+
+TEST(Fig13, DeltaWindowIsWide) {
+  // "the difference between delta=10us, 35us, and 100us is at most
+  //  6.15%" — ours must stay within that bound too.
+  const double d10 = perceived(8 * MiB, 32, timer_options(usec(10)));
+  const double d100 = perceived(8 * MiB, 32, timer_options(usec(100)));
+  EXPECT_NEAR(d10, d100, 0.0615 * std::max(d10, d100));
+}
+
+// --- Fig 14 ------------------------------------------------------------------
+
+TEST(Fig14, NoiseDelayDilutesSweepSpeedup) {
+  auto sweep_speedup = [](Duration compute, double noise) {
+    auto run = [&](const part::Options& opts) {
+      bench::SweepConfig cfg;
+      cfg.px = 4;
+      cfg.py = 4;
+      cfg.threads = 16;
+      cfg.message_bytes = 64 * KiB;
+      cfg.options = opts;
+      cfg.compute = compute;
+      cfg.noise = noise;
+      cfg.iterations = 3;
+      cfg.warmup = 1;
+      return bench::run_sweep(cfg).comm_time;
+    };
+    return static_cast<double>(run(persistent_options())) /
+           static_cast<double>(run(ploggp_options()));
+  };
+  const double low_noise = sweep_speedup(msec(1), 0.01);    // 10 us delay
+  const double high_noise = sweep_speedup(msec(10), 0.04);  // 400 us delay
+  EXPECT_GT(low_noise, 1.3);
+  EXPECT_GT(low_noise, high_noise);
+  EXPECT_LT(high_noise, 1.35);
+}
+
+TEST(Fig14, TimerAtLeastMatchesPLogGPForMediumMessages) {
+  auto comm = [](const part::Options& opts) {
+    bench::SweepConfig cfg;
+    cfg.px = 4;
+    cfg.py = 4;
+    cfg.threads = 16;
+    cfg.message_bytes = 1 * MiB;
+    cfg.options = opts;
+    cfg.compute = msec(10);
+    cfg.noise = 0.04;
+    cfg.iterations = 3;
+    cfg.warmup = 1;
+    return bench::run_sweep(cfg).comm_time;
+  };
+  EXPECT_LE(comm(timer_options(usec(35))), comm(ploggp_options()));
+}
+
+// --- Fig 3 / Table I (model level) -------------------------------------------
+
+TEST(Fig3, ModelRegimes) {
+  const auto p = model::LogGPParams::niagara_mpi_measured();
+  // Small: fewer partitions faster.  Large: more partitions faster.
+  EXPECT_LT(model::completion_time(p, {4 * KiB, 1, msec(4)}),
+            model::completion_time(p, {4 * KiB, 32, msec(4)}));
+  EXPECT_GT(model::completion_time(p, {256 * MiB, 1, msec(4)}),
+            model::completion_time(p, {256 * MiB, 32, msec(4)}));
+}
+
+}  // namespace
+}  // namespace partib::test

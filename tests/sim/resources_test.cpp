@@ -1,0 +1,180 @@
+// Virtual-time resource models: FIFO k-server queue (doorbell / WQE
+// engine) and processor-sharing CPU (oversubscribed compute).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/resources.hpp"
+
+namespace partib::sim {
+namespace {
+
+TEST(FifoResource, SingleServerSerializes) {
+  Engine e;
+  FifoResource res(e, 1);
+  std::vector<std::pair<Time, Time>> intervals;
+  for (int i = 0; i < 3; ++i) {
+    res.request(100, [&](Time s, Time t) { intervals.emplace_back(s, t); });
+  }
+  e.run();
+  ASSERT_EQ(intervals.size(), 3u);
+  EXPECT_EQ(intervals[0], (std::pair<Time, Time>{0, 100}));
+  EXPECT_EQ(intervals[1], (std::pair<Time, Time>{100, 200}));
+  EXPECT_EQ(intervals[2], (std::pair<Time, Time>{200, 300}));
+}
+
+TEST(FifoResource, MultipleServersOverlap) {
+  Engine e;
+  FifoResource res(e, 2);
+  std::vector<Time> ends;
+  for (int i = 0; i < 4; ++i) {
+    res.request(100, [&](Time, Time t) { ends.push_back(t); });
+  }
+  e.run();
+  ASSERT_EQ(ends.size(), 4u);
+  // Two waves of two.
+  EXPECT_EQ(ends[0], 100);
+  EXPECT_EQ(ends[1], 100);
+  EXPECT_EQ(ends[2], 200);
+  EXPECT_EQ(ends[3], 200);
+}
+
+TEST(FifoResource, LateRequestStartsImmediately) {
+  Engine e;
+  FifoResource res(e, 1);
+  res.request(10, [](Time s, Time) { EXPECT_EQ(s, 0); });
+  e.run();
+  e.schedule_at(500, [&] {
+    res.request(10, [](Time s, Time) { EXPECT_EQ(s, 500); });
+  });
+  e.run();
+}
+
+TEST(FifoResource, ZeroServiceCompletesInstantlyInOrder) {
+  Engine e;
+  FifoResource res(e, 1);
+  std::vector<int> order;
+  res.request(0, [&](Time, Time) { order.push_back(0); });
+  res.request(0, [&](Time, Time) { order.push_back(1); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(FifoResource, BusyTimeAccumulates) {
+  Engine e;
+  FifoResource res(e, 2);
+  for (int i = 0; i < 5; ++i) res.request(100, [](Time, Time) {});
+  e.run();
+  EXPECT_EQ(res.busy_time(), 500);
+}
+
+TEST(FifoResource, RequestFromCompletionChains) {
+  Engine e;
+  FifoResource res(e, 1);
+  Time second_end = 0;
+  res.request(50, [&](Time, Time) {
+    res.request(50, [&](Time, Time t) { second_end = t; });
+  });
+  e.run();
+  EXPECT_EQ(second_end, 100);
+}
+
+TEST(ProcessorSharing, UndersubscribedRunsAtFullRate) {
+  Engine e;
+  ProcessorSharingCpu cpu(e, 4);
+  std::vector<Time> ends(3, -1);
+  for (int i = 0; i < 3; ++i) {
+    cpu.submit(1000, [&ends, i, &e] { ends[static_cast<std::size_t>(i)] = e.now(); });
+  }
+  e.run();
+  for (Time t : ends) EXPECT_EQ(t, 1000);
+}
+
+TEST(ProcessorSharing, OversubscriptionStretchesUniformly) {
+  // 8 equal jobs on 4 cores run at rate 1/2: all finish at 2x the work.
+  Engine e;
+  ProcessorSharingCpu cpu(e, 4);
+  std::vector<Time> ends;
+  for (int i = 0; i < 8; ++i) {
+    cpu.submit(1000, [&ends, &e] { ends.push_back(e.now()); });
+  }
+  e.run();
+  ASSERT_EQ(ends.size(), 8u);
+  for (Time t : ends) EXPECT_NEAR(static_cast<double>(t), 2000.0, 2.0);
+}
+
+TEST(ProcessorSharing, RateRecoversAfterDepartures) {
+  // One long and one short job on 1 core: the short job's departure
+  // doubles the long job's rate.  short: 1000 work, long: 3000 work.
+  // Shared until t where both have run 1000 => t = 2000; long then has
+  // 2000 left at rate 1 => finishes at 4000.
+  Engine e;
+  ProcessorSharingCpu cpu(e, 1);
+  Time short_end = -1, long_end = -1;
+  cpu.submit(3000, [&] { long_end = e.now(); });
+  cpu.submit(1000, [&] { short_end = e.now(); });
+  e.run();
+  EXPECT_NEAR(static_cast<double>(short_end), 2000.0, 3.0);
+  EXPECT_NEAR(static_cast<double>(long_end), 4000.0, 3.0);
+}
+
+TEST(ProcessorSharing, LateArrivalSlowsExisting) {
+  // Job A (2000 work) alone on 1 core from t=0; job B (1000) arrives at
+  // t=1000.  A has 1000 left, shared rate 1/2: both finish at 3000.
+  Engine e;
+  ProcessorSharingCpu cpu(e, 1);
+  Time a_end = -1, b_end = -1;
+  cpu.submit(2000, [&] { a_end = e.now(); });
+  e.schedule_at(1000, [&] { cpu.submit(1000, [&] { b_end = e.now(); }); });
+  e.run();
+  EXPECT_NEAR(static_cast<double>(a_end), 3000.0, 3.0);
+  EXPECT_NEAR(static_cast<double>(b_end), 3000.0, 3.0);
+}
+
+TEST(ProcessorSharing, ZeroWorkCompletes) {
+  Engine e;
+  ProcessorSharingCpu cpu(e, 1);
+  bool done = false;
+  cpu.submit(0, [&] { done = true; });
+  e.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(ProcessorSharing, CompletionCallbackMaySubmit) {
+  Engine e;
+  ProcessorSharingCpu cpu(e, 1);
+  Time end = -1;
+  cpu.submit(100, [&] {
+    cpu.submit(100, [&] { end = e.now(); });
+  });
+  e.run();
+  EXPECT_NEAR(static_cast<double>(end), 200.0, 3.0);
+}
+
+TEST(ProcessorSharing, ActiveJobsTracksPopulation) {
+  Engine e;
+  ProcessorSharingCpu cpu(e, 2);
+  cpu.submit(1000, [] {});
+  cpu.submit(1000, [] {});
+  EXPECT_EQ(cpu.active_jobs(), 2u);
+  e.run();
+  EXPECT_EQ(cpu.active_jobs(), 0u);
+}
+
+TEST(ProcessorSharing, ManyJobsNearEqualFinish) {
+  // 128 equal jobs on 40 cores: all should finish near work * 128/40.
+  Engine e;
+  ProcessorSharingCpu cpu(e, 40);
+  std::vector<Time> ends;
+  for (int i = 0; i < 128; ++i) {
+    cpu.submit(10'000, [&ends, &e] { ends.push_back(e.now()); });
+  }
+  e.run();
+  ASSERT_EQ(ends.size(), 128u);
+  const double expected = 10'000.0 * 128 / 40;
+  for (Time t : ends) EXPECT_NEAR(static_cast<double>(t), expected, 10.0);
+}
+
+}  // namespace
+}  // namespace partib::sim
