@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_adaptive.cpp" "bench/CMakeFiles/bench_ablation_adaptive.dir/bench_ablation_adaptive.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_adaptive.dir/bench_ablation_adaptive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bench/CMakeFiles/partib_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/part/CMakeFiles/partib_part.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/partib_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/verbs/CMakeFiles/partib_verbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/partib_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/partib_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/agg/CMakeFiles/partib_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/partib_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/partib_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/partib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

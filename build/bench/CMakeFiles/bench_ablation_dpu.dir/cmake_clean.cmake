@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dpu.dir/bench_ablation_dpu.cpp.o"
+  "CMakeFiles/bench_ablation_dpu.dir/bench_ablation_dpu.cpp.o.d"
+  "bench_ablation_dpu"
+  "bench_ablation_dpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

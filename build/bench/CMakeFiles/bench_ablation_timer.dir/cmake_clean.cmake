@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_timer.dir/bench_ablation_timer.cpp.o"
+  "CMakeFiles/bench_ablation_timer.dir/bench_ablation_timer.cpp.o.d"
+  "bench_ablation_timer"
+  "bench_ablation_timer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_timer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

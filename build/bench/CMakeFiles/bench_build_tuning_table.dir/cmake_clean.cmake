@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_build_tuning_table.dir/bench_build_tuning_table.cpp.o"
+  "CMakeFiles/bench_build_tuning_table.dir/bench_build_tuning_table.cpp.o.d"
+  "bench_build_tuning_table"
+  "bench_build_tuning_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_build_tuning_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_transport_parts.dir/bench_fig06_transport_parts.cpp.o"
+  "CMakeFiles/bench_fig06_transport_parts.dir/bench_fig06_transport_parts.cpp.o.d"
+  "bench_fig06_transport_parts"
+  "bench_fig06_transport_parts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_transport_parts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_qps.dir/bench_fig07_qps.cpp.o"
+  "CMakeFiles/bench_fig07_qps.dir/bench_fig07_qps.cpp.o.d"
+  "bench_fig07_qps"
+  "bench_fig07_qps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_qps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

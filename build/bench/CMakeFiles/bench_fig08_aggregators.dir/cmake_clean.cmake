@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_aggregators.dir/bench_fig08_aggregators.cpp.o"
+  "CMakeFiles/bench_fig08_aggregators.dir/bench_fig08_aggregators.cpp.o.d"
+  "bench_fig08_aggregators"
+  "bench_fig08_aggregators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_aggregators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_perceived_bw.dir/bench_fig09_perceived_bw.cpp.o"
+  "CMakeFiles/bench_fig09_perceived_bw.dir/bench_fig09_perceived_bw.cpp.o.d"
+  "bench_fig09_perceived_bw"
+  "bench_fig09_perceived_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_perceived_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_11_arrival.dir/bench_fig10_11_arrival.cpp.o"
+  "CMakeFiles/bench_fig10_11_arrival.dir/bench_fig10_11_arrival.cpp.o.d"
+  "bench_fig10_11_arrival"
+  "bench_fig10_11_arrival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_11_arrival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

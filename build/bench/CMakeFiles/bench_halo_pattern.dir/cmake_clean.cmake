@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_halo_pattern.dir/bench_halo_pattern.cpp.o"
+  "CMakeFiles/bench_halo_pattern.dir/bench_halo_pattern.cpp.o.d"
+  "bench_halo_pattern"
+  "bench_halo_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_halo_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_netgauge_probe.dir/bench_netgauge_probe.cpp.o"
+  "CMakeFiles/bench_netgauge_probe.dir/bench_netgauge_probe.cpp.o.d"
+  "bench_netgauge_probe"
+  "bench_netgauge_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_netgauge_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

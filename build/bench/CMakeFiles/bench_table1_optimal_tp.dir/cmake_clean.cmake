@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_optimal_tp.dir/bench_table1_optimal_tp.cpp.o"
+  "CMakeFiles/bench_table1_optimal_tp.dir/bench_table1_optimal_tp.cpp.o.d"
+  "bench_table1_optimal_tp"
+  "bench_table1_optimal_tp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_optimal_tp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/early_bird.dir/early_bird.cpp.o"
+  "CMakeFiles/early_bird.dir/early_bird.cpp.o.d"
+  "early_bird"
+  "early_bird.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/early_bird.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

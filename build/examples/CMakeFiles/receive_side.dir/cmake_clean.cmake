@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/receive_side.dir/receive_side.cpp.o"
+  "CMakeFiles/receive_side.dir/receive_side.cpp.o.d"
+  "receive_side"
+  "receive_side.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/receive_side.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for receive_side.
+# This may be replaced when dependencies are built.

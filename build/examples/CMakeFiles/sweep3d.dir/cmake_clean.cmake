@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep3d.dir/sweep3d.cpp.o"
+  "CMakeFiles/sweep3d.dir/sweep3d.cpp.o.d"
+  "sweep3d"
+  "sweep3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agg/strategies.cpp" "src/agg/CMakeFiles/partib_agg.dir/strategies.cpp.o" "gcc" "src/agg/CMakeFiles/partib_agg.dir/strategies.cpp.o.d"
+  "/root/repo/src/agg/tuning_table.cpp" "src/agg/CMakeFiles/partib_agg.dir/tuning_table.cpp.o" "gcc" "src/agg/CMakeFiles/partib_agg.dir/tuning_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/partib_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/partib_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partib_agg.dir/strategies.cpp.o"
+  "CMakeFiles/partib_agg.dir/strategies.cpp.o.d"
+  "CMakeFiles/partib_agg.dir/tuning_table.cpp.o"
+  "CMakeFiles/partib_agg.dir/tuning_table.cpp.o.d"
+  "libpartib_agg.a"
+  "libpartib_agg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partib_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

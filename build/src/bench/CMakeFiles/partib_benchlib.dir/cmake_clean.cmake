@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partib_benchlib.dir/halo.cpp.o"
+  "CMakeFiles/partib_benchlib.dir/halo.cpp.o.d"
+  "CMakeFiles/partib_benchlib.dir/overhead.cpp.o"
+  "CMakeFiles/partib_benchlib.dir/overhead.cpp.o.d"
+  "CMakeFiles/partib_benchlib.dir/perceived.cpp.o"
+  "CMakeFiles/partib_benchlib.dir/perceived.cpp.o.d"
+  "CMakeFiles/partib_benchlib.dir/probe.cpp.o"
+  "CMakeFiles/partib_benchlib.dir/probe.cpp.o.d"
+  "CMakeFiles/partib_benchlib.dir/report.cpp.o"
+  "CMakeFiles/partib_benchlib.dir/report.cpp.o.d"
+  "CMakeFiles/partib_benchlib.dir/sweep.cpp.o"
+  "CMakeFiles/partib_benchlib.dir/sweep.cpp.o.d"
+  "libpartib_benchlib.a"
+  "libpartib_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partib_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

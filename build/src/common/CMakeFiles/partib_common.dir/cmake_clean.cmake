@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partib_common.dir/env.cpp.o"
+  "CMakeFiles/partib_common.dir/env.cpp.o.d"
+  "CMakeFiles/partib_common.dir/log.cpp.o"
+  "CMakeFiles/partib_common.dir/log.cpp.o.d"
+  "CMakeFiles/partib_common.dir/time.cpp.o"
+  "CMakeFiles/partib_common.dir/time.cpp.o.d"
+  "CMakeFiles/partib_common.dir/units.cpp.o"
+  "CMakeFiles/partib_common.dir/units.cpp.o.d"
+  "libpartib_common.a"
+  "libpartib_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partib_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

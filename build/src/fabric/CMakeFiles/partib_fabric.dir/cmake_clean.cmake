@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partib_fabric.dir/fabric.cpp.o"
+  "CMakeFiles/partib_fabric.dir/fabric.cpp.o.d"
+  "CMakeFiles/partib_fabric.dir/fluid_network.cpp.o"
+  "CMakeFiles/partib_fabric.dir/fluid_network.cpp.o.d"
+  "CMakeFiles/partib_fabric.dir/nic_params.cpp.o"
+  "CMakeFiles/partib_fabric.dir/nic_params.cpp.o.d"
+  "CMakeFiles/partib_fabric.dir/trace.cpp.o"
+  "CMakeFiles/partib_fabric.dir/trace.cpp.o.d"
+  "libpartib_fabric.a"
+  "libpartib_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partib_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partib_model.dir/loggp.cpp.o"
+  "CMakeFiles/partib_model.dir/loggp.cpp.o.d"
+  "CMakeFiles/partib_model.dir/ploggp.cpp.o"
+  "CMakeFiles/partib_model.dir/ploggp.cpp.o.d"
+  "libpartib_model.a"
+  "libpartib_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partib_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

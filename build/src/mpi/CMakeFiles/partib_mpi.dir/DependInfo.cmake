@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/collectives.cpp" "src/mpi/CMakeFiles/partib_mpi.dir/collectives.cpp.o" "gcc" "src/mpi/CMakeFiles/partib_mpi.dir/collectives.cpp.o.d"
+  "/root/repo/src/mpi/matcher.cpp" "src/mpi/CMakeFiles/partib_mpi.dir/matcher.cpp.o" "gcc" "src/mpi/CMakeFiles/partib_mpi.dir/matcher.cpp.o.d"
+  "/root/repo/src/mpi/p2p.cpp" "src/mpi/CMakeFiles/partib_mpi.dir/p2p.cpp.o" "gcc" "src/mpi/CMakeFiles/partib_mpi.dir/p2p.cpp.o.d"
+  "/root/repo/src/mpi/world.cpp" "src/mpi/CMakeFiles/partib_mpi.dir/world.cpp.o" "gcc" "src/mpi/CMakeFiles/partib_mpi.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/verbs/CMakeFiles/partib_verbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/partib_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/partib_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/partib_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/partib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partib_mpi.dir/collectives.cpp.o"
+  "CMakeFiles/partib_mpi.dir/collectives.cpp.o.d"
+  "CMakeFiles/partib_mpi.dir/matcher.cpp.o"
+  "CMakeFiles/partib_mpi.dir/matcher.cpp.o.d"
+  "CMakeFiles/partib_mpi.dir/p2p.cpp.o"
+  "CMakeFiles/partib_mpi.dir/p2p.cpp.o.d"
+  "CMakeFiles/partib_mpi.dir/world.cpp.o"
+  "CMakeFiles/partib_mpi.dir/world.cpp.o.d"
+  "libpartib_mpi.a"
+  "libpartib_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partib_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/part/options.cpp" "src/part/CMakeFiles/partib_part.dir/options.cpp.o" "gcc" "src/part/CMakeFiles/partib_part.dir/options.cpp.o.d"
+  "/root/repo/src/part/precv.cpp" "src/part/CMakeFiles/partib_part.dir/precv.cpp.o" "gcc" "src/part/CMakeFiles/partib_part.dir/precv.cpp.o.d"
+  "/root/repo/src/part/psend.cpp" "src/part/CMakeFiles/partib_part.dir/psend.cpp.o" "gcc" "src/part/CMakeFiles/partib_part.dir/psend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/partib_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/agg/CMakeFiles/partib_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/verbs/CMakeFiles/partib_verbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/partib_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/partib_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/partib_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/partib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partib_part.dir/options.cpp.o"
+  "CMakeFiles/partib_part.dir/options.cpp.o.d"
+  "CMakeFiles/partib_part.dir/precv.cpp.o"
+  "CMakeFiles/partib_part.dir/precv.cpp.o.d"
+  "CMakeFiles/partib_part.dir/psend.cpp.o"
+  "CMakeFiles/partib_part.dir/psend.cpp.o.d"
+  "libpartib_part.a"
+  "libpartib_part.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partib_part.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partib_prof.dir/profiler.cpp.o"
+  "CMakeFiles/partib_prof.dir/profiler.cpp.o.d"
+  "libpartib_prof.a"
+  "libpartib_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partib_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

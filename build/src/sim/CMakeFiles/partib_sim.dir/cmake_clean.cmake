@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partib_sim.dir/engine.cpp.o"
+  "CMakeFiles/partib_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/partib_sim.dir/noise.cpp.o"
+  "CMakeFiles/partib_sim.dir/noise.cpp.o.d"
+  "CMakeFiles/partib_sim.dir/resources.cpp.o"
+  "CMakeFiles/partib_sim.dir/resources.cpp.o.d"
+  "libpartib_sim.a"
+  "libpartib_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partib_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partib_verbs.dir/verbs.cpp.o"
+  "CMakeFiles/partib_verbs.dir/verbs.cpp.o.d"
+  "libpartib_verbs.a"
+  "libpartib_verbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partib_verbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpartib_verbs.a"
+)

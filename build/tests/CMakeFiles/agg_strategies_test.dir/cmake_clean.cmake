@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agg_strategies_test.dir/agg/strategies_test.cpp.o"
+  "CMakeFiles/agg_strategies_test.dir/agg/strategies_test.cpp.o.d"
+  "agg_strategies_test"
+  "agg_strategies_test.pdb"
+  "agg_strategies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agg_strategies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_benchlib_test.dir/bench/benchlib_test.cpp.o"
+  "CMakeFiles/bench_benchlib_test.dir/bench/benchlib_test.cpp.o.d"
+  "bench_benchlib_test"
+  "bench_benchlib_test.pdb"
+  "bench_benchlib_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_benchlib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

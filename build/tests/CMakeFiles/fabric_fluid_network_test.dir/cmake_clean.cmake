@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_fluid_network_test.dir/fabric/fluid_network_test.cpp.o"
+  "CMakeFiles/fabric_fluid_network_test.dir/fabric/fluid_network_test.cpp.o.d"
+  "fabric_fluid_network_test"
+  "fabric_fluid_network_test.pdb"
+  "fabric_fluid_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_fluid_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

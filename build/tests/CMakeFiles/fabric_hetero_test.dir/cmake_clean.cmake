@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_hetero_test.dir/fabric/hetero_test.cpp.o"
+  "CMakeFiles/fabric_hetero_test.dir/fabric/hetero_test.cpp.o.d"
+  "fabric_hetero_test"
+  "fabric_hetero_test.pdb"
+  "fabric_hetero_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_hetero_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

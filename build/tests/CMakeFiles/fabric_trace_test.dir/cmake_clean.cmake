@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_trace_test.dir/fabric/trace_test.cpp.o"
+  "CMakeFiles/fabric_trace_test.dir/fabric/trace_test.cpp.o.d"
+  "fabric_trace_test"
+  "fabric_trace_test.pdb"
+  "fabric_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

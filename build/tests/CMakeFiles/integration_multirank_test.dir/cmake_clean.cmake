@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_multirank_test.dir/integration/multirank_test.cpp.o"
+  "CMakeFiles/integration_multirank_test.dir/integration/multirank_test.cpp.o.d"
+  "integration_multirank_test"
+  "integration_multirank_test.pdb"
+  "integration_multirank_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_multirank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_uneven_test.dir/integration/uneven_test.cpp.o"
+  "CMakeFiles/integration_uneven_test.dir/integration/uneven_test.cpp.o.d"
+  "integration_uneven_test"
+  "integration_uneven_test.pdb"
+  "integration_uneven_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_uneven_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

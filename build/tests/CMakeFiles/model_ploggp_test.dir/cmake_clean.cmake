@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_ploggp_test.dir/model/ploggp_test.cpp.o"
+  "CMakeFiles/model_ploggp_test.dir/model/ploggp_test.cpp.o.d"
+  "model_ploggp_test"
+  "model_ploggp_test.pdb"
+  "model_ploggp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_ploggp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_properties_test.dir/model/properties_test.cpp.o"
+  "CMakeFiles/model_properties_test.dir/model/properties_test.cpp.o.d"
+  "model_properties_test"
+  "model_properties_test.pdb"
+  "model_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

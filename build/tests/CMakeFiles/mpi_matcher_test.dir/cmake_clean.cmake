@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_matcher_test.dir/mpi/matcher_test.cpp.o"
+  "CMakeFiles/mpi_matcher_test.dir/mpi/matcher_test.cpp.o.d"
+  "mpi_matcher_test"
+  "mpi_matcher_test.pdb"
+  "mpi_matcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_matcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/part_adaptive_test.dir/part/adaptive_test.cpp.o"
+  "CMakeFiles/part_adaptive_test.dir/part/adaptive_test.cpp.o.d"
+  "part_adaptive_test"
+  "part_adaptive_test.pdb"
+  "part_adaptive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/part_adaptive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/part_channel_test.dir/part/channel_test.cpp.o"
+  "CMakeFiles/part_channel_test.dir/part/channel_test.cpp.o.d"
+  "part_channel_test"
+  "part_channel_test.pdb"
+  "part_channel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/part_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

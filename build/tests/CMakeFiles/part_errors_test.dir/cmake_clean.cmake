@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/part_errors_test.dir/part/errors_test.cpp.o"
+  "CMakeFiles/part_errors_test.dir/part/errors_test.cpp.o.d"
+  "part_errors_test"
+  "part_errors_test.pdb"
+  "part_errors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/part_errors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/part_imm_test.dir/part/imm_test.cpp.o"
+  "CMakeFiles/part_imm_test.dir/part/imm_test.cpp.o.d"
+  "part_imm_test"
+  "part_imm_test.pdb"
+  "part_imm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/part_imm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/part_options_test.dir/part/options_test.cpp.o"
+  "CMakeFiles/part_options_test.dir/part/options_test.cpp.o.d"
+  "part_options_test"
+  "part_options_test.pdb"
+  "part_options_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/part_options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

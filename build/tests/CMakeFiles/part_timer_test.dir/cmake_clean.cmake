@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/part_timer_test.dir/part/timer_test.cpp.o"
+  "CMakeFiles/part_timer_test.dir/part/timer_test.cpp.o.d"
+  "part_timer_test"
+  "part_timer_test.pdb"
+  "part_timer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/part_timer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

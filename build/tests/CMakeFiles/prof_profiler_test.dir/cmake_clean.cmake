@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prof_profiler_test.dir/prof/profiler_test.cpp.o"
+  "CMakeFiles/prof_profiler_test.dir/prof/profiler_test.cpp.o.d"
+  "prof_profiler_test"
+  "prof_profiler_test.pdb"
+  "prof_profiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prof_profiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_figures_test.dir/repro/figures_test.cpp.o"
+  "CMakeFiles/repro_figures_test.dir/repro/figures_test.cpp.o.d"
+  "repro_figures_test"
+  "repro_figures_test.pdb"
+  "repro_figures_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_figures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verbs_isolation_test.dir/verbs/isolation_test.cpp.o"
+  "CMakeFiles/verbs_isolation_test.dir/verbs/isolation_test.cpp.o.d"
+  "verbs_isolation_test"
+  "verbs_isolation_test.pdb"
+  "verbs_isolation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verbs_isolation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
