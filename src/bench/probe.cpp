@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/bits.hpp"
 #include "common/units.hpp"
 #include "sim/engine.hpp"
 #include "verbs/verbs.hpp"
@@ -63,7 +64,7 @@ struct ProbePair {
     verbs::SendWr wr;
     wr.opcode = verbs::Opcode::kRdmaWriteWithImm;
     wr.sg_list.push_back(verbs::Sge{
-        reinterpret_cast<std::uint64_t>(sbuf.data()),
+        wire_addr(sbuf.data()),
         static_cast<std::uint32_t>(bytes), smr->lkey()});
     wr.remote_addr = rmr->addr();
     wr.rkey = rmr->rkey();
@@ -90,7 +91,7 @@ struct ProbePair {
     verbs::SendWr wr;
     wr.opcode = verbs::Opcode::kRdmaWriteWithImm;
     wr.sg_list.push_back(verbs::Sge{
-        reinterpret_cast<std::uint64_t>(sbuf.data()),
+        wire_addr(sbuf.data()),
         static_cast<std::uint32_t>(bytes), smr->lkey()});
     wr.remote_addr = rmr->addr();
     wr.rkey = rmr->rkey();

@@ -1,0 +1,92 @@
+#include "check/check.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "check/part_check.hpp"
+#include "check/rules.hpp"
+#include "check/verbs_check.hpp"
+#include "common/diag.hpp"
+
+namespace partib::check {
+
+namespace {
+
+Policy g_policy = Policy::kLog;
+
+std::vector<Violation>& store() {
+  static std::vector<Violation> v;
+  return v;
+}
+
+}  // namespace
+
+bool hooks_compiled_in() {
+#if PARTIB_CHECK_ENABLED
+  return true;
+#else
+  return false;
+#endif
+}
+
+Policy policy() { return g_policy; }
+void set_policy(Policy p) { g_policy = p; }
+
+std::size_t violation_count() { return store().size(); }
+const std::vector<Violation>& violations() { return store(); }
+
+std::size_t count_rule(const char* rule) {
+  std::size_t n = 0;
+  for (const Violation& v : store()) {
+    if (v.rule == rule) ++n;
+  }
+  return n;
+}
+
+void clear_violations() { store().clear(); }
+
+void reset() {
+  store().clear();
+  g_policy = Policy::kLog;
+  detail::reset_verbs_shadow();
+  detail::reset_part_shadow();
+}
+
+void report(const char* rule, const char* object, int rank,
+            std::string detail) {
+  // An unknown rule id is a checker bug: surface it loudly but keep the
+  // original violation flowing.
+  if (find_rule(rule) == nullptr) {
+    Diagnostic bad;
+    bad.rule = "assert";
+    bad.detail = "checker reported against an unregistered rule id";
+    diag_emit(bad);
+  }
+
+  Violation v;
+  v.rule = rule;
+  v.object = object;
+  v.vtime = diag_time();
+  v.rank = rank;
+  v.detail = std::move(detail);
+
+  Diagnostic d;
+  d.rule = rule;
+  d.object = v.object.c_str();
+  d.vtime = v.vtime;
+  d.rank = rank;
+  d.detail = v.detail.c_str();
+
+  switch (g_policy) {
+    case Policy::kAbort:
+      diag_fail(d);
+    case Policy::kLog:
+      diag_emit(d);
+      break;
+    case Policy::kCount:
+      break;
+  }
+  store().push_back(std::move(v));
+}
+
+}  // namespace partib::check

@@ -1,0 +1,78 @@
+// Protocol/invariant checker core: policy and the violation sink.
+//
+// The checker validates verbs-transport and Partitioned-lifecycle usage
+// from *shadow state* it maintains independently of the checked objects
+// (see verbs_check.hpp / part_check.hpp), so it catches both caller misuse
+// and library-internal inconsistencies.  Hook calls are compiled in only
+// when PARTIB_CHECK_ENABLED is set (CMake option PARTIB_CHECK, on by
+// default); with checking off the wrappers vanish and this library only
+// provides the (never-firing) sink API so tests link in both modes.
+//
+// A violation produces a structured diagnostic (common/diag.hpp) with a
+// rule id from check/rules.hpp, then follows the active policy:
+//
+//   kLog    (default)  emit the diagnostic, record it, keep running
+//   kCount             record silently (tests asserting on counts)
+//   kAbort             emit and abort — strict mode for hard enforcement
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace partib::check {
+
+/// True when the library was compiled with checker hooks active
+/// (PARTIB_CHECK=ON).  Runtime query so tests can verify the
+/// compiled-away configuration behaves as documented.
+bool hooks_compiled_in();
+
+enum class Policy { kLog, kCount, kAbort };
+
+Policy policy();
+void set_policy(Policy p);
+
+/// RAII policy override for tests.
+class ScopedPolicy {
+ public:
+  explicit ScopedPolicy(Policy p) : prev_(policy()) { set_policy(p); }
+  ~ScopedPolicy() { set_policy(prev_); }
+  ScopedPolicy(const ScopedPolicy&) = delete;
+  ScopedPolicy& operator=(const ScopedPolicy&) = delete;
+
+ private:
+  Policy prev_;
+};
+
+struct Violation {
+  std::string rule;
+  std::string object;
+  Time vtime = -1;
+  int rank = -1;
+  std::string detail;
+};
+
+/// Violations recorded since the last reset/clear (process-wide).
+std::size_t violation_count();
+const std::vector<Violation>& violations();
+
+/// Number of recorded violations carrying `rule` (exact id match).
+std::size_t count_rule(const char* rule);
+
+/// Drop recorded violations (policy is untouched).
+void clear_violations();
+
+/// Full checker reset: violations, shadow verbs/part state, policy back to
+/// kLog.  Call between independent simulations sharing one process (each
+/// gtest case that asserts on checker state should start with this).
+void reset();
+
+/// Report a violation against `rule` (must exist in the registry).
+/// Normally called by the hook layers, but public so future subsystems can
+/// raise their own registered rules.
+void report(const char* rule, const char* object, int rank,
+            std::string detail);
+
+}  // namespace partib::check

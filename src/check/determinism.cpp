@@ -1,0 +1,68 @@
+#include "check/determinism.hpp"
+
+#include <cstdio>
+
+#include "check/check.hpp"
+
+namespace partib::check {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+void DeterminismAuditor::attach(sim::Engine& engine) {
+  detach();
+  engine_ = &engine;
+  hash_ = kFnvOffset;
+  events_ = 0;
+  engine.set_dispatch_observer(
+      [this](Time t, std::uint64_t seq, const char* site) {
+        observe(t, seq, site);
+      });
+}
+
+void DeterminismAuditor::detach() {
+  if (engine_ != nullptr) {
+    engine_->set_dispatch_observer(nullptr);
+    engine_ = nullptr;
+  }
+}
+
+void DeterminismAuditor::observe(Time t, std::uint64_t seq,
+                                 const char* site) {
+  hash_ = fnv1a(hash_, &t, sizeof(t));
+  hash_ = fnv1a(hash_, &seq, sizeof(seq));
+  if (site != nullptr) {
+    std::size_t len = 0;
+    while (site[len] != '\0') ++len;
+    hash_ = fnv1a(hash_, site, len);
+  }
+  ++events_;
+}
+
+bool DeterminismAuditor::expect_identical(std::uint64_t a, std::uint64_t b,
+                                          const char* what) {
+  if (a == b) return true;
+  char detail[160];
+  std::snprintf(detail, sizeof(detail),
+                "event streams diverged for \"%s\": fingerprint %016llx vs "
+                "%016llx",
+                what, static_cast<unsigned long long>(a),
+                static_cast<unsigned long long>(b));
+  report("des.nondeterminism", "engine", -1, detail);
+  return false;
+}
+
+}  // namespace partib::check

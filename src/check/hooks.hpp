@@ -1,0 +1,29 @@
+// Compile-time gate for checker instrumentation.
+//
+// Checked layers (src/verbs, src/part) invoke hooks as
+//
+//   PARTIB_CHECK_HOOK(on_post_send(this, &pd_, wr));
+//
+// With PARTIB_CHECK=ON (CMake; defines PARTIB_CHECK_ENABLED=1) the call
+// expands to the real hook in namespace partib::check.  With checking off
+// the macro expands to nothing — arguments are not evaluated, no code is
+// generated, and the wrappers vanish entirely.
+#pragma once
+
+#if PARTIB_CHECK_ENABLED
+
+#include "check/part_check.hpp"
+#include "check/verbs_check.hpp"
+
+#define PARTIB_CHECK_HOOK(call) \
+  do {                          \
+    ::partib::check::call;      \
+  } while (0)
+
+#else
+
+#define PARTIB_CHECK_HOOK(call) \
+  do {                          \
+  } while (0)
+
+#endif

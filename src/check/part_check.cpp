@@ -1,0 +1,216 @@
+#include "check/part_check.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "check/check.hpp"
+#include "part/imm.hpp"
+
+namespace partib::check {
+
+namespace {
+
+struct PsendShadow {
+  int rank = -1;
+  std::size_t n = 0;
+  bool started = false;
+  std::size_t ready = 0;
+  std::vector<std::uint8_t> arrived;
+  long inflight = 0;  ///< message intents not yet send-completed
+};
+
+struct PrecvShadow {
+  int rank = -1;
+  std::size_t n = 0;
+  std::size_t psize = 0;
+  bool started = false;
+  std::vector<std::size_t> bytes;
+};
+
+std::map<const void*, PsendShadow>& psends() {
+  static std::map<const void*, PsendShadow> m;
+  return m;
+}
+
+std::map<const void*, PrecvShadow>& precvs() {
+  static std::map<const void*, PrecvShadow> m;
+  return m;
+}
+
+}  // namespace
+
+void on_psend_init(const void* req, int rank, std::size_t partitions) {
+  PsendShadow s;
+  s.rank = rank;
+  s.n = partitions;
+  s.arrived.assign(partitions, 0);
+  psends()[req] = std::move(s);  // address reuse starts a fresh shadow
+}
+
+void on_psend_start(const void* req) {
+  auto it = psends().find(req);
+  if (it == psends().end()) return;
+  PsendShadow& s = it->second;
+  if (s.started && (s.ready < s.n || s.inflight > 0)) {
+    char detail[112];
+    std::snprintf(detail, sizeof(detail),
+                  "Start while round in flight: %zu/%zu partitions ready, "
+                  "%ld messages outstanding",
+                  s.ready, s.n, s.inflight);
+    report("part.start_inflight", "psend", s.rank, detail);
+    // Mirror the library, which rejects the Start and keeps round state.
+    return;
+  }
+  s.started = true;
+  s.ready = 0;
+  std::fill(s.arrived.begin(), s.arrived.end(), std::uint8_t{0});
+}
+
+void on_pready(const void* req, std::size_t partition) {
+  auto it = psends().find(req);
+  if (it == psends().end()) return;
+  PsendShadow& s = it->second;
+  if (!s.started) {
+    report("part.pready_before_start", "psend", s.rank,
+           "Pready on a request with no active round");
+    return;
+  }
+  if (partition >= s.n) {
+    char detail[80];
+    std::snprintf(detail, sizeof(detail),
+                  "partition %zu out of range (channel has %zu)", partition,
+                  s.n);
+    report("part.pready_range", "psend", s.rank, detail);
+    return;
+  }
+  if (s.arrived[partition] != 0) {
+    char detail[64];
+    std::snprintf(detail, sizeof(detail),
+                  "partition %zu marked ready twice this round", partition);
+    report("part.pready_double", "psend", s.rank, detail);
+    return;
+  }
+  s.arrived[partition] = 1;
+  ++s.ready;
+}
+
+void on_psend_msg_intent(const void* req) {
+  auto it = psends().find(req);
+  if (it != psends().end()) ++it->second.inflight;
+}
+
+void on_psend_msg_intent_undone(const void* req) {
+  auto it = psends().find(req);
+  if (it != psends().end()) --it->second.inflight;
+}
+
+void on_psend_msg_complete(const void* req) {
+  auto it = psends().find(req);
+  if (it != psends().end()) {
+    it->second.inflight = std::max(0L, it->second.inflight - 1);
+  }
+}
+
+void on_psend_round_complete(const void* req) {
+  auto it = psends().find(req);
+  if (it == psends().end()) return;
+  const PsendShadow& s = it->second;
+  if (s.ready < s.n || s.inflight > 0) {
+    char detail[112];
+    std::snprintf(detail, sizeof(detail),
+                  "completion with %zu/%zu partitions ready and %ld "
+                  "messages outstanding",
+                  s.ready, s.n, s.inflight);
+    report("part.incomplete_completion", "psend", s.rank, detail);
+  }
+}
+
+void on_imm_encoded(const void* req, std::size_t first, std::size_t count,
+                    std::uint32_t imm) {
+  auto it = psends().find(req);
+  const int rank = it == psends().end() ? -1 : it->second.rank;
+  const part::ImmRange range = part::decode_imm(imm);
+  if (range.first != first || range.count != count || count == 0) {
+    char detail[112];
+    std::snprintf(detail, sizeof(detail),
+                  "encoded (%zu, %zu) decodes to (%u, %u)", first, count,
+                  range.first, range.count);
+    report("imm.roundtrip", "psend", rank, detail);
+    return;
+  }
+  if (it != psends().end() && first + count > it->second.n) {
+    char detail[96];
+    std::snprintf(detail, sizeof(detail),
+                  "immediate range [%zu, +%zu) exceeds %zu partitions",
+                  first, count, it->second.n);
+    report("imm.roundtrip", "psend", rank, detail);
+  }
+}
+
+void on_precv_init(const void* req, int rank, std::size_t partitions,
+                   std::size_t partition_bytes) {
+  PrecvShadow s;
+  s.rank = rank;
+  s.n = partitions;
+  s.psize = partition_bytes;
+  s.bytes.assign(partitions, 0);
+  precvs()[req] = std::move(s);
+}
+
+void on_precv_start(const void* req) {
+  auto it = precvs().find(req);
+  if (it == precvs().end()) return;
+  PrecvShadow& s = it->second;
+  if (s.started) {
+    std::size_t done = 0;
+    for (std::size_t b : s.bytes) {
+      if (b == s.psize) ++done;
+    }
+    if (done < s.n) {
+      char detail[112];
+      std::snprintf(detail, sizeof(detail),
+                    "receive Start while round in flight: %zu/%zu "
+                    "partitions arrived",
+                    done, s.n);
+      report("part.start_inflight", "precv", s.rank, detail);
+      // Mirror the library, which rejects the Start and keeps round state.
+      return;
+    }
+  }
+  s.started = true;
+  std::fill(s.bytes.begin(), s.bytes.end(), std::size_t{0});
+}
+
+void on_precv_bytes(const void* req, std::size_t partition,
+                    std::size_t chunk) {
+  auto it = precvs().find(req);
+  if (it == precvs().end()) return;
+  PrecvShadow& s = it->second;
+  if (partition >= s.n) {
+    char detail[80];
+    std::snprintf(detail, sizeof(detail),
+                  "arrival for partition %zu of %zu", partition, s.n);
+    report("part.duplicate_arrival", "precv", s.rank, detail);
+    return;
+  }
+  s.bytes[partition] += chunk;
+  if (s.bytes[partition] > s.psize) {
+    char detail[160];
+    std::snprintf(detail, sizeof(detail),
+                  "partition %zu landed %zu bytes, size is %zu (duplicate "
+                  "or overlapping WR)",
+                  partition, s.bytes[partition], s.psize);
+    report("part.duplicate_arrival", "precv", s.rank, detail);
+  }
+}
+
+namespace detail {
+void reset_part_shadow() {
+  psends().clear();
+  precvs().clear();
+}
+}  // namespace detail
+
+}  // namespace partib::check

@@ -1,0 +1,50 @@
+// Shadow-state checker for the MPI Partitioned lifecycle.
+//
+// Mirrors each Psend/PrecvRequest's round state independently of the
+// request object and enforces the standard's usage rules: no Pready before
+// Start, no double Pready, no Start while the previous round is still in
+// flight, and completion only after every partition was marked ready.  The
+// receive side audits byte-coverage so a partition landing more bytes than
+// its size in one round (a duplicated or overlapping WR) is caught.
+//
+// Hooks are invoked from src/part via PARTIB_CHECK_HOOK (check/hooks.hpp)
+// and compile away when PARTIB_CHECK=OFF.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace partib::check {
+
+// -- send side ---------------------------------------------------------------
+void on_psend_init(const void* req, int rank, std::size_t partitions);
+void on_psend_start(const void* req);
+void on_pready(const void* req, std::size_t partition);
+/// A message intent was created / revoked-for-replay (mirrors the
+/// library's deferred-post accounting exactly, so shadow in-flight counts
+/// match even for credit-deferred messages).
+void on_psend_msg_intent(const void* req);
+void on_psend_msg_intent_undone(const void* req);
+void on_psend_msg_complete(const void* req);
+/// The round's completion callbacks are about to fire: verify every
+/// partition was ready and nothing is in flight (part.incomplete_completion).
+void on_psend_round_complete(const void* req);
+/// A WR immediate was encoded for partitions [first, first+count):
+/// round-trips the encoding and bounds-checks against the channel
+/// (imm.roundtrip).
+void on_imm_encoded(const void* req, std::size_t first, std::size_t count,
+                    std::uint32_t imm);
+
+// -- receive side ------------------------------------------------------------
+void on_precv_init(const void* req, int rank, std::size_t partitions,
+                   std::size_t partition_bytes);
+void on_precv_start(const void* req);
+/// `chunk` bytes of `partition` landed (from one WR's immediate range).
+void on_precv_bytes(const void* req, std::size_t partition,
+                    std::size_t chunk);
+
+namespace detail {
+void reset_part_shadow();
+}  // namespace detail
+
+}  // namespace partib::check

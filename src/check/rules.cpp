@@ -1,0 +1,65 @@
+#include "check/rules.hpp"
+
+#include <cstring>
+
+namespace partib::check {
+
+namespace {
+
+// Built-in rule table.  Keep ids short, dotted, and stable: they appear in
+// test logs and docs/CHECKING.md.
+constexpr RuleInfo kBuiltins[] = {
+    {"assert", "internal invariant (PARTIB_ASSERT) failed"},
+    {"qp.transition", "illegal QP state-machine transition attempted"},
+    {"qp.post_state", "post_send on a QP that is not in RTS"},
+    {"qp.recv_state", "post_recv on a QP in RESET or ERROR"},
+    {"qp.send_capacity", "more outstanding send WRs than max_send_wr"},
+    {"qp.recv_capacity", "receive queue exceeded max_recv_wr"},
+    {"wr.lkey", "SGE not covered by a registered MR with that lkey"},
+    {"wr.access", "MR lacks the access rights the operation requires"},
+    {"wr.rkey", "RDMA target rkey unknown, out of bounds, or not writable"},
+    {"cq.overflow", "completion queue exceeded its depth"},
+    {"imm.roundtrip", "immediate-field encode/decode round-trip mismatch"},
+    {"part.start_inflight", "Start while the previous round is in flight"},
+    {"part.pready_before_start", "Pready on an inactive (un-started) request"},
+    {"part.pready_double", "partition marked ready twice in one round"},
+    {"part.pready_range", "Pready partition index out of range"},
+    {"part.incomplete_completion",
+     "round completed without every partition marked ready"},
+    {"part.duplicate_arrival",
+     "receive partition landed more bytes than its size in one round"},
+    {"des.nondeterminism",
+     "event stream diverged between two identical simulation runs"},
+};
+
+std::vector<RuleInfo>& extra_rules() {
+  static std::vector<RuleInfo> rules;
+  return rules;
+}
+
+}  // namespace
+
+const RuleInfo* find_rule(const char* id) {
+  for (const RuleInfo& r : kBuiltins) {
+    if (std::strcmp(r.id, id) == 0) return &r;
+  }
+  for (const RuleInfo& r : extra_rules()) {
+    if (std::strcmp(r.id, id) == 0) return &r;
+  }
+  return nullptr;
+}
+
+bool register_rule(const RuleInfo& info) {
+  if (find_rule(info.id) != nullptr) return false;
+  extra_rules().push_back(info);
+  return true;
+}
+
+std::vector<RuleInfo> all_rules() {
+  std::vector<RuleInfo> out(std::begin(kBuiltins), std::end(kBuiltins));
+  const std::vector<RuleInfo>& extra = extra_rules();
+  out.insert(out.end(), extra.begin(), extra.end());
+  return out;
+}
+
+}  // namespace partib::check

@@ -1,0 +1,29 @@
+// Rule registry for the protocol checker.
+//
+// Every diagnostic the checker raises carries a stable rule id from this
+// registry; `docs/CHECKING.md` documents each one.  Future PRs add rules
+// with `register_rule` (e.g. a new aggregation strategy can install its
+// own invariants) — the registry is append-only within a process.
+#pragma once
+
+#include <vector>
+
+namespace partib::check {
+
+struct RuleInfo {
+  const char* id;       ///< stable identifier, e.g. "qp.post_state"
+  const char* summary;  ///< one-line description for docs/diagnostics
+};
+
+/// Look up a rule by id; nullptr when unknown (reporting against an
+/// unknown rule is itself a checker bug and trips an assert in debug use).
+const RuleInfo* find_rule(const char* id);
+
+/// Install an additional rule (id must be unique; string must outlive the
+/// process — use literals).  Returns false if the id already exists.
+bool register_rule(const RuleInfo& info);
+
+/// All known rules, built-ins first, in registration order.
+std::vector<RuleInfo> all_rules();
+
+}  // namespace partib::check

@@ -3,18 +3,30 @@
 // PARTIB_ASSERT guards conditions that indicate a bug in this library (not
 // user error); it is active in all build types because the simulator is the
 // test oracle for everything above it and must fail loudly.
+//
+// Failures route through the structured diagnostic path (common/diag.hpp)
+// under rule id "assert", so assertion aborts and checker violations share
+// one greppable log grammar and carry virtual time when one is known.
 #pragma once
 
 #include <cstdio>
-#include <cstdlib>
+
+#include "common/diag.hpp"
 
 namespace partib::detail {
 
 [[noreturn]] inline void assert_fail(const char* expr, const char* file,
                                      int line, const char* msg) {
-  std::fprintf(stderr, "partib: assertion failed: %s at %s:%d%s%s\n", expr,
-               file, line, msg[0] ? ": " : "", msg);
-  std::abort();
+  char detail[512];
+  std::snprintf(detail, sizeof(detail), "assertion failed: %s%s%s", expr,
+                msg[0] != '\0' ? ": " : "", msg);
+  Diagnostic d;
+  d.rule = "assert";
+  d.vtime = diag_time();
+  d.detail = detail;
+  d.file = file;
+  d.line = line;
+  diag_fail(d);
 }
 
 }  // namespace partib::detail

@@ -28,4 +28,24 @@ constexpr T ceil_div(T a, T b) {
   return (a + b - 1) / b;
 }
 
+// -- simulated DMA addressing ------------------------------------------------
+// WRs, SGEs and MRs carry buffer addresses as the 64-bit integers real
+// verbs puts on the wire.  These two helpers are the only sanctioned
+// pointer<->wire-address conversions in the codebase (std::bit_cast, so
+// clang-tidy's reinterpret_cast checks stay clean); the simulator only
+// ever converts back addresses it previously derived from live buffers.
+
+inline std::uint64_t wire_addr(const void* p) {
+  static_assert(sizeof(void*) == sizeof(std::uint64_t),
+                "simulated DMA addressing requires 64-bit pointers");
+  return std::bit_cast<std::uint64_t>(p);
+}
+
+template <typename T = std::byte>
+inline T* wire_ptr(std::uint64_t addr) {
+  static_assert(sizeof(T*) == sizeof(std::uint64_t),
+                "simulated DMA addressing requires 64-bit pointers");
+  return std::bit_cast<T*>(addr);
+}
+
 }  // namespace partib

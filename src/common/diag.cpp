@@ -1,0 +1,43 @@
+#include "common/diag.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cinttypes>
+
+namespace partib {
+
+namespace {
+Time g_vtime = -1;
+}  // namespace
+
+void diag_set_time(Time t) { g_vtime = t; }
+
+Time diag_time() { return g_vtime; }
+
+void diag_emit(const Diagnostic& d) {
+  char timebuf[24];
+  if (d.vtime >= 0) {
+    std::snprintf(timebuf, sizeof(timebuf), "%" PRId64 "ns",
+                  static_cast<std::int64_t>(d.vtime));
+  } else {
+    std::snprintf(timebuf, sizeof(timebuf), "-");
+  }
+  char rankbuf[16];
+  if (d.rank >= 0) {
+    std::snprintf(rankbuf, sizeof(rankbuf), "%d", d.rank);
+  } else {
+    std::snprintf(rankbuf, sizeof(rankbuf), "-");
+  }
+  std::fprintf(stderr, "partib: diagnostic: rule=%s object=%s time=%s rank=%s %s",
+               d.rule, d.object[0] ? d.object : "-", timebuf, rankbuf,
+               d.detail);
+  if (d.file != nullptr) std::fprintf(stderr, " [%s:%d]", d.file, d.line);
+  std::fputc('\n', stderr);
+}
+
+void diag_fail(const Diagnostic& d) {
+  diag_emit(d);
+  std::abort();
+}
+
+}  // namespace partib

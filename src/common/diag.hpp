@@ -1,0 +1,51 @@
+// Structured diagnostics.
+//
+// Every abnormal condition the library reports — checker rule violations
+// (src/check), PARTIB_ASSERT failures, CQ overruns — is funnelled through
+// one emitter so test logs are uniformly greppable:
+//
+//   partib: diagnostic: rule=<id> object=<o> time=<t> rank=<r> <detail> [file:line]
+//
+// `rule` is a stable identifier (see check/rules.hpp for the registry);
+// `time` is the simulation's virtual time when one is known (-1 otherwise,
+// printed as "-"); `rank` likewise.  Fatal diagnostics abort after
+// printing; non-fatal ones go to the leveled log at warn level *and* are
+// observable through the checker's violation sink.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+
+namespace partib {
+
+struct Diagnostic {
+  const char* rule = "unknown";  ///< stable rule id (registry key)
+  const char* object = "";       ///< subject, e.g. "qp#102" (may be empty)
+  Time vtime = -1;               ///< virtual time, -1 when unknown
+  int rank = -1;                 ///< MPI rank, -1 when unknown
+  const char* detail = "";       ///< human-readable explanation
+  const char* file = nullptr;    ///< origin source location (optional)
+  int line = 0;
+};
+
+/// Print one structured diagnostic line to stderr (always — diagnostics
+/// are not gated by PARTIB_LOG_LEVEL; they indicate program errors).
+void diag_emit(const Diagnostic& d);
+
+/// Fatal variant: emit and abort.  PARTIB_ASSERT routes through this with
+/// rule id "assert" so assertion failures and checker violations share one
+/// log grammar.
+[[noreturn]] void diag_fail(const Diagnostic& d);
+
+/// The simulation engine publishes its clock here on every event dispatch
+/// so diagnostics raised from within callbacks carry virtual time even
+/// when the reporting site has no engine reference.  Multiple engines in
+/// one process: last dispatch wins, which is the right answer for the
+/// single-engine-per-simulation norm.
+void diag_set_time(Time t);
+
+/// Last published virtual time (-1 before any dispatch).
+Time diag_time();
+
+}  // namespace partib

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/assert.hpp"
+#include "common/bits.hpp"
 
 namespace partib::mpi {
 
@@ -119,7 +120,7 @@ void P2pEndpoint::post_recv_slot(int peer, std::size_t offset) {
   verbs::RecvWr wr;
   wr.wr_id = next_wr_id_++;
   wr.sg_list.push_back(verbs::Sge{
-      reinterpret_cast<std::uint64_t>(arena_.data() + offset),
+      wire_addr(arena_.data() + offset),
       static_cast<std::uint32_t>(kSlotBytes), arena_mr_->lkey()});
   PARTIB_ASSERT(ok(p.qp->post_recv(wr)));
   recv_slot_of_wr_[wr.wr_id] = {peer, offset};
@@ -166,7 +167,7 @@ void P2pEndpoint::send_now(int dst, int tag,
   wr.wr_id = next_wr_id_++;
   wr.opcode = verbs::Opcode::kSend;
   wr.sg_list.push_back(verbs::Sge{
-      reinterpret_cast<std::uint64_t>(arena_.data() + offset),
+      wire_addr(arena_.data() + offset),
       static_cast<std::uint32_t>(sizeof(header) + data.size()),
       arena_mr_->lkey()});
   PARTIB_ASSERT(ok(p.qp->post_send(wr)));

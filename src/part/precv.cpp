@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/hooks.hpp"
 #include "common/assert.hpp"
 #include "common/bits.hpp"
 #include "part/imm.hpp"
@@ -26,6 +27,8 @@ Status PrecvRequest::init(mpi::Rank& rank, std::span<std::byte> buffer,
   auto req = std::unique_ptr<PrecvRequest>(
       new PrecvRequest(rank, buffer, partitions, src, tag, comm_id, opts));
   PrecvRequest* raw = req.get();
+  PARTIB_CHECK_HOOK(on_precv_init(raw, rank.id(), partitions,
+                                  buffer.size() / partitions));
   rank.matcher().post_recv_init(
       mpi::MatchKey{src, tag, comm_id},
       [raw](const mpi::SendInit& si) { raw->on_match(si); });
@@ -100,6 +103,7 @@ void PrecvRequest::on_match(const mpi::SendInit& si) {
 }
 
 Status PrecvRequest::start() {
+  PARTIB_CHECK_HOOK(on_precv_start(this));
   if (started_ && !test()) return Status::kInvalidState;
   started_ = true;
   ++round_;
@@ -140,10 +144,13 @@ void PrecvRequest::send_credit() {
 void PrecvRequest::schedule_progress() {
   if (progress_scheduled_) return;
   progress_scheduled_ = true;
-  rank_.world().engine().schedule_after(0, [this] {
-    progress_scheduled_ = false;
-    progress();
-  });
+  rank_.world().engine().schedule_after(
+      0,
+      [this] {
+        progress_scheduled_ = false;
+        progress();
+      },
+      "precv.progress");
 }
 
 void PrecvRequest::progress() {
@@ -171,6 +178,7 @@ void PrecvRequest::progress() {
         const std::size_t p = pos / psize_;
         const std::size_t chunk =
             std::min(byte_hi, (p + 1) * psize_) - pos;
+        PARTIB_CHECK_HOOK(on_precv_bytes(this, p, chunk));
         PARTIB_ASSERT_MSG(bytes_arrived_[p] + chunk <= psize_,
                           "duplicate partition arrival");
         bytes_arrived_[p] += chunk;
@@ -197,7 +205,8 @@ bool PrecvRequest::test() const {
 
 void PrecvRequest::when_complete(Completion cb) {
   if (test()) {
-    rank_.world().engine().schedule_after(0, std::move(cb));
+    rank_.world().engine().schedule_after(0, std::move(cb),
+                                          "precv.when_complete");
     return;
   }
   completions_.push_back(std::move(cb));

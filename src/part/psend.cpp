@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/hooks.hpp"
 #include "common/assert.hpp"
 #include "common/bits.hpp"
 #include "part/imm.hpp"
@@ -35,6 +36,7 @@ Status PsendRequest::init(mpi::Rank& rank, std::span<std::byte> buffer,
 
   auto req = std::unique_ptr<PsendRequest>(new PsendRequest(
       rank, buffer, partitions, dst, tag, comm_id, opts));
+  PARTIB_CHECK_HOOK(on_psend_init(req.get(), rank.id(), partitions));
   req->setup_verbs_and_handshake();
   *out = std::move(req);
   return Status::kOk;
@@ -120,7 +122,8 @@ void PsendRequest::on_ack(const RecvAck& ack) {
 
 void PsendRequest::pbuf_prepare(Completion cb) {
   if (remote_ready_) {
-    rank_.world().engine().schedule_after(0, std::move(cb));
+    rank_.world().engine().schedule_after(0, std::move(cb),
+                                          "psend.pbuf_prepare");
     return;
   }
   prepare_callbacks_.push_back(std::move(cb));
@@ -141,6 +144,7 @@ void PsendRequest::flush_deferred() {
 }
 
 Status PsendRequest::start() {
+  PARTIB_CHECK_HOOK(on_psend_start(this));
   if (started_ && !test()) return Status::kInvalidState;
   if (plan_.adaptive && started_ && ready_count_ == n_) {
     adapt_transport_partitions();
@@ -181,6 +185,7 @@ void PsendRequest::adapt_transport_partitions() {
 }
 
 Status PsendRequest::pready(std::size_t partition) {
+  PARTIB_CHECK_HOOK(on_pready(this, partition));
   if (!started_) return Status::kInvalidState;
   if (partition >= n_) return Status::kInvalidArgument;
   if (arrived_[partition]) return Status::kInvalidArgument;  // double Pready
@@ -203,7 +208,8 @@ Status PsendRequest::pready(std::size_t partition) {
       flush_group_runs(g);
     } else if (grp.arrived == 1) {
       grp.timer = rank_.world().engine().schedule_after(
-          plan_.timer_delta, [this, g] { on_group_timer(g); });
+          plan_.timer_delta, [this, g] { on_group_timer(g); },
+          "psend.group_timer");
     }
   }
   return Status::kOk;
@@ -299,9 +305,11 @@ Duration PsendRequest::ucx_pre_post_delay(std::size_t bytes) const {
 void PsendRequest::post_message(std::size_t first, std::size_t count) {
   PARTIB_ASSERT(count >= 1 && first + count <= n_);
   ++inflight_msgs_;
+  PARTIB_CHECK_HOOK(on_psend_msg_intent(this));
   if (!can_post()) {
     deferred_.push_back([this, first, count] {
       --inflight_msgs_;  // re-counted by the re-entrant call
+      PARTIB_CHECK_HOOK(on_psend_msg_intent_undone(this));
       post_message(first, count);
     });
     return;
@@ -314,11 +322,12 @@ void PsendRequest::post_message(std::size_t first, std::size_t count) {
   verbs::SendWr wr;
   wr.wr_id = next_wr_id_++;
   wr.opcode = verbs::Opcode::kRdmaWriteWithImm;
-  wr.sg_list.push_back(verbs::Sge{
-      reinterpret_cast<std::uint64_t>(buf_.data() + first * psize_),
-      static_cast<std::uint32_t>(bytes), mr_->lkey()});
+  wr.sg_list.push_back(verbs::Sge{wire_addr(buf_.data() + first * psize_),
+                                  static_cast<std::uint32_t>(bytes),
+                                  mr_->lkey()});
   wr.imm = encode_imm(static_cast<std::uint32_t>(first),
                       static_cast<std::uint32_t>(count));
+  PARTIB_CHECK_HOOK(on_imm_encoded(this, first, count, wr.imm));
   wr.remote_addr = remote_base_ + first * psize_;
   wr.rkey = remote_rkey_;
   if (plan_.path == agg::Path::kUcxLike && bytes < opts_.ucx.rndv_min) {
@@ -358,7 +367,8 @@ void PsendRequest::post_message(std::size_t first, std::size_t count) {
               if (pre_delay > 0) {
                 rank_.world().engine().schedule_after(
                     pre_delay,
-                    [this, qp_index, wr] { post_now(qp_index, wr); });
+                    [this, qp_index, wr] { post_now(qp_index, wr); },
+                    "psend.pre_post_delay");
               } else {
                 post_now(qp_index, wr);
               }
@@ -381,10 +391,13 @@ void PsendRequest::post_now(std::size_t qp_index, verbs::SendWr wr) {
 void PsendRequest::schedule_progress() {
   if (progress_scheduled_) return;
   progress_scheduled_ = true;
-  rank_.world().engine().schedule_after(0, [this] {
-    progress_scheduled_ = false;
-    progress();
-  });
+  rank_.world().engine().schedule_after(
+      0,
+      [this] {
+        progress_scheduled_ = false;
+        progress();
+      },
+      "psend.progress");
 }
 
 void PsendRequest::progress() {
@@ -396,6 +409,7 @@ void PsendRequest::progress() {
                         to_string(wcs[i].status));
       PARTIB_ASSERT(inflight_msgs_ > 0);
       --inflight_msgs_;
+      PARTIB_CHECK_HOOK(on_psend_msg_complete(this));
     }
   }
   // Freed WR slots: drain software backlogs.
@@ -423,14 +437,17 @@ bool PsendRequest::test() const {
 
 void PsendRequest::when_complete(Completion cb) {
   if (test()) {
-    rank_.world().engine().schedule_after(0, std::move(cb));
+    rank_.world().engine().schedule_after(0, std::move(cb),
+                                          "psend.when_complete");
     return;
   }
   completions_.push_back(std::move(cb));
 }
 
 void PsendRequest::check_completion() {
-  if (!test() || completions_.empty()) return;
+  if (!test()) return;
+  if (started_) PARTIB_CHECK_HOOK(on_psend_round_complete(this));
+  if (completions_.empty()) return;
   std::vector<Completion> cbs;
   cbs.swap(completions_);
   for (auto& cb : cbs) cb();

@@ -1,20 +1,22 @@
 #include "sim/engine.hpp"
 
 #include "common/assert.hpp"
+#include "common/diag.hpp"
 
 namespace partib::sim {
 
-Engine::EventId Engine::schedule_at(Time t, Callback cb) {
+Engine::EventId Engine::schedule_at(Time t, Callback cb, const char* site) {
   PARTIB_ASSERT_MSG(t >= now_, "cannot schedule an event in the past");
   PARTIB_ASSERT(cb != nullptr);
   const Key key{t, next_seq_++};
-  queue_.emplace(key, std::move(cb));
+  queue_.emplace(key, Event{std::move(cb), site});
   return EventId{key.first, key.second};
 }
 
-Engine::EventId Engine::schedule_after(Duration d, Callback cb) {
+Engine::EventId Engine::schedule_after(Duration d, Callback cb,
+                                       const char* site) {
   PARTIB_ASSERT_MSG(d >= 0, "negative delay");
-  return schedule_at(now_ + d, std::move(cb));
+  return schedule_at(now_ + d, std::move(cb), site);
 }
 
 bool Engine::cancel(EventId id) {
@@ -25,12 +27,15 @@ bool Engine::cancel(EventId id) {
 void Engine::dispatch_front() {
   auto it = queue_.begin();
   now_ = it->first.first;
+  diag_set_time(now_);
   // Move the callback out before erasing: the callback may schedule or
   // cancel other events (but must not touch this, already-removed, one).
-  Callback cb = std::move(it->second);
+  Event ev = std::move(it->second);
+  const Key key = it->first;
   queue_.erase(it);
   ++processed_;
-  cb();
+  if (observer_) observer_(key.first, key.second, ev.site);
+  ev.cb();
 }
 
 bool Engine::step() {

@@ -21,6 +21,14 @@ class Engine {
  public:
   using Callback = std::function<void()>;
 
+  /// Observer invoked at every event dispatch with the event's (time,
+  /// sequence number, scheduling-site tag).  The check/ determinism
+  /// auditor attaches here to hash the dispatch stream; the hook is
+  /// generic so tracing tools can use it too.  `site` is the tag passed
+  /// to schedule_at/schedule_after (nullptr when the caller gave none).
+  using DispatchObserver =
+      std::function<void(Time, std::uint64_t, const char*)>;
+
   /// Token for cancelling a pending event (e.g. disarming an aggregation
   /// timer when all partitions arrive before the deadline).
   struct EventId {
@@ -36,10 +44,12 @@ class Engine {
   Time now() const { return now_; }
 
   /// Schedule `cb` at absolute virtual time `t` (must be >= now()).
-  EventId schedule_at(Time t, Callback cb);
+  /// `site` optionally names the scheduling call-site (a string literal;
+  /// the engine stores the pointer, not a copy) for dispatch observers.
+  EventId schedule_at(Time t, Callback cb, const char* site = nullptr);
 
   /// Schedule `cb` `d` nanoseconds from now (d must be >= 0).
-  EventId schedule_after(Duration d, Callback cb);
+  EventId schedule_after(Duration d, Callback cb, const char* site = nullptr);
 
   /// Remove a pending event.  Returns false if it already ran, was already
   /// cancelled, or the id is invalid.
@@ -59,14 +69,25 @@ class Engine {
   std::size_t pending() const { return queue_.size(); }
   std::uint64_t processed_count() const { return processed_; }
 
+  /// Install (or clear, with nullptr) the dispatch observer.
+  void set_dispatch_observer(DispatchObserver obs) {
+    observer_ = std::move(obs);
+  }
+
  private:
   using Key = std::pair<Time, std::uint64_t>;
+
+  struct Event {
+    Callback cb;
+    const char* site;
+  };
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t processed_ = 0;
   // Ordered map doubles as priority queue and cancellation index.
-  std::map<Key, Callback> queue_;
+  std::map<Key, Event> queue_;
+  DispatchObserver observer_;
 
   void dispatch_front();
 };

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "check/hooks.hpp"
 #include "common/assert.hpp"
 
 namespace partib::verbs {
@@ -29,6 +30,7 @@ Pd& Context::alloc_pd() {
 Cq& Context::create_cq(int depth) {
   PARTIB_ASSERT(depth > 0);
   cqs_.push_back(std::make_unique<Cq>(depth));
+  PARTIB_CHECK_HOOK(on_cq_created(cqs_.back().get(), depth));
   return *cqs_.back();
 }
 
@@ -53,10 +55,12 @@ int Cq::poll(std::span<Wc> out) {
     entries_.pop_front();
     ++n;
   }
+  PARTIB_CHECK_HOOK(on_cq_poll(this, n));
   return n;
 }
 
 void Cq::push(Wc wc) {
+  PARTIB_CHECK_HOOK(on_cq_push(this));
   if (entries_.size() >= static_cast<std::size_t>(depth_)) {
     // CQ overrun is fatal on real hardware too; surfacing it loudly keeps
     // sizing bugs out of the upper layers.
@@ -74,6 +78,8 @@ Mr& Pd::register_mr(std::span<std::byte> range, unsigned access) {
   mrs_.push_back(std::make_unique<Mr>(range, access, lkey, rkey));
   Mr& mr = *mrs_.back();
   context_.mr_registry_.emplace(rkey, &mr);
+  PARTIB_CHECK_HOOK(on_mr_registered(this, mr.addr(), mr.length(), lkey,
+                                     rkey, access));
   return mr;
 }
 
@@ -83,10 +89,12 @@ Qp& Pd::create_qp(Cq& send_cq, Cq& recv_cq, QpCaps caps) {
   qps_.push_back(std::make_unique<Qp>(*this, send_cq, recv_cq, caps, num));
   Qp& qp = *qps_.back();
   dev.qp_registry_.emplace(num, &qp);
+  PARTIB_CHECK_HOOK(on_qp_created(&qp, num, caps));
   return qp;
 }
 
-Mr* Pd::find_local_mr(Lkey lkey, std::uint64_t addr, std::size_t len) {
+const Mr* Pd::find_local_mr(Lkey lkey, std::uint64_t addr,
+                            std::size_t len) const {
   for (const auto& mr : mrs_) {
     if (mr->lkey() == lkey && mr->contains(addr, len)) return mr.get();
   }
@@ -107,24 +115,36 @@ Qp::Qp(Pd& pd, Cq& send_cq, Cq& recv_cq, QpCaps caps, std::uint32_t qp_num)
 }
 
 Status Qp::to_init() {
-  if (state_ != QpState::kReset) return Status::kInvalidState;
+  if (state_ != QpState::kReset) {
+    PARTIB_CHECK_HOOK(on_qp_transition(this, QpState::kInit, false));
+    return Status::kInvalidState;
+  }
   state_ = QpState::kInit;
+  PARTIB_CHECK_HOOK(on_qp_transition(this, QpState::kInit, true));
   return Status::kOk;
 }
 
 Status Qp::to_rtr(std::uint32_t remote_qp_num) {
-  if (state_ != QpState::kInit) return Status::kInvalidState;
+  if (state_ != QpState::kInit) {
+    PARTIB_CHECK_HOOK(on_qp_transition(this, QpState::kRtr, false));
+    return Status::kInvalidState;
+  }
   Qp* remote = pd_.context().device().find_qp(remote_qp_num);
   if (remote == nullptr) return Status::kNotFound;
   remote_qp_num_ = remote_qp_num;
   remote_ = remote;
   state_ = QpState::kRtr;
+  PARTIB_CHECK_HOOK(on_qp_transition(this, QpState::kRtr, true));
   return Status::kOk;
 }
 
 Status Qp::to_rts() {
-  if (state_ != QpState::kRtr) return Status::kInvalidState;
+  if (state_ != QpState::kRtr) {
+    PARTIB_CHECK_HOOK(on_qp_transition(this, QpState::kRts, false));
+    return Status::kInvalidState;
+  }
   state_ = QpState::kRts;
+  PARTIB_CHECK_HOOK(on_qp_transition(this, QpState::kRts, true));
   return Status::kOk;
 }
 
@@ -132,8 +152,7 @@ Status Qp::validate_sges(const std::vector<Sge>& sges,
                          unsigned required_access, std::size_t* total) const {
   std::size_t sum = 0;
   for (const Sge& sge : sges) {
-    Mr* mr = const_cast<Pd&>(pd_).find_local_mr(sge.lkey, sge.addr,
-                                                sge.length);
+    const Mr* mr = pd_.find_local_mr(sge.lkey, sge.addr, sge.length);
     if (mr == nullptr) return Status::kInvalidArgument;
     if (required_access != 0 &&
         (mr->access() & required_access) != required_access) {
@@ -146,6 +165,7 @@ Status Qp::validate_sges(const std::vector<Sge>& sges,
 }
 
 Status Qp::post_recv(const RecvWr& wr) {
+  PARTIB_CHECK_HOOK(on_post_recv(this, &pd_, wr));
   if (state_ == QpState::kReset || state_ == QpState::kError) {
     return Status::kInvalidState;
   }
@@ -156,10 +176,12 @@ Status Qp::post_recv(const RecvWr& wr) {
   const Status st = validate_sges(wr.sg_list, Access::kLocalWrite, &total);
   if (!ok(st)) return st;
   recv_queue_.push_back(PostedRecv{wr, total});
+  PARTIB_CHECK_HOOK(on_recv_accepted(this));
   return Status::kOk;
 }
 
 Status Qp::post_send(const SendWr& wr) {
+  PARTIB_CHECK_HOOK(on_post_send(this, &pd_, wr));
   if (state_ != QpState::kRts) return Status::kInvalidState;
   if (outstanding_ >= caps_.max_send_wr) return Status::kResourceExhausted;
   std::size_t total = 0;
@@ -168,6 +190,7 @@ Status Qp::post_send(const SendWr& wr) {
   PARTIB_ASSERT(remote_ != nullptr);
 
   ++outstanding_;
+  PARTIB_CHECK_HOOK(on_send_accepted(this));
   fabric::Fabric& fab = pd_.context().device().fab();
   const bool copy = fab.copies_data();
   const bool with_imm = wr.opcode == Opcode::kRdmaWriteWithImm;
@@ -227,12 +250,12 @@ Qp::DeliveryResult Qp::deliver_rdma_write(const SendWr& wr, bool with_imm,
     res.recv_wr_consumed = true;
     res.recv_wr_id = recv_queue_.front().wr.wr_id;
     recv_queue_.pop_front();
+    PARTIB_CHECK_HOOK(on_recv_consumed(this));
   }
   if (copy_data) {
-    auto* dst = reinterpret_cast<std::byte*>(wr.remote_addr);
+    std::byte* dst = wire_ptr(wr.remote_addr);
     for (const Sge& sge : wr.sg_list) {
-      std::memcpy(dst, reinterpret_cast<const std::byte*>(sge.addr),
-                  sge.length);
+      std::memcpy(dst, wire_ptr(sge.addr), sge.length);
       dst += sge.length;
     }
   }
@@ -251,6 +274,7 @@ Qp::DeliveryResult Qp::deliver_send(const SendWr& wr, bool copy_data) {
   }
   const PostedRecv posted = recv_queue_.front();
   recv_queue_.pop_front();
+  PARTIB_CHECK_HOOK(on_recv_consumed(this));
   res.recv_wr_consumed = true;
   res.recv_wr_id = posted.wr.wr_id;
   if (total > posted.total_length) {
@@ -267,8 +291,8 @@ Qp::DeliveryResult Qp::deliver_send(const SendWr& wr, bool copy_data) {
         const Sge& dst = posted.wr.sg_list[recv_idx];
         const std::size_t space = dst.length - recv_off;
         const std::size_t n = std::min(space, src.length - copied);
-        std::memcpy(reinterpret_cast<std::byte*>(dst.addr + recv_off),
-                    reinterpret_cast<const std::byte*>(src.addr + copied), n);
+        std::memcpy(wire_ptr(dst.addr + recv_off),
+                    wire_ptr(src.addr + copied), n);
         copied += n;
         recv_off += n;
         if (recv_off == dst.length) {
@@ -284,6 +308,7 @@ Qp::DeliveryResult Qp::deliver_send(const SendWr& wr, bool copy_data) {
 void Qp::complete_send(const SendWr& wr, const DeliveryResult& result,
                        Time when) {
   --outstanding_;
+  PARTIB_CHECK_HOOK(on_send_completed(this));
   Wc wc;
   wc.wr_id = wr.wr_id;
   wc.status = result.status;
@@ -292,7 +317,10 @@ void Qp::complete_send(const SendWr& wr, const DeliveryResult& result,
   wc.byte_len = result.byte_len;
   wc.qp_num = qp_num_;
   wc.completion_time = when;
-  if (result.status != WcStatus::kSuccess) state_ = QpState::kError;
+  if (result.status != WcStatus::kSuccess) {
+    state_ = QpState::kError;
+    PARTIB_CHECK_HOOK(on_qp_transition(this, QpState::kError, true));
+  }
   send_cq_.push(wc);
 }
 

@@ -23,6 +23,7 @@
 #include <span>
 #include <vector>
 
+#include "common/bits.hpp"
 #include "common/status.hpp"
 #include "fabric/fabric.hpp"
 #include "verbs/types.hpp"
@@ -95,9 +96,7 @@ class Mr {
   Mr(std::span<std::byte> range, unsigned access, Lkey lkey, Rkey rkey)
       : range_(range), access_(access), lkey_(lkey), rkey_(rkey) {}
 
-  std::uint64_t addr() const {
-    return reinterpret_cast<std::uint64_t>(range_.data());
-  }
+  std::uint64_t addr() const { return wire_addr(range_.data()); }
   std::size_t length() const { return range_.size(); }
   unsigned access() const { return access_; }
   Lkey lkey() const { return lkey_; }
@@ -158,7 +157,8 @@ class Pd {
   Context& context() { return context_; }
 
   /// Find a local MR covering [addr, addr+len) whose lkey matches.
-  Mr* find_local_mr(Lkey lkey, std::uint64_t addr, std::size_t len);
+  const Mr* find_local_mr(Lkey lkey, std::uint64_t addr,
+                          std::size_t len) const;
 
  private:
   Context& context_;
