@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Build the hot-path microbenchmarks in the measurement configuration
+# (Release, PARTIB_CHECK=OFF — see docs/PERF.md) and run them through the
+# regression gate in tools/bench_compare.py.
+#
+# Usage:
+#   bench/run_hotpaths.sh              # compare against BENCH_hotpaths.json
+#   bench/run_hotpaths.sh --update     # refresh the baseline
+#   bench/run_hotpaths.sh --warn-only  # report but never fail (CI)
+# Extra arguments are forwarded to bench_compare.py.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="$repo/build-rel"
+
+cmake -S "$repo" -B "$build" \
+  -DCMAKE_BUILD_TYPE=Release -DPARTIB_CHECK=OFF >/dev/null
+cmake --build "$build" --target bench_micro_hotpaths -j "$(nproc)"
+
+exec python3 "$repo/tools/bench_compare.py" \
+  --binary "$build/bench/bench_micro_hotpaths" "$@"

@@ -3,6 +3,7 @@
 // counts) and canned part::Options constructors for each design.
 #pragma once
 
+#include <charconv>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -22,7 +23,18 @@ class Cli {
       if (std::strcmp(argv[i], "--csv") == 0) {
         csv_ = true;
       } else if (std::strncmp(argv[i], "--iters=", 8) == 0) {
-        iters_override_ = std::atoi(argv[i] + 8);
+        // std::from_chars, not atoi: reject garbage and non-positive
+        // values loudly instead of silently running 0 iterations.
+        const char* value = argv[i] + 8;
+        const char* end = value + std::strlen(value);
+        int parsed = 0;
+        const auto [ptr, ec] = std::from_chars(value, end, parsed);
+        if (ec != std::errc{} || ptr != end || parsed <= 0) {
+          std::cerr << "bench: invalid --iters value \"" << value
+                    << "\" (expected a positive integer)\n";
+          std::exit(2);
+        }
+        iters_override_ = parsed;
       }
     }
   }

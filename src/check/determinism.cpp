@@ -8,7 +8,6 @@ namespace partib::check {
 
 namespace {
 
-constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
 constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
 
 std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t len) {
@@ -22,21 +21,10 @@ std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t len) {
 
 }  // namespace
 
-void DeterminismAuditor::attach(sim::Engine& engine) {
-  detach();
-  engine_ = &engine;
-  hash_ = kFnvOffset;
-  events_ = 0;
-  engine.set_dispatch_observer(
-      [this](Time t, std::uint64_t seq, const char* site) {
-        observe(t, seq, site);
-      });
-}
-
 void DeterminismAuditor::detach() {
-  if (engine_ != nullptr) {
-    engine_->set_dispatch_observer(nullptr);
-    engine_ = nullptr;
+  if (detacher_) {
+    detacher_();
+    detacher_ = nullptr;
   }
 }
 

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "sim/engine.hpp"
 
@@ -29,8 +30,21 @@ class DeterminismAuditor {
   DeterminismAuditor& operator=(const DeterminismAuditor&) = delete;
 
   /// Install on `engine` (replacing any previous attachment) and reset the
-  /// fingerprint for a new run.
-  void attach(sim::Engine& engine);
+  /// fingerprint for a new run.  Templated on the engine type so the
+  /// auditor can also fingerprint reference implementations (e.g.
+  /// tests/support/reference_engine.hpp) — anything exposing
+  /// `set_dispatch_observer` with the sim::Engine observer signature.
+  template <typename EngineT>
+  void attach(EngineT& engine) {
+    detach();
+    hash_ = kFnvOffsetBasis;
+    events_ = 0;
+    engine.set_dispatch_observer(
+        [this](Time t, std::uint64_t seq, const char* site) {
+          observe(t, seq, site);
+        });
+    detacher_ = [&engine] { engine.set_dispatch_observer(nullptr); };
+  }
 
   /// Remove the observer from the attached engine, if any.
   void detach();
@@ -46,9 +60,11 @@ class DeterminismAuditor {
                                const char* what);
 
  private:
+  static constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+
   void observe(Time t, std::uint64_t seq, const char* site);
 
-  sim::Engine* engine_ = nullptr;
+  std::function<void()> detacher_;
   std::uint64_t hash_ = 0;
   std::uint64_t events_ = 0;
 };

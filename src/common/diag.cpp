@@ -6,14 +6,6 @@
 
 namespace partib {
 
-namespace {
-Time g_vtime = -1;
-}  // namespace
-
-void diag_set_time(Time t) { g_vtime = t; }
-
-Time diag_time() { return g_vtime; }
-
 void diag_emit(const Diagnostic& d) {
   char timebuf[24];
   if (d.vtime >= 0) {

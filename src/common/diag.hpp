@@ -38,14 +38,20 @@ void diag_emit(const Diagnostic& d);
 /// log grammar.
 [[noreturn]] void diag_fail(const Diagnostic& d);
 
+namespace detail {
+/// Backing store for diag_set_time/diag_time (-1 before any dispatch).
+inline Time g_diag_vtime = -1;
+}  // namespace detail
+
 /// The simulation engine publishes its clock here on every event dispatch
 /// so diagnostics raised from within callbacks carry virtual time even
 /// when the reporting site has no engine reference.  Multiple engines in
 /// one process: last dispatch wins, which is the right answer for the
-/// single-engine-per-simulation norm.
-void diag_set_time(Time t);
+/// single-engine-per-simulation norm.  Inline: this sits on the engine's
+/// per-dispatch hot path, where an out-of-line call would be measurable.
+inline void diag_set_time(Time t) { detail::g_diag_vtime = t; }
 
 /// Last published virtual time (-1 before any dispatch).
-Time diag_time();
+inline Time diag_time() { return detail::g_diag_vtime; }
 
 }  // namespace partib

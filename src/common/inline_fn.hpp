@@ -1,0 +1,222 @@
+// Small-buffer-optimized move-only callable.
+//
+// `InlineFn<R(Args...)>` is the simulator's replacement for
+// `std::function` on the event hot path.  A `std::function` constructed
+// from a lambda whose captures exceed the implementation's small-object
+// buffer (typically 16 bytes on libstdc++) heap-allocates on every
+// schedule, and its copyability forces captured state to be copyable too.
+// `InlineFn` instead embeds captures up to `BufBytes` (default 48, sized
+// so every callback the engine/fabric hot paths create stays inline),
+// is move-only, and never allocates for inline-stored targets.  Larger
+// or potentially-throwing-move targets fall back to a single heap
+// allocation, preserving correctness for arbitrarily fat closures.
+//
+// Semantics follow `std::function` where it matters for drop-in use:
+// `operator()` is const (shallow const, like `std::function`), empty
+// instances compare equal to nullptr, and invoking an empty InlineFn is
+// undefined (the engine asserts non-empty at schedule time instead).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace partib::common {
+
+template <typename Sig, std::size_t BufBytes = 48>
+class InlineFn;  // primary template: only the R(Args...) partial below.
+
+template <typename R, typename... Args, std::size_t BufBytes>
+class InlineFn<R(Args...), BufBytes> {
+  static_assert(BufBytes >= sizeof(void*), "buffer must hold a pointer");
+
+ public:
+  InlineFn() noexcept = default;
+  InlineFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, InlineFn> &&
+                std::is_invocable_r_v<R, std::remove_cvref_t<F>&, Args...>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (kStoresInline<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept { move_from(other); }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFn& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  /// Construct a target of type F in place, destroying any current one.
+  /// Equivalent to `*this = InlineFn(std::forward<F>(f))` but writes the
+  /// capture directly into this buffer — no temporary, no relocation.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, InlineFn> &&
+                std::is_invocable_r_v<R, std::remove_cvref_t<F>&, Args...>>>
+  void emplace(F&& f) {
+    using Fn = std::remove_cvref_t<F>;
+    reset();
+    if constexpr (kStoresInline<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  ~InlineFn() { reset(); }
+
+  R operator()(Args... args) const {
+    return ops_->call(buf_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  friend bool operator==(const InlineFn& f, std::nullptr_t) noexcept {
+    return f.ops_ == nullptr;
+  }
+  friend bool operator!=(const InlineFn& f, std::nullptr_t) noexcept {
+    return f.ops_ != nullptr;
+  }
+
+  /// True when a target of type Fn is stored in the inline buffer (no
+  /// heap allocation).  Exposed so tests can pin the SBO size contract.
+  template <typename Fn>
+  static constexpr bool stores_inline() {
+    return kStoresInline<std::remove_cvref_t<Fn>>;
+  }
+
+  /// True when destroying the current target does real work (non-trivial
+  /// destructor or heap-stored).  Owners batching many InlineFns can skip
+  /// their teardown pass entirely when no element ever needed one.
+  bool needs_destroy() const noexcept {
+    return ops_ != nullptr && ops_->destroy != nullptr;
+  }
+
+  /// Compile-time version of needs_destroy() for a prospective target
+  /// type: false iff Fn stores inline and is trivially destructible.
+  template <typename Fn>
+  static constexpr bool needs_destroy_for() {
+    using T = std::remove_cvref_t<Fn>;
+    return !(kStoresInline<T> && std::is_trivially_destructible_v<T>);
+  }
+
+ private:
+  struct Ops {
+    R (*call)(void* target, Args&&... args);
+    // Move-construct into dst from src, then destroy src's target.
+    // nullptr means "trivially relocatable": the owner memcpys the buffer
+    // instead, turning every InlineFn move into a handful of direct
+    // stores.  This covers the common hot-path captures (references and
+    // scalars) *and* the heap fallback, whose stored state is a plain
+    // pointer.
+    void (*relocate)(void* dst, void* src);
+    // nullptr means trivially destructible: reset() skips the call.
+    void (*destroy)(void* target);
+  };
+
+  // The buffer is pointer-aligned, not max_align_t-aligned: capture sets
+  // on the hot paths are pointers, integers and doubles, and the lower
+  // alignment keeps sizeof(InlineFn) at BufBytes + one pointer (a
+  // 16-byte-aligned buffer would pad the engine's event slots by a
+  // further 16 bytes each).  Over-aligned targets fall back to the heap.
+  static constexpr std::size_t kBufAlign = alignof(void*);
+
+  // Inline storage requires a nothrow move so InlineFn's own move stays
+  // noexcept (the event queue relocates entries while sifting).
+  template <typename Fn>
+  static constexpr bool kStoresInline =
+      sizeof(Fn) <= BufBytes && alignof(Fn) <= kBufAlign &&
+      std::is_nothrow_move_constructible_v<Fn>;
+
+  template <typename Fn>
+  static Fn* inline_target(void* buf) {
+    return std::launder(reinterpret_cast<Fn*>(buf));
+  }
+  template <typename Fn>
+  static Fn* heap_target(void* buf) {
+    return *std::launder(reinterpret_cast<Fn**>(buf));
+  }
+
+  template <typename Fn>
+  struct InlineOps {
+    static R call(void* b, Args&&... args) {
+      return (*inline_target<Fn>(b))(std::forward<Args>(args)...);
+    }
+    static void relocate(void* dst, void* src) {
+      Fn* s = inline_target<Fn>(src);
+      ::new (dst) Fn(std::move(*s));
+      s->~Fn();
+    }
+    static void destroy(void* b) { inline_target<Fn>(b)->~Fn(); }
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static R call(void* b, Args&&... args) {
+      return (*heap_target<Fn>(b))(std::forward<Args>(args)...);
+    }
+    static void destroy(void* b) { delete heap_target<Fn>(b); }
+  };
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps{
+      &InlineOps<Fn>::call,
+      std::is_trivially_copyable_v<Fn> ? nullptr : &InlineOps<Fn>::relocate,
+      std::is_trivially_destructible_v<Fn> ? nullptr
+                                           : &InlineOps<Fn>::destroy};
+  // Heap storage relocates by copying the stored pointer, i.e. trivially.
+  template <typename Fn>
+  static constexpr Ops kHeapOps{&HeapOps<Fn>::call, nullptr,
+                                &HeapOps<Fn>::destroy};
+
+  void move_from(InlineFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      if (ops_->relocate != nullptr) {
+        ops_->relocate(buf_, other.buf_);
+      } else {
+        // Copying the whole buffer (rather than the target's exact size)
+        // keeps this a fixed-size, fully unrolled copy.
+        std::memcpy(buf_, other.buf_, BufBytes);
+      }
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(kBufAlign) mutable std::byte buf_[BufBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace partib::common

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/assert.hpp"
+#include "common/diag.hpp"
 
 namespace partib::fabric {
 
@@ -21,13 +22,21 @@ FluidNetwork::FluidNetwork(sim::Engine& engine, double link_bytes_per_ns)
 void FluidNetwork::set_node_count(int n) {
   PARTIB_ASSERT(n >= nodes_);
   nodes_ = n;
+  const auto count = static_cast<std::size_t>(n);
+  egress_cap_.resize(count, capacity_);
+  ingress_cap_.resize(count, capacity_);
+  egress_rem_.resize(count);
+  ingress_rem_.resize(count);
+  egress_load_.resize(count);
+  ingress_load_.resize(count);
 }
 
 void FluidNetwork::set_node_capacity(NodeId node, double egress_bytes_per_ns,
                                      double ingress_bytes_per_ns) {
   PARTIB_ASSERT(node >= 0 && node < nodes_);
   PARTIB_ASSERT(egress_bytes_per_ns > 0.0 && ingress_bytes_per_ns > 0.0);
-  node_caps_[node] = {egress_bytes_per_ns, ingress_bytes_per_ns};
+  egress_cap_[static_cast<std::size_t>(node)] = egress_bytes_per_ns;
+  ingress_cap_[static_cast<std::size_t>(node)] = ingress_bytes_per_ns;
 }
 
 void FluidNetwork::submit(NodeId src, NodeId dst, double bytes,
@@ -53,8 +62,16 @@ void FluidNetwork::submit(NodeId src, NodeId dst, double bytes,
     return;
   }
   drain_progress();
-  flows_.emplace(next_id_++,
-                 Flow{src, dst, bytes, rate_cap, 0.0, std::move(done)});
+  std::uint32_t slot;
+  if (!free_flow_slots_.empty()) {
+    slot = free_flow_slots_.back();
+    free_flow_slots_.pop_back();
+    flow_slots_[slot] = Flow{src, dst, bytes, rate_cap, 0.0, std::move(done)};
+  } else {
+    slot = static_cast<std::uint32_t>(flow_slots_.size());
+    flow_slots_.push_back(Flow{src, dst, bytes, rate_cap, 0.0, std::move(done)});
+  }
+  active_.push_back(slot);
   recompute_rates();
   schedule_next_completion();
 }
@@ -63,7 +80,8 @@ void FluidNetwork::drain_progress() {
   const Time now = engine_.now();
   const auto elapsed = static_cast<double>(now - last_update_);
   if (elapsed > 0.0) {
-    for (auto& [id, f] : flows_) {
+    for (const std::uint32_t slot : active_) {
+      Flow& f = flow_slots_[slot];
       f.remaining = std::max(0.0, f.remaining - f.rate * elapsed);
     }
   }
@@ -71,62 +89,73 @@ void FluidNetwork::drain_progress() {
 }
 
 void FluidNetwork::recompute_rates() {
+  if (active_.empty()) return;
+  if (active_.size() == 1) {
+    // Single-flow fast path: progressive filling with one flow is one
+    // round whose delta is min(egress, ingress, cap), so this is exact
+    // (bit-identical to the full fill), not an approximation.
+    Flow& f = flow_slots_[active_[0]];
+    const double e = egress_cap_[static_cast<std::size_t>(f.src)];
+    const double i = ingress_cap_[static_cast<std::size_t>(f.dst)];
+    f.rate = std::min(std::min(e, i), f.cap);
+    return;
+  }
   // Progressive filling (water-filling): raise all unfrozen flow rates in
   // lockstep; freeze flows at their cap and flows crossing a saturated
   // link.  Each round freezes at least one flow, so this terminates.
-  std::vector<double> egress(static_cast<std::size_t>(nodes_), capacity_);
-  std::vector<double> ingress(static_cast<std::size_t>(nodes_), capacity_);
-  for (const auto& [node, caps] : node_caps_) {
-    egress[static_cast<std::size_t>(node)] = caps.first;
-    ingress[static_cast<std::size_t>(node)] = caps.second;
-  }
-  std::vector<Flow*> unfrozen;
-  unfrozen.reserve(flows_.size());
-  for (auto& [id, f] : flows_) {
+  // Scratch vectors are members; the steady path allocates nothing.
+  std::copy(egress_cap_.begin(), egress_cap_.end(), egress_rem_.begin());
+  std::copy(ingress_cap_.begin(), ingress_cap_.end(), ingress_rem_.begin());
+  std::fill(egress_load_.begin(), egress_load_.end(), 0);
+  std::fill(ingress_load_.begin(), ingress_load_.end(), 0);
+  unfrozen_.clear();
+  for (const std::uint32_t slot : active_) {
+    Flow& f = flow_slots_[slot];
     f.rate = 0.0;
-    unfrozen.push_back(&f);
+    unfrozen_.push_back(&f);
+    ++egress_load_[static_cast<std::size_t>(f.src)];
+    ++ingress_load_[static_cast<std::size_t>(f.dst)];
   }
   const double eps = capacity_ * 1e-12;
 
-  while (!unfrozen.empty()) {
-    std::vector<int> egress_load(static_cast<std::size_t>(nodes_), 0);
-    std::vector<int> ingress_load(static_cast<std::size_t>(nodes_), 0);
-    for (const Flow* f : unfrozen) {
-      ++egress_load[static_cast<std::size_t>(f->src)];
-      ++ingress_load[static_cast<std::size_t>(f->dst)];
-    }
+  while (!unfrozen_.empty()) {
     double delta = std::numeric_limits<double>::infinity();
-    for (const Flow* f : unfrozen) {
+    for (const Flow* f : unfrozen_) {
       const auto s = static_cast<std::size_t>(f->src);
       const auto d = static_cast<std::size_t>(f->dst);
-      delta = std::min(delta, egress[s] / egress_load[s]);
-      delta = std::min(delta, ingress[d] / ingress_load[d]);
+      delta = std::min(delta, egress_rem_[s] / egress_load_[s]);
+      delta = std::min(delta, ingress_rem_[d] / ingress_load_[d]);
       delta = std::min(delta, f->cap - f->rate);
     }
     PARTIB_ASSERT(delta >= 0.0 &&
                   delta < std::numeric_limits<double>::infinity());
-    for (Flow* f : unfrozen) {
+    for (Flow* f : unfrozen_) {
       f->rate += delta;
-      egress[static_cast<std::size_t>(f->src)] -= delta;
-      ingress[static_cast<std::size_t>(f->dst)] -= delta;
+      egress_rem_[static_cast<std::size_t>(f->src)] -= delta;
+      ingress_rem_[static_cast<std::size_t>(f->dst)] -= delta;
     }
-    // Freeze cap-limited flows and flows on saturated links.
-    std::vector<Flow*> still;
-    still.reserve(unfrozen.size());
+    // Freeze cap-limited flows and flows on saturated links; frozen flows
+    // leave the per-link load counts so later rounds divide by the
+    // still-unfrozen population only (same integers the per-round rebuild
+    // in the original implementation produced).
+    still_.clear();
     bool froze_any = false;
-    for (Flow* f : unfrozen) {
+    for (Flow* f : unfrozen_) {
+      const auto s = static_cast<std::size_t>(f->src);
+      const auto d = static_cast<std::size_t>(f->dst);
       const bool capped = f->rate >= f->cap - eps;
-      const bool egress_full = egress[static_cast<std::size_t>(f->src)] <= eps;
-      const bool ingress_full =
-          ingress[static_cast<std::size_t>(f->dst)] <= eps;
+      const bool egress_full = egress_rem_[s] <= eps;
+      const bool ingress_full = ingress_rem_[d] <= eps;
       if (capped || egress_full || ingress_full) {
         froze_any = true;
+        --egress_load_[s];
+        --ingress_load_[d];
       } else {
-        still.push_back(f);
+        still_.push_back(f);
       }
     }
     PARTIB_ASSERT_MSG(froze_any, "progressive filling failed to converge");
-    unfrozen = std::move(still);
+    std::swap(unfrozen_, still_);
   }
 }
 
@@ -135,12 +164,28 @@ void FluidNetwork::schedule_next_completion() {
     engine_.cancel(next_event_);
     next_event_ = sim::Engine::EventId{};
   }
-  if (flows_.empty()) return;
+  if (active_.empty()) return;
   double min_finish = std::numeric_limits<double>::infinity();
-  for (const auto& [id, f] : flows_) {
-    PARTIB_ASSERT(f.rate > 0.0);
+  for (const std::uint32_t slot : active_) {
+    const Flow& f = flow_slots_[slot];
+    if (f.rate <= 0.0) {
+      // Pathological: every capacity/cap interaction underflowed this
+      // flow's share to zero.  A zero rate can never finish, so report a
+      // structured diagnostic instead of dividing by zero (or tripping
+      // an assert in a release-unchecked build); the flow stays parked
+      // until some completion or submission recomputes rates.
+      Diagnostic d;
+      d.rule = "fluid.zero_rate";
+      d.object = "fluid_network";
+      d.vtime = engine_.now();
+      d.detail = "flow rate underflowed to zero (all-capped pathological "
+                 "case); flow parked until rates are recomputed";
+      diag_emit(d);
+      continue;
+    }
     min_finish = std::min(min_finish, f.remaining / f.rate);
   }
+  if (min_finish == std::numeric_limits<double>::infinity()) return;
   const auto delay = static_cast<Duration>(std::ceil(min_finish));
   next_event_ = engine_.schedule_after(std::max<Duration>(delay, 1),
                                        [this] { on_completion_event(); });
@@ -150,25 +195,31 @@ void FluidNetwork::on_completion_event() {
   next_event_ = sim::Engine::EventId{};
   drain_progress();
   // Collect finished flows first: Done callbacks may submit new flows.
-  std::vector<Done> finished;
-  std::vector<Time> ends;
-  for (auto it = flows_.begin(); it != flows_.end();) {
-    if (it->second.remaining <= kByteEps) {
-      finished.push_back(std::move(it->second.done));
-      ends.push_back(engine_.now());
-      it = flows_.erase(it);
+  // `finished_scratch_` keeps its capacity across events; completion
+  // order is `active_` order, i.e. submission order, matching the
+  // original id-ordered map iteration.
+  finished_scratch_.clear();
+  const Time now = engine_.now();
+  std::size_t kept = 0;
+  for (const std::uint32_t slot : active_) {
+    Flow& f = flow_slots_[slot];
+    if (f.remaining <= kByteEps) {
+      finished_scratch_.push_back(std::move(f.done));
+      free_flow_slots_.push_back(slot);
     } else {
-      ++it;
+      active_[kept++] = slot;
     }
   }
-  if (!flows_.empty()) {
+  active_.resize(kept);
+  if (!active_.empty()) {
     recompute_rates();
   }
   schedule_next_completion();
-  for (std::size_t i = 0; i < finished.size(); ++i) {
+  for (Done& done : finished_scratch_) {
     ++completed_;
-    finished[i](ends[i]);
+    done(now);
   }
+  finished_scratch_.clear();
 }
 
 }  // namespace partib::fabric

@@ -9,13 +9,23 @@
 // re-computed whenever a flow starts or finishes.  This captures the two
 // effects the paper's figures depend on without per-packet simulation:
 // per-QP bandwidth limits (Fig 7) and fan-in congestion (Fig 14's sweep).
+//
+// Hot-path layout: flows live in a stable vector + free-list; the active
+// set is a dense index list kept in submission order (which is id order,
+// so iteration, water-filling arithmetic, and completion-callback order
+// are bit-identical to the original std::map implementation).  All
+// water-filling scratch state is hoisted into reusable members, so the
+// steady state (submit / progress / complete) performs no allocations
+// once vectors reach their high-water capacity.  A single active flow
+// skips progressive filling entirely: with one flow the fill loop is one
+// round whose delta is min(egress, ingress, cap), so the fast path is
+// exact, not approximate.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <map>
 #include <vector>
 
+#include "common/inline_fn.hpp"
 #include "common/time.hpp"
 #include "sim/engine.hpp"
 
@@ -25,8 +35,10 @@ using NodeId = int;
 
 class FluidNetwork {
  public:
-  /// Called when the flow's last byte leaves the wire.
-  using Done = std::function<void(Time wire_end)>;
+  /// Called when the flow's last byte leaves the wire.  Move-only with a
+  /// 48-byte inline buffer (common/inline_fn.hpp); larger captures fall
+  /// back to one heap allocation.
+  using Done = common::InlineFn<void(Time wire_end)>;
 
   FluidNetwork(sim::Engine& engine, double link_bytes_per_ns);
 
@@ -46,8 +58,27 @@ class FluidNetwork {
   void submit(NodeId src, NodeId dst, double bytes, double rate_cap,
               Done done);
 
-  std::size_t active_flows() const { return flows_.size(); }
+  std::size_t active_flows() const { return active_.size(); }
   std::uint64_t completed_flows() const { return completed_; }
+
+  /// Read-only view of one in-flight flow, for tests and diagnostics.
+  struct FlowView {
+    NodeId src;
+    NodeId dst;
+    double remaining;
+    double cap;
+    double rate;
+  };
+
+  /// Visit every active flow in submission order (tests/tools only; the
+  /// library itself never iterates through this).
+  template <typename Fn>
+  void for_each_flow(Fn&& fn) const {
+    for (const std::uint32_t slot : active_) {
+      const Flow& f = flow_slots_[slot];
+      fn(FlowView{f.src, f.dst, f.remaining, f.cap, f.rate});
+    }
+  }
 
  private:
   struct Flow {
@@ -62,13 +93,28 @@ class FluidNetwork {
   sim::Engine& engine_;
   double capacity_;
   int nodes_ = 0;
-  /// Per-node overrides; missing entries use `capacity_`.
-  std::map<NodeId, std::pair<double, double>> node_caps_;
-  std::map<std::uint64_t, Flow> flows_;
-  std::uint64_t next_id_ = 1;
+  /// Per-node capacities (defaults to `capacity_`, overridden by
+  /// set_node_capacity), indexed by NodeId.
+  std::vector<double> egress_cap_;
+  std::vector<double> ingress_cap_;
+  /// Stable flow storage + free-list; `active_` holds live slot indices
+  /// in submission order.
+  std::vector<Flow> flow_slots_;
+  std::vector<std::uint32_t> free_flow_slots_;
+  std::vector<std::uint32_t> active_;
   std::uint64_t completed_ = 0;
   Time last_update_ = 0;
   sim::Engine::EventId next_event_{};
+
+  // Water-filling scratch, reused across recomputations.
+  std::vector<double> egress_rem_;
+  std::vector<double> ingress_rem_;
+  std::vector<int> egress_load_;
+  std::vector<int> ingress_load_;
+  std::vector<Flow*> unfrozen_;
+  std::vector<Flow*> still_;
+  // Completion scratch, reused across completion events.
+  std::vector<Done> finished_scratch_;
 
   void drain_progress();
   void recompute_rates();

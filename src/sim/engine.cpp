@@ -1,16 +1,81 @@
 #include "sim/engine.hpp"
 
-#include "common/assert.hpp"
+#include <algorithm>
+#include <memory>
+
 #include "common/diag.hpp"
 
 namespace partib::sim {
 
+Engine::~Engine() {
+  // When every callback ever scheduled was trivially destructible (the
+  // common case: captures of references and scalars), the teardown walk
+  // over every constructed slot would be pure memory traffic — skip it.
+  if (nontrivial_cb_) {
+    for (std::uint32_t i = 0; i < slot_count_; ++i) slot_ref(i).~Slot();
+  }
+  std::allocator<Slot> alloc;
+  for (Slot* slab : slabs_) alloc.deallocate(slab, kSlabSize);
+}
+
+void Engine::grow_slots() {
+  slabs_.push_back(std::allocator<Slot>().allocate(kSlabSize));
+  const std::size_t cap = slabs_.size() * kSlabSize;
+  slot_seq_.resize(cap);
+  slot_next_.resize(cap);
+}
+
+void Engine::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  const HeapEntry e = heap_[i];
+  for (;;) {
+    const std::size_t first = i * kHeapArity + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + kHeapArity, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (heap_[c].time < heap_[best].time) best = c;
+    }
+    if (heap_[best].time >= e.time) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void Engine::pop_heap_top() {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_[0] = last;
+    sift_down(0);
+  }
+}
+
+void Engine::rehash(std::size_t capacity) {
+  std::vector<TimeCell> old = std::move(hash_);
+  hash_.assign(capacity, TimeCell{0, kNil, kCellEmpty});
+  hash_mask_ = capacity - 1;
+  // The heap holds exactly the live timestamps, so re-anchoring its
+  // entries both refills the new table (no tombstones survive) and fixes
+  // every entry's cell index in one pass.
+  for (HeapEntry& e : heap_) {
+    const TimeCell cell = old[e.cell];
+    std::size_t i = hash_time(e.time) & hash_mask_;
+    while (hash_[i].tail != kCellEmpty) i = (i + 1) & hash_mask_;
+    hash_[i] = cell;
+    e.cell = static_cast<std::uint32_t>(i);
+  }
+  hash_used_ = heap_.size();
+}
+
 Engine::EventId Engine::schedule_at(Time t, Callback cb, const char* site) {
-  PARTIB_ASSERT_MSG(t >= now_, "cannot schedule an event in the past");
   PARTIB_ASSERT(cb != nullptr);
-  const Key key{t, next_seq_++};
-  queue_.emplace(key, Event{std::move(cb), site});
-  return EventId{key.first, key.second};
+  const EventId id = schedule_slot(t, site);
+  Slot& s = slot_ref(id.slot);
+  s.cb = std::move(cb);
+  if (s.cb.needs_destroy()) nontrivial_cb_ = true;
+  return id;
 }
 
 Engine::EventId Engine::schedule_after(Duration d, Callback cb,
@@ -20,33 +85,70 @@ Engine::EventId Engine::schedule_after(Duration d, Callback cb,
 }
 
 bool Engine::cancel(EventId id) {
-  if (!id.valid()) return false;
-  return queue_.erase(Key{id.time, id.seq}) > 0;
+  if (!id.valid() || id.slot >= slot_count_) return false;
+  if (slot_seq_[id.slot] != id.seq) {
+    return false;  // already ran, cancelled, or reused
+  }
+  slot_seq_[id.slot] = 0;
+  Slot& s = slot_ref(id.slot);
+  s.site = nullptr;
+  s.cb = nullptr;
+  --live_;
+  ++dead_;
+  // The slot stays linked in its bucket as a tombstone and is freed when
+  // it surfaces.  Compact when tombstones clearly dominate so cancel-heavy
+  // workloads (armed-then-disarmed aggregation timers) stay bounded; the
+  // floor (1024 slots ~ 100 KiB) keeps small queues from compacting at
+  // all.
+  if (dead_ > 1024 && dead_ > 4 * live_) compact();
+  return true;
 }
 
-void Engine::dispatch_front() {
-  auto it = queue_.begin();
-  now_ = it->first.first;
-  diag_set_time(now_);
-  // Move the callback out before erasing: the callback may schedule or
-  // cancel other events (but must not touch this, already-removed, one).
-  Event ev = std::move(it->second);
-  const Key key = it->first;
-  queue_.erase(it);
-  ++processed_;
-  if (observer_) observer_(key.first, key.second, ev.site);
-  ev.cb();
+void Engine::compact() {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    TimeCell& cell = hash_[heap_[i].cell];
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+    for (std::uint32_t s = cell.head; s != kNil;) {
+      const std::uint32_t next = slot_next_[s];
+      if (slot_seq_[s] == 0) {
+        free_slots_.push_back(s);
+      } else {
+        if (head == kNil) {
+          head = s;
+        } else {
+          slot_next_[tail] = s;
+        }
+        tail = s;
+      }
+      s = next;
+    }
+    if (tail != kNil) slot_next_[tail] = kNil;
+    cell.head = head;
+    if (head == kNil) {
+      cell.tail = kCellTomb;
+    } else {
+      cell.tail = tail;
+      heap_[kept++] = heap_[i];
+    }
+  }
+  heap_.resize(kept);
+  if (kept > 1) {
+    for (std::size_t i = (kept - 2) / kHeapArity + 1; i-- > 0;) sift_down(i);
+  }
+  dead_ = 0;
 }
 
 bool Engine::step() {
-  if (queue_.empty()) return false;
+  if (!settle_top()) return false;
   dispatch_front();
   return true;
 }
 
 std::size_t Engine::run() {
   std::size_t n = 0;
-  while (!queue_.empty()) {
+  while (settle_top()) {
     dispatch_front();
     ++n;
   }
@@ -56,7 +158,7 @@ std::size_t Engine::run() {
 std::size_t Engine::run_until(Time deadline) {
   PARTIB_ASSERT_MSG(deadline >= now_, "deadline in the past");
   std::size_t n = 0;
-  while (!queue_.empty() && queue_.begin()->first.first <= deadline) {
+  while (settle_top() && heap_[0].time <= deadline) {
     dispatch_front();
     ++n;
   }

@@ -56,7 +56,7 @@ void ProcessorSharingCpu::drain_elapsed() {
   const double elapsed = static_cast<double>(now - last_update_);
   if (elapsed > 0.0 && !jobs_.empty()) {
     const double r = rate();
-    for (auto& [id, job] : jobs_) {
+    for (Job& job : jobs_) {
       job.remaining = std::max(0.0, job.remaining - elapsed * r);
     }
   }
@@ -69,7 +69,7 @@ ProcessorSharingCpu::JobId ProcessorSharingCpu::submit(Duration work,
   drain_elapsed();
   work_submitted_ += work;
   const JobId id = next_id_++;
-  jobs_.emplace(id, Job{static_cast<double>(work), std::move(done)});
+  jobs_.push_back(Job{static_cast<double>(work), std::move(done)});
   reschedule_completion();
   return id;
 }
@@ -81,7 +81,7 @@ void ProcessorSharingCpu::reschedule_completion() {
   }
   if (jobs_.empty()) return;
   double min_remaining = std::numeric_limits<double>::infinity();
-  for (const auto& [id, job] : jobs_) {
+  for (const Job& job : jobs_) {
     min_remaining = std::min(min_remaining, job.remaining);
   }
   const double r = rate();
@@ -95,20 +95,25 @@ void ProcessorSharingCpu::complete_due_jobs() {
   pending_completion_ = Engine::EventId{};
   drain_elapsed();
   // Collect first, then fire: a completion callback may submit new jobs,
-  // which must not observe a half-updated job table.
-  std::vector<Done> finished;
-  for (auto it = jobs_.begin(); it != jobs_.end();) {
+  // which must not observe a half-updated job table.  The scratch vector
+  // keeps its capacity across events; compaction preserves submission
+  // order so callbacks fire in the same order the map-based table fired.
+  finished_scratch_.clear();
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
     // Integer-ns rounding in reschedule_completion can leave a sliver less
     // than one rate-scaled nanosecond; treat it as done.
-    if (it->second.remaining <= 1.0) {
-      finished.push_back(std::move(it->second.done));
-      it = jobs_.erase(it);
+    if (jobs_[i].remaining <= 1.0) {
+      finished_scratch_.push_back(std::move(jobs_[i].done));
     } else {
-      ++it;
+      if (kept != i) jobs_[kept] = std::move(jobs_[i]);
+      ++kept;
     }
   }
+  jobs_.resize(kept);
   reschedule_completion();
-  for (auto& done : finished) done();
+  for (auto& done : finished_scratch_) done();
+  finished_scratch_.clear();
 }
 
 }  // namespace partib::sim

@@ -13,7 +13,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <vector>
 
 #include "common/time.hpp"
@@ -74,10 +73,15 @@ class ProcessorSharingCpu {
   Engine& engine_;
   int cores_;
   JobId next_id_ = 1;
-  std::map<JobId, Job> jobs_;
+  // Flat storage in submission (= id) order: jobs are appended on submit
+  // and compacted in place on completion, so iteration order — and with
+  // it completion-callback order and the drain arithmetic — matches the
+  // original id-ordered map exactly, without per-job node allocations.
+  std::vector<Job> jobs_;
   Time last_update_ = 0;
   Duration work_submitted_ = 0;
   Engine::EventId pending_completion_{};
+  std::vector<Done> finished_scratch_;  // reused across completion events
 
   double rate() const;
   void drain_elapsed();

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Hot-path benchmark regression gate.
+
+Runs bench_micro_hotpaths several times, reduces each benchmark's timings
+with a robust statistic (min by default: on shared/noisy CPUs the minimum
+of N runs estimates the uncontended cost far better than the mean), and
+compares against the committed baseline (BENCH_hotpaths.json at the repo
+root).  A benchmark that lands more than --threshold above its baseline
+`after_ns` fails the gate.
+
+Typical use:
+
+    # local, blocking (what bench/run_hotpaths.sh does):
+    tools/bench_compare.py --binary build-rel/bench/bench_micro_hotpaths
+
+    # CI, informational only (shared runners are too noisy to block on):
+    tools/bench_compare.py --binary ... --warn-only --out results.json
+
+    # refresh the baseline after an intentional perf change:
+    tools/bench_compare.py --binary ... --update
+
+The baseline file keeps two numbers per benchmark: `before_ns` (the
+std::map engine / allocating fluid network, measured at the commit that
+introduced the rewrite — a historical record, never updated by this tool)
+and `after_ns` (the current expected cost, the comparison target).
+"""
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_hotpaths.json",
+)
+
+
+def run_once(binary, min_time):
+    """One benchmark-binary invocation -> {name: real_time_ns}."""
+    # NOTE: the pinned google-benchmark predates duration suffixes, so the
+    # value must be a bare number ("0.05"), not "0.05s".
+    cmd = [
+        binary,
+        "--benchmark_format=json",
+        "--benchmark_min_time=%g" % min_time,
+    ]
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    doc = json.loads(out.stdout)
+    times = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue  # skip aggregate rows if repetitions were requested
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        times[b["name"]] = b["real_time"] * scale
+    return times
+
+
+def measure(binary, runs, min_time, stat):
+    samples = {}
+    for i in range(runs):
+        for name, t in run_once(binary, min_time).items():
+            samples.setdefault(name, []).append(t)
+        print("  run %d/%d done" % (i + 1, runs), file=sys.stderr)
+    reduce_fn = {"min": min, "median": statistics.median}[stat]
+    return {name: reduce_fn(ts) for name, ts in sorted(samples.items())}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--binary", required=True,
+                    help="path to bench_micro_hotpaths (Release build)")
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE,
+                    help="baseline JSON (default: repo-root "
+                         "BENCH_hotpaths.json)")
+    ap.add_argument("--runs", type=int, default=6,
+                    help="benchmark binary invocations to reduce over")
+    ap.add_argument("--min-time", type=float, default=0.05,
+                    help="--benchmark_min_time per invocation, seconds")
+    ap.add_argument("--stat", choices=["min", "median"], default="min")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="allowed regression fraction vs baseline after_ns")
+    ap.add_argument("--update", action="store_true",
+                    help="write measurements back as the new after_ns "
+                         "baseline instead of comparing")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="report regressions but exit 0 (for noisy CI "
+                         "runners)")
+    ap.add_argument("--out", default=None,
+                    help="also dump raw measurements to this JSON file")
+    args = ap.parse_args()
+
+    measured = measure(args.binary, args.runs, args.min_time, args.stat)
+    if not measured:
+        print("error: benchmark binary produced no results", file=sys.stderr)
+        return 2
+
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump({"statistic": args.stat, "runs": args.runs,
+                       "measured_ns": measured}, f, indent=2)
+            f.write("\n")
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    bench = baseline["benchmarks"]
+
+    if args.update:
+        for name, t in measured.items():
+            bench.setdefault(name, {})["after_ns"] = round(t, 1)
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=2)
+            f.write("\n")
+        print("updated %s (%d benchmarks)" % (args.baseline, len(measured)))
+        return 0
+
+    failures = []
+    width = max(len(n) for n in measured)
+    print("%-*s %12s %12s %8s" % (width, "benchmark", "baseline", "now",
+                                  "ratio"))
+    for name, t in measured.items():
+        base = bench.get(name, {}).get("after_ns")
+        if base is None:
+            print("%-*s %12s %12.0f %8s" % (width, name, "(new)", t, "-"))
+            continue
+        ratio = t / base
+        flag = ""
+        if ratio > 1.0 + args.threshold:
+            failures.append((name, base, t, ratio))
+            flag = "  REGRESSION"
+        print("%-*s %12.0f %12.0f %7.2fx%s" % (width, name, base, t, ratio,
+                                               flag))
+
+    if failures:
+        print("\n%d benchmark(s) regressed more than %.0f%%:"
+              % (len(failures), args.threshold * 100), file=sys.stderr)
+        for name, base, t, ratio in failures:
+            print("  %s: %.0f ns -> %.0f ns (%.2fx)"
+                  % (name, base, t, ratio), file=sys.stderr)
+        if args.warn_only:
+            print("(--warn-only: not failing the build)", file=sys.stderr)
+            return 0
+        print("If intentional, refresh the baseline with --update.",
+              file=sys.stderr)
+        return 1
+    print("\nall benchmarks within %.0f%% of baseline"
+          % (args.threshold * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
