@@ -6,9 +6,11 @@
 // time for both modes at 32 (undersubscribed) and 128 (oversubscribed)
 // partitions.
 #include <string>
+#include <vector>
 
 #include "bench/overhead.hpp"
 #include "bench/report.hpp"
+#include "bench/trial.hpp"
 #include "common/units.hpp"
 #include "support/bench_main.hpp"
 
@@ -17,14 +19,10 @@ using namespace partib;
 int main(int argc, char** argv) {
   const bench::Cli cli(argc, argv);
 
+  std::vector<bench::OverheadConfig> grid;
   for (std::size_t parts : {32u, 128u}) {
-    bench::Table table(
-        "Ablation: DPU-offloaded aggregation (" + std::to_string(parts) +
-            " user partitions, persistent-grade per-partition traffic)",
-        {"msg_size", "round_host_us", "round_dpu_us", "host_cpu_us",
-         "dpu_mode_cpu_us", "cpu_freed_pct"});
     for (std::size_t bytes : pow2_sizes(16 * KiB, 16 * MiB)) {
-      auto run = [&](bool dpu) {
+      for (bool dpu : {false, true}) {
         bench::OverheadConfig cfg;
         cfg.total_bytes = bytes;
         cfg.user_partitions = parts;
@@ -34,10 +32,23 @@ int main(int argc, char** argv) {
         cfg.iterations = cli.iterations(10);
         cfg.warmup = 2;
         cfg.world.dpu_aggregation = dpu;
-        return bench::run_overhead(cfg);
-      };
-      const auto host = run(false);
-      const auto dpu = run(true);
+        grid.push_back(cfg);
+      }
+    }
+  }
+  const std::vector<bench::OverheadResult> results =
+      bench::run_overhead_grid(grid, cli.run_options());
+
+  std::size_t k = 0;
+  for (std::size_t parts : {32u, 128u}) {
+    bench::Table table(
+        "Ablation: DPU-offloaded aggregation (" + std::to_string(parts) +
+            " user partitions, persistent-grade per-partition traffic)",
+        {"msg_size", "round_host_us", "round_dpu_us", "host_cpu_us",
+         "dpu_mode_cpu_us", "cpu_freed_pct"});
+    for (std::size_t bytes : pow2_sizes(16 * KiB, 16 * MiB)) {
+      const auto host = results[k++];
+      const auto dpu = results[k++];
       const double freed =
           100.0 *
           static_cast<double>(host.host_cpu_per_round -

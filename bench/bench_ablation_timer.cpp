@@ -8,6 +8,7 @@
 
 #include "bench/perceived.hpp"
 #include "bench/report.hpp"
+#include "bench/trial.hpp"
 #include "common/units.hpp"
 #include "model/ploggp.hpp"
 #include "support/bench_main.hpp"
@@ -18,23 +19,31 @@ int main(int argc, char** argv) {
   const bench::Cli cli(argc, argv);
   constexpr std::size_t kPartitions = 32;
   constexpr std::size_t kBytes = 8 * MiB;
+  const std::vector<Duration> deltas = {usec(1), usec(3), usec(10),
+                                        usec(35), usec(100), usec(350),
+                                        usec(1000), usec(3000)};
 
-  bench::Table table(
-      "Ablation: timer delta sensitivity (8 MiB, 32 partitions, 100 ms "
-      "compute, 4% noise)",
-      {"delta_us", "perceived_gbps", "wrs_per_round"});
-  for (Duration delta : {usec(1), usec(3), usec(10), usec(35), usec(100),
-                         usec(350), usec(1000), usec(3000)}) {
+  std::vector<bench::PerceivedConfig> grid;
+  for (Duration delta : deltas) {
     bench::PerceivedConfig cfg;
     cfg.total_bytes = kBytes;
     cfg.user_partitions = kPartitions;
     cfg.options = bench::timer_options(delta);
     cfg.iterations = cli.iterations(5);
     cfg.warmup = 2;
-    const auto r = bench::run_perceived_bandwidth(cfg);
-    table.add_row({bench::fmt(to_usec(delta), 0),
-                   bench::fmt(r.mean_gbytes_per_s, 1),
-                   bench::fmt(r.mean_wrs_per_round, 1)});
+    grid.push_back(cfg);
+  }
+  const std::vector<bench::PerceivedResult> results =
+      bench::run_perceived_grid(grid, cli.run_options());
+
+  bench::Table table(
+      "Ablation: timer delta sensitivity (8 MiB, 32 partitions, 100 ms "
+      "compute, 4% noise)",
+      {"delta_us", "perceived_gbps", "wrs_per_round"});
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    table.add_row({bench::fmt(to_usec(deltas[i]), 0),
+                   bench::fmt(results[i].mean_gbytes_per_s, 1),
+                   bench::fmt(results[i].mean_wrs_per_round, 1)});
   }
   cli.emit(table);
 

@@ -11,6 +11,8 @@
 
 #include "agg/tuning_table.hpp"
 #include "bench/overhead.hpp"
+#include "bench/trial.hpp"
+#include "common/assert.hpp"
 #include "common/units.hpp"
 #include "support/bench_main.hpp"
 
@@ -20,11 +22,19 @@ int main(int argc, char** argv) {
   const bench::Cli cli(argc, argv);
   agg::TuningTable table;
 
+  // Every candidate of the whole search as one grid, candidates in the
+  // historical (tp ascending, then qp ascending) order per cell.  The
+  // reduction below keeps strict less-than in that same order, so the
+  // emitted CSV is byte-identical to the serial search for any --jobs=N.
+  struct Candidate {
+    std::size_t tp;
+    int qp;
+  };
+  std::vector<bench::OverheadConfig> grid;
+  std::vector<Candidate> candidates;
   for (std::size_t parts : {4u, 16u, 32u, 128u}) {
     for (std::size_t bytes : pow2_sizes(2 * KiB, 16 * MiB)) {
       if (bytes < parts) continue;
-      Duration best_time = std::numeric_limits<Duration>::max();
-      agg::TuningTable::Entry best;
       for (std::size_t tp = 1; tp <= parts && tp <= 32; tp *= 2) {
         for (int qp = 1; qp <= 4; qp *= 2) {
           bench::OverheadConfig cfg;
@@ -33,7 +43,26 @@ int main(int argc, char** argv) {
           cfg.options = bench::static_options(tp, qp);
           cfg.iterations = cli.iterations(10);
           cfg.warmup = 2;
-          const Duration t = bench::run_overhead(cfg).mean_round;
+          grid.push_back(cfg);
+          candidates.push_back({tp, qp});
+        }
+      }
+    }
+  }
+  const std::vector<bench::OverheadResult> results =
+      bench::run_overhead_grid(grid, cli.run_options());
+
+  std::size_t k = 0;
+  for (std::size_t parts : {4u, 16u, 32u, 128u}) {
+    for (std::size_t bytes : pow2_sizes(2 * KiB, 16 * MiB)) {
+      if (bytes < parts) continue;
+      Duration best_time = std::numeric_limits<Duration>::max();
+      agg::TuningTable::Entry best;
+      for (std::size_t tp = 1; tp <= parts && tp <= 32; tp *= 2) {
+        for (int qp = 1; qp <= 4; qp *= 2) {
+          const Duration t = results[k].mean_round;
+          PARTIB_ASSERT(candidates[k].tp == tp && candidates[k].qp == qp);
+          ++k;
           if (t < best_time) {
             best_time = t;
             best = agg::TuningTable::Entry{tp, qp};

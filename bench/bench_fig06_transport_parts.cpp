@@ -12,6 +12,7 @@
 
 #include "bench/overhead.hpp"
 #include "bench/report.hpp"
+#include "bench/trial.hpp"
 #include "common/units.hpp"
 #include "support/bench_main.hpp"
 
@@ -21,6 +22,7 @@ int main(int argc, char** argv) {
   const bench::Cli cli(argc, argv);
   constexpr std::size_t kUserPartitions = 32;
   const std::vector<std::size_t> tps = {2, 4, 8, 16, 32};
+  const std::vector<std::size_t> sizes = pow2_sizes(512, 16 * MiB);
 
   std::vector<std::string> headers = {"msg_size"};
   for (std::size_t tp : tps) headers.push_back("speedup_tp" + std::to_string(tp));
@@ -29,20 +31,33 @@ int main(int argc, char** argv) {
       "(32 user partitions, 2 QPs)",
       headers);
 
-  for (std::size_t bytes : pow2_sizes(512, 16 * MiB)) {
+  // Declare the whole grid up front (per size: the persistent baseline
+  // followed by each transport-partition count), run it through the
+  // parallel runner, then format the submission-ordered results.
+  std::vector<bench::OverheadConfig> grid;
+  for (std::size_t bytes : sizes) {
     bench::OverheadConfig base;
     base.total_bytes = bytes;
     base.user_partitions = kUserPartitions;
     base.options = bench::persistent_options();
     base.iterations = cli.iterations(20);
     base.warmup = 3;
-    const Duration t_persistent = bench::run_overhead(base).mean_round;
-
-    std::vector<std::string> row = {format_bytes(bytes)};
+    grid.push_back(base);
     for (std::size_t tp : tps) {
       bench::OverheadConfig cfg = base;
       cfg.options = bench::static_options(tp, /*qps=*/2);
-      const Duration t = bench::run_overhead(cfg).mean_round;
+      grid.push_back(cfg);
+    }
+  }
+  const std::vector<bench::OverheadResult> results =
+      bench::run_overhead_grid(grid, cli.run_options());
+
+  std::size_t k = 0;
+  for (std::size_t bytes : sizes) {
+    const Duration t_persistent = results[k++].mean_round;
+    std::vector<std::string> row = {format_bytes(bytes)};
+    for (std::size_t i = 0; i < tps.size(); ++i) {
+      const Duration t = results[k++].mean_round;
       row.push_back(bench::fmt(static_cast<double>(t_persistent) /
                                static_cast<double>(t)));
     }

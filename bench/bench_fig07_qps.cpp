@@ -9,6 +9,7 @@
 
 #include "bench/overhead.hpp"
 #include "bench/report.hpp"
+#include "bench/trial.hpp"
 #include "common/units.hpp"
 #include "support/bench_main.hpp"
 
@@ -18,6 +19,7 @@ int main(int argc, char** argv) {
   const bench::Cli cli(argc, argv);
   constexpr std::size_t kPartitions = 16;
   const std::vector<int> qps = {1, 2, 4, 8, 16};
+  const std::vector<std::size_t> sizes = pow2_sizes(512, 64 * MiB);
 
   std::vector<std::string> headers = {"msg_size"};
   for (int q : qps) headers.push_back("speedup_qp" + std::to_string(q));
@@ -26,20 +28,30 @@ int main(int argc, char** argv) {
       "(16 user partitions, 16 transport partitions)",
       headers);
 
-  for (std::size_t bytes : pow2_sizes(512, 64 * MiB)) {
+  std::vector<bench::OverheadConfig> grid;
+  for (std::size_t bytes : sizes) {
     bench::OverheadConfig base;
     base.total_bytes = bytes;
     base.user_partitions = kPartitions;
     base.options = bench::persistent_options();
     base.iterations = cli.iterations(20);
     base.warmup = 3;
-    const Duration t_persistent = bench::run_overhead(base).mean_round;
-
-    std::vector<std::string> row = {format_bytes(bytes)};
+    grid.push_back(base);
     for (int q : qps) {
       bench::OverheadConfig cfg = base;
       cfg.options = bench::static_options(kPartitions, q);
-      const Duration t = bench::run_overhead(cfg).mean_round;
+      grid.push_back(cfg);
+    }
+  }
+  const std::vector<bench::OverheadResult> results =
+      bench::run_overhead_grid(grid, cli.run_options());
+
+  std::size_t k = 0;
+  for (std::size_t bytes : sizes) {
+    const Duration t_persistent = results[k++].mean_round;
+    std::vector<std::string> row = {format_bytes(bytes)};
+    for (std::size_t i = 0; i < qps.size(); ++i) {
+      const Duration t = results[k++].mean_round;
       row.push_back(bench::fmt(static_cast<double>(t_persistent) /
                                static_cast<double>(t)));
     }

@@ -12,6 +12,7 @@
 
 #include "bench/overhead.hpp"
 #include "bench/report.hpp"
+#include "bench/trial.hpp"
 #include "common/units.hpp"
 #include "support/bench_main.hpp"
 
@@ -21,11 +22,10 @@ int main(int argc, char** argv) {
   const bench::Cli cli(argc, argv);
   const std::vector<std::size_t> partition_counts = {4, 32, 128};
 
+  // One grid across every sub-figure: (persistent, tuning-table, ploggp)
+  // per (partition count, size) point, consumed in the same order below.
+  std::vector<bench::OverheadConfig> grid;
   for (std::size_t parts : partition_counts) {
-    bench::Table table(
-        "Fig 8: overhead speedup vs persistent (" + std::to_string(parts) +
-            " user partitions)",
-        {"msg_size", "tuning_table", "ploggp"});
     for (std::size_t bytes : pow2_sizes(2 * KiB, 16 * MiB)) {
       if (bytes < parts) continue;
       bench::OverheadConfig base;
@@ -34,17 +34,35 @@ int main(int argc, char** argv) {
       base.options = bench::persistent_options();
       base.iterations = cli.iterations(20);
       base.warmup = 3;
-      const Duration t_persistent = bench::run_overhead(base).mean_round;
+      grid.push_back(base);
+      bench::OverheadConfig tt = base;
+      tt.options = bench::tuning_table_options();
+      grid.push_back(tt);
+      bench::OverheadConfig pl = base;
+      pl.options = bench::ploggp_options();
+      grid.push_back(pl);
+    }
+  }
+  const std::vector<bench::OverheadResult> results =
+      bench::run_overhead_grid(grid, cli.run_options());
 
-      auto speedup = [&](const part::Options& opts) {
-        bench::OverheadConfig cfg = base;
-        cfg.options = opts;
+  std::size_t k = 0;
+  for (std::size_t parts : partition_counts) {
+    bench::Table table(
+        "Fig 8: overhead speedup vs persistent (" + std::to_string(parts) +
+            " user partitions)",
+        {"msg_size", "tuning_table", "ploggp"});
+    for (std::size_t bytes : pow2_sizes(2 * KiB, 16 * MiB)) {
+      if (bytes < parts) continue;
+      const Duration t_persistent = results[k++].mean_round;
+      auto speedup = [&](const bench::OverheadResult& r) {
         return static_cast<double>(t_persistent) /
-               static_cast<double>(bench::run_overhead(cfg).mean_round);
+               static_cast<double>(r.mean_round);
       };
-      table.add_row({format_bytes(bytes),
-                     bench::fmt(speedup(bench::tuning_table_options())),
-                     bench::fmt(speedup(bench::ploggp_options()))});
+      const double s_tt = speedup(results[k++]);
+      const double s_pl = speedup(results[k++]);
+      table.add_row({format_bytes(bytes), bench::fmt(s_tt),
+                     bench::fmt(s_pl)});
     }
     cli.emit(table);
   }

@@ -13,6 +13,7 @@
 
 #include "bench/perceived.hpp"
 #include "bench/report.hpp"
+#include "bench/trial.hpp"
 #include "common/units.hpp"
 #include "support/bench_main.hpp"
 
@@ -21,24 +22,36 @@ using namespace partib;
 int main(int argc, char** argv) {
   const bench::Cli cli(argc, argv);
 
+  // (persistent, ploggp, timer) per (partition count, size) point.
+  std::vector<bench::PerceivedConfig> grid;
   for (std::size_t parts : {16u, 32u}) {
-    bench::Table table(
-        "Fig 9: perceived bandwidth, GB/s (" + std::to_string(parts) +
-            " partitions, 100 ms compute, 4% noise)",
-        {"msg_size", "persistent", "ploggp", "timer_3000us", "wire_limit"});
     for (std::size_t bytes : pow2_sizes(512 * KiB, 256 * MiB)) {
-      auto run = [&](const part::Options& opts) {
+      for (const part::Options& opts :
+           {bench::persistent_options(), bench::ploggp_options(),
+            bench::timer_options(usec(3000))}) {
         bench::PerceivedConfig cfg;
         cfg.total_bytes = bytes;
         cfg.user_partitions = parts;
         cfg.options = opts;
         cfg.iterations = cli.iterations(5);
         cfg.warmup = 2;
-        return bench::run_perceived_bandwidth(cfg);
-      };
-      const auto persistent = run(bench::persistent_options());
-      const auto ploggp = run(bench::ploggp_options());
-      const auto timer = run(bench::timer_options(usec(3000)));
+        grid.push_back(cfg);
+      }
+    }
+  }
+  const std::vector<bench::PerceivedResult> results =
+      bench::run_perceived_grid(grid, cli.run_options());
+
+  std::size_t k = 0;
+  for (std::size_t parts : {16u, 32u}) {
+    bench::Table table(
+        "Fig 9: perceived bandwidth, GB/s (" + std::to_string(parts) +
+            " partitions, 100 ms compute, 4% noise)",
+        {"msg_size", "persistent", "ploggp", "timer_3000us", "wire_limit"});
+    for (std::size_t bytes : pow2_sizes(512 * KiB, 256 * MiB)) {
+      const auto persistent = results[k++];
+      const auto ploggp = results[k++];
+      const auto timer = results[k++];
       table.add_row({format_bytes(bytes),
                      bench::fmt(persistent.mean_gbytes_per_s, 1),
                      bench::fmt(ploggp.mean_gbytes_per_s, 1),

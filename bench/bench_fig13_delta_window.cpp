@@ -4,9 +4,11 @@
 // Paper result: at most ~6.15% difference across the three — the delta
 // choice has a wide tolerance window.
 #include <string>
+#include <vector>
 
 #include "bench/perceived.hpp"
 #include "bench/report.hpp"
+#include "bench/trial.hpp"
 #include "common/units.hpp"
 #include "support/bench_main.hpp"
 
@@ -15,25 +17,33 @@ using namespace partib;
 int main(int argc, char** argv) {
   const bench::Cli cli(argc, argv);
   constexpr std::size_t kPartitions = 32;
+  const std::vector<Duration> deltas = {usec(10), usec(35), usec(100)};
 
-  bench::Table table(
-      "Fig 13: perceived bandwidth, GB/s (32 partitions, delta window "
-      "around the estimated minimum); wrs = mean WRs posted per round",
-      {"msg_size", "delta_10us", "delta_35us", "delta_100us", "max_diff_pct",
-       "wrs_10us", "wrs_35us", "wrs_100us"});
+  std::vector<bench::PerceivedConfig> grid;
   for (std::size_t bytes : pow2_sizes(512 * KiB, 256 * MiB)) {
-    auto run = [&](Duration delta) {
+    for (Duration delta : deltas) {
       bench::PerceivedConfig cfg;
       cfg.total_bytes = bytes;
       cfg.user_partitions = kPartitions;
       cfg.options = bench::timer_options(delta);
       cfg.iterations = cli.iterations(5);
       cfg.warmup = 2;
-      return bench::run_perceived_bandwidth(cfg);
-    };
-    const auto r10 = run(usec(10));
-    const auto r35 = run(usec(35));
-    const auto r100 = run(usec(100));
+      grid.push_back(cfg);
+    }
+  }
+  const std::vector<bench::PerceivedResult> results =
+      bench::run_perceived_grid(grid, cli.run_options());
+
+  bench::Table table(
+      "Fig 13: perceived bandwidth, GB/s (32 partitions, delta window "
+      "around the estimated minimum); wrs = mean WRs posted per round",
+      {"msg_size", "delta_10us", "delta_35us", "delta_100us", "max_diff_pct",
+       "wrs_10us", "wrs_35us", "wrs_100us"});
+  std::size_t k = 0;
+  for (std::size_t bytes : pow2_sizes(512 * KiB, 256 * MiB)) {
+    const auto r10 = results[k++];
+    const auto r35 = results[k++];
+    const auto r100 = results[k++];
     const double lo = std::min({r10.mean_gbytes_per_s, r35.mean_gbytes_per_s,
                                 r100.mean_gbytes_per_s});
     const double hi = std::max({r10.mean_gbytes_per_s, r35.mean_gbytes_per_s,

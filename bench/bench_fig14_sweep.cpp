@@ -11,6 +11,7 @@
 
 #include "bench/report.hpp"
 #include "bench/sweep.hpp"
+#include "bench/trial.hpp"
 #include "common/units.hpp"
 #include "support/bench_main.hpp"
 
@@ -28,15 +29,15 @@ int main(int argc, char** argv) {
       {"1ms compute, 4% noise (40us delay)", msec(1), 0.04},
       {"10ms compute, 4% noise (400us delay)", msec(10), 0.04},
   };
+  const std::vector<std::size_t> sizes = {64 * KiB, 256 * KiB, 1 * MiB,
+                                          4 * MiB, 16 * MiB};
 
+  std::vector<bench::SweepConfig> grid;
   for (const NoiseCase& nc : cases) {
-    bench::Table table(
-        std::string("Fig 14: sweep communication speedup vs persistent, ") +
-            nc.label,
-        {"msg_size", "ploggp", "timer_ploggp"});
-    for (std::size_t bytes :
-         {64 * KiB, 256 * KiB, 1 * MiB, 4 * MiB, 16 * MiB}) {
-      auto run = [&](const part::Options& opts) {
+    for (std::size_t bytes : sizes) {
+      for (const part::Options& opts :
+           {bench::persistent_options(), bench::ploggp_options(),
+            bench::timer_options(usec(35))}) {
         bench::SweepConfig cfg;
         cfg.message_bytes = bytes;
         cfg.options = opts;
@@ -44,11 +45,23 @@ int main(int argc, char** argv) {
         cfg.noise = nc.noise;
         cfg.iterations = cli.iterations(5);
         cfg.warmup = 2;
-        return bench::run_sweep(cfg).comm_time;
-      };
-      const Duration base = run(bench::persistent_options());
-      const Duration ploggp = run(bench::ploggp_options());
-      const Duration timer = run(bench::timer_options(usec(35)));
+        grid.push_back(cfg);
+      }
+    }
+  }
+  const std::vector<bench::SweepResult> results =
+      bench::run_sweep_grid(grid, cli.run_options());
+
+  std::size_t k = 0;
+  for (const NoiseCase& nc : cases) {
+    bench::Table table(
+        std::string("Fig 14: sweep communication speedup vs persistent, ") +
+            nc.label,
+        {"msg_size", "ploggp", "timer_ploggp"});
+    for (std::size_t bytes : sizes) {
+      const Duration base = results[k++].comm_time;
+      const Duration ploggp = results[k++].comm_time;
+      const Duration timer = results[k++].comm_time;
       table.add_row({format_bytes(bytes),
                      bench::fmt(static_cast<double>(base) /
                                 static_cast<double>(ploggp)),

@@ -2,9 +2,11 @@
 // suite reference [14]) at the paper's 1024-core geometry: communication
 // speedup of each design vs the persistent baseline.
 #include <string>
+#include <vector>
 
 #include "bench/halo.hpp"
 #include "bench/report.hpp"
+#include "bench/trial.hpp"
 #include "common/units.hpp"
 #include "support/bench_main.hpp"
 
@@ -12,13 +14,14 @@ using namespace partib;
 
 int main(int argc, char** argv) {
   const bench::Cli cli(argc, argv);
-  bench::Table table(
-      "Halo exchange, 8x8 ranks x 16 threads, 1 ms compute, 4% noise: "
-      "communication speedup vs persistent",
-      {"face_size", "ploggp", "timer_ploggp"});
-  for (std::size_t bytes :
-       {64 * KiB, 256 * KiB, 1 * MiB, 4 * MiB}) {
-    auto run = [&](const part::Options& opts) {
+  const std::vector<std::size_t> sizes = {64 * KiB, 256 * KiB, 1 * MiB,
+                                          4 * MiB};
+
+  std::vector<bench::HaloConfig> grid;
+  for (std::size_t bytes : sizes) {
+    for (const part::Options& opts :
+         {bench::persistent_options(), bench::ploggp_options(),
+          bench::timer_options(usec(35))}) {
       bench::HaloConfig cfg;
       cfg.px = 8;
       cfg.py = 8;
@@ -26,15 +29,26 @@ int main(int argc, char** argv) {
       cfg.options = opts;
       cfg.iterations = cli.iterations(5);
       cfg.warmup = 2;
-      return bench::run_halo(cfg).comm_time;
-    };
-    const Duration base = run(bench::persistent_options());
-    table.add_row(
-        {format_bytes(bytes),
-         bench::fmt(static_cast<double>(base) /
-                    static_cast<double>(run(bench::ploggp_options()))),
-         bench::fmt(static_cast<double>(base) /
-                    static_cast<double>(run(bench::timer_options(usec(35)))))});
+      grid.push_back(cfg);
+    }
+  }
+  const std::vector<bench::HaloResult> results =
+      bench::run_halo_grid(grid, cli.run_options());
+
+  bench::Table table(
+      "Halo exchange, 8x8 ranks x 16 threads, 1 ms compute, 4% noise: "
+      "communication speedup vs persistent",
+      {"face_size", "ploggp", "timer_ploggp"});
+  std::size_t k = 0;
+  for (std::size_t bytes : sizes) {
+    const Duration base = results[k++].comm_time;
+    const Duration ploggp = results[k++].comm_time;
+    const Duration timer = results[k++].comm_time;
+    table.add_row({format_bytes(bytes),
+                   bench::fmt(static_cast<double>(base) /
+                              static_cast<double>(ploggp)),
+                   bench::fmt(static_cast<double>(base) /
+                              static_cast<double>(timer))});
   }
   cli.emit(table);
   return 0;

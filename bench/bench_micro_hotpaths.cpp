@@ -10,6 +10,8 @@
 #include "common/units.hpp"
 #include "fabric/fluid_network.hpp"
 #include "part/imm.hpp"
+#include "runner/fingerprint.hpp"
+#include "runner/runner.hpp"
 #include "sim/engine.hpp"
 #include "sim/resources.hpp"
 #include "sim/rng.hpp"
@@ -104,6 +106,41 @@ void BM_FluidNetworkFanIn(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FluidNetworkFanIn)->Arg(8)->Arg(64);
+
+void BM_RunnerSweep(benchmark::State& state) {
+  // Dispatch overhead of the parallel experiment runner: 256 trials whose
+  // body is a tiny 64-event simulation, so pool submission, stealing and
+  // submission-order collection dominate.  No cache — this measures the
+  // execute path, not fingerprint I/O.
+  struct Cfg {
+    std::uint64_t id = 0;
+  };
+  std::vector<Cfg> grid(256);
+  for (std::size_t i = 0; i < grid.size(); ++i) grid[i].id = i;
+  auto fp = [](const Cfg& c) {
+    runner::Hasher h;
+    return h.str("bm-runner-sweep/v1").u64(c.id).digest();
+  };
+  auto trial = [](const Cfg& c) {
+    sim::Engine engine;
+    std::uint64_t sum = c.id;
+    for (int i = 0; i < 64; ++i) {
+      engine.schedule_at(static_cast<Time>(i * 7 % 16), [&sum] { ++sum; });
+    }
+    engine.run();
+    return sum;
+  };
+  runner::RunOptions opts;
+  opts.jobs = 4;
+  for (auto _ : state) {
+    const auto results = runner::run_trials<Cfg, std::uint64_t>(
+        grid, trial, fp, {}, opts);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(grid.size()));
+}
+BENCHMARK(BM_RunnerSweep);
 
 void BM_Rng(benchmark::State& state) {
   sim::Rng rng(1);

@@ -1,6 +1,8 @@
 // Shared helpers for the figure/table bench binaries: a tiny CLI
 // (--csv for machine-readable output, --iters=N to override iteration
-// counts) and canned part::Options constructors for each design.
+// counts, --jobs=N / --no-cache / --cache-dir= for the parallel
+// experiment runner) and canned part::Options constructors for each
+// design.
 #pragma once
 
 #include <charconv>
@@ -13,6 +15,7 @@
 #include "agg/strategies.hpp"
 #include "bench/report.hpp"
 #include "part/options.hpp"
+#include "runner/runner.hpp"
 
 namespace partib::bench {
 
@@ -23,25 +26,37 @@ class Cli {
       if (std::strcmp(argv[i], "--csv") == 0) {
         csv_ = true;
       } else if (std::strncmp(argv[i], "--iters=", 8) == 0) {
-        // std::from_chars, not atoi: reject garbage and non-positive
-        // values loudly instead of silently running 0 iterations.
-        const char* value = argv[i] + 8;
-        const char* end = value + std::strlen(value);
-        int parsed = 0;
-        const auto [ptr, ec] = std::from_chars(value, end, parsed);
-        if (ec != std::errc{} || ptr != end || parsed <= 0) {
-          std::cerr << "bench: invalid --iters value \"" << value
-                    << "\" (expected a positive integer)\n";
-          std::exit(2);
-        }
-        iters_override_ = parsed;
+        iters_override_ = parse_positive(argv[i] + 8, "--iters");
+      } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+        jobs_ = static_cast<std::size_t>(parse_positive(argv[i] + 7,
+                                                        "--jobs"));
+      } else if (std::strcmp(argv[i], "--no-cache") == 0) {
+        no_cache_ = true;
+      } else if (std::strncmp(argv[i], "--cache-dir=", 12) == 0) {
+        cache_dir_ = argv[i] + 12;
       }
+    }
+    if (!no_cache_) {
+      cache_ = cache_dir_.empty()
+                   ? runner::ResultCache::open_default()
+                   : std::make_unique<runner::ResultCache>(cache_dir_);
     }
   }
 
   bool csv() const { return csv_; }
   int iterations(int fallback) const {
     return iters_override_ > 0 ? iters_override_ : fallback;
+  }
+
+  /// Runner options wired from the command line: --jobs=N worker threads
+  /// (default runner::default_jobs(); 1 reproduces serial behaviour
+  /// exactly), plus the persistent result cache unless --no-cache.  The
+  /// cache lives as long as the Cli.
+  runner::RunOptions run_options() const {
+    runner::RunOptions o;
+    o.jobs = jobs_;
+    o.cache = cache_.get();
+    return o;
   }
 
   void emit(const Table& table) const {
@@ -53,8 +68,26 @@ class Cli {
   }
 
  private:
+  // std::from_chars, not atoi: reject garbage and non-positive values
+  // loudly instead of silently running 0 iterations / 0 workers.
+  static int parse_positive(const char* value, const char* flag) {
+    const char* end = value + std::strlen(value);
+    int parsed = 0;
+    const auto [ptr, ec] = std::from_chars(value, end, parsed);
+    if (ec != std::errc{} || ptr != end || parsed <= 0) {
+      std::cerr << "bench: invalid " << flag << " value \"" << value
+                << "\" (expected a positive integer)\n";
+      std::exit(2);
+    }
+    return parsed;
+  }
+
   bool csv_ = false;
   int iters_override_ = 0;
+  std::size_t jobs_ = 0;  ///< 0 = runner default
+  bool no_cache_ = false;
+  std::string cache_dir_;
+  std::unique_ptr<runner::ResultCache> cache_;
 };
 
 inline part::Options options_with(

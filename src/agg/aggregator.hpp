@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 #include "common/time.hpp"
 #include "model/ploggp.hpp"
@@ -60,6 +61,12 @@ class Aggregator {
                     std::size_t total_bytes) const = 0;
 
   virtual const char* name() const = 0;
+
+  /// Stable, parameter-complete identity string: two aggregators with the
+  /// same describe() must produce identical plans for every input.  The
+  /// experiment runner hashes this into trial fingerprints, so a strategy
+  /// that gains a knob must extend its describe() in the same change.
+  virtual std::string describe() const { return name(); }
 };
 
 /// Clamp a requested transport-partition count to the legal range

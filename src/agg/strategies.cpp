@@ -1,11 +1,39 @@
 #include "agg/strategies.hpp"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 
 #include "common/assert.hpp"
 #include "common/bits.hpp"
 
 namespace partib::agg {
+
+namespace {
+
+/// Canonical "L= o_s= o_r= g= G=" fragment shared by every model-driven
+/// strategy's describe().  %.17g round-trips doubles exactly.
+std::string loggp_str(const model::LogGPParams& p) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "L=%" PRId64 " o_s=%" PRId64 " o_r=%" PRId64 " g=%" PRId64
+                " G=%.17g",
+                static_cast<std::int64_t>(p.L),
+                static_cast<std::int64_t>(p.o_s),
+                static_cast<std::int64_t>(p.o_r),
+                static_cast<std::int64_t>(p.g), p.G);
+  return buf;
+}
+
+std::string optimizer_str(const model::OptimizerConfig& cfg) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "delay=%" PRId64 " maxtp=%zu",
+                static_cast<std::int64_t>(cfg.delay),
+                cfg.max_transport_partitions);
+  return buf;
+}
+
+}  // namespace
 
 std::size_t clamp_transport_partitions(std::size_t requested,
                                        std::size_t user_partitions) {
@@ -41,6 +69,13 @@ Plan StaticAggregator::plan(std::size_t user_partitions, std::size_t) const {
   return p;
 }
 
+std::string StaticAggregator::describe() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "static tp=%zu qp=%d",
+                transport_partitions_, qp_count_);
+  return buf;
+}
+
 // -- TuningTableAggregator ---------------------------------------------------
 
 TuningTableAggregator::TuningTableAggregator(TuningTable table)
@@ -59,6 +94,21 @@ Plan TuningTableAggregator::plan(std::size_t user_partitions,
     p.qp_count = entry->qp_count;
   }
   return p;
+}
+
+std::string TuningTableAggregator::describe() const {
+  // The whole table is the identity; hash its canonical CSV form rather
+  // than embedding it (tables can be hundreds of rows).
+  const std::string csv = table_.to_csv();
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64
+  for (unsigned char c : csv) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "tuning-table rows=%zu csv=%016" PRIx64,
+                table_.size(), h);
+  return buf;
 }
 
 // -- PLogGPAggregator --------------------------------------------------------
@@ -82,6 +132,13 @@ Plan PLogGPAggregator::plan(std::size_t user_partitions,
       ceil_div(p.transport_partitions,
                static_cast<std::size_t>(max_wr_per_qp_)));
   return p;
+}
+
+std::string PLogGPAggregator::describe() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), " maxwr=%d", max_wr_per_qp_);
+  return std::string(name()) + " " + loggp_str(params_) + " " +
+         optimizer_str(cfg_) + buf;
 }
 
 // -- AdaptivePLogGPAggregator ------------------------------------------------
@@ -111,6 +168,13 @@ Plan AdaptivePLogGPAggregator::plan(std::size_t user_partitions,
   return p;
 }
 
+std::string AdaptivePLogGPAggregator::describe() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), " delay0=%" PRId64 " alpha=%.17g",
+                static_cast<std::int64_t>(initial_delay_), alpha_);
+  return std::string("adaptive-ploggp ") + loggp_str(params_) + buf;
+}
+
 // -- TimerPLogGPAggregator ---------------------------------------------------
 
 TimerPLogGPAggregator::TimerPLogGPAggregator(model::LogGPParams params,
@@ -127,6 +191,13 @@ Plan TimerPLogGPAggregator::plan(std::size_t user_partitions,
   p.timer_based = true;
   p.timer_delta = delta_;
   return p;
+}
+
+std::string TimerPLogGPAggregator::describe() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), " delta=%" PRId64,
+                static_cast<std::int64_t>(delta_));
+  return PLogGPAggregator::describe() + buf;
 }
 
 }  // namespace partib::agg

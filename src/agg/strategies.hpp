@@ -25,6 +25,7 @@ class StaticAggregator final : public Aggregator {
   StaticAggregator(std::size_t transport_partitions, int qp_count);
   Plan plan(std::size_t user_partitions, std::size_t) const override;
   const char* name() const override { return "static"; }
+  std::string describe() const override;
 
  private:
   std::size_t transport_partitions_;
@@ -39,6 +40,7 @@ class TuningTableAggregator final : public Aggregator {
   Plan plan(std::size_t user_partitions,
             std::size_t total_bytes) const override;
   const char* name() const override { return "tuning-table"; }
+  std::string describe() const override;
 
   const TuningTable& table() const { return table_; }
 
@@ -57,6 +59,7 @@ class PLogGPAggregator : public Aggregator {
   Plan plan(std::size_t user_partitions,
             std::size_t total_bytes) const override;
   const char* name() const override { return "ploggp"; }
+  std::string describe() const override;
 
  protected:
   model::LogGPParams params_;
@@ -79,6 +82,7 @@ class AdaptivePLogGPAggregator final : public Aggregator {
   Plan plan(std::size_t user_partitions,
             std::size_t total_bytes) const override;
   const char* name() const override { return "adaptive-ploggp"; }
+  std::string describe() const override;
 
  private:
   model::LogGPParams params_;
@@ -96,6 +100,7 @@ class TimerPLogGPAggregator final : public PLogGPAggregator {
   Plan plan(std::size_t user_partitions,
             std::size_t total_bytes) const override;
   const char* name() const override { return "timer-ploggp"; }
+  std::string describe() const override;
 
   Duration delta() const { return delta_; }
 

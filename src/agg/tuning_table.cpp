@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <iterator>
 #include <sstream>
 
 #include "common/assert.hpp"
@@ -13,39 +14,52 @@ namespace partib::agg {
 void TuningTable::set(std::size_t user_partitions, std::size_t total_bytes,
                       Entry e) {
   PARTIB_ASSERT(e.transport_partitions >= 1 && e.qp_count >= 1);
-  table_[Key{user_partitions, total_bytes}] = e;
+  auto& sizes = table_[user_partitions];
+  if (sizes.emplace(total_bytes, e).second) {
+    ++count_;
+  } else {
+    sizes[total_bytes] = e;  // overwrite, count unchanged
+  }
 }
 
 std::optional<TuningTable::Entry> TuningTable::lookup(
     std::size_t user_partitions, std::size_t total_bytes) const {
-  auto it = table_.find(Key{user_partitions, total_bytes});
-  if (it == table_.end()) return std::nullopt;
+  auto part = table_.find(user_partitions);
+  if (part == table_.end()) return std::nullopt;
+  auto it = part->second.find(total_bytes);
+  if (it == part->second.end()) return std::nullopt;
   return it->second;
 }
 
 std::optional<TuningTable::Entry> TuningTable::lookup_nearest(
     std::size_t user_partitions, std::size_t total_bytes) const {
-  std::optional<Entry> best;
-  double best_dist = 0.0;
+  auto part = table_.find(user_partitions);
+  if (part == table_.end() || part->second.empty()) return std::nullopt;
+  const auto& sizes = part->second;
+
+  // Bisect to the insertion point, then the nearest entry (log scale) is
+  // one of the two neighbours.  `<=` keeps the deterministic tie-break:
+  // equidistant sizes resolve to the smaller.
+  auto hi = sizes.lower_bound(total_bytes);
+  if (hi == sizes.end()) return std::prev(hi)->second;
+  if (hi == sizes.begin()) return hi->second;
+  const auto lo = std::prev(hi);
   const double want = std::log2(static_cast<double>(total_bytes));
-  for (const auto& [key, entry] : table_) {
-    if (key.first != user_partitions) continue;
-    const double dist =
-        std::fabs(std::log2(static_cast<double>(key.second)) - want);
-    if (!best || dist < best_dist) {
-      best = entry;
-      best_dist = dist;
-    }
-  }
-  return best;
+  const double d_lo =
+      std::fabs(std::log2(static_cast<double>(lo->first)) - want);
+  const double d_hi =
+      std::fabs(std::log2(static_cast<double>(hi->first)) - want);
+  return d_lo <= d_hi ? lo->second : hi->second;
 }
 
 std::string TuningTable::to_csv() const {
   std::ostringstream out;
   out << "user_partitions,total_bytes,transport_partitions,qp_count\n";
-  for (const auto& [key, e] : table_) {
-    out << key.first << ',' << key.second << ',' << e.transport_partitions
-        << ',' << e.qp_count << '\n';
+  for (const auto& [parts, sizes] : table_) {
+    for (const auto& [bytes, e] : sizes) {
+      out << parts << ',' << bytes << ',' << e.transport_partitions << ','
+          << e.qp_count << '\n';
+    }
   }
   return out.str();
 }

@@ -13,7 +13,6 @@
 #include <map>
 #include <optional>
 #include <string>
-#include <utility>
 
 namespace partib::agg {
 
@@ -31,13 +30,14 @@ class TuningTable {
                               std::size_t total_bytes) const;
 
   /// Lookup with fallback: same user-partition count, nearest message size
-  /// (log scale).  Returns nullopt only when the partition count is
-  /// entirely absent.
+  /// (log scale); a tie between two neighbouring sizes resolves to the
+  /// smaller one.  O(log table) via the per-partition-count index.
+  /// Returns nullopt only when the partition count is entirely absent.
   std::optional<Entry> lookup_nearest(std::size_t user_partitions,
                                       std::size_t total_bytes) const;
 
-  std::size_t size() const { return table_.size(); }
-  bool empty() const { return table_.empty(); }
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
 
   /// CSV round-trip: "user_partitions,total_bytes,transport_partitions,qps"
   /// per line.  Used by the table-builder tool.
@@ -49,8 +49,12 @@ class TuningTable {
   static TuningTable niagara_prebuilt();
 
  private:
-  using Key = std::pair<std::size_t, std::size_t>;
-  std::map<Key, Entry> table_;
+  /// user_partitions -> (total_bytes -> Entry).  Nested rather than flat
+  /// pair-keyed so lookup_nearest can bisect the sizes of one partition
+  /// count instead of scanning the whole table; iteration order (and so
+  /// to_csv output) is identical to the historical flat map's.
+  std::map<std::size_t, std::map<std::size_t, Entry>> table_;
+  std::size_t count_ = 0;
 };
 
 }  // namespace partib::agg

@@ -1,0 +1,68 @@
+// Pure-trial adapters between the figure benchmarks and the parallel
+// experiment runner (runner/runner.hpp).
+//
+// Each benchmark config type gets three things here:
+//
+//   * a `fingerprint()` — content hash of every field that can influence
+//     the simulated timeline (schema-tagged, e.g. "overhead/v1"; bump the
+//     tag whenever the trial semantics change so stale cache entries
+//     self-invalidate),
+//   * a `Codec` — exact textual round-trip of the result struct for the
+//     persistent cache (integers in decimal, doubles in hexfloat),
+//   * a grid runner `run_*_grid()` — submit a vector of configs through
+//     runner::run_trials and get results back in submission order.
+//
+// Trial forms honour a seed convention: a config with `seed == 0` asks for
+// a derived seed, runner::derive_seed(fingerprint(cfg)) — deterministic,
+// collision-resistant, and stable across runs.  The drivers keep their
+// historical pinned seeds, so figure output is unchanged; the sentinel is
+// for new sweeps that want per-config seeds without inventing them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bench/halo.hpp"
+#include "bench/overhead.hpp"
+#include "bench/perceived.hpp"
+#include "bench/sweep.hpp"
+#include "runner/runner.hpp"
+
+namespace partib::bench {
+
+std::uint64_t fingerprint(const OverheadConfig& cfg);
+std::uint64_t fingerprint(const PerceivedConfig& cfg);
+std::uint64_t fingerprint(const SweepConfig& cfg);
+std::uint64_t fingerprint(const HaloConfig& cfg);
+
+runner::Codec<OverheadResult> overhead_codec();
+runner::Codec<PerceivedResult> perceived_codec();
+runner::Codec<SweepResult> sweep_codec();
+runner::Codec<HaloResult> halo_codec();
+
+/// Pure `(config) -> result` trial forms: resolve the seed convention
+/// (seed == 0 derives from the fingerprint) and run one isolated
+/// simulation.  Thread-safe: every call builds its own Engine/World.
+OverheadResult overhead_trial(const OverheadConfig& cfg);
+PerceivedResult perceived_trial(const PerceivedConfig& cfg);
+SweepResult sweep_trial(const SweepConfig& cfg);
+HaloResult halo_trial(const HaloConfig& cfg);
+
+/// Grid runners: results come back in submission order, so a driver that
+/// formats them sequentially emits byte-identical output for any job
+/// count.  Perceived grids that carry a profiler pointer bypass the cache
+/// (profiler side effects cannot be replayed from a cached result).
+std::vector<OverheadResult> run_overhead_grid(
+    const std::vector<OverheadConfig>& grid, const runner::RunOptions& opts,
+    runner::RunStats* stats = nullptr);
+std::vector<PerceivedResult> run_perceived_grid(
+    const std::vector<PerceivedConfig>& grid, const runner::RunOptions& opts,
+    runner::RunStats* stats = nullptr);
+std::vector<SweepResult> run_sweep_grid(const std::vector<SweepConfig>& grid,
+                                        const runner::RunOptions& opts,
+                                        runner::RunStats* stats = nullptr);
+std::vector<HaloResult> run_halo_grid(const std::vector<HaloConfig>& grid,
+                                      const runner::RunOptions& opts,
+                                      runner::RunStats* stats = nullptr);
+
+}  // namespace partib::bench

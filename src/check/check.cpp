@@ -12,10 +12,15 @@ namespace partib::check {
 
 namespace {
 
-Policy g_policy = Policy::kLog;
+// Checker state is thread_local: the parallel experiment runner
+// (src/runner) executes one independent simulation per worker thread,
+// and each simulation's hooks must update and observe *its own* shadow
+// state and violation log.  Single-threaded callers (every test, every
+// --jobs=1 run) see exactly the old process-wide behaviour.
+thread_local Policy g_policy = Policy::kLog;
 
 std::vector<Violation>& store() {
-  static std::vector<Violation> v;
+  static thread_local std::vector<Violation> v;
   return v;
 }
 

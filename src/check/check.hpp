@@ -54,7 +54,12 @@ struct Violation {
   std::string detail;
 };
 
-/// Violations recorded since the last reset/clear (process-wide).
+/// Violations recorded since the last reset/clear.  Checker state
+/// (policy, violations, shadow verbs/part state) is per-thread: the
+/// parallel experiment runner executes one independent simulation per
+/// worker thread, and each simulation audits itself in isolation.
+/// Single-threaded programs observe the historical process-wide
+/// behaviour unchanged.
 std::size_t violation_count();
 const std::vector<Violation>& violations();
 

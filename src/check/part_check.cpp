@@ -29,13 +29,15 @@ struct PrecvShadow {
   std::vector<std::size_t> bytes;
 };
 
+// thread_local: one independent simulation's requests per runner worker
+// thread — see check.cpp.
 std::map<const void*, PsendShadow>& psends() {
-  static std::map<const void*, PsendShadow> m;
+  static thread_local std::map<const void*, PsendShadow> m;
   return m;
 }
 
 std::map<const void*, PrecvShadow>& precvs() {
-  static std::map<const void*, PrecvShadow> m;
+  static thread_local std::map<const void*, PrecvShadow> m;
   return m;
 }
 

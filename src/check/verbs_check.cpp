@@ -50,7 +50,9 @@ struct Shadow {
 };
 
 Shadow& shadow() {
-  static Shadow s;
+  // thread_local: one independent simulation (and so one coherent shadow
+  // world) per runner worker thread — see check.cpp.
+  static thread_local Shadow s;
   return s;
 }
 

@@ -40,13 +40,17 @@ void diag_emit(const Diagnostic& d);
 
 namespace detail {
 /// Backing store for diag_set_time/diag_time (-1 before any dispatch).
-inline Time g_diag_vtime = -1;
+/// thread_local: the parallel experiment runner (src/runner) drives one
+/// independent engine per worker thread, and each simulation's
+/// diagnostics must carry *its own* clock — a shared global here would
+/// be both a data race and the wrong timestamp.
+inline thread_local Time g_diag_vtime = -1;
 }  // namespace detail
 
 /// The simulation engine publishes its clock here on every event dispatch
 /// so diagnostics raised from within callbacks carry virtual time even
-/// when the reporting site has no engine reference.  Multiple engines in
-/// one process: last dispatch wins, which is the right answer for the
+/// when the reporting site has no engine reference.  Multiple engines on
+/// one thread: last dispatch wins, which is the right answer for the
 /// single-engine-per-simulation norm.  Inline: this sits on the engine's
 /// per-dispatch hot path, where an out-of-line call would be measurable.
 inline void diag_set_time(Time t) { detail::g_diag_vtime = t; }

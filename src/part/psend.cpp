@@ -219,6 +219,10 @@ Status PsendRequest::pready_range(std::size_t first, std::size_t last) {
   if (first > last || last >= n_) return Status::kInvalidArgument;
   for (std::size_t i = first; i <= last; ++i) {
     const Status st = pready(i);
+    // Stop at the first failure.  Partitions already marked this round
+    // stay ready (their groups may be in flight); see the header's
+    // partial-success contract — the caller retries from `i`, not from
+    // `first`.
     if (!ok(st)) return st;
   }
   return Status::kOk;

@@ -63,6 +63,15 @@ class PsendRequest {
   Status pready(std::size_t partition);
 
   /// MPI_Pready_range: inclusive range, as in the standard.
+  ///
+  /// Partial-success semantics: partitions are marked in ascending order
+  /// and the first failure stops the loop, so on error every partition
+  /// in [first, error point) *stays marked ready* (and its transport
+  /// group may already be on the wire — Pready is not undoable).  This
+  /// mirrors MPI, where each MPI_Pready is independently visible; the
+  /// caller recovers by retrying only the partitions at and after the
+  /// failure, never the whole range.  Bounds are validated up front, so
+  /// an out-of-range `last` fails without marking anything.
   Status pready_range(std::size_t first, std::size_t last);
 
   /// MPI_Test analogue: true when the current round is complete (an

@@ -1,0 +1,89 @@
+#include "runner/result_cache.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <thread>
+#include <utility>
+
+#include "common/env.hpp"
+#include "runner/fingerprint.hpp"
+
+namespace partib::runner {
+
+namespace {
+
+// Leading magic line of every cache file; a file without it (foreign,
+// truncated mid-write by an older crashed process, wrong format
+// generation) reads as a miss.
+constexpr std::string_view kMagic = "partib-trial-cache v1\n";
+
+}  // namespace
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  // An unwritable location is tolerated: load() will miss and store()
+  // will fail silently, degrading to uncached execution.
+}
+
+std::unique_ptr<ResultCache> ResultCache::open_default() {
+  if (!env_bool("PARTIB_CACHE", true)) return nullptr;
+  std::string dir = env_string("PARTIB_CACHE_DIR").value_or(".partib-cache");
+  return std::make_unique<ResultCache>(std::move(dir));
+}
+
+std::string ResultCache::path_for(std::uint64_t fingerprint) const {
+  return dir_ + "/" + to_hex(fingerprint) + ".trial";
+}
+
+std::optional<std::string> ResultCache::load(std::uint64_t fingerprint) const {
+  std::ifstream in(path_for(fingerprint), std::ios::binary);
+  if (!in) {
+    misses_.fetch_add(1);
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string contents = std::move(buf).str();
+  if (contents.size() < kMagic.size() ||
+      std::string_view(contents).substr(0, kMagic.size()) != kMagic) {
+    misses_.fetch_add(1);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1);
+  return contents.substr(kMagic.size());
+}
+
+void ResultCache::store(std::uint64_t fingerprint,
+                        std::string_view payload) const {
+  const std::string final_path = path_for(fingerprint);
+  // Unique temp per fingerprint+process+thread: concurrent writers of the
+  // same trial (duplicate configs in one grid, or two processes sweeping
+  // overlapping grids) each rename a complete file into place; last one
+  // wins with identical contents.
+  std::ostringstream tmp_name;
+  tmp_name << final_path << ".tmp." << ::getpid() << "."
+           << std::this_thread::get_id();
+  const std::string tmp_path = tmp_name.str();
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return;  // unwritable cache: degrade silently
+    out << kMagic << payload;
+    if (!out) {
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp_path, ec);
+      return;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) std::filesystem::remove(tmp_path, ec);
+}
+
+}  // namespace partib::runner

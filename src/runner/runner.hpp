@@ -1,0 +1,154 @@
+// The parallel experiment runner.
+//
+// A figure benchmark or tuning-table search is hundreds of *independent*
+// DES trials — each builds its own sim::Engine and mpi::World, runs to
+// quiescence, and reduces to a small result struct.  `run_trials` executes
+// such a grid across host cores on a work-stealing pool
+// (runner/thread_pool.hpp) while keeping the three properties the
+// figure pipeline depends on:
+//
+//  1. **Determinism** — each trial's RNG seed is a pure function of its
+//     config (the drivers pin seeds; configs that ask for a derived seed
+//     get runner::derive_seed(fingerprint)), and results are collected in
+//     *submission order*, so the emitted CSV/table is byte-identical for
+//     any worker count, including --jobs=1 (which runs every trial
+//     inline on the calling thread, reproducing the historical serial
+//     behaviour exactly — no pool threads are even spawned).
+//  2. **Memoization** — with a ResultCache attached, a trial whose
+//     fingerprint is already on disk is decoded instead of simulated, so
+//     re-running a figure or resuming an interrupted table search pays
+//     only for what changed.
+//  3. **Isolation** — trials share no mutable state (the audit that made
+//     the library safe for this is the thread_local conversion of the
+//     diagnostics clock and checker shadow state; see docs/PERF.md).
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "runner/result_cache.hpp"
+#include "runner/thread_pool.hpp"
+
+namespace partib::runner {
+
+struct RunOptions {
+  /// Worker threads; 0 means default_jobs() (PARTIB_JOBS env override,
+  /// else hardware concurrency).  1 runs trials inline on the caller.
+  std::size_t jobs = 0;
+  /// Persistent result cache; nullptr disables memoization.
+  ResultCache* cache = nullptr;
+};
+
+struct RunStats {
+  std::size_t trials = 0;      ///< grid size
+  std::size_t cache_hits = 0;  ///< decoded from the cache
+  std::size_t executed = 0;    ///< actually simulated
+};
+
+/// How a Result round-trips through the persistent cache.  Either
+/// pointer may be null, which disables caching for the trial type.
+/// Encode/decode must be exact (bit-level round-trip) — a decoded result
+/// feeds the same formatting code as a fresh one and the output must not
+/// depend on cache state.
+template <typename Result>
+struct Codec {
+  std::string (*encode)(const Result&) = nullptr;
+  bool (*decode)(std::string_view, Result*) = nullptr;
+};
+
+namespace detail {
+
+/// Countdown latch (C++20 std::latch needs a count at construction
+/// before cache hits are known; this one is just as small).
+class Latch {
+ public:
+  explicit Latch(std::size_t count) : remaining_(count) {}
+
+  void count_down() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PARTIB_ASSERT(remaining_ > 0);
+    if (--remaining_ == 0) done_.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [this] { return remaining_ == 0; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable done_;
+  std::size_t remaining_;
+};
+
+}  // namespace detail
+
+/// Execute `trial` over every config, in parallel, returning results in
+/// submission order.  `fingerprint` must hash every config field that can
+/// influence the result (see runner/fingerprint.hpp).
+template <typename Config, typename Result, typename TrialFn,
+          typename FingerprintFn>
+std::vector<Result> run_trials(const std::vector<Config>& configs,
+                               TrialFn trial, FingerprintFn fingerprint,
+                               Codec<Result> codec, const RunOptions& opts,
+                               RunStats* stats = nullptr) {
+  const std::size_t n = configs.size();
+  std::vector<Result> results(n);
+  RunStats local;
+  local.trials = n;
+
+  const bool use_cache =
+      opts.cache != nullptr && codec.encode != nullptr &&
+      codec.decode != nullptr;
+  std::vector<std::uint64_t> fps(use_cache ? n : 0);
+  std::vector<std::size_t> pending;
+  pending.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (use_cache) {
+      fps[i] = fingerprint(configs[i]);
+      if (auto payload = opts.cache->load(fps[i])) {
+        if (codec.decode(*payload, &results[i])) {
+          ++local.cache_hits;
+          continue;
+        }
+      }
+    }
+    pending.push_back(i);
+  }
+  local.executed = pending.size();
+
+  auto execute = [&](std::size_t i) {
+    results[i] = trial(configs[i]);
+    if (use_cache) opts.cache->store(fps[i], codec.encode(results[i]));
+  };
+
+  const std::size_t jobs = opts.jobs == 0 ? default_jobs() : opts.jobs;
+  if (jobs <= 1 || pending.size() <= 1) {
+    // Serial reference path: submission order on the calling thread.
+    for (std::size_t i : pending) execute(i);
+  } else {
+    detail::Latch latch(pending.size());
+    {
+      ThreadPool pool(std::min(jobs, pending.size()));
+      for (std::size_t i : pending) {
+        pool.submit([&execute, &latch, i] {
+          execute(i);
+          latch.count_down();
+        });
+      }
+      latch.wait();
+    }
+  }
+
+  if (stats != nullptr) *stats = local;
+  return results;
+}
+
+}  // namespace partib::runner

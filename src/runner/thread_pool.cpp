@@ -1,0 +1,101 @@
+#include "runner/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/env.hpp"
+
+namespace partib::runner {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = std::max<std::size_t>(1, threads);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(Task task) {
+  PARTIB_ASSERT(task != nullptr);
+  std::size_t victim;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    PARTIB_ASSERT_MSG(!stopping_, "submit on a stopping pool");
+    victim = next_victim_;
+    next_victim_ = (next_victim_ + 1) % workers_.size();
+    ++queued_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_[victim]->mutex);
+    workers_[victim]->tasks.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+ThreadPool::Task ThreadPool::take(std::size_t id) {
+  // Own deque first, back end (LIFO).
+  {
+    Worker& own = *workers_[id];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      Task t = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return t;
+    }
+  }
+  // Steal from the front of the first non-empty victim, scanning from the
+  // next worker so thieves spread out instead of all hammering worker 0.
+  for (std::size_t k = 1; k < workers_.size(); ++k) {
+    Worker& victim = *workers_[(id + k) % workers_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      Task t = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+void ThreadPool::worker_loop(std::size_t id) {
+  for (;;) {
+    Task task = take(id);
+    if (task == nullptr) {
+      std::unique_lock<std::mutex> lock(state_mutex_);
+      // A task submitted between the failed scan and this lock bumped
+      // `queued_` under the same mutex, so the predicate re-checks it —
+      // no lost wakeup window.
+      work_available_.wait(lock, [this] { return queued_ > 0 || stopping_; });
+      if (queued_ == 0 && stopping_) return;
+      continue;  // retry the scan; another worker may have won the race
+    }
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      PARTIB_ASSERT(queued_ > 0);
+      --queued_;
+    }
+    task();
+  }
+}
+
+std::size_t default_jobs() {
+  const std::int64_t env = env_int("PARTIB_JOBS", 0);
+  if (env > 0) return static_cast<std::size_t>(env);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace partib::runner

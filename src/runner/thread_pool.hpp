@@ -1,0 +1,76 @@
+// Work-stealing thread pool for independent simulation trials.
+//
+// Each worker owns a deque: the owner pushes/pops at the back (LIFO keeps
+// its cache warm across a burst of submissions) and idle workers steal
+// from the *front* of a victim's deque (FIFO, so a thief takes the oldest
+// — and therefore least cache-affine — work).  Trials are coarse (a whole
+// DES run each, microseconds to seconds), so each deque is guarded by a
+// plain mutex rather than a lock-free Chase-Lev deque: contention is a
+// few lock acquisitions per trial, and mutexes keep the pool trivially
+// clean under TSan.
+//
+// The pool runs arbitrary move-only callables (common::InlineFn) and has
+// no futures of its own — the runner layers submission-order result
+// collection on top (runner/runner.hpp).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/inline_fn.hpp"
+
+namespace partib::runner {
+
+class ThreadPool {
+ public:
+  using Task = common::InlineFn<void()>;
+
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Joins the workers after draining every queued task.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue one task.  Tasks may be submitted from any thread, including
+  /// from within a running task.
+  void submit(Task task);
+
+  std::size_t threads() const { return workers_.size(); }
+
+ private:
+  struct Worker {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
+
+  void worker_loop(std::size_t id);
+  /// Pop from own back, else steal from the front of the next non-empty
+  /// victim.  Returns an empty Task when every deque is empty.
+  Task take(std::size_t id);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // Submission/wakeup state: `queued_` counts tasks pushed but not yet
+  // dequeued, and is only touched under `state_mutex_` so a worker that
+  // observes queued_ == 0 under the lock cannot miss a wakeup.
+  std::mutex state_mutex_;
+  std::condition_variable work_available_;
+  std::size_t queued_ = 0;
+  std::size_t next_victim_ = 0;  // round-robin submission target
+  bool stopping_ = false;
+};
+
+/// Default worker count: PARTIB_JOBS when set (>= 1), otherwise the
+/// hardware concurrency (>= 1).
+std::size_t default_jobs();
+
+}  // namespace partib::runner

@@ -1,0 +1,120 @@
+// TuningTable: CSV round-trip, malformed input, and the indexed
+// nearest-size lookup (log-scale distance, ties toward the smaller size).
+#include <gtest/gtest.h>
+
+#include "agg/tuning_table.hpp"
+#include "common/units.hpp"
+
+namespace partib::agg {
+namespace {
+
+TuningTable small_table() {
+  TuningTable t;
+  t.set(4, 2 * KiB, {2, 1});
+  t.set(4, 8 * KiB, {4, 2});
+  t.set(32, 64 * KiB, {16, 4});
+  t.set(32, 1 * MiB, {32, 4});
+  return t;
+}
+
+TEST(TuningTableCsv, RoundTripPreservesEveryEntry) {
+  const TuningTable t = small_table();
+  const TuningTable back = TuningTable::from_csv(t.to_csv());
+  EXPECT_EQ(back.size(), t.size());
+  // Round-tripping again must be a fixed point, byte for byte.
+  EXPECT_EQ(back.to_csv(), t.to_csv());
+  const auto e = back.lookup(4, 8 * KiB);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->transport_partitions, 4u);
+  EXPECT_EQ(e->qp_count, 2);
+}
+
+TEST(TuningTableCsv, HeaderOnlyYieldsEmptyTable) {
+  const TuningTable t = TuningTable::from_csv(
+      "user_partitions,total_bytes,transport_partitions,qp_count\n");
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(TuningTableCsv, EmptyLinesAreSkipped) {
+  const TuningTable t = TuningTable::from_csv(
+      "user_partitions,total_bytes,transport_partitions,qp_count\n"
+      "\n"
+      "4,2048,2,1\n"
+      "\n"
+      "4,4096,4,2\n"
+      "\n");
+  EXPECT_EQ(t.size(), 2u);
+  ASSERT_TRUE(t.lookup(4, 4096).has_value());
+  EXPECT_EQ(t.lookup(4, 4096)->transport_partitions, 4u);
+}
+
+TEST(TuningTableCsvDeathTest, MalformedRowAborts) {
+  // Malformed persisted tables are a hard configuration error: better to
+  // die loudly than silently drop tuned entries.
+  EXPECT_DEATH(TuningTable::from_csv("4,2048,notanumber,1\n"),
+               "malformed tuning-table CSV line");
+  EXPECT_DEATH(TuningTable::from_csv("4,2048\n"),
+               "malformed tuning-table CSV line");
+}
+
+TEST(TuningTableCsv, SetOverwriteKeepsCountStable) {
+  TuningTable t;
+  t.set(4, 2048, {2, 1});
+  t.set(4, 2048, {4, 2});  // overwrite, not a second entry
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.lookup(4, 2048)->transport_partitions, 4u);
+}
+
+TEST(TuningTableLookup, ExactHitBeatsNearest) {
+  const TuningTable t = small_table();
+  const auto e = t.lookup_nearest(4, 8 * KiB);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->transport_partitions, 4u);
+}
+
+TEST(TuningTableLookup, NearestPicksLogClosestSize) {
+  const TuningTable t = small_table();
+  // 3 KiB is log2-closer to 2 KiB (0.58 octaves) than to 8 KiB (1.4).
+  const auto lo = t.lookup_nearest(4, 3 * KiB);
+  ASSERT_TRUE(lo.has_value());
+  EXPECT_EQ(lo->transport_partitions, 2u);
+  // 6 KiB is log2-closer to 8 KiB (0.41) than to 2 KiB (1.58).
+  const auto hi = t.lookup_nearest(4, 6 * KiB);
+  ASSERT_TRUE(hi.has_value());
+  EXPECT_EQ(hi->transport_partitions, 4u);
+}
+
+TEST(TuningTableLookup, EquidistantTieResolvesToSmallerSize) {
+  const TuningTable t = small_table();
+  // 4 KiB is exactly one octave from both 2 KiB and 8 KiB.
+  const auto e = t.lookup_nearest(4, 4 * KiB);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->transport_partitions, 2u);  // the 2 KiB entry
+}
+
+TEST(TuningTableLookup, OutsideRangeClampsToEndpoints) {
+  const TuningTable t = small_table();
+  EXPECT_EQ(t.lookup_nearest(4, 1)->transport_partitions, 2u);
+  EXPECT_EQ(t.lookup_nearest(4, 1 * GiB)->transport_partitions, 4u);
+}
+
+TEST(TuningTableLookup, AbsentPartitionCountIsNullopt) {
+  const TuningTable t = small_table();
+  EXPECT_FALSE(t.lookup_nearest(64, 8 * KiB).has_value());
+  EXPECT_FALSE(t.lookup(64, 8 * KiB).has_value());
+}
+
+TEST(TuningTablePrebuilt, NiagaraTableIsWellFormed) {
+  const TuningTable t = TuningTable::niagara_prebuilt();
+  EXPECT_FALSE(t.empty());
+  EXPECT_EQ(t.size(), 56u);  // 4 partition counts x 14 sizes
+  // Spot check one row and the round-trip invariant.
+  const auto e = t.lookup(32, 512 * KiB);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->transport_partitions, 32u);
+  EXPECT_EQ(TuningTable::from_csv(t.to_csv()).to_csv(), t.to_csv());
+}
+
+}  // namespace
+}  // namespace partib::agg

@@ -121,6 +121,29 @@ TEST(UsageErrors, PreadyRangeBadBounds) {
   EXPECT_EQ(fx.send->pready_range(0, 4), Status::kInvalidArgument);
 }
 
+TEST(UsageErrors, PreadyRangePartialSuccessKeepsEarlierPartitions) {
+  // pready_range stops at the first failure but does NOT roll back the
+  // partitions it already marked (the header's partial-success contract:
+  // Pready is not undoable, groups may already be on the wire).
+  ChannelFixture fx(16 * KiB, 4, ploggp_options());
+  ASSERT_TRUE(ok(fx.send->start()));
+  ASSERT_TRUE(ok(fx.recv->start()));
+  ASSERT_TRUE(ok(fx.send->pready(1)));  // pre-mark the failure point
+
+  // Range marks 0, then fails on the double-Pready of 1; 2 and 3 untouched.
+  EXPECT_EQ(fx.send->pready_range(0, 3), Status::kInvalidArgument);
+
+  // Partition 0 stayed marked: marking it again is a double Pready.
+  EXPECT_EQ(fx.send->pready(0), Status::kInvalidArgument);
+
+  // The partitions after the failure point were never marked; the caller
+  // resumes from there and the round completes normally.
+  EXPECT_TRUE(ok(fx.send->pready_range(2, 3)));
+  fx.engine.run();
+  EXPECT_TRUE(fx.send->test());
+  EXPECT_TRUE(fx.recv->test());
+}
+
 TEST(UsageErrors, StartWhileRoundInFlight) {
   ChannelFixture fx(16 * KiB, 4, ploggp_options());
   ASSERT_TRUE(ok(fx.send->start()));

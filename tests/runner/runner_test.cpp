@@ -1,0 +1,228 @@
+// The parallel experiment runner: thread pool, submission-order result
+// collection (byte-identical output for any job count), fingerprints /
+// derived seeds, and the persistent result cache.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "runner/fingerprint.hpp"
+#include "runner/result_cache.hpp"
+#include "runner/runner.hpp"
+#include "runner/thread_pool.hpp"
+
+namespace partib::runner {
+namespace {
+
+// -- fingerprints ------------------------------------------------------------
+
+TEST(Fingerprint, StableAcrossCallsAndSensitiveToEveryField) {
+  auto fp = [](std::uint64_t a, double b, bool c, const char* s) {
+    Hasher h;
+    return h.str("test/v1").u64(a).f64(b).boolean(c).str(s).digest();
+  };
+  EXPECT_EQ(fp(1, 2.0, true, "x"), fp(1, 2.0, true, "x"));
+  EXPECT_NE(fp(1, 2.0, true, "x"), fp(2, 2.0, true, "x"));
+  EXPECT_NE(fp(1, 2.0, true, "x"), fp(1, 2.5, true, "x"));
+  EXPECT_NE(fp(1, 2.0, true, "x"), fp(1, 2.0, false, "x"));
+  EXPECT_NE(fp(1, 2.0, true, "x"), fp(1, 2.0, true, "y"));
+}
+
+TEST(Fingerprint, LengthPrefixPreventsStringAliasing) {
+  Hasher a, b;
+  a.str("ab").str("c");
+  b.str("a").str("bc");
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Fingerprint, KnownFnvVector) {
+  // FNV-1a 64 of "a" — pins the algorithm so cache keys stay stable
+  // across refactors (changing them would orphan every cached trial).
+  Hasher h;
+  h.bytes("a", 1);
+  EXPECT_EQ(h.digest(), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(Fingerprint, DerivedSeedIsDeterministicNonZeroAndSpreads) {
+  EXPECT_EQ(derive_seed(42), derive_seed(42));
+  EXPECT_NE(derive_seed(42), derive_seed(43));
+  EXPECT_NE(derive_seed(0), 0u);
+  EXPECT_NE(derive_seed(~0ULL), 0u);
+}
+
+TEST(Fingerprint, HexIsFixedWidthLowercase) {
+  EXPECT_EQ(to_hex(0), "0000000000000000");
+  EXPECT_EQ(to_hex(0xABCDEF0123456789ULL), "abcdef0123456789");
+}
+
+// -- thread pool -------------------------------------------------------------
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threads(), 4u);
+    for (int i = 0; i < 1000; ++i) {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // destructor drains the queues
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillDrains) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, DefaultJobsHonoursEnvOverride) {
+  ::setenv("PARTIB_JOBS", "3", 1);
+  EXPECT_EQ(default_jobs(), 3u);
+  ::unsetenv("PARTIB_JOBS");
+  EXPECT_GE(default_jobs(), 1u);
+}
+
+// -- run_trials --------------------------------------------------------------
+
+struct TrialConfig {
+  int value = 0;
+};
+
+std::uint64_t config_fp(const TrialConfig& c) {
+  Hasher h;
+  return h.str("trial-test/v1").i64(c.value).digest();
+}
+
+Codec<int> int_codec() {
+  Codec<int> c;
+  c.encode = [](const int& v) -> std::string { return std::to_string(v); };
+  c.decode = [](std::string_view s, int* out) -> bool {
+    *out = std::atoi(std::string(s).c_str());
+    return !s.empty();
+  };
+  return c;
+}
+
+std::vector<TrialConfig> make_grid(int n) {
+  std::vector<TrialConfig> grid;
+  for (int i = 0; i < n; ++i) grid.push_back({i});
+  return grid;
+}
+
+TEST(RunTrials, ResultsComeBackInSubmissionOrderForAnyJobCount) {
+  const auto grid = make_grid(100);
+  auto trial = [](const TrialConfig& c) { return c.value * 7; };
+  for (std::size_t jobs : {1u, 2u, 8u}) {
+    RunOptions opts;
+    opts.jobs = jobs;
+    const auto results =
+        run_trials<TrialConfig, int>(grid, trial, config_fp, {}, opts);
+    ASSERT_EQ(results.size(), grid.size());
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_EQ(results[static_cast<std::size_t>(i)], i * 7)
+          << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(RunTrials, StatsCountExecutedTrials) {
+  const auto grid = make_grid(10);
+  RunOptions opts;
+  opts.jobs = 2;
+  RunStats stats;
+  (void)run_trials<TrialConfig, int>(
+      grid, [](const TrialConfig& c) { return c.value; }, config_fp, {},
+      opts, &stats);
+  EXPECT_EQ(stats.trials, 10u);
+  EXPECT_EQ(stats.executed, 10u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+}
+
+class RunnerCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("partib-runner-test-" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(RunnerCacheTest, SecondRunIsAllCacheHits) {
+  const auto grid = make_grid(20);
+  std::atomic<int> executions{0};
+  auto trial = [&executions](const TrialConfig& c) {
+    executions.fetch_add(1, std::memory_order_relaxed);
+    return c.value + 1000;
+  };
+
+  ResultCache cache(dir_.string());
+  RunOptions opts;
+  opts.jobs = 4;
+  opts.cache = &cache;
+
+  RunStats cold;
+  const auto first = run_trials<TrialConfig, int>(grid, trial, config_fp,
+                                                  int_codec(), opts, &cold);
+  EXPECT_EQ(cold.executed, 20u);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(executions.load(), 20);
+
+  RunStats warm;
+  const auto second = run_trials<TrialConfig, int>(grid, trial, config_fp,
+                                                   int_codec(), opts, &warm);
+  EXPECT_EQ(warm.executed, 0u);
+  EXPECT_EQ(warm.cache_hits, 20u);
+  EXPECT_EQ(executions.load(), 20);  // nothing re-ran
+  EXPECT_EQ(first, second);
+}
+
+TEST_F(RunnerCacheTest, CorruptEntryFallsBackToExecution) {
+  ResultCache cache(dir_.string());
+  cache.store(0x1234, "valid payload");  // creates the directory
+  // Clobber the entry on disk with bytes missing the magic header.
+  const auto path = dir_ / (to_hex(0x1234) + ".trial");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not the magic header\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(cache.load(0x1234).has_value());
+}
+
+TEST_F(RunnerCacheTest, StoreThenLoadRoundTrips) {
+  ResultCache cache(dir_.string());
+  EXPECT_FALSE(cache.load(7).has_value());
+  cache.store(7, "payload bytes\nwith newline");
+  const auto back = cache.load(7);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, "payload bytes\nwith newline");
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST_F(RunnerCacheTest, OpenDefaultHonoursOffSwitch) {
+  ::setenv("PARTIB_CACHE", "off", 1);
+  EXPECT_EQ(ResultCache::open_default(), nullptr);
+  ::unsetenv("PARTIB_CACHE");
+}
+
+TEST_F(RunnerCacheTest, UnwritableDirectoryDegradesSilently) {
+  ResultCache cache("/proc/definitely/not/writable");
+  cache.store(1, "x");                     // must not throw or abort
+  EXPECT_FALSE(cache.load(1).has_value());  // and stays a miss
+}
+
+}  // namespace
+}  // namespace partib::runner
