@@ -5,16 +5,22 @@
 // virtual-time figure benches.
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <vector>
 
+#include "agg/strategies.hpp"
 #include "common/units.hpp"
 #include "fabric/fluid_network.hpp"
+#include "mpi/matcher.hpp"
+#include "mpi/world.hpp"
 #include "part/imm.hpp"
+#include "part/partitioned.hpp"
 #include "runner/fingerprint.hpp"
 #include "runner/runner.hpp"
 #include "sim/engine.hpp"
 #include "sim/resources.hpp"
 #include "sim/rng.hpp"
+#include "verbs/verbs.hpp"
 
 namespace {
 
@@ -141,6 +147,118 @@ void BM_RunnerSweep(benchmark::State& state) {
                           static_cast<std::int64_t>(grid.size()));
 }
 BENCHMARK(BM_RunnerSweep);
+
+void BM_PreadyFlush(benchmark::State& state) {
+  // The per-MPI_Pready critical path, end to end: flag update, group
+  // accounting, WR fill, doorbell, WQE fetch, wire, delivery, CQ poll.
+  // 64 partitions at one transport partition each over 4 QPs maximises
+  // per-message costs and exercises the WR-slot backlog (16 messages per
+  // QP against the ConnectX-5 16-WR cap).
+  sim::Engine engine;
+  mpi::World world(engine, {});
+  std::vector<std::byte> sbuf(64 * KiB), rbuf(64 * KiB);
+  part::Options opts;
+  opts.aggregator = std::make_shared<agg::StaticAggregator>(64, 4);
+  std::unique_ptr<part::PsendRequest> send;
+  std::unique_ptr<part::PrecvRequest> recv;
+  PARTIB_ASSERT(ok(part::psend_init(world.rank(0), sbuf, 64, 1, 0, 0, opts,
+                                    &send)));
+  PARTIB_ASSERT(ok(part::precv_init(world.rank(1), rbuf, 64, 0, 0, 0, opts,
+                                    &recv)));
+  engine.run();  // handshake
+  for (auto _ : state) {
+    PARTIB_ASSERT(ok(send->start()));
+    PARTIB_ASSERT(ok(recv->start()));
+    for (std::size_t i = 0; i < 64; ++i) {
+      PARTIB_ASSERT(ok(send->pready(i)));
+    }
+    engine.run();
+    PARTIB_ASSERT(send->test() && recv->test());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_PreadyFlush);
+
+void BM_CqPollBurst(benchmark::State& state) {
+  // Raw CQE fan-through: push a completion wave, drain it in 16-entry
+  // polls (the progress() convention throughout src/part and src/mpi).
+  verbs::Cq cq(4096);
+  verbs::Wc wcs[16];
+  for (auto _ : state) {
+    for (std::uint64_t i = 0; i < 256; ++i) {
+      verbs::Wc wc;
+      wc.wr_id = i;
+      cq.push(wc);
+    }
+    std::uint64_t sum = 0;
+    int n;
+    while ((n = cq.poll(std::span<verbs::Wc>(wcs))) > 0) {
+      for (int i = 0; i < n; ++i) sum += wcs[i].wr_id;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          256);
+}
+BENCHMARK(BM_CqPollBurst);
+
+void BM_QpLookup(benchmark::State& state) {
+  // Device-wide qp_num -> Qp resolution (the per-delivery lookup a real
+  // RDMA target performs per incoming packet stream).
+  sim::Engine engine;
+  fabric::Fabric fab(engine, fabric::NicParams::connectx5_edr());
+  const fabric::NodeId node = fab.add_node();
+  verbs::Device dev(fab);
+  verbs::Context& ctx = dev.open(node);
+  verbs::Pd& pd = ctx.alloc_pd();
+  verbs::Cq& cq = ctx.create_cq(64);
+  std::vector<std::uint32_t> nums;
+  for (int i = 0; i < 64; ++i) {
+    nums.push_back(pd.create_qp(cq, cq).qp_num());
+  }
+  // Pseudo-random probe order, fixed across iterations.
+  std::vector<std::uint32_t> order;
+  for (std::size_t i = 0; i < 256; ++i) {
+    order.push_back(nums[(i * 37) % nums.size()]);
+  }
+  for (auto _ : state) {
+    std::uintptr_t sum = 0;
+    for (const std::uint32_t num : order) {
+      sum += wire_addr(dev.find_qp(num));
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(order.size()));
+}
+BENCHMARK(BM_QpLookup);
+
+void BM_MatcherChurn(benchmark::State& state) {
+  // Psend_init/Precv_init pairing at channel-setup rate: half the pairs
+  // recv-first, half send-first, interleaved across 8 distinct keys.
+  for (auto _ : state) {
+    mpi::InitMatcher m;
+    std::uint64_t matched = 0;
+    for (int i = 0; i < 64; ++i) {
+      mpi::SendInit si;
+      si.key = mpi::MatchKey{i % 8, i / 8, 0};
+      si.qp_nums = {1, 2};
+      if (i % 2 == 0) {
+        m.post_recv_init(si.key,
+                         [&matched](const mpi::SendInit&) { ++matched; });
+        m.on_send_init(si);
+      } else {
+        m.on_send_init(si);
+        m.post_recv_init(si.key,
+                         [&matched](const mpi::SendInit&) { ++matched; });
+      }
+    }
+    benchmark::DoNotOptimize(matched);
+    benchmark::DoNotOptimize(m.pending_recvs());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_MatcherChurn);
 
 void BM_Rng(benchmark::State& state) {
   sim::Rng rng(1);

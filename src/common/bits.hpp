@@ -28,6 +28,44 @@ constexpr T ceil_div(T a, T b) {
   return (a + b - 1) / b;
 }
 
+// -- 64-bit bitmap helpers ---------------------------------------------------
+// The partition flag arrays on the Pready fast path are uint64_t bitmaps;
+// run detection works word-wise with count-trailing-zeros.  Wrapped here
+// so the callers read as algorithms, not as <bit> incantations, and so the
+// countr_zero(0) == 64 convention is pinned in one place.
+
+/// Number of 64-bit words needed to hold `bits` bits.
+constexpr std::size_t bitmap_words(std::size_t bits) {
+  return ceil_div(bits, std::size_t{64});
+}
+
+/// Trailing zero count; returns 64 for v == 0 (std::countr_zero contract).
+constexpr unsigned ctz64(std::uint64_t v) {
+  return static_cast<unsigned>(std::countr_zero(v));
+}
+
+constexpr unsigned popcount64(std::uint64_t v) {
+  return static_cast<unsigned>(std::popcount(v));
+}
+
+constexpr bool bitmap_test(const std::uint64_t* words, std::size_t bit) {
+  return (words[bit / 64] >> (bit % 64)) & 1u;
+}
+
+constexpr void bitmap_set(std::uint64_t* words, std::size_t bit) {
+  words[bit / 64] |= std::uint64_t{1} << (bit % 64);
+}
+
+/// Mask with bits [lo, hi) of a word set; lo <= hi <= 64.
+/// Guards the `x >> 64` / `x << 64` UB corners of the shift operators.
+constexpr std::uint64_t bitmap_range_mask(unsigned lo, unsigned hi) {
+  const std::uint64_t upto_hi = hi >= 64 ? ~std::uint64_t{0}
+                                         : (std::uint64_t{1} << hi) - 1;
+  const std::uint64_t below_lo = lo >= 64 ? ~std::uint64_t{0}
+                                          : (std::uint64_t{1} << lo) - 1;
+  return upto_hi & ~below_lo;
+}
+
 // -- simulated DMA addressing ------------------------------------------------
 // WRs, SGEs and MRs carry buffer addresses as the 64-bit integers real
 // verbs puts on the wire.  These two helpers are the only sanctioned

@@ -1,0 +1,167 @@
+// Growable power-of-two ring buffer (FIFO deque replacement).
+//
+// `std::deque` is the natural container for the data plane's queues (CQ
+// entries, posted receives, WR backlogs, deferred callbacks) but libstdc++
+// allocates a 512-byte chunk per block plus the block map, and steady-state
+// push/pop keeps the allocator warm on every hot-path event.  `Ring<T>`
+// stores elements in one contiguous power-of-two array indexed modulo a
+// mask, so after warm-up a push/pop round trip touches exactly one cache
+// line and never allocates.  Capacity doubles on demand (amortised O(1),
+// same complexity contract as deque) instead of being fixed at
+// construction: several queues are bounded by configuration values that
+// are deliberately huge (e.g. the default CQ depth of 65536 entries),
+// and eagerly reserving the bound would cost megabytes per object.
+//
+// Supports move-only element types (the deferred-callback queue stores
+// `common::InlineFn`).  Elements are relocated with std::move on growth;
+// like deque, references are invalidated by push_back (unlike deque — a
+// growth step moves elements), so callers must not hold references across
+// a push.  Only the FIFO surface the simulator needs is provided.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace partib::common {
+
+template <typename T>
+class Ring {
+ public:
+  Ring() = default;
+  explicit Ring(std::size_t capacity) { reserve(capacity); }
+
+  Ring(Ring&& other) noexcept
+      : data_(other.data_),
+        cap_(other.cap_),
+        head_(other.head_),
+        len_(other.len_) {
+    other.data_ = nullptr;
+    other.cap_ = 0;
+    other.head_ = 0;
+    other.len_ = 0;
+  }
+
+  Ring& operator=(Ring&& other) noexcept {
+    if (this != &other) {
+      destroy_all();
+      data_ = other.data_;
+      cap_ = other.cap_;
+      head_ = other.head_;
+      len_ = other.len_;
+      other.data_ = nullptr;
+      other.cap_ = 0;
+      other.head_ = 0;
+      other.len_ = 0;
+    }
+    return *this;
+  }
+
+  Ring(const Ring&) = delete;
+  Ring& operator=(const Ring&) = delete;
+
+  ~Ring() { destroy_all(); }
+
+  bool empty() const { return len_ == 0; }
+  std::size_t size() const { return len_; }
+  std::size_t capacity() const { return cap_; }
+
+  T& front() {
+    PARTIB_ASSERT(len_ > 0);
+    return data_[head_];
+  }
+  const T& front() const {
+    PARTIB_ASSERT(len_ > 0);
+    return data_[head_];
+  }
+  T& back() {
+    PARTIB_ASSERT(len_ > 0);
+    return data_[(head_ + len_ - 1) & (cap_ - 1)];
+  }
+  const T& back() const {
+    PARTIB_ASSERT(len_ > 0);
+    return data_[(head_ + len_ - 1) & (cap_ - 1)];
+  }
+
+  /// i-th element from the front (0 == front()).
+  T& operator[](std::size_t i) {
+    PARTIB_ASSERT(i < len_);
+    return data_[(head_ + i) & (cap_ - 1)];
+  }
+  const T& operator[](std::size_t i) const {
+    PARTIB_ASSERT(i < len_);
+    return data_[(head_ + i) & (cap_ - 1)];
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (len_ == cap_) grow(cap_ == 0 ? kInitialCapacity : cap_ * 2);
+    T* slot = data_ + ((head_ + len_) & (cap_ - 1));
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++len_;
+    return *slot;
+  }
+
+  void pop_front() {
+    PARTIB_ASSERT(len_ > 0);
+    data_[head_].~T();
+    head_ = (head_ + 1) & (cap_ - 1);
+    --len_;
+  }
+
+  /// Destroy all elements; capacity is retained.
+  void clear() {
+    while (len_ > 0) pop_front();
+    head_ = 0;
+  }
+
+  /// Ensure capacity for at least `n` elements (rounded up to a power of
+  /// two) without changing the contents.
+  void reserve(std::size_t n) {
+    if (n > cap_) grow(next_pow2(n));
+  }
+
+ private:
+  // First growth lands on a cache-line-ish batch rather than thrashing
+  // through 1→2→4 reallocations.
+  static constexpr std::size_t kInitialCapacity = 8;
+
+  void grow(std::size_t new_cap) {
+    PARTIB_ASSERT(is_pow2(new_cap) && new_cap > cap_);
+    T* fresh = static_cast<T*>(::operator new(
+        new_cap * sizeof(T), std::align_val_t{alignof(T)}));
+    for (std::size_t i = 0; i < len_; ++i) {
+      T* src = data_ + ((head_ + i) & (cap_ - 1));
+      ::new (static_cast<void*>(fresh + i)) T(std::move(*src));
+      src->~T();
+    }
+    if (data_ != nullptr) {
+      ::operator delete(data_, std::align_val_t{alignof(T)});
+    }
+    data_ = fresh;
+    cap_ = new_cap;
+    head_ = 0;
+  }
+
+  void destroy_all() {
+    clear();
+    if (data_ != nullptr) {
+      ::operator delete(data_, std::align_val_t{alignof(T)});
+      data_ = nullptr;
+      cap_ = 0;
+    }
+  }
+
+  T* data_ = nullptr;
+  std::size_t cap_ = 0;   // always a power of two (or 0)
+  std::size_t head_ = 0;  // index of front()
+  std::size_t len_ = 0;
+};
+
+}  // namespace partib::common

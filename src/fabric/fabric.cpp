@@ -26,6 +26,31 @@ std::size_t Fabric::wire_bytes_for(std::size_t bytes) const {
   return bytes + segments * params_.segment_header_bytes;
 }
 
+Fabric::QpChain& Fabric::chain_for(std::uint64_t src_qp) {
+  if (src_qp >= chains_.size()) {
+    chains_.resize(static_cast<std::size_t>(src_qp) + 1);
+  }
+  return chains_[static_cast<std::size_t>(src_qp)];
+}
+
+std::uint32_t Fabric::acquire_op(RdmaOp&& op) {
+  if (inflight_free_.empty()) {
+    inflight_.push_back(std::move(op));
+    inflight_refs_.push_back(1);
+    return static_cast<std::uint32_t>(inflight_.size() - 1);
+  }
+  const std::uint32_t id = inflight_free_.back();
+  inflight_free_.pop_back();
+  inflight_[id] = std::move(op);
+  inflight_refs_[id] = 1;
+  return id;
+}
+
+void Fabric::release_op_ref(std::uint32_t id) {
+  PARTIB_ASSERT(inflight_refs_[id] > 0);
+  if (--inflight_refs_[id] == 0) inflight_free_.push_back(id);
+}
+
 void Fabric::post_rdma_write(RdmaOp op) {
   PARTIB_ASSERT(op.src >= 0 && op.src < node_count());
   PARTIB_ASSERT(op.dst >= 0 && op.dst < node_count());
@@ -38,29 +63,29 @@ void Fabric::post_rdma_write(RdmaOp op) {
         trace_->begin(op.src, op.dst, op.src_qp, op.bytes, engine_.now());
   }
 
-  auto& chain = chains_[op.src_qp];
+  const std::uint64_t src_qp = op.src_qp;
+  QpChain& chain = chain_for(src_qp);
   chain.pending.push_back(std::move(op));
-  if (!chain.busy) issue_next(chain.pending.back().src_qp);
+  if (!chain.busy) issue_next(src_qp);
 }
 
 void Fabric::issue_next(std::uint64_t src_qp) {
-  auto& chain = chains_[src_qp];
+  QpChain& chain = chain_for(src_qp);
   if (chain.busy || chain.pending.empty()) return;
   chain.busy = true;
-  RdmaOp op = std::move(chain.pending.front());
+  const std::uint32_t id = acquire_op(std::move(chain.pending.front()));
   chain.pending.pop_front();
   const bool first_use = !chain.activated;
   chain.activated = true;
 
   // Stage 1: NIC-wide WQE engine (serial at gap g across all QPs).
-  auto& wqe = *wqe_engines_[static_cast<std::size_t>(op.src)];
-  wqe.request(params_.wire.g,
-              [this, op = std::move(op), first_use](Time, Time end) mutable {
-                if (TraceRecord* t = trace_of(op.trace_id)) {
-                  t->wqe_grant = end;
-                }
-                start_wire(std::move(op), first_use);
-              });
+  auto& wqe = *wqe_engines_[static_cast<std::size_t>(inflight_[id].src)];
+  wqe.request(params_.wire.g, [this, id, first_use](Time, Time end) {
+    if (TraceRecord* t = trace_of(inflight_[id].trace_id)) {
+      t->wqe_grant = end;
+    }
+    start_wire(id, first_use);
+  });
 }
 
 TraceRecord* Fabric::trace_of(std::uint64_t trace_id) {
@@ -68,56 +93,72 @@ TraceRecord* Fabric::trace_of(std::uint64_t trace_id) {
   return &trace_->at(trace_id);
 }
 
-void Fabric::start_wire(RdmaOp op, bool charge_activation) {
+void Fabric::start_wire(std::uint32_t id, bool charge_activation) {
   // Stage 2: NIC processing before the first byte (o_s), plus QP context
   // activation on first use.
   Duration pre = params_.wire.o_s;
   if (charge_activation) pre += params_.qp_activation;
+  engine_.schedule_after(pre, [this, id] { begin_wire(id); });
+}
 
-  engine_.schedule_after(pre, [this, op = std::move(op)]() mutable {
-    const auto wire_bytes = static_cast<double>(wire_bytes_for(op.bytes));
-    const double cap = params_.qp_bw_share * op.rate_cap_factor *
-                       params_.link_bytes_per_ns();
-    const std::uint64_t qp = op.src_qp;
-    if (TraceRecord* t = trace_of(op.trace_id)) {
-      t->wire_start = engine_.now();
+void Fabric::begin_wire(std::uint32_t id) {
+  const RdmaOp& op = inflight_[id];
+  const auto wire_bytes = static_cast<double>(wire_bytes_for(op.bytes));
+  const double cap = params_.qp_bw_share * op.rate_cap_factor *
+                     params_.link_bytes_per_ns();
+  if (TraceRecord* t = trace_of(op.trace_id)) {
+    t->wire_start = engine_.now();
+  }
+  network_.submit(op.src, op.dst, wire_bytes, cap,
+                  [this, id](Time wire_end) { on_wire_end(id, wire_end); });
+}
+
+void Fabric::on_wire_end(std::uint32_t id, Time wire_end) {
+  if (TraceRecord* t = trace_of(inflight_[id].trace_id)) {
+    t->wire_end = wire_end;
+  }
+  // Landing at the destination after L; the payload copy happens at
+  // landing, the remote CQE o_r later, and the local send CQE only after
+  // the ACK travels back (RC completion semantics: a send completion
+  // implies remote delivery).
+  engine_.schedule_at(wire_end + params_.wire.L,
+                      [this, id] { on_landing(id); });
+  // Unblock the QP chain: next WR may now occupy the wire.
+  const std::uint64_t qp = inflight_[id].src_qp;
+  QpChain& chain = chain_for(qp);
+  chain.busy = false;
+  issue_next(qp);
+}
+
+void Fabric::on_landing(std::uint32_t id) {
+  if (TraceRecord* t = trace_of(inflight_[id].trace_id)) {
+    t->landed = engine_.now();
+  }
+  // Callbacks are moved out of the slab before invocation: a callback may
+  // post new RDMA ops, and slab growth must not relocate a std::function
+  // mid-call (inflight_ is re-indexed after every potential re-entry).
+  if (inflight_[id].move_data) {
+    const auto move_data = std::move(inflight_[id].move_data);
+    move_data();
+  }
+  if (inflight_[id].on_recv_complete) {
+    ++inflight_refs_[id];
+    engine_.schedule_after(params_.wire.o_r, [this, id] {
+      if (TraceRecord* t = trace_of(inflight_[id].trace_id)) {
+        t->recv_cqe = engine_.now();
+      }
+      const auto on_recv = std::move(inflight_[id].on_recv_complete);
+      on_recv(engine_.now());
+      release_op_ref(id);
+    });
+  }
+  engine_.schedule_after(params_.wire.L, [this, id] {
+    if (TraceRecord* t = trace_of(inflight_[id].trace_id)) {
+      t->send_cqe = engine_.now();
     }
-    network_.submit(
-        op.src, op.dst, wire_bytes, cap,
-        [this, op = std::move(op), qp](Time wire_end) mutable {
-          if (TraceRecord* t = trace_of(op.trace_id)) {
-            t->wire_end = wire_end;
-          }
-          // Landing at the destination after L; the payload copy happens
-          // at landing, the remote CQE o_r later, and the local send CQE
-          // only after the ACK travels back (RC completion semantics:
-          // a send completion implies remote delivery).
-          engine_.schedule_at(
-              wire_end + params_.wire.L, [this, op = std::move(op)] {
-                if (TraceRecord* t = trace_of(op.trace_id)) {
-                  t->landed = engine_.now();
-                }
-                if (op.move_data) op.move_data();
-                if (op.on_recv_complete) {
-                  engine_.schedule_after(params_.wire.o_r, [this, op] {
-                    if (TraceRecord* t = trace_of(op.trace_id)) {
-                      t->recv_cqe = engine_.now();
-                    }
-                    op.on_recv_complete(engine_.now());
-                  });
-                }
-                engine_.schedule_after(params_.wire.L, [this, op] {
-                  if (TraceRecord* t = trace_of(op.trace_id)) {
-                    t->send_cqe = engine_.now();
-                  }
-                  op.on_send_complete(engine_.now());
-                });
-              });
-          // Unblock the QP chain: next WR may now occupy the wire.
-          auto& chain = chains_[qp];
-          chain.busy = false;
-          issue_next(qp);
-        });
+    const auto on_send = std::move(inflight_[id].on_send_complete);
+    on_send(engine_.now());
+    release_op_ref(id);
   });
 }
 

@@ -20,12 +20,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <vector>
 
+#include "common/ring.hpp"
 #include "common/time.hpp"
 #include "fabric/fluid_network.hpp"
 #include "fabric/nic_params.hpp"
@@ -98,7 +97,7 @@ class Fabric {
 
  private:
   struct QpChain {
-    std::deque<RdmaOp> pending;
+    common::Ring<RdmaOp> pending;
     bool busy = false;
     bool activated = false;
   };
@@ -109,12 +108,28 @@ class Fabric {
   FluidNetwork network_;
   // One serial WQE engine per node (index == NodeId).
   std::vector<std::unique_ptr<sim::FifoResource>> wqe_engines_;
-  std::map<std::uint64_t, QpChain> chains_;
+  // Indexed directly by src_qp: the verbs layer allocates qp_nums densely,
+  // so the table is small and a chain lookup is one array load (the map it
+  // replaced did a tree walk per pipeline stage).
+  std::vector<QpChain> chains_;
+  // Issued ops park here until their last completion callback fires, so
+  // every pipeline-stage closure captures {this, op id} — small enough to
+  // stay inside the engine's inline callback buffers instead of dragging
+  // a full RdmaOp copy (3 std::functions) through each stage.
+  std::vector<RdmaOp> inflight_;
+  std::vector<std::uint8_t> inflight_refs_;
+  std::vector<std::uint32_t> inflight_free_;
   FabricStats stats_;
   TraceSink* trace_ = nullptr;
 
+  QpChain& chain_for(std::uint64_t src_qp);
+  std::uint32_t acquire_op(RdmaOp&& op);
+  void release_op_ref(std::uint32_t id);
   void issue_next(std::uint64_t src_qp);
-  void start_wire(RdmaOp op, bool charge_activation);
+  void start_wire(std::uint32_t id, bool charge_activation);
+  void begin_wire(std::uint32_t id);
+  void on_wire_end(std::uint32_t id, Time wire_end);
+  void on_landing(std::uint32_t id);
   TraceRecord* trace_of(std::uint64_t trace_id);
 };
 

@@ -1,41 +1,47 @@
 #include "mpi/matcher.hpp"
 
+#include <utility>
+
+#include "common/assert.hpp"
+
 namespace partib::mpi {
 
 void InitMatcher::post_recv_init(const MatchKey& key, OnMatch on_match) {
-  auto uit = unexpected_send_.find(key);
-  if (uit != unexpected_send_.end() && !uit->second.empty()) {
-    const SendInit init = uit->second.front();
-    uit->second.pop_front();
-    if (uit->second.empty()) unexpected_send_.erase(uit);
+  for (std::size_t i = 0; i < unexpected_send_.size(); ++i) {
+    if (unexpected_send_[i].init.key != key) continue;
+    // Front-to-back scan of a posted-order vector: the first hit is the
+    // oldest matching entry, which is exactly MPI's ordered-matching rule.
+#if PARTIB_CHECK_ENABLED
+    for (std::size_t j = 0; j < i; ++j) {
+      PARTIB_ASSERT_MSG(unexpected_send_[j].seq < unexpected_send_[i].seq,
+                        "matcher drain order not posted order");
+    }
+#endif
+    const SendInit init = std::move(unexpected_send_[i].init);
+    unexpected_send_.erase(unexpected_send_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
     on_match(init);
     return;
   }
-  pending_recv_[key].push_back(std::move(on_match));
+  pending_recv_.push_back(PendingRecv{key, std::move(on_match), next_seq_++});
 }
 
 void InitMatcher::on_send_init(const SendInit& init) {
-  auto pit = pending_recv_.find(init.key);
-  if (pit != pending_recv_.end() && !pit->second.empty()) {
-    OnMatch on_match = std::move(pit->second.front());
-    pit->second.pop_front();
-    if (pit->second.empty()) pending_recv_.erase(pit);
+  for (std::size_t i = 0; i < pending_recv_.size(); ++i) {
+    if (pending_recv_[i].key != init.key) continue;
+#if PARTIB_CHECK_ENABLED
+    for (std::size_t j = 0; j < i; ++j) {
+      PARTIB_ASSERT_MSG(pending_recv_[j].seq < pending_recv_[i].seq,
+                        "matcher drain order not posted order");
+    }
+#endif
+    OnMatch on_match = std::move(pending_recv_[i].on_match);
+    pending_recv_.erase(pending_recv_.begin() +
+                        static_cast<std::ptrdiff_t>(i));
     on_match(init);
     return;
   }
-  unexpected_send_[init.key].push_back(init);
-}
-
-std::size_t InitMatcher::pending_recvs() const {
-  std::size_t n = 0;
-  for (const auto& [k, q] : pending_recv_) n += q.size();
-  return n;
-}
-
-std::size_t InitMatcher::unexpected_sends() const {
-  std::size_t n = 0;
-  for (const auto& [k, q] : unexpected_send_) n += q.size();
-  return n;
+  unexpected_send_.push_back(UnexpectedSend{init, next_seq_++});
 }
 
 }  // namespace partib::mpi

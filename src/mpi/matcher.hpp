@@ -9,9 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
 #include <vector>
 
 namespace partib::mpi {
@@ -39,6 +37,21 @@ struct SendInit {
 
 /// Receiver-side matcher: pairs incoming SendInit records with posted
 /// Precv_init descriptors, queuing whichever side arrives first.
+///
+/// Storage is a flat posted-order vector per side, not a map of per-key
+/// queues: matching happens once per channel at init time, queues are a
+/// handful of entries deep, and a linear scan of a contiguous vector beats
+/// the tree walk + per-key deque of the seed at every realistic size.
+///
+/// Drain order is deterministic and pinned: entries match strictly in
+/// posted order per key (MPI's no-wildcard ordered-matching rule), and
+/// because each side scans front-to-back and erases in place, the first
+/// hit is provably the oldest — a monotone sequence number per entry backs
+/// the PARTIB_CHECK assertion and the differential test against the
+/// verbatim map/deque reference (tests/support/reference_matcher.hpp).
+/// This is what keeps multirank tests byte-stable at any --jobs=N: the
+/// match sequence depends only on posting order, never on container
+/// iteration order.
 class InitMatcher {
  public:
   using OnMatch = std::function<void(const SendInit&)>;
@@ -50,12 +63,23 @@ class InitMatcher {
   /// A remote Psend_init handshake arrived.
   void on_send_init(const SendInit& init);
 
-  std::size_t pending_recvs() const;
-  std::size_t unexpected_sends() const;
+  std::size_t pending_recvs() const { return pending_recv_.size(); }
+  std::size_t unexpected_sends() const { return unexpected_send_.size(); }
 
  private:
-  std::map<MatchKey, std::deque<OnMatch>> pending_recv_;
-  std::map<MatchKey, std::deque<SendInit>> unexpected_send_;
+  struct PendingRecv {
+    MatchKey key;
+    OnMatch on_match;
+    std::uint64_t seq;
+  };
+  struct UnexpectedSend {
+    SendInit init;
+    std::uint64_t seq;
+  };
+
+  std::vector<PendingRecv> pending_recv_;
+  std::vector<UnexpectedSend> unexpected_send_;
+  std::uint64_t next_seq_ = 0;  ///< posted-order stamp (both sides share it)
 };
 
 }  // namespace partib::mpi

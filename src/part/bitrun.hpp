@@ -1,0 +1,82 @@
+// Word-wise contiguous-run detection over the partition bitmaps.
+//
+// The timer aggregator's early-bird flush (§IV-D) must send every maximal
+// contiguous run of partitions that have arrived but not yet been sent.
+// The seed implementation scanned a byte per partition; here the flags
+// are uint64_t bitmaps and runs are extracted 64 partitions at a time with
+// countr_zero, so a fully-arrived 64-partition group costs two word ops
+// instead of a 64-iteration loop.
+//
+// The emission order is pinned by the differential test
+// (tests/part/bitrun_test.cpp) against a verbatim copy of the byte-scan:
+// runs are reported in ascending partition order, each maximal, and the
+// callback sees exactly the same (first, count) sequence the byte-scan
+// produced — the figure CSV fingerprints depend on it, because each run
+// becomes one WR post in that order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bits.hpp"
+
+namespace partib::part {
+
+/// Invoke fn(first, count) for every maximal run of bits that are set in
+/// `arrived` and clear in `sent` within [base, base + len), marking the
+/// run's bits in `sent`.  Runs are emitted in ascending order; a run
+/// crossing a word boundary is emitted once, not per word.
+template <typename Fn>
+void flush_pending_runs(const std::uint64_t* arrived, std::uint64_t* sent,
+                        std::size_t base, std::size_t len, Fn&& fn) {
+  if (len == 0) return;
+  const std::size_t first_word = base / 64;
+  const std::size_t last_word = (base + len - 1) / 64;
+  std::size_t run_start = 0;
+  std::size_t run_len = 0;  // 0 == no run currently open
+  for (std::size_t w = first_word; w <= last_word; ++w) {
+    const unsigned lo = w == first_word ? static_cast<unsigned>(base % 64) : 0;
+    const unsigned hi = w == last_word
+                            ? static_cast<unsigned>((base + len - 1) % 64) + 1
+                            : 64;
+    std::uint64_t pending = arrived[w] & ~sent[w] & bitmap_range_mask(lo, hi);
+    sent[w] |= pending;
+    const std::size_t word_base = w * 64;
+    while (pending != 0) {
+      const unsigned s = ctz64(pending);
+      // Length of the all-ones run starting at bit s: the shifted word has
+      // its low `ones` bits set, so counting trailing zeros of the
+      // complement measures the run (ctz64(0) == 64 covers a full word).
+      const unsigned ones = ctz64(~(pending >> s));
+      const std::size_t start = word_base + s;
+      if (run_len != 0 && start == run_start + run_len) {
+        // Continues the run left open by the previous word.
+        run_len += ones;
+      } else {
+        if (run_len != 0) fn(run_start, run_len);
+        run_start = start;
+        run_len = ones;
+      }
+      pending = s + ones >= 64 ? 0 : pending & (~std::uint64_t{0} << (s + ones));
+    }
+  }
+  if (run_len != 0) fn(run_start, run_len);
+}
+
+/// Set bits [first, first + count) in `words` (the whole-group send path,
+/// where run detection is unnecessary).
+inline void bitmap_set_range(std::uint64_t* words, std::size_t first,
+                             std::size_t count) {
+  if (count == 0) return;
+  const std::size_t first_word = first / 64;
+  const std::size_t last_word = (first + count - 1) / 64;
+  for (std::size_t w = first_word; w <= last_word; ++w) {
+    const unsigned lo = w == first_word ? static_cast<unsigned>(first % 64) : 0;
+    const unsigned hi =
+        w == last_word ? static_cast<unsigned>((first + count - 1) % 64) + 1
+                       : 64;
+    words[w] |= bitmap_range_mask(lo, hi);
+  }
+}
+
+}  // namespace partib::part

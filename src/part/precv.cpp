@@ -48,6 +48,8 @@ PrecvRequest::PrecvRequest(mpi::Rank& rank, std::span<std::byte> buffer,
       comm_id_(comm_id),
       opts_(opts) {
   bytes_arrived_.assign(n_, 0);
+  completions_.reserve(kCallbackReserve);
+  completions_scratch_.reserve(kCallbackReserve);
 }
 
 PrecvRequest::~PrecvRequest() {
@@ -214,9 +216,15 @@ void PrecvRequest::when_complete(Completion cb) {
 
 void PrecvRequest::check_completion() {
   if (!test() || completions_.empty()) return;
-  std::vector<Completion> cbs;
-  cbs.swap(completions_);
-  for (auto& cb : cbs) cb();
+  completions_scratch_.swap(completions_);
+  [[maybe_unused]] const std::size_t fired = completions_scratch_.size();
+  for (auto& cb : completions_scratch_) cb();
+  completions_scratch_.clear();
+#if PARTIB_CHECK_ENABLED
+  if (fired <= kCallbackReserve) {
+    PARTIB_ASSERT(completions_scratch_.capacity() == kCallbackReserve);
+  }
+#endif
 }
 
 }  // namespace partib::part

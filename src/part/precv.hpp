@@ -109,7 +109,11 @@ class PrecvRequest {
 
   std::uint64_t msgs_received_ = 0;
   bool progress_scheduled_ = false;
+  // Ping-pong pair reserved at init so steady-state rounds fire completion
+  // callbacks without allocating (same contract as PsendRequest).
+  static constexpr std::size_t kCallbackReserve = 8;
   std::vector<Completion> completions_;
+  std::vector<Completion> completions_scratch_;
   ArrivalHook arrival_hook_;
 };
 

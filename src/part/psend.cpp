@@ -6,6 +6,7 @@
 #include "check/hooks.hpp"
 #include "common/assert.hpp"
 #include "common/bits.hpp"
+#include "part/bitrun.hpp"
 #include "part/imm.hpp"
 
 namespace partib::part {
@@ -63,10 +64,14 @@ PsendRequest::PsendRequest(mpi::Rank& rank, std::span<std::byte> buffer,
   group_size_ = n_ / tp_;
   PARTIB_ASSERT(plan_.qp_count >= 1);
 
-  arrived_.assign(n_, 0);
-  sent_.assign(n_, 0);
+  arrived_words_.assign(bitmap_words(n_), 0);
+  sent_words_.assign(bitmap_words(n_), 0);
   groups_.assign(tp_, Group{});
   qp_backlog_.resize(static_cast<std::size_t>(plan_.qp_count));
+  staged_.reserve(kCallbackReserve);
+  completions_.reserve(kCallbackReserve);
+  completions_scratch_.reserve(kCallbackReserve);
+  prepare_callbacks_.reserve(kCallbackReserve);
 }
 
 PsendRequest::~PsendRequest() {
@@ -114,9 +119,9 @@ void PsendRequest::on_ack(const RecvAck& ack) {
     PARTIB_ASSERT(ok(qps_[i]->to_rts()));
   }
   remote_ready_ = true;
-  std::vector<Completion> cbs;
-  cbs.swap(prepare_callbacks_);
-  for (auto& cb : cbs) cb();
+  completions_scratch_.swap(prepare_callbacks_);
+  for (auto& cb : completions_scratch_) cb();
+  completions_scratch_.clear();
   flush_deferred();
 }
 
@@ -154,8 +159,8 @@ Status PsendRequest::start() {
   ready_count_ = 0;
   round_first_pready_ = -1;
   round_last_pready_ = -1;
-  std::fill(arrived_.begin(), arrived_.end(), std::uint8_t{0});
-  std::fill(sent_.begin(), sent_.end(), std::uint8_t{0});
+  std::fill(arrived_words_.begin(), arrived_words_.end(), std::uint64_t{0});
+  std::fill(sent_words_.begin(), sent_words_.end(), std::uint64_t{0});
   for (Group& g : groups_) PARTIB_ASSERT(!g.timer.valid());
   groups_.assign(tp_, Group{});
   return Status::kOk;
@@ -188,8 +193,10 @@ Status PsendRequest::pready(std::size_t partition) {
   PARTIB_CHECK_HOOK(on_pready(this, partition));
   if (!started_) return Status::kInvalidState;
   if (partition >= n_) return Status::kInvalidArgument;
-  if (arrived_[partition]) return Status::kInvalidArgument;  // double Pready
-  arrived_[partition] = 1;
+  if (bitmap_test(arrived_words_.data(), partition)) {
+    return Status::kInvalidArgument;  // double Pready
+  }
+  bitmap_set(arrived_words_.data(), partition);
   ++ready_count_;
   const Time now = rank_.world().engine().now();
   if (round_first_pready_ < 0) round_first_pready_ = now;
@@ -239,7 +246,7 @@ void PsendRequest::on_partition_complete_group(std::size_t g) {
     // single work request.
     grp.any_sent = true;
     const std::size_t first = g * group_size_;
-    for (std::size_t i = first; i < first + group_size_; ++i) sent_[i] = 1;
+    bitmap_set_range(sent_words_.data(), first, group_size_);
     post_message(first, group_size_);
   } else {
     flush_group_runs(g);
@@ -256,22 +263,12 @@ void PsendRequest::on_group_timer(std::size_t g) {
 
 void PsendRequest::flush_group_runs(std::size_t g) {
   const std::size_t base = g * group_size_;
-  std::size_t i = 0;
-  while (i < group_size_) {
-    if (!arrived_[base + i] || sent_[base + i]) {
-      ++i;
-      continue;
-    }
-    std::size_t len = 0;
-    while (i + len < group_size_ && arrived_[base + i + len] &&
-           !sent_[base + i + len]) {
-      sent_[base + i + len] = 1;
-      ++len;
-    }
-    groups_[g].any_sent = true;
-    post_message(base + i, len);
-    i += len;
-  }
+  flush_pending_runs(arrived_words_.data(), sent_words_.data(), base,
+                     group_size_,
+                     [this, g](std::size_t first, std::size_t count) {
+                       groups_[g].any_sent = true;
+                       post_message(first, count);
+                     });
 }
 
 Duration PsendRequest::ucx_software_cost(std::size_t bytes) const {
@@ -306,6 +303,21 @@ Duration PsendRequest::ucx_pre_post_delay(std::size_t bytes) const {
          rank_.world().options().nic.wire.L;
 }
 
+std::uint32_t PsendRequest::acquire_staged() {
+  if (staged_free_ == kNilStaged) {
+    staged_.push_back(StagedWr{});
+    return static_cast<std::uint32_t>(staged_.size() - 1);
+  }
+  const std::uint32_t id = staged_free_;
+  staged_free_ = staged_[id].next_free;
+  return id;
+}
+
+void PsendRequest::release_staged(std::uint32_t id) {
+  staged_[id].next_free = staged_free_;
+  staged_free_ = id;
+}
+
 void PsendRequest::post_message(std::size_t first, std::size_t count) {
   PARTIB_ASSERT(count >= 1 && first + count <= n_);
   ++inflight_msgs_;
@@ -320,10 +332,19 @@ void PsendRequest::post_message(std::size_t first, std::size_t count) {
   }
 
   const std::size_t bytes = count * psize_;
-  const std::size_t qp_index =
-      group_of(first) % static_cast<std::size_t>(plan_.qp_count);
 
-  verbs::SendWr wr;
+  // The WR is built in place inside a staged slab record, so the whole
+  // CPU → doorbell → post pipeline passes a 4-byte record id around and
+  // every closure fits the callback small-object buffers (no per-message
+  // heap traffic — the paper's thin-Pready argument applied to the
+  // simulator's own hot path).
+  const std::uint32_t id = acquire_staged();
+  StagedWr& staged = staged_[id];
+  staged.qp_index = static_cast<std::uint32_t>(
+      group_of(first) % static_cast<std::size_t>(plan_.qp_count));
+
+  verbs::SendWr& wr = staged.wr;
+  wr = verbs::SendWr{};
   wr.wr_id = next_wr_id_++;
   wr.opcode = verbs::Opcode::kRdmaWriteWithImm;
   wr.sg_list.push_back(verbs::Sge{wire_addr(buf_.data() + first * psize_),
@@ -350,46 +371,49 @@ void PsendRequest::post_message(std::size_t first, std::size_t count) {
   const bool use_dpu =
       wo.dpu_aggregation && plan_.path == agg::Path::kVerbs;
   Duration host_work = wo.pready_cpu;
-  Duration serialized = wo.nic.o_post;
-  Duration pre_delay = 0;
-  sim::FifoResource* engine_res = &rank_.doorbell();
+  staged.serialized = wo.nic.o_post;
+  staged.pre_delay = 0;
+  staged.engine_res = &rank_.doorbell();
   if (plan_.path == agg::Path::kUcxLike) {
-    serialized += ucx_software_cost(bytes);
-    pre_delay = ucx_pre_post_delay(bytes);
+    staged.serialized += ucx_software_cost(bytes);
+    staged.pre_delay = ucx_pre_post_delay(bytes);
   } else if (use_dpu) {
-    serialized += wo.verbs_sw_per_msg + wo.dpu_post_overhead;
-    engine_res = rank_.dpu();
+    staged.serialized += wo.verbs_sw_per_msg + wo.dpu_post_overhead;
+    staged.engine_res = rank_.dpu();
   } else {
     host_work += wo.verbs_sw_per_msg;
   }
-  rank_.cpu().submit(
-      host_work, [this, qp_index, wr = std::move(wr), serialized, pre_delay,
-                  engine_res]() mutable {
-        engine_res->request(
-            serialized,
-            [this, qp_index, wr = std::move(wr), pre_delay](Time, Time) {
-              if (pre_delay > 0) {
-                rank_.world().engine().schedule_after(
-                    pre_delay,
-                    [this, qp_index, wr] { post_now(qp_index, wr); },
-                    "psend.pre_post_delay");
-              } else {
-                post_now(qp_index, wr);
-              }
-            });
-      });
+  rank_.cpu().submit(host_work, [this, id] { on_host_work_done(id); });
 }
 
-void PsendRequest::post_now(std::size_t qp_index, verbs::SendWr wr) {
-  verbs::Qp& qp = *qps_[qp_index];
-  const Status st = qp.post_send(wr);
+void PsendRequest::on_host_work_done(std::uint32_t id) {
+  StagedWr& staged = staged_[id];
+  staged.engine_res->request(
+      staged.serialized, [this, id](Time, Time) { on_doorbell_granted(id); });
+}
+
+void PsendRequest::on_doorbell_granted(std::uint32_t id) {
+  const Duration pre_delay = staged_[id].pre_delay;
+  if (pre_delay > 0) {
+    rank_.world().engine().schedule_after(
+        pre_delay, [this, id] { post_staged(id); }, "psend.pre_post_delay");
+  } else {
+    post_staged(id);
+  }
+}
+
+void PsendRequest::post_staged(std::uint32_t id) {
+  StagedWr& staged = staged_[id];
+  verbs::Qp& qp = *qps_[staged.qp_index];
+  const Status st = qp.post_send(staged.wr);
   if (st == Status::kResourceExhausted) {
     // All 16 WR slots busy: software-queue and retry on the next CQE.
-    qp_backlog_[qp_index].push_back(std::move(wr));
+    qp_backlog_[staged.qp_index].push_back(id);
     return;
   }
   PARTIB_ASSERT_MSG(ok(st), to_string(st));
   ++wrs_posted_total_;
+  release_staged(id);
 }
 
 void PsendRequest::schedule_progress() {
@@ -416,19 +440,18 @@ void PsendRequest::progress() {
       PARTIB_CHECK_HOOK(on_psend_msg_complete(this));
     }
   }
-  // Freed WR slots: drain software backlogs.
+  // Freed WR slots: drain software backlogs.  The staged record is only
+  // dequeued once the QP accepts it, so a still-full QP costs one peek.
   for (std::size_t q = 0; q < qp_backlog_.size(); ++q) {
     auto& backlog = qp_backlog_[q];
     while (!backlog.empty()) {
-      verbs::SendWr wr = std::move(backlog.front());
-      backlog.pop_front();
-      const Status st = qps_[q]->post_send(wr);
-      if (st == Status::kResourceExhausted) {
-        backlog.push_front(std::move(wr));
-        break;
-      }
+      const std::uint32_t id = backlog.front();
+      const Status st = qps_[q]->post_send(staged_[id].wr);
+      if (st == Status::kResourceExhausted) break;
       PARTIB_ASSERT(ok(st));
       ++wrs_posted_total_;
+      backlog.pop_front();
+      release_staged(id);
     }
   }
   check_completion();
@@ -452,9 +475,21 @@ void PsendRequest::check_completion() {
   if (!test()) return;
   if (started_) PARTIB_CHECK_HOOK(on_psend_round_complete(this));
   if (completions_.empty()) return;
-  std::vector<Completion> cbs;
-  cbs.swap(completions_);
-  for (auto& cb : cbs) cb();
+  // Ping-pong with the scratch vector: both keep their capacity, so a
+  // steady-state round registers, fires and clears callbacks without
+  // touching the allocator.
+  completions_scratch_.swap(completions_);
+  [[maybe_unused]] const std::size_t fired = completions_scratch_.size();
+  for (auto& cb : completions_scratch_) cb();
+  completions_scratch_.clear();
+#if PARTIB_CHECK_ENABLED
+  // The no-reallocation contract of the satellite fix: unless a round
+  // registered more callbacks than the init-time reserve, firing them
+  // must not have grown either vector.
+  if (fired <= kCallbackReserve) {
+    PARTIB_ASSERT(completions_scratch_.capacity() == kCallbackReserve);
+  }
+#endif
 }
 
 }  // namespace partib::part

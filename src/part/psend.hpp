@@ -24,11 +24,13 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <span>
 #include <vector>
+
+#include "common/inline_fn.hpp"
+#include "common/ring.hpp"
 
 #include "agg/aggregator.hpp"
 #include "common/status.hpp"
@@ -119,6 +121,21 @@ class PsendRequest {
     sim::Engine::EventId timer{};
   };
 
+  /// One message staged for the host-side posting pipeline (CPU work →
+  /// doorbell → optional pre-post delay → ibv_post_send).  Records live in
+  /// a free-listed slab so every pipeline closure captures only
+  /// {this, record id} and stays inside the callback SBO buffers; the
+  /// per-QP backlogs queue record ids, not WR copies.
+  struct StagedWr {
+    verbs::SendWr wr;
+    sim::FifoResource* engine_res = nullptr;
+    Duration serialized = 0;
+    Duration pre_delay = 0;
+    std::uint32_t qp_index = 0;
+    std::uint32_t next_free = kNilStaged;
+  };
+  static constexpr std::uint32_t kNilStaged = ~std::uint32_t{0};
+
   void setup_verbs_and_handshake();
   bool can_post() const { return remote_ready_ && credits_ >= round_; }
   void flush_deferred();
@@ -128,7 +145,12 @@ class PsendRequest {
   }
   /// Post (or defer) one WR covering partitions [first, first+count).
   void post_message(std::size_t first, std::size_t count);
-  void post_now(std::size_t qp_index, verbs::SendWr wr);
+  std::uint32_t acquire_staged();
+  void release_staged(std::uint32_t id);
+  // The staged-WR pipeline stages (each fires once per record).
+  void on_host_work_done(std::uint32_t id);
+  void on_doorbell_granted(std::uint32_t id);
+  void post_staged(std::uint32_t id);
   /// Send every maximal contiguous arrived-but-unsent run of group `g`.
   void flush_group_runs(std::size_t g);
   void on_group_timer(std::size_t g);
@@ -174,18 +196,30 @@ class PsendRequest {
   Time round_first_pready_ = -1;
   Time round_last_pready_ = -1;
   Duration ewma_delay_ = -1;
-  std::vector<std::uint8_t> arrived_;
-  std::vector<std::uint8_t> sent_;
+  // Partition flags as uint64_t bitmaps: one cache line covers 512
+  // partitions, and run detection for the timer flush works word-wise
+  // (part/bitrun.hpp) instead of byte-by-byte.
+  std::vector<std::uint64_t> arrived_words_;
+  std::vector<std::uint64_t> sent_words_;
   std::vector<Group> groups_;
 
   // -- message bookkeeping -----------------------------------------------------
   std::size_t inflight_msgs_ = 0;  ///< intents not yet send-completed
-  std::deque<std::function<void()>> deferred_;  ///< waiting for credit/ack
-  std::vector<std::deque<verbs::SendWr>> qp_backlog_;  ///< waiting for WR slots
+  /// Messages waiting for credit/ack; InlineFn keeps the 24-byte captures
+  /// out of the heap, the ring out of the deque allocator.
+  common::Ring<common::InlineFn<void()>> deferred_;
+  std::vector<StagedWr> staged_;  ///< staged-WR slab (grows to peak in flight)
+  std::uint32_t staged_free_ = kNilStaged;
+  /// Per-QP queues of staged ids waiting for WR slots.
+  std::vector<common::Ring<std::uint32_t>> qp_backlog_;
   std::uint64_t next_wr_id_ = 1;
   std::uint64_t wrs_posted_total_ = 0;
   bool progress_scheduled_ = false;
+  // Completion callbacks ping-pong with a same-capacity scratch vector so
+  // steady-state rounds never allocate (asserted under PARTIB_CHECK).
+  static constexpr std::size_t kCallbackReserve = 8;
   std::vector<Completion> completions_;
+  std::vector<Completion> completions_scratch_;
   std::vector<Completion> prepare_callbacks_;
 };
 

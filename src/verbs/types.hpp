@@ -2,9 +2,11 @@
 // (ibv_sge, ibv_send_wr, ibv_wc, ...) in C++ form.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <vector>
+#include <initializer_list>
 
+#include "common/assert.hpp"
 #include "common/time.hpp"
 
 namespace partib::verbs {
@@ -27,6 +29,54 @@ struct Sge {
   Lkey lkey = 0;
 };
 
+/// Fixed-capacity inline scatter/gather list.
+///
+/// Real ibv_send_wr carries `sg_list` as a pointer + count into
+/// caller-owned storage, so posting never allocates; the seed's
+/// `std::vector<Sge>` put one heap allocation on every WR fill and made
+/// SendWr expensive to stage, queue and retry.  An inline array restores
+/// the wire-idiomatic cost model and keeps SendWr/RecvWr trivially
+/// copyable, which in turn lets the WQE slab and backlog rings relocate
+/// them with memcpy.  Capacity mirrors a typical max_send_sge of 4; every
+/// WR in the simulator uses 1–2 entries.
+class SgList {
+ public:
+  static constexpr std::size_t kMaxSges = 4;
+
+  SgList() = default;
+  SgList(std::initializer_list<Sge> il) {
+    PARTIB_ASSERT(il.size() <= kMaxSges);
+    for (const Sge& s : il) sges_[size_++] = s;
+  }
+
+  void push_back(const Sge& s) {
+    PARTIB_ASSERT(size_ < kMaxSges);
+    sges_[size_++] = s;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  void clear() { size_ = 0; }
+
+  Sge& operator[](std::size_t i) {
+    PARTIB_ASSERT(i < size_);
+    return sges_[i];
+  }
+  const Sge& operator[](std::size_t i) const {
+    PARTIB_ASSERT(i < size_);
+    return sges_[i];
+  }
+
+  Sge* begin() { return sges_; }
+  Sge* end() { return sges_ + size_; }
+  const Sge* begin() const { return sges_; }
+  const Sge* end() const { return sges_ + size_; }
+
+ private:
+  std::size_t size_ = 0;
+  Sge sges_[kMaxSges] = {};
+};
+
 enum class Opcode {
   kRdmaWrite,         // IBV_WR_RDMA_WRITE
   kRdmaWriteWithImm,  // IBV_WR_RDMA_WRITE_WITH_IMM
@@ -36,7 +86,7 @@ enum class Opcode {
 struct SendWr {
   std::uint64_t wr_id = 0;
   Opcode opcode = Opcode::kRdmaWrite;
-  std::vector<Sge> sg_list;
+  SgList sg_list;
   /// Network-byte-order 32-bit immediate (only *_WITH_IMM delivers it).
   std::uint32_t imm = 0;
   /// RDMA target (ignored for kSend).
@@ -52,7 +102,7 @@ struct RecvWr {
   std::uint64_t wr_id = 0;
   /// Landing buffers for kSend traffic; RDMA-write-with-immediate consumes
   /// the WR but writes through the rkey'd region instead.
-  std::vector<Sge> sg_list;
+  SgList sg_list;
 };
 
 enum class WcStatus {

@@ -17,11 +17,6 @@ Context& Device::open(fabric::NodeId node) {
   return *contexts_.back();
 }
 
-Qp* Device::find_qp(std::uint32_t qp_num) {
-  auto it = qp_registry_.find(qp_num);
-  return it == qp_registry_.end() ? nullptr : it->second;
-}
-
 Pd& Context::alloc_pd() {
   pds_.push_back(std::make_unique<Pd>(*this));
   return *pds_.back();
@@ -32,11 +27,6 @@ Cq& Context::create_cq(int depth) {
   cqs_.push_back(std::make_unique<Cq>(depth));
   PARTIB_CHECK_HOOK(on_cq_created(cqs_.back().get(), depth));
   return *cqs_.back();
-}
-
-Mr* Context::find_remote_mr(Rkey rkey) {
-  auto it = mr_registry_.find(rkey);
-  return it == mr_registry_.end() ? nullptr : it->second;
 }
 
 // ---------------------------------------------------------------------------
@@ -59,7 +49,7 @@ int Cq::poll(std::span<Wc> out) {
   return n;
 }
 
-void Cq::push(Wc wc) {
+void Cq::push(const Wc& wc) {
   PARTIB_CHECK_HOOK(on_cq_push(this));
   if (entries_.size() >= static_cast<std::size_t>(depth_)) {
     // CQ overrun is fatal on real hardware too; surfacing it loudly keeps
@@ -77,7 +67,8 @@ Mr& Pd::register_mr(std::span<std::byte> range, unsigned access) {
   const Rkey rkey = dev.next_key_++;
   mrs_.push_back(std::make_unique<Mr>(range, access, lkey, rkey));
   Mr& mr = *mrs_.back();
-  context_.mr_registry_.emplace(rkey, &mr);
+  PARTIB_ASSERT(rkey / 2 - 1 == dev.mr_by_rkey_.size());
+  dev.mr_by_rkey_.push_back(Device::MrSlot{&context_, &mr});
   PARTIB_CHECK_HOOK(on_mr_registered(this, mr.addr(), mr.length(), lkey,
                                      rkey, access));
   return mr;
@@ -85,10 +76,11 @@ Mr& Pd::register_mr(std::span<std::byte> range, unsigned access) {
 
 Qp& Pd::create_qp(Cq& send_cq, Cq& recv_cq, QpCaps caps) {
   Device& dev = context_.device();
-  const std::uint32_t num = dev.next_qp_num_++;
+  const std::uint32_t num =
+      Device::kFirstQpNum + static_cast<std::uint32_t>(dev.qp_by_num_.size());
   qps_.push_back(std::make_unique<Qp>(*this, send_cq, recv_cq, caps, num));
   Qp& qp = *qps_.back();
-  dev.qp_registry_.emplace(num, &qp);
+  dev.qp_by_num_.push_back(&qp);
   PARTIB_CHECK_HOOK(on_qp_created(&qp, num, caps));
   return qp;
 }
@@ -112,6 +104,15 @@ Qp::Qp(Pd& pd, Cq& send_cq, Cq& recv_cq, QpCaps caps, std::uint32_t qp_num)
       caps_(caps),
       qp_num_(qp_num) {
   PARTIB_ASSERT(caps.max_send_wr > 0 && caps.max_recv_wr > 0);
+  // One WQE slot per possible outstanding WR, chained into a free list;
+  // outstanding_ < max_send_wr guarantees acquire_wqe() always succeeds.
+  wqes_.resize(static_cast<std::size_t>(caps.max_send_wr));
+  for (std::size_t i = 0; i < wqes_.size(); ++i) {
+    wqes_[i].next_free = i + 1 < wqes_.size()
+                             ? static_cast<std::uint32_t>(i + 1)
+                             : kNilWqe;
+  }
+  free_wqe_ = 0;
 }
 
 Status Qp::to_init() {
@@ -148,8 +149,8 @@ Status Qp::to_rts() {
   return Status::kOk;
 }
 
-Status Qp::validate_sges(const std::vector<Sge>& sges,
-                         unsigned required_access, std::size_t* total) const {
+Status Qp::validate_sges(const SgList& sges, unsigned required_access,
+                         std::size_t* total) const {
   std::size_t sum = 0;
   for (const Sge& sge : sges) {
     const Mr* mr = pd_.find_local_mr(sge.lkey, sge.addr, sge.length);
@@ -180,6 +181,22 @@ Status Qp::post_recv(const RecvWr& wr) {
   return Status::kOk;
 }
 
+std::uint32_t Qp::acquire_wqe() {
+  PARTIB_ASSERT(free_wqe_ != kNilWqe);
+  const std::uint32_t slot = free_wqe_;
+  free_wqe_ = wqes_[slot].next_free;
+  return slot;
+}
+
+void Qp::release_wqe_ref(std::uint32_t slot) {
+  Wqe& wqe = wqes_[slot];
+  PARTIB_ASSERT(wqe.refs > 0);
+  if (--wqe.refs == 0) {
+    wqe.next_free = free_wqe_;
+    free_wqe_ = slot;
+  }
+}
+
 Status Qp::post_send(const SendWr& wr) {
   PARTIB_CHECK_HOOK(on_post_send(this, &pd_, wr));
   if (state_ != QpState::kRts) return Status::kInvalidState;
@@ -192,9 +209,18 @@ Status Qp::post_send(const SendWr& wr) {
   ++outstanding_;
   PARTIB_CHECK_HOOK(on_send_accepted(this));
   fabric::Fabric& fab = pd_.context().device().fab();
-  const bool copy = fab.copies_data();
   const bool with_imm = wr.opcode == Opcode::kRdmaWriteWithImm;
-  auto result = std::make_shared<DeliveryResult>();
+  const bool wants_recv_cqe = with_imm || wr.opcode == Opcode::kSend;
+
+  // Stage the WR in a slab slot so every fabric callback captures only
+  // {this, slot} — 12 bytes, inside std::function's small-object buffer.
+  // The slot outlives the op: the send CQE (landing + L) and the recv CQE
+  // (landing + o_r) race in virtual time, so the last reference wins.
+  const std::uint32_t slot = acquire_wqe();
+  Wqe& wqe = wqes_[slot];
+  wqe.wr = wr;
+  wqe.result = DeliveryResult{};
+  wqe.refs = wants_recv_cqe ? 2 : 1;
 
   fabric::RdmaOp op;
   op.src = pd_.context().node();
@@ -202,31 +228,52 @@ Status Qp::post_send(const SendWr& wr) {
   op.src_qp = qp_num_;
   op.bytes = total;
   op.rate_cap_factor = wr.rate_cap_factor;
-  op.move_data = [this, wr, with_imm, copy, result] {
-    *result = wr.opcode == Opcode::kSend
-                  ? remote_->deliver_send(wr, copy)
-                  : remote_->deliver_rdma_write(wr, with_imm, copy);
+  op.move_data = [this, slot] { wqe_move_data(slot); };
+  op.on_send_complete = [this, slot](Time when) {
+    wqe_send_complete(slot, when);
   };
-  op.on_send_complete = [this, wr, result](Time when) {
-    complete_send(wr, *result, when);
-  };
-  if (with_imm || wr.opcode == Opcode::kSend) {
-    op.on_recv_complete = [this, wr, with_imm, result](Time when) {
-      if (!result->recv_wr_consumed) return;
-      Wc wc;
-      wc.wr_id = result->recv_wr_id;
-      wc.status = result->status;
-      wc.opcode = with_imm ? WcOpcode::kRecvRdmaWithImm : WcOpcode::kRecv;
-      wc.byte_len = result->byte_len;
-      wc.imm = with_imm ? wr.imm : 0;
-      wc.has_imm = with_imm;
-      wc.qp_num = remote_->qp_num();
-      wc.completion_time = when;
-      remote_->recv_cq_.push(wc);
+  if (wants_recv_cqe) {
+    op.on_recv_complete = [this, slot](Time when) {
+      wqe_recv_complete(slot, when);
     };
   }
   fab.post_rdma_write(std::move(op));
   return Status::kOk;
+}
+
+void Qp::wqe_move_data(std::uint32_t slot) {
+  // Runs exactly at landing, strictly before either completion callback.
+  const bool copy = pd_.context().device().fab().copies_data();
+  const SendWr& wr = wqes_[slot].wr;
+  const DeliveryResult res =
+      wr.opcode == Opcode::kSend
+          ? remote_->deliver_send(wr, copy)
+          : remote_->deliver_rdma_write(
+                wr, wr.opcode == Opcode::kRdmaWriteWithImm, copy);
+  wqes_[slot].result = res;
+}
+
+void Qp::wqe_send_complete(std::uint32_t slot, Time when) {
+  complete_send(wqes_[slot].wr, wqes_[slot].result, when);
+  release_wqe_ref(slot);
+}
+
+void Qp::wqe_recv_complete(std::uint32_t slot, Time when) {
+  const Wqe& wqe = wqes_[slot];
+  if (wqe.result.recv_wr_consumed) {
+    const bool with_imm = wqe.wr.opcode == Opcode::kRdmaWriteWithImm;
+    Wc wc;
+    wc.wr_id = wqe.result.recv_wr_id;
+    wc.status = wqe.result.status;
+    wc.opcode = with_imm ? WcOpcode::kRecvRdmaWithImm : WcOpcode::kRecv;
+    wc.byte_len = wqe.result.byte_len;
+    wc.imm = with_imm ? wqe.wr.imm : 0;
+    wc.has_imm = with_imm;
+    wc.qp_num = remote_->qp_num();
+    wc.completion_time = when;
+    remote_->recv_cq_.push(wc);
+  }
+  release_wqe_ref(slot);
 }
 
 Qp::DeliveryResult Qp::deliver_rdma_write(const SendWr& wr, bool with_imm,

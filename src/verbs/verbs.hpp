@@ -13,17 +13,25 @@
 // register_* return non-owning references whose lifetime is bounded by the
 // parent object.  All operations are driven by the simulation engine; the
 // API itself performs no blocking.
+//
+// Handle resolution is dense-index, not tree-search: qp_nums and rkeys are
+// allocated sequentially by the device, so find_qp / find_remote_mr are a
+// bounds check plus one array load — the cost model of a real NIC's QP
+// context table, and O(log n) cheaper than the std::map registries they
+// replaced.  Queues (CQ entries, posted receives) are power-of-two ring
+// buffers, and each QP stages in-flight sends in a fixed slab of WQE slots
+// so posting allocates nothing.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
-#include <map>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "common/bits.hpp"
+#include "common/ring.hpp"
 #include "common/status.hpp"
 #include "fabric/fabric.hpp"
 #include "verbs/types.hpp"
@@ -40,6 +48,10 @@ class Qp;
 /// providing device-wide qp_num / key allocation.
 class Device {
  public:
+  /// qp_nums are dense from here (mirrors real HCAs not handing out 0..2;
+  /// also keeps handles visually distinct from ranks/indices in traces).
+  static constexpr std::uint32_t kFirstQpNum = 100;
+
   explicit Device(fabric::Fabric& fab) : fabric_(fab) {}
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
@@ -50,16 +62,29 @@ class Device {
   fabric::Fabric& fab() { return fabric_; }
 
   /// Device-wide QP lookup used to resolve a connected remote QP.
-  Qp* find_qp(std::uint32_t qp_num);
+  Qp* find_qp(std::uint32_t qp_num) {
+    const std::uint32_t idx = qp_num - kFirstQpNum;
+    return qp_num >= kFirstQpNum && idx < qp_by_num_.size() ? qp_by_num_[idx]
+                                                            : nullptr;
+  }
 
  private:
   friend class Context;
   friend class Pd;
 
+  // MRs are keyed device-wide: lkeys are the odd keys (1, 3, 5, ...) and
+  // rkeys the even ones (2, 4, 6, ...), so rkey -> slot is (rkey/2 - 1).
+  // The owning context is recorded because find_remote_mr must only
+  // resolve regions registered on the target's own node.
+  struct MrSlot {
+    Context* owner = nullptr;
+    Mr* mr = nullptr;
+  };
+
   fabric::Fabric& fabric_;
   std::vector<std::unique_ptr<Context>> contexts_;
-  std::map<std::uint32_t, Qp*> qp_registry_;
-  std::uint32_t next_qp_num_ = 100;
+  std::vector<Qp*> qp_by_num_;   // index == qp_num - kFirstQpNum
+  std::vector<MrSlot> mr_by_rkey_;  // index == rkey / 2 - 1
   std::uint32_t next_key_ = 1;
 };
 
@@ -78,7 +103,14 @@ class Context {
 
   /// Resolve an rkey to a region registered on this node (target-side
   /// validation of incoming RDMA).
-  Mr* find_remote_mr(Rkey rkey);
+  Mr* find_remote_mr(Rkey rkey) {
+    // rkeys are the even keys; odd or unallocated values miss.
+    if (rkey < 2 || (rkey & 1u) != 0) return nullptr;
+    const std::size_t idx = rkey / 2 - 1;
+    if (idx >= device_.mr_by_rkey_.size()) return nullptr;
+    const Device::MrSlot& slot = device_.mr_by_rkey_[idx];
+    return slot.owner == this ? slot.mr : nullptr;
+  }
 
  private:
   friend class Pd;
@@ -87,7 +119,6 @@ class Context {
   fabric::NodeId node_;
   std::vector<std::unique_ptr<Pd>> pds_;
   std::vector<std::unique_ptr<Cq>> cqs_;
-  std::map<Rkey, Mr*> mr_registry_;
 };
 
 /// Registered memory region.
@@ -113,6 +144,11 @@ class Mr {
 };
 
 /// Completion queue.
+///
+/// Entries live in a power-of-two ring that grows lazily toward `depth`:
+/// the configured depth is a capacity bound (overrun past it is fatal, as
+/// on real hardware), not an eager reservation — the default depth is
+/// 65536 entries and most CQs see a handful in flight.
 class Cq {
  public:
   explicit Cq(int depth) : depth_(depth) {}
@@ -127,7 +163,7 @@ class Cq {
   bool overrun() const { return overrun_; }
 
   /// Internal: raise a completion (called by Qp / delivery paths).
-  void push(Wc wc);
+  void push(const Wc& wc);
 
   /// Completion-channel analogue: invoked after every push so the owner
   /// can schedule a progress poll (cf. ibv_req_notify_cq + comp channel).
@@ -136,7 +172,7 @@ class Cq {
  private:
   int depth_;
   bool overrun_ = false;
-  std::deque<Wc> entries_;
+  common::Ring<Wc> entries_;
   std::function<void()> on_push_;
 };
 
@@ -167,6 +203,14 @@ class Pd {
 };
 
 /// RC queue pair.
+///
+/// In-flight sends are staged in a slab of `max_send_wr` WQE slots
+/// allocated once at construction; the fabric callbacks capture only
+/// {qp, slot index}, which keeps every per-WR closure inside
+/// std::function's small-object buffer.  A slot is recycled when the last
+/// completion callback referencing it has fired (the send CQE trails the
+/// recv CQE or vice versa depending on L vs o_r, so release is
+/// reference-counted, not FIFO).
 class Qp {
  public:
   Qp(Pd& pd, Cq& send_cq, Cq& recv_cq, QpCaps caps, std::uint32_t qp_num);
@@ -201,6 +245,24 @@ class Qp {
     std::size_t total_length;
   };
 
+  // Target-side handlers (run on delivery).
+  struct DeliveryResult {
+    WcStatus status = WcStatus::kSuccess;
+    std::uint32_t byte_len = 0;
+    bool recv_wr_consumed = false;
+    std::uint64_t recv_wr_id = 0;
+  };
+
+  /// One staged in-flight send: the WR, its delivery outcome, and the
+  /// number of not-yet-fired fabric callbacks that still read the slot.
+  struct Wqe {
+    SendWr wr;
+    DeliveryResult result;
+    std::uint32_t next_free = kNilWqe;
+    std::uint8_t refs = 0;
+  };
+  static constexpr std::uint32_t kNilWqe = ~std::uint32_t{0};
+
   Pd& pd_;
   Cq& send_cq_;
   Cq& recv_cq_;
@@ -210,18 +272,21 @@ class Qp {
   std::uint32_t remote_qp_num_ = 0;
   Qp* remote_ = nullptr;  // resolved at to_rtr time
   int outstanding_ = 0;
-  std::deque<PostedRecv> recv_queue_;
+  common::Ring<PostedRecv> recv_queue_;
+  std::vector<Wqe> wqes_;  // fixed at max_send_wr slots
+  std::uint32_t free_wqe_ = kNilWqe;
 
-  Status validate_sges(const std::vector<Sge>& sges, unsigned required_access,
+  Status validate_sges(const SgList& sges, unsigned required_access,
                        std::size_t* total) const;
 
-  // Target-side handlers (run on delivery).
-  struct DeliveryResult {
-    WcStatus status = WcStatus::kSuccess;
-    std::uint32_t byte_len = 0;
-    bool recv_wr_consumed = false;
-    std::uint64_t recv_wr_id = 0;
-  };
+  std::uint32_t acquire_wqe();
+  void release_wqe_ref(std::uint32_t slot);
+
+  // Fabric callback bodies; each captures only {this, slot}.
+  void wqe_move_data(std::uint32_t slot);
+  void wqe_send_complete(std::uint32_t slot, Time when);
+  void wqe_recv_complete(std::uint32_t slot, Time when);
+
   DeliveryResult deliver_rdma_write(const SendWr& wr, bool with_imm,
                                     bool copy_data);
   DeliveryResult deliver_send(const SendWr& wr, bool copy_data);

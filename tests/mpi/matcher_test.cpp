@@ -1,9 +1,13 @@
 // Ordered matching of Psend_init/Precv_init pairs.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <random>
+#include <string>
 #include <vector>
 
 #include "mpi/matcher.hpp"
+#include "support/reference_matcher.hpp"
 
 namespace partib::mpi {
 namespace {
@@ -100,6 +104,46 @@ TEST(Matcher, InterleavedKeysStaySeparate) {
   m.on_send_init(init_for(0, 2, 0));
   m.on_send_init(init_for(0, 1, 0));
   EXPECT_EQ(tags, (std::vector<int>{2, 1}));
+}
+
+TEST(Matcher, DifferentialFuzzAgainstMapDequeReference) {
+  // The flat-vector matcher must produce exactly the match sequence of the
+  // seed's map/deque implementation (tests/support/reference_matcher.hpp):
+  // same pairings, in the same order, for any interleaving of posts.
+  // Each recv is stamped with a posting index and each send with a unique
+  // total_bytes, so a match event is the pair (recv index, send stamp).
+  std::mt19937 rng(424242);
+  for (int iter = 0; iter < 200; ++iter) {
+    InitMatcher m;
+    test::ReferenceInitMatcher ref;
+    std::vector<std::string> got, want;
+    std::size_t next_recv = 0;
+    std::size_t next_bytes = 1;
+    const int ops = 20 + static_cast<int>(rng() % 60);
+    for (int op = 0; op < ops; ++op) {
+      const MatchKey key{static_cast<int>(rng() % 3),
+                         static_cast<int>(rng() % 3), 0};
+      if (rng() % 2 == 0) {
+        const std::size_t r = next_recv++;
+        m.post_recv_init(key, [&got, r](const SendInit& si) {
+          got.push_back(std::to_string(r) + ":" +
+                        std::to_string(si.total_bytes));
+        });
+        ref.post_recv_init(key, [&want, r](const SendInit& si) {
+          want.push_back(std::to_string(r) + ":" +
+                         std::to_string(si.total_bytes));
+        });
+      } else {
+        const SendInit si = init_for(key.peer, key.tag, key.comm_id,
+                                     next_bytes++);
+        m.on_send_init(si);
+        ref.on_send_init(si);
+      }
+      ASSERT_EQ(got, want) << "iter " << iter << " op " << op;
+      ASSERT_EQ(m.pending_recvs(), ref.pending_recvs());
+      ASSERT_EQ(m.unexpected_sends(), ref.unexpected_sends());
+    }
+  }
 }
 
 }  // namespace

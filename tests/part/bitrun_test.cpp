@@ -1,0 +1,143 @@
+// Differential test: the word-wise bitmap run extraction in
+// part/bitrun.hpp must emit exactly the (first, count) sequence of the
+// seed's byte-scan (tests/support/reference_bitrun.hpp) and leave the
+// same sent state behind — each emitted run becomes one WR post, so the
+// figure CSV fingerprints depend on this equivalence bit for bit.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "part/bitrun.hpp"
+#include "support/reference_bitrun.hpp"
+
+namespace partib::part {
+namespace {
+
+using Seg = std::pair<std::size_t, std::size_t>;
+
+/// Drive both implementations over the same (arrived, sent) state and
+/// return {new_runs, ref_runs}; also checks the resulting sent bitmaps
+/// agree bit for bit.
+std::pair<std::vector<Seg>, std::vector<Seg>> flush_both(
+    const std::vector<std::uint8_t>& arrived_bytes,
+    std::vector<std::uint8_t> sent_bytes, std::size_t base, std::size_t len) {
+  const std::size_t total = arrived_bytes.size();
+  std::vector<std::uint64_t> arrived_words(bitmap_words(total), 0);
+  std::vector<std::uint64_t> sent_words(bitmap_words(total), 0);
+  for (std::size_t i = 0; i < total; ++i) {
+    if (arrived_bytes[i]) bitmap_set(arrived_words.data(), i);
+    if (sent_bytes[i]) bitmap_set(sent_words.data(), i);
+  }
+
+  std::vector<Seg> got;
+  flush_pending_runs(arrived_words.data(), sent_words.data(), base, len,
+                     [&](std::size_t first, std::size_t count) {
+                       got.emplace_back(first, count);
+                     });
+  std::vector<Seg> want;
+  partib::test::reference_flush_runs(arrived_bytes, sent_bytes, base, len,
+                       [&](std::size_t first, std::size_t count) {
+                         want.emplace_back(first, count);
+                       });
+
+  for (std::size_t i = 0; i < total; ++i) {
+    EXPECT_EQ(bitmap_test(sent_words.data(), i), sent_bytes[i] != 0)
+        << "sent state diverges at bit " << i;
+  }
+  return {got, want};
+}
+
+TEST(BitRun, EmptyGroupEmitsNothing) {
+  std::vector<std::uint8_t> arrived(64, 0), sent(64, 0);
+  auto [got, want] = flush_both(arrived, sent, 0, 64);
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(got, want);
+}
+
+TEST(BitRun, FullWordIsOneRun) {
+  std::vector<std::uint8_t> arrived(64, 1), sent(64, 0);
+  auto [got, want] = flush_both(arrived, sent, 0, 64);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], Seg(0, 64));
+  EXPECT_EQ(got, want);
+}
+
+TEST(BitRun, RunCrossingWordBoundaryEmittedOnce) {
+  std::vector<std::uint8_t> arrived(192, 0), sent(192, 0);
+  for (std::size_t i = 60; i < 140; ++i) arrived[i] = 1;
+  auto [got, want] = flush_both(arrived, sent, 0, 192);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], Seg(60, 80));
+  EXPECT_EQ(got, want);
+}
+
+TEST(BitRun, SentBitsSplitRuns) {
+  std::vector<std::uint8_t> arrived(64, 1), sent(64, 0);
+  sent[10] = sent[11] = sent[40] = 1;
+  auto [got, want] = flush_both(arrived, sent, 0, 64);
+  EXPECT_EQ(got, (std::vector<Seg>{{0, 10}, {12, 28}, {41, 23}}));
+  EXPECT_EQ(got, want);
+}
+
+TEST(BitRun, UnalignedGroupWindowRespected) {
+  // Group [37, 101): arrivals outside the window must be invisible.
+  std::vector<std::uint8_t> arrived(128, 1), sent(128, 0);
+  auto [got, want] = flush_both(arrived, sent, 37, 64);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], Seg(37, 64));
+  EXPECT_EQ(got, want);
+}
+
+TEST(BitRun, AlternatingBitsEmitSingletonsAscending) {
+  std::vector<std::uint8_t> arrived(70, 0), sent(70, 0);
+  for (std::size_t i = 0; i < 70; i += 2) arrived[i] = 1;
+  auto [got, want] = flush_both(arrived, sent, 0, 70);
+  EXPECT_EQ(got.size(), 35u);
+  EXPECT_EQ(got, want);
+  for (std::size_t i = 1; i < got.size(); ++i) {
+    EXPECT_LT(got[i - 1].first, got[i].first);
+  }
+}
+
+TEST(BitRun, DifferentialFuzz) {
+  std::mt19937 rng(20260806);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::size_t total = 1 + rng() % 300;
+    std::vector<std::uint8_t> arrived(total), sent(total);
+    // Biased fill so long runs, isolated bits, and already-sent overlap
+    // all occur; sent ⊆ arrived as in the real request (a partition is
+    // only marked sent after it arrived).
+    const unsigned density = 1 + rng() % 9;
+    for (std::size_t i = 0; i < total; ++i) {
+      arrived[i] = (rng() % 10) < density ? 1 : 0;
+      sent[i] = (arrived[i] != 0 && rng() % 4 == 0) ? 1 : 0;
+    }
+    const std::size_t base = rng() % total;
+    const std::size_t len = 1 + rng() % (total - base);
+    auto [got, want] = flush_both(arrived, sent, base, len);
+    ASSERT_EQ(got, want) << "iter " << iter << " base " << base << " len "
+                         << len;
+  }
+}
+
+TEST(BitRun, SetRangeMatchesPerBitLoop) {
+  std::mt19937 rng(7);
+  for (int iter = 0; iter < 500; ++iter) {
+    const std::size_t total = 1 + rng() % 300;
+    const std::size_t first = rng() % total;
+    const std::size_t count = rng() % (total - first + 1);
+    std::vector<std::uint64_t> words(bitmap_words(total), 0);
+    bitmap_set_range(words.data(), first, count);
+    for (std::size_t i = 0; i < total; ++i) {
+      ASSERT_EQ(bitmap_test(words.data(), i), i >= first && i < first + count)
+          << "bit " << i << " first " << first << " count " << count;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace partib::part

@@ -208,5 +208,50 @@ TEST(Overrides, OverrideAboveUserCountClamps) {
   EXPECT_EQ(fx.send->transport_partitions(), 4u);
 }
 
+TEST(Backpressure, WrSlotExhaustionMidFlushDrainsThroughBacklog) {
+  // One QP, 64 single-partition messages per round, but only 16 WR slots
+  // (QpCaps.max_send_wr): the flush must hit kResourceExhausted mid-round,
+  // park the staged WRs on the per-QP backlog, and drain them as send CQEs
+  // free slots — with no posts lost, duplicated, or reordered.
+  ChannelFixture fx(64 * KiB, 64, static_options(/*tp=*/64, /*qps=*/1));
+  ASSERT_EQ(fx.send->qp_count(), 1);
+  for (int round = 1; round <= 3; ++round) {
+    fx.run_round(round);
+    EXPECT_TRUE(fx.send->test());
+    EXPECT_TRUE(fx.recv->test());
+    EXPECT_TRUE(buffers_equal(fx.sbuf, fx.rbuf)) << "round " << round;
+    // Every partition is its own message: 64 WRs per round, all posted
+    // even though at most 16 ever fit in the QP at once.
+    EXPECT_EQ(fx.send->wrs_posted_total(),
+              static_cast<std::uint64_t>(round) * 64);
+  }
+}
+
+TEST(Backpressure, DeferredCallbacksReplayInPreadyOrder) {
+  // Pready everything before the handshake completes: every post lands on
+  // the deferred queue and must replay in pready order once the ack
+  // arrives.  One QP and one partition per message make the wire order
+  // observable: the receiver's arrival sequence is exactly the replay
+  // order.
+  ChannelFixture fx(32 * KiB, 8, static_options(/*tp=*/8, /*qps=*/1));
+  ASSERT_TRUE(ok(fx.send->start()));
+  ASSERT_TRUE(ok(fx.recv->start()));
+  const std::vector<std::size_t> pready_order{5, 2, 7, 0, 3, 6, 1, 4};
+  for (std::size_t p : pready_order) {
+    ASSERT_TRUE(ok(fx.send->pready(p)));
+  }
+  std::vector<std::size_t> arrivals;
+  Time last = 0;
+  fx.recv->set_arrival_hook([&](std::size_t p, Time when) {
+    EXPECT_GE(when, last);
+    last = when;
+    arrivals.push_back(p);
+  });
+  fx.engine.run();
+  EXPECT_TRUE(fx.send->test());
+  EXPECT_TRUE(fx.recv->test());
+  EXPECT_EQ(arrivals, pready_order);
+}
+
 }  // namespace
 }  // namespace partib::test

@@ -1,0 +1,38 @@
+// Verbatim copy of the seed's byte-scan run flush
+// (PsendRequest::flush_group_runs before the bitmap rewrite), kept as the
+// differential-test oracle for part::flush_pending_runs.  The (first,
+// count) sequence this loop emits is what each figure fingerprint was
+// recorded against — one WR post per emitted run, in this order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace partib::test {
+
+/// One byte per partition, exactly like the seed's `arrived_` / `sent_`
+/// vectors.  Emits fn(first, count) for every maximal pending run inside
+/// [base, base + group_size), marking it sent.
+template <typename Fn>
+void reference_flush_runs(const std::vector<std::uint8_t>& arrived,
+                          std::vector<std::uint8_t>& sent, std::size_t base,
+                          std::size_t group_size, Fn&& fn) {
+  std::size_t i = 0;
+  while (i < group_size) {
+    if (!arrived[base + i] || sent[base + i]) {
+      ++i;
+      continue;
+    }
+    std::size_t len = 0;
+    while (i + len < group_size && arrived[base + i + len] &&
+           !sent[base + i + len]) {
+      sent[base + i + len] = 1;
+      ++len;
+    }
+    fn(base + i, len);
+    i += len;
+  }
+}
+
+}  // namespace partib::test

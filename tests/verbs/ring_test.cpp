@@ -1,0 +1,259 @@
+// common::Ring and its two data-plane users: the CQ entry ring and the QP
+// receive queue.  The Ring replaced std::deque on the pready→WQE→CQ fast
+// path, so these tests pin the properties the data plane relies on — FIFO
+// order across physical wraparound, order-preserving growth (including
+// growth while the ring is wrapped), and move-only element support — plus
+// a differential fuzz against std::deque as the oracle.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "common/ring.hpp"
+#include "common/units.hpp"
+#include "fabric/fabric.hpp"
+#include "sim/engine.hpp"
+#include "verbs/verbs.hpp"
+
+namespace partib {
+namespace {
+
+TEST(Ring, StartsEmpty) {
+  common::Ring<int> r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_EQ(r.capacity(), 0u);  // storage is lazy: nothing until first push
+}
+
+TEST(Ring, FifoOrderAcrossWraparound) {
+  common::Ring<int> r;
+  for (int i = 0; i < 8; ++i) r.push_back(i);
+  const std::size_t cap = r.capacity();
+  // Drain half, refill past the physical end: head > 0, tail wraps.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(r.front(), i);
+    r.pop_front();
+  }
+  for (int i = 8; i < 13; ++i) r.push_back(i);
+  EXPECT_EQ(r.capacity(), cap) << "wraparound must not grow the ring";
+  for (int i = 5; i < 13; ++i) {
+    EXPECT_EQ(r.front(), i);
+    r.pop_front();
+  }
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Ring, GrowthWhileWrappedPreservesOrder) {
+  common::Ring<int> r;
+  r.reserve(8);
+  for (int i = 0; i < 8; ++i) r.push_back(i);
+  for (int i = 0; i < 6; ++i) r.pop_front();
+  for (int i = 8; i < 14; ++i) r.push_back(i);  // tail wrapped, len 8
+  for (int i = 14; i < 40; ++i) r.push_back(i);  // forces growth mid-wrap
+  EXPECT_GE(r.capacity(), 34u);
+  for (int i = 6; i < 40; ++i) {
+    ASSERT_EQ(r.front(), i);
+    r.pop_front();
+  }
+}
+
+TEST(Ring, IndexingCountsFromFront) {
+  common::Ring<int> r;
+  for (int i = 0; i < 12; ++i) r.push_back(i);
+  r.pop_front();
+  r.pop_front();
+  EXPECT_EQ(r[0], 2);
+  EXPECT_EQ(r[9], 11);
+  EXPECT_EQ(r.back(), 11);
+}
+
+TEST(Ring, MoveOnlyElements) {
+  common::Ring<std::unique_ptr<int>> r;
+  for (int i = 0; i < 20; ++i) r.push_back(std::make_unique<int>(i));
+  for (int i = 0; i < 7; ++i) r.pop_front();
+  for (int i = 20; i < 30; ++i) r.push_back(std::make_unique<int>(i));
+  common::Ring<std::unique_ptr<int>> moved = std::move(r);
+  for (int i = 7; i < 30; ++i) {
+    ASSERT_NE(moved.front(), nullptr);
+    EXPECT_EQ(*moved.front(), i);
+    moved.pop_front();
+  }
+}
+
+TEST(Ring, ReserveRoundsToPowerOfTwo) {
+  common::Ring<int> r;
+  r.reserve(100);
+  EXPECT_EQ(r.capacity(), 128u);
+  r.push_back(1);
+  EXPECT_EQ(r.capacity(), 128u);
+}
+
+TEST(Ring, DifferentialFuzzAgainstDeque) {
+  std::mt19937 rng(1337);
+  common::Ring<std::uint32_t> ring;
+  std::deque<std::uint32_t> deq;
+  for (int op = 0; op < 100000; ++op) {
+    // Push-biased so the ring grows; periodic full drains reset head to
+    // exercise many alignments.
+    const unsigned roll = rng() % 100;
+    if (roll < 55 || deq.empty()) {
+      const std::uint32_t v = rng();
+      ring.push_back(v);
+      deq.push_back(v);
+    } else if (roll < 95) {
+      ASSERT_EQ(ring.front(), deq.front());
+      ring.pop_front();
+      deq.pop_front();
+    } else {
+      ring.clear();
+      deq.clear();
+    }
+    ASSERT_EQ(ring.size(), deq.size());
+    if (!deq.empty()) {
+      ASSERT_EQ(ring.front(), deq.front());
+      ASSERT_EQ(ring.back(), deq.back());
+      const std::size_t probe = rng() % deq.size();
+      ASSERT_EQ(ring[probe], deq[probe]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The rings in anger: QP receive queue and CQ entry ring driven through the
+// simulated verbs stack.
+
+struct RingFx {
+  sim::Engine engine;
+  fabric::Fabric fab;
+  verbs::Device dev;
+  verbs::Context* sctx;
+  verbs::Context* rctx;
+  verbs::Cq* scq;
+  verbs::Cq* rcq;
+  std::vector<std::byte> sbuf;
+  std::vector<std::byte> rbuf;
+  verbs::Mr* smr;
+  verbs::Mr* rmr;
+  verbs::Qp* sqp;
+  verbs::Qp* rqp;
+
+  RingFx()
+      : fab(engine, fabric::NicParams::connectx5_edr(), /*copy=*/true),
+        dev(fab),
+        sbuf(64 * KiB),
+        rbuf(64 * KiB) {
+    const auto n0 = fab.add_node();
+    const auto n1 = fab.add_node();
+    sctx = &dev.open(n0);
+    rctx = &dev.open(n1);
+    verbs::Pd& spd = sctx->alloc_pd();
+    verbs::Pd& rpd = rctx->alloc_pd();
+    scq = &sctx->create_cq(1024);
+    rcq = &rctx->create_cq(1024);
+    smr = &spd.register_mr(sbuf, verbs::kLocalRead);
+    rmr = &rpd.register_mr(rbuf, verbs::kLocalWrite | verbs::kRemoteWrite);
+    sqp = &spd.create_qp(*scq, *scq);
+    rqp = &rpd.create_qp(*rcq, *rcq);
+    EXPECT_TRUE(ok(sqp->to_init()));
+    EXPECT_TRUE(ok(rqp->to_init()));
+    EXPECT_TRUE(ok(sqp->to_rtr(rqp->qp_num())));
+    EXPECT_TRUE(ok(rqp->to_rtr(sqp->qp_num())));
+    EXPECT_TRUE(ok(sqp->to_rts()));
+    EXPECT_TRUE(ok(rqp->to_rts()));
+  }
+
+  void post_recvs(std::uint64_t first_id, int n) {
+    for (int i = 0; i < n; ++i) {
+      verbs::RecvWr wr;
+      wr.wr_id = first_id + static_cast<std::uint64_t>(i);
+      ASSERT_TRUE(ok(rqp->post_recv(wr)));
+    }
+  }
+
+  void send_imm_writes(std::uint32_t first_imm, int n) {
+    for (int i = 0; i < n; ++i) {
+      verbs::SendWr wr;
+      wr.wr_id = first_imm + static_cast<std::uint64_t>(i);
+      wr.opcode = verbs::Opcode::kRdmaWriteWithImm;
+      wr.sg_list.push_back(
+          verbs::Sge{reinterpret_cast<std::uint64_t>(sbuf.data()), 256,
+                     smr->lkey()});
+      wr.imm = first_imm + static_cast<std::uint32_t>(i);
+      wr.remote_addr = rmr->addr();
+      wr.rkey = rmr->rkey();
+      ASSERT_TRUE(ok(sqp->post_send(wr)));
+    }
+    engine.run();
+  }
+
+  /// Drain `cq` and append completions in poll order.
+  void drain(verbs::Cq* cq, std::vector<verbs::Wc>* out) {
+    verbs::Wc wcs[4];
+    int n;
+    while ((n = cq->poll(std::span<verbs::Wc>(wcs))) > 0) {
+      for (int i = 0; i < n; ++i) out->push_back(wcs[i]);
+    }
+  }
+};
+
+TEST(RecvQueueRing, FifoAcrossWraparoundAtRingCapacity) {
+  // The recv queue's initial ring capacity is 8; three rounds of
+  // post-6 / consume-6 march head and tail through two full physical
+  // wraps.  WRs must be consumed strictly in posted order throughout.
+  RingFx fx;
+  std::vector<verbs::Wc> rwcs;
+  for (int round = 0; round < 3; ++round) {
+    fx.post_recvs(static_cast<std::uint64_t>(round) * 6, 6);
+    fx.send_imm_writes(static_cast<std::uint32_t>(round) * 6, 6);
+    fx.drain(fx.rcq, &rwcs);
+  }
+  ASSERT_EQ(rwcs.size(), 18u);
+  for (std::size_t i = 0; i < rwcs.size(); ++i) {
+    EXPECT_EQ(rwcs[i].status, verbs::WcStatus::kSuccess);
+    EXPECT_EQ(rwcs[i].wr_id, i) << "recv WR consumed out of posted order";
+    EXPECT_TRUE(rwcs[i].has_imm);
+    EXPECT_EQ(rwcs[i].imm, i);
+  }
+}
+
+TEST(RecvQueueRing, GrowthWhileWrappedKeepsPostedOrder) {
+  RingFx fx;
+  std::vector<verbs::Wc> rwcs;
+  // Wrap the ring first (post 6, consume 6), then overfill it so it must
+  // grow while head is mid-array.
+  fx.post_recvs(0, 6);
+  fx.send_imm_writes(0, 6);
+  fx.drain(fx.rcq, &rwcs);
+  fx.post_recvs(6, 12);
+  fx.send_imm_writes(6, 12);
+  fx.drain(fx.rcq, &rwcs);
+  ASSERT_EQ(rwcs.size(), 18u);
+  for (std::size_t i = 0; i < rwcs.size(); ++i) {
+    EXPECT_EQ(rwcs[i].wr_id, i);
+  }
+}
+
+TEST(CqRing, PollOrderSurvivesEntryRingWraparound) {
+  // Drain the send CQ in small chunks between bursts so its entry ring
+  // pops from the middle and wraps; completion order must stay the order
+  // the WRs completed in.
+  RingFx fx;
+  std::vector<verbs::Wc> swcs;
+  fx.post_recvs(0, 24);
+  for (int burst = 0; burst < 4; ++burst) {
+    fx.send_imm_writes(static_cast<std::uint32_t>(burst) * 6, 6);
+    fx.drain(fx.scq, &swcs);
+  }
+  ASSERT_EQ(swcs.size(), 24u);
+  for (std::size_t i = 0; i < swcs.size(); ++i) {
+    EXPECT_EQ(swcs[i].status, verbs::WcStatus::kSuccess);
+    EXPECT_EQ(swcs[i].opcode, verbs::WcOpcode::kRdmaWrite);
+    EXPECT_EQ(swcs[i].wr_id, i) << "send CQEs reordered across ring wrap";
+  }
+}
+
+}  // namespace
+}  // namespace partib
