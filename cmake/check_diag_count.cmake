@@ -1,0 +1,28 @@
+# Run an executable and require an exact number of checker diagnostic
+# lines on stderr.  Used to pin the (known, documented) false-positive
+# diagnostics the examples emit today — see docs/FAULTS.md and
+# tests/check/example_diag_test.cpp for the root cause — so a checker or
+# example change that moves the count is caught, in either direction.
+#
+# Usage:
+#   cmake -DEXE=<path> -DPATTERN=<regex> -DEXPECTED=<n> -P check_diag_count.cmake
+if(NOT DEFINED EXE OR NOT DEFINED PATTERN OR NOT DEFINED EXPECTED)
+  message(FATAL_ERROR "check_diag_count.cmake needs -DEXE, -DPATTERN, -DEXPECTED")
+endif()
+
+execute_process(
+  COMMAND ${EXE}
+  OUTPUT_QUIET
+  ERROR_VARIABLE diag_output
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${EXE} exited with ${rc}")
+endif()
+
+string(REGEX MATCHALL "${PATTERN}" matches "${diag_output}")
+list(LENGTH matches count)
+if(NOT count EQUAL EXPECTED)
+  message(FATAL_ERROR
+    "${EXE}: expected ${EXPECTED} diagnostic lines matching '${PATTERN}', got ${count}")
+endif()
+message(STATUS "${EXE}: ${count} '${PATTERN}' diagnostics (pinned)")

@@ -1,0 +1,28 @@
+# Run an executable and require its stdout to hash to a pinned MD5.
+# Pins the figure CSVs byte-for-byte (docs/PERF.md "fingerprints"): any
+# change that perturbs simulated timings — however slightly — moves the
+# hash.  The fault plane must keep these pins green when disabled.
+#
+# Usage:
+#   cmake -DEXE=<path> "-DARGS=--csv;--no-cache" -DEXPECTED_MD5=<hex> \
+#         -P check_output_md5.cmake
+if(NOT DEFINED EXE OR NOT DEFINED EXPECTED_MD5)
+  message(FATAL_ERROR "check_output_md5.cmake needs -DEXE and -DEXPECTED_MD5")
+endif()
+
+execute_process(
+  COMMAND ${EXE} ${ARGS}
+  OUTPUT_VARIABLE out
+  ERROR_QUIET
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${EXE} exited with ${rc}")
+endif()
+
+string(MD5 got "${out}")
+if(NOT got STREQUAL EXPECTED_MD5)
+  message(FATAL_ERROR
+    "${EXE} ${ARGS}: stdout md5 ${got}, expected ${EXPECTED_MD5} — "
+    "figure output is no longer byte-identical")
+endif()
+message(STATUS "${EXE}: stdout md5 ${got} (pinned)")

@@ -16,6 +16,7 @@ struct PsendShadow {
   int rank = -1;
   std::size_t n = 0;
   bool started = false;
+  bool failed = false;  ///< channel surfaced a terminal error status
   std::size_t ready = 0;
   std::vector<std::uint8_t> arrived;
   long inflight = 0;  ///< message intents not yet send-completed
@@ -119,6 +120,9 @@ void on_psend_round_complete(const void* req) {
   auto it = psends().find(req);
   if (it == psends().end()) return;
   const PsendShadow& s = it->second;
+  // A failed channel fires its completions early by design — incomplete
+  // rounds are exactly what the structured error status communicates.
+  if (s.failed) return;
   if (s.ready < s.n || s.inflight > 0) {
     char detail[112];
     std::snprintf(detail, sizeof(detail),
@@ -149,6 +153,15 @@ void on_imm_encoded(const void* req, std::size_t first, std::size_t count,
                   first, count, it->second.n);
     report("imm.roundtrip", "psend", rank, detail);
   }
+}
+
+void on_part_channel_failed(const void* req, int rank, const char* status) {
+  auto it = psends().find(req);
+  if (it != psends().end()) it->second.failed = true;
+  char detail[96];
+  std::snprintf(detail, sizeof(detail),
+                "channel failed with terminal status %s", status);
+  report("part.retry_exhausted", "psend", rank, detail);
 }
 
 void on_precv_init(const void* req, int rank, std::size_t partitions,

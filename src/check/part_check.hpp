@@ -34,6 +34,11 @@ void on_psend_round_complete(const void* req);
 /// (imm.roundtrip).
 void on_imm_encoded(const void* req, std::size_t first, std::size_t count,
                     std::uint32_t imm);
+/// The channel exhausted its failure budget and surfaced a structured
+/// error (rule part.retry_exhausted — reported at policy level so fault
+/// runs can audit where channels gave up; `status` names the terminal
+/// WcStatus).  The shadow stops expecting round completion afterwards.
+void on_part_channel_failed(const void* req, int rank, const char* status);
 
 // -- receive side ------------------------------------------------------------
 void on_precv_init(const void* req, int rank, std::size_t partitions,

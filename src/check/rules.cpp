@@ -15,6 +15,8 @@ constexpr RuleInfo kBuiltins[] = {
     {"qp.recv_state", "post_recv on a QP in RESET or ERROR"},
     {"qp.send_capacity", "more outstanding send WRs than max_send_wr"},
     {"qp.recv_capacity", "receive queue exceeded max_recv_wr"},
+    {"qp.reset_outstanding",
+     "to_reset attempted with send WRs still in flight"},
     {"wr.lkey", "SGE not covered by a registered MR with that lkey"},
     {"wr.access", "MR lacks the access rights the operation requires"},
     {"wr.rkey", "RDMA target rkey unknown, out of bounds, or not writable"},
@@ -28,6 +30,8 @@ constexpr RuleInfo kBuiltins[] = {
      "round completed without every partition marked ready"},
     {"part.duplicate_arrival",
      "receive partition landed more bytes than its size in one round"},
+    {"part.retry_exhausted",
+     "channel exceeded its failure budget and surfaced an error status"},
     {"des.nondeterminism",
      "event stream diverged between two identical simulation runs"},
 };

@@ -75,10 +75,11 @@ const char* state_name(QpState s) {
   return "?";
 }
 
-/// The RC connection bring-up chain plus the any-state error absorbing
-/// transition — exactly the transitions ibv_modify_qp would accept here.
+/// The RC connection bring-up chain plus the two any-state absorbing
+/// transitions (-> ERROR, -> RESET) — exactly the transitions
+/// ibv_modify_qp would accept here.
 bool legal_transition(QpState from, QpState to) {
-  if (to == QpState::kError) return true;
+  if (to == QpState::kError || to == QpState::kReset) return true;
   switch (to) {
     case QpState::kInit: return from == QpState::kReset;
     case QpState::kRtr: return from == QpState::kInit;
@@ -134,7 +135,19 @@ void on_qp_transition(const void* qp, QpState target, bool applied) {
                   applied ? " (and the library applied it)" : "");
     report("qp.transition", qp_name(qp).c_str(), -1, detail);
   }
-  if (applied) s.state = target;
+  if (applied) {
+    s.state = target;
+    // A reset tears down the receive queue with the context; in-flight
+    // sends are forbidden separately (on_qp_reset_outstanding).
+    if (target == QpState::kReset) s.posted_recvs = 0;
+  }
+}
+
+void on_qp_reset_outstanding(const void* qp, int outstanding) {
+  char detail[80];
+  std::snprintf(detail, sizeof(detail),
+                "to_reset with %d send WRs still in flight", outstanding);
+  report("qp.reset_outstanding", qp_name(qp).c_str(), -1, detail);
 }
 
 void on_post_send(const void* qp, const void* pd, const verbs::SendWr& wr) {

@@ -38,6 +38,10 @@ void on_mr_registered(const void* pd, std::uint64_t addr, std::size_t len,
 /// library bug and is reported likewise.
 void on_qp_transition(const void* qp, verbs::QpState target, bool applied);
 
+/// to_reset was attempted with `outstanding` send WRs still in flight —
+/// their flush CQEs would be orphaned (rule qp.reset_outstanding).
+void on_qp_reset_outstanding(const void* qp, int outstanding);
+
 // -- work submission ---------------------------------------------------------
 /// post_send attempted.  Validates shadow state (qp.post_state), SGE/MR
 /// coverage (wr.lkey, wr.access), RDMA target rkey/bounds/permissions

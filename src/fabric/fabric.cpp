@@ -51,10 +51,47 @@ void Fabric::release_op_ref(std::uint32_t id) {
   if (--inflight_refs_[id] == 0) inflight_free_.push_back(id);
 }
 
+void Fabric::set_fault_plan(const FaultPlan& plan) {
+  // Mid-run installation would make op ordinals (and so the fault
+  // schedule) depend on when the caller got around to it; require it
+  // before traffic starts so a plan is a property of the whole run.
+  PARTIB_ASSERT_MSG(stats_.rdma_ops == 0,
+                    "fault plan installed after RDMA traffic started");
+  fault_plan_ = plan;
+}
+
+void Fabric::inject_qp_error(std::uint64_t src_qp) {
+  QpChain& chain = chain_for(src_qp);
+  chain.errored = true;
+  // An op already on the wire completes (the link is fine, the QP context
+  // is not); everything still queued flushes in post order.
+  if (!chain.busy) issue_next(src_qp);
+}
+
+bool Fabric::qp_chain_errored(std::uint64_t src_qp) {
+  return chain_for(src_qp).errored;
+}
+
+void Fabric::reset_qp_chain(std::uint64_t src_qp) {
+  QpChain& chain = chain_for(src_qp);
+  PARTIB_ASSERT_MSG(!chain.busy && chain.pending.empty(),
+                    "QP chain reset while ops are still draining");
+  chain.errored = false;
+  // The context was torn down; first use after recovery pays activation
+  // again, like a fresh QP.
+  chain.activated = false;
+}
+
 void Fabric::post_rdma_write(RdmaOp op) {
   PARTIB_ASSERT(op.src >= 0 && op.src < node_count());
   PARTIB_ASSERT(op.dst >= 0 && op.dst < node_count());
   PARTIB_ASSERT(op.on_send_complete != nullptr);
+  if (fault_plan_.enabled()) {
+    // Ordinal == post order; decide() is pure, so the schedule depends
+    // only on (plan seed, post sequence).
+    op.fault = fault_plan_.decide(stats_.rdma_ops);
+    if (op.fault.kind != FaultKind::kNone) ++stats_.faults_injected;
+  }
   ++stats_.rdma_ops;
   stats_.payload_bytes += op.bytes;
   stats_.wire_bytes += wire_bytes_for(op.bytes);
@@ -75,6 +112,12 @@ void Fabric::issue_next(std::uint64_t src_qp) {
   chain.busy = true;
   const std::uint32_t id = acquire_op(std::move(chain.pending.front()));
   chain.pending.pop_front();
+  if (chain.errored) {
+    // Error-state QP: the provider completes queued WRs with flush
+    // errors immediately, without touching the NIC pipeline or the wire.
+    fail_op(id, OpFailure::kFlushed, 0);
+    return;
+  }
   const bool first_use = !chain.activated;
   chain.activated = true;
 
@@ -84,8 +127,50 @@ void Fabric::issue_next(std::uint64_t src_qp) {
     if (TraceRecord* t = trace_of(inflight_[id].trace_id)) {
       t->wqe_grant = end;
     }
-    start_wire(id, first_use);
+    switch (inflight_[id].fault.kind) {
+      case FaultKind::kRnrNak:
+        // The target kept answering RNR NAK until the retry budget ran
+        // out; the op never occupies the wire.
+        fail_op(id, OpFailure::kRnrRetryExceeded,
+                fault_plan_.config().fail_latency);
+        return;
+      case FaultKind::kRetryExceeded:
+        fail_op(id, OpFailure::kRetryExceeded,
+                fault_plan_.config().fail_latency);
+        return;
+      case FaultKind::kQpFlush:
+        // The QP context drops to error mid-flight: this WR and every WR
+        // behind it on the chain completes flushed until the consumer
+        // recycles the QP (verbs::Qp::to_reset -> reset_qp_chain).
+        chain_for(inflight_[id].src_qp).errored = true;
+        fail_op(id, OpFailure::kFlushed, fault_plan_.config().fail_latency);
+        return;
+      default:
+        start_wire(id, first_use);
+    }
   });
+}
+
+void Fabric::fail_op(std::uint32_t id, OpFailure failure, Duration after) {
+  engine_.schedule_after(
+      after,
+      [this, id, failure] {
+        if (TraceRecord* t = trace_of(inflight_[id].trace_id)) {
+          t->send_cqe = engine_.now();  // the error CQE
+        }
+        ++stats_.failed_ops;
+        const std::uint64_t qp = inflight_[id].src_qp;
+        // Move the callback out before invoking: it may post new ops and
+        // grow (relocate) the slab mid-call.
+        const auto on_failed = std::move(inflight_[id].on_failed);
+        if (on_failed) on_failed(engine_.now(), failure);
+        release_op_ref(id);
+        // Re-acquire the chain after the callback (chains_ may have
+        // grown); a re-entrant post parked in pending while busy was held.
+        chain_for(qp).busy = false;
+        issue_next(qp);
+      },
+      "fabric.fail_op");
 }
 
 TraceRecord* Fabric::trace_of(std::uint64_t trace_id) {
@@ -95,8 +180,9 @@ TraceRecord* Fabric::trace_of(std::uint64_t trace_id) {
 
 void Fabric::start_wire(std::uint32_t id, bool charge_activation) {
   // Stage 2: NIC processing before the first byte (o_s), plus QP context
-  // activation on first use.
-  Duration pre = params_.wire.o_s;
+  // activation on first use, plus any injected stall (kDelay; zero
+  // otherwise, including always when faults are off).
+  Duration pre = params_.wire.o_s + inflight_[id].fault.delay;
   if (charge_activation) pre += params_.qp_activation;
   engine_.schedule_after(pre, [this, id] { begin_wire(id); });
 }
@@ -114,6 +200,17 @@ void Fabric::begin_wire(std::uint32_t id) {
 }
 
 void Fabric::on_wire_end(std::uint32_t id, Time wire_end) {
+  if (inflight_[id].fault.drops > 0) {
+    // The transfer was lost in flight (kDrop): the sender's transport
+    // times out and retransmits.  The chain stays busy across the gap (RC
+    // ordering — the lost WR still heads this QP's wire order), and the
+    // trace keeps the timing of the final, successful attempt.
+    --inflight_[id].fault.drops;
+    ++stats_.retransmits;
+    engine_.schedule_at(wire_end + fault_plan_.config().retransmit_delay,
+                        [this, id] { begin_wire(id); }, "fabric.retransmit");
+    return;
+  }
   if (TraceRecord* t = trace_of(inflight_[id].trace_id)) {
     t->wire_end = wire_end;
   }

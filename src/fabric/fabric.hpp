@@ -26,6 +26,7 @@
 
 #include "common/ring.hpp"
 #include "common/time.hpp"
+#include "fabric/fault.hpp"
 #include "fabric/fluid_network.hpp"
 #include "fabric/nic_params.hpp"
 #include "fabric/trace.hpp"
@@ -52,8 +53,16 @@ struct RdmaOp {
   /// Remote completion (CQE on the receiver's CQ, o_r after landing).
   /// Empty for plain RDMA_WRITE (no immediate => no remote CQE).
   std::function<void(Time)> on_recv_complete;
+  /// Fault path: the op failed in transport.  Exactly one of
+  /// {move_data + on_send_complete [+ on_recv_complete]} or
+  /// on_failed(when, failure) runs — a failed op never lands, never moves
+  /// data and never raises a receive CQE.  May be empty (failure is then
+  /// silently swallowed; the verbs layer always sets it).
+  std::function<void(Time, OpFailure)> on_failed;
   /// Internal: trace record index (set by the fabric when tracing).
   std::uint64_t trace_id = kNoTraceId;
+  /// Internal: fault decision drawn at post time (kNone when no plan).
+  FaultDecision fault;
 
   static constexpr std::uint64_t kNoTraceId = ~std::uint64_t{0};
 };
@@ -63,6 +72,10 @@ struct FabricStats {
   std::uint64_t control_msgs = 0;
   std::uint64_t payload_bytes = 0;
   std::uint64_t wire_bytes = 0;  ///< payload + segment headers
+  // Fault-plane counters (all zero with faults disabled).
+  std::uint64_t faults_injected = 0;  ///< ops with a non-kNone decision
+  std::uint64_t retransmits = 0;      ///< dropped transfers re-sent
+  std::uint64_t failed_ops = 0;       ///< ops delivered via on_failed
 };
 
 class Fabric {
@@ -92,6 +105,27 @@ class Fabric {
   void set_trace(TraceSink* sink) { trace_ = sink; }
   TraceSink* trace() { return trace_; }
 
+  // -- fault plane (fabric/fault.hpp) ----------------------------------------
+  /// Install a fault plan.  Must be called before the first post; a plan
+  /// with every rate at zero is free (the post path never consults it).
+  void set_fault_plan(const FaultPlan& plan);
+  const FaultPlan& fault_plan() const { return fault_plan_; }
+
+  /// Test hook: force the QP's send context into the error state *now*.
+  /// The op currently on the wire (if any) still completes — the error is
+  /// in the QP context, not the link — but every queued op, and every op
+  /// posted afterwards, fails with OpFailure::kFlushed in post order.
+  /// Recovery requires reset_qp_chain() (driven by verbs::Qp::to_reset).
+  void inject_qp_error(std::uint64_t src_qp);
+
+  /// True while the QP's chain is wedged in the error state.
+  bool qp_chain_errored(std::uint64_t src_qp);
+
+  /// Recovery: clear the error mark so the chain accepts work again.  The
+  /// chain must be fully drained (every flush delivered); QP context
+  /// activation is charged again on next use, like a fresh QP.
+  void reset_qp_chain(std::uint64_t src_qp);
+
   /// Wire bytes for a payload of `bytes` after MTU segmentation.
   std::size_t wire_bytes_for(std::size_t bytes) const;
 
@@ -100,6 +134,9 @@ class Fabric {
     common::Ring<RdmaOp> pending;
     bool busy = false;
     bool activated = false;
+    /// Error state: every op issued from this chain fails with kFlushed
+    /// until reset_qp_chain().
+    bool errored = false;
   };
 
   sim::Engine& engine_;
@@ -121,6 +158,7 @@ class Fabric {
   std::vector<std::uint32_t> inflight_free_;
   FabricStats stats_;
   TraceSink* trace_ = nullptr;
+  FaultPlan fault_plan_;  ///< disabled by default: decide() never called
 
   QpChain& chain_for(std::uint64_t src_qp);
   std::uint32_t acquire_op(RdmaOp&& op);
@@ -130,6 +168,10 @@ class Fabric {
   void begin_wire(std::uint32_t id);
   void on_wire_end(std::uint32_t id, Time wire_end);
   void on_landing(std::uint32_t id);
+  /// Deliver op `id` as failed after `after`: fires on_failed, releases
+  /// the chain, and issues the next queued op (which flushes in turn if
+  /// the chain is errored).
+  void fail_op(std::uint32_t id, OpFailure failure, Duration after);
   TraceRecord* trace_of(std::uint64_t trace_id);
 };
 

@@ -21,6 +21,9 @@ World::World(sim::Engine& engine, WorldOptions options)
   PARTIB_ASSERT(options.ranks > 0);
   fabric_ = std::make_unique<fabric::Fabric>(engine_, options_.nic,
                                              options_.copy_data);
+  if (options_.faults.enabled()) {
+    fabric_->set_fault_plan(fabric::FaultPlan(options_.faults));
+  }
   device_ = std::make_unique<verbs::Device>(*fabric_);
   for (int i = 0; i < options_.ranks; ++i) {
     const fabric::NodeId node = fabric_->add_node();

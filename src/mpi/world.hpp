@@ -47,6 +47,11 @@ struct WorldOptions {
   /// oversubscription), at the price of the DPU hand-off latency.
   bool dpu_aggregation = false;
   Duration dpu_post_overhead = nsec(150);
+
+  /// Deterministic fault injection (fabric/fault.hpp, docs/FAULTS.md).
+  /// All rates zero (the default) keeps the data path fault-free and
+  /// allocation-identical to a build without the fault plane.
+  fabric::FaultPlanConfig faults{};
 };
 
 class World;

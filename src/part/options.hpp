@@ -48,6 +48,17 @@ struct Options {
   int qp_count_override = 0;                      ///< 0 = plan decides
   UcxModel ucx;
 
+  // -- fault recovery (docs/FAULTS.md) --------------------------------------
+  /// Failure budget per message: a WR whose send completion carries a
+  /// retryable error (RETRY_EXC_ERR, RNR_RETRY_EXC_ERR, WR_FLUSH_ERR) is
+  /// re-posted with exponential backoff; once one message accumulates more
+  /// than this many failed attempts the channel fails permanently and
+  /// Psend/Precv calls surface Status::kRemoteError instead of hanging
+  /// (rule part.retry_exhausted).
+  int max_send_retries = 8;
+  /// Base re-post delay; attempt k waits retry_backoff << min(k-1, 10).
+  Duration retry_backoff = usec(4);
+
   /// Default options: PLogGP aggregation with Niagara-like measured
   /// parameters, honouring the PARTIB_* environment variables.
   static Options defaults();

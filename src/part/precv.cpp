@@ -82,6 +82,7 @@ void PrecvRequest::on_match(const mpi::SendInit& si) {
   RecvAck ack;
   ack.rkey = mr_->rkey();
   ack.base_addr = mr_->addr();
+  ack.receiver_request = this;
   for (int i = 0; i < si.qp_count; ++i) {
     verbs::Qp& qp = rank_.pd().create_qp(*cq_, *cq_, caps);
     PARTIB_ASSERT(ok(qp.to_init()));
@@ -105,6 +106,7 @@ void PrecvRequest::on_match(const mpi::SendInit& si) {
 }
 
 Status PrecvRequest::start() {
+  if (failed_) return Status::kRemoteError;
   PARTIB_CHECK_HOOK(on_precv_start(this));
   if (started_ && !test()) return Status::kInvalidState;
   started_ = true;
@@ -200,7 +202,16 @@ bool PrecvRequest::parrived(std::size_t partition) const {
   return started_ && bytes_arrived_[partition] == psize_;
 }
 
+void PrecvRequest::on_peer_failed() {
+  if (failed_) return;
+  failed_ = true;
+  // Unblock anyone waiting: the round will never complete normally, so
+  // completion fires now and status() carries the error.
+  check_completion();
+}
+
 bool PrecvRequest::test() const {
+  if (failed_) return true;
   if (!started_) return true;
   return arrived_count_ == n_;
 }

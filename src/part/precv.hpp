@@ -50,10 +50,23 @@ class PrecvRequest {
   bool parrived(std::size_t partition) const;
 
   /// MPI_Test analogue: all partitions arrived this round (an inactive
-  /// request is trivially complete).
+  /// request is trivially complete).  A failed channel also tests
+  /// complete — waiting must terminate — with status() holding the error.
   bool test() const;
 
   void when_complete(Completion cb);
+
+  /// True once the sender reported permanent channel failure; partitions
+  /// not yet arrived at that point will never arrive.
+  bool failed() const { return failed_; }
+  /// kRemoteError after channel failure, kOk otherwise.
+  Status status() const {
+    return failed_ ? Status::kRemoteError : Status::kOk;
+  }
+
+  /// Control-plane entry point: the sender exhausted its failure budget
+  /// (called via World::send_control from PsendRequest::fail_channel).
+  void on_peer_failed();
 
   void set_arrival_hook(ArrivalHook hook) { arrival_hook_ = std::move(hook); }
 
@@ -100,6 +113,7 @@ class PrecvRequest {
   std::size_t sender_psize_ = 0;
 
   bool started_ = false;
+  bool failed_ = false;  ///< sender reported permanent channel failure
   int round_ = 0;
   std::size_t arrived_count_ = 0;  ///< completed *receive* partitions
   /// Bytes landed in each receive partition this round.

@@ -8,6 +8,7 @@
 #include "common/bits.hpp"
 #include "part/bitrun.hpp"
 #include "part/imm.hpp"
+#include "part/precv.hpp"
 
 namespace partib::part {
 
@@ -114,6 +115,7 @@ void PsendRequest::on_ack(const RecvAck& ack) {
   PARTIB_ASSERT(ack.qp_nums.size() == qps_.size());
   remote_rkey_ = ack.rkey;
   remote_base_ = ack.base_addr;
+  receiver_request_ = ack.receiver_request;
   for (std::size_t i = 0; i < qps_.size(); ++i) {
     PARTIB_ASSERT(ok(qps_[i]->to_rtr(ack.qp_nums[i])));
     PARTIB_ASSERT(ok(qps_[i]->to_rts()));
@@ -149,6 +151,7 @@ void PsendRequest::flush_deferred() {
 }
 
 Status PsendRequest::start() {
+  if (failed_) return Status::kRemoteError;
   PARTIB_CHECK_HOOK(on_psend_start(this));
   if (started_ && !test()) return Status::kInvalidState;
   if (plan_.adaptive && started_ && ready_count_ == n_) {
@@ -190,6 +193,7 @@ void PsendRequest::adapt_transport_partitions() {
 }
 
 Status PsendRequest::pready(std::size_t partition) {
+  if (failed_) return Status::kRemoteError;
   PARTIB_CHECK_HOOK(on_pready(this, partition));
   if (!started_) return Status::kInvalidState;
   if (partition >= n_) return Status::kInvalidArgument;
@@ -343,9 +347,14 @@ void PsendRequest::post_message(std::size_t first, std::size_t count) {
   staged.qp_index = static_cast<std::uint32_t>(
       group_of(first) % static_cast<std::size_t>(plan_.qp_count));
 
+  staged.attempts = 0;
+
   verbs::SendWr& wr = staged.wr;
   wr = verbs::SendWr{};
-  wr.wr_id = next_wr_id_++;
+  // The record id rides in wr_id so the send CQE (success or failure)
+  // maps back to the staged record; the record lives until the success
+  // CQE releases it, which is what makes retransmit possible.
+  wr.wr_id = id;
   wr.opcode = verbs::Opcode::kRdmaWriteWithImm;
   wr.sg_list.push_back(verbs::Sge{wire_addr(buf_.data() + first * psize_),
                                   static_cast<std::uint32_t>(bytes),
@@ -405,6 +414,11 @@ void PsendRequest::on_doorbell_granted(std::uint32_t id) {
 void PsendRequest::post_staged(std::uint32_t id) {
   StagedWr& staged = staged_[id];
   verbs::Qp& qp = *qps_[staged.qp_index];
+  if (qp.state() != verbs::QpState::kRts) {
+    // Errored mid-round; park until progress() recycles the QP.
+    qp_backlog_[staged.qp_index].push_back(id);
+    return;
+  }
   const Status st = qp.post_send(staged.wr);
   if (st == Status::kResourceExhausted) {
     // All 16 WR slots busy: software-queue and retry on the next CQE.
@@ -413,7 +427,6 @@ void PsendRequest::post_staged(std::uint32_t id) {
   }
   PARTIB_ASSERT_MSG(ok(st), to_string(st));
   ++wrs_posted_total_;
-  release_staged(id);
 }
 
 void PsendRequest::schedule_progress() {
@@ -433,31 +446,151 @@ void PsendRequest::progress() {
   int n;
   while ((n = cq_->poll(std::span<verbs::Wc>(wcs))) > 0) {
     for (int i = 0; i < n; ++i) {
-      PARTIB_ASSERT_MSG(wcs[i].status == verbs::WcStatus::kSuccess,
-                        to_string(wcs[i].status));
-      PARTIB_ASSERT(inflight_msgs_ > 0);
-      --inflight_msgs_;
-      PARTIB_CHECK_HOOK(on_psend_msg_complete(this));
+      const verbs::Wc& wc = wcs[i];
+      const auto id = static_cast<std::uint32_t>(wc.wr_id);
+      switch (wc.status) {
+        case verbs::WcStatus::kSuccess:
+          release_staged(id);
+          PARTIB_ASSERT(inflight_msgs_ > 0);
+          --inflight_msgs_;
+          PARTIB_CHECK_HOOK(on_psend_msg_complete(this));
+          break;
+        case verbs::WcStatus::kRetryExcErr:
+        case verbs::WcStatus::kRnrRetryExcErr:
+        case verbs::WcStatus::kWrFlushErr:
+          if (failed_) {
+            abandon_staged(id);  // post-failure flush stragglers
+          } else {
+            retry_staged(id, wc.status);
+          }
+          break;
+        default:
+          PARTIB_ASSERT_MSG(false, to_string(wc.status));
+      }
     }
+  }
+  // Flushed WRs leave their QP wedged in ERROR; once its last outstanding
+  // CQE has drained, recycle it so backed-off re-posts find it in RTS.
+  // The drain can finish on a SUCCESS CQE — an op already on the wire
+  // when the QP dropped to error still completes — so recycling must not
+  // be gated on this pass having polled a failure (found by fuzz seed
+  // 231: success-drained ERROR QP + all retries parked == permanent
+  // stall).  The scan is a handful of enum loads; state changes are
+  // synchronous, so the zero-fault event stream is untouched.
+  if (!failed_) recycle_errored_qps();
+  if (failed_) {
+    // Pipeline stages mid-flight at fail time may still park records here
+    // (fail_channel already emptied it once); nothing will ever drain a
+    // dead channel's backlog, so abandon stragglers as they appear.
+    for (auto& backlog : qp_backlog_) {
+      while (!backlog.empty()) {
+        abandon_staged(backlog.front());
+        backlog.pop_front();
+      }
+    }
+    check_completion();
+    return;
   }
   // Freed WR slots: drain software backlogs.  The staged record is only
   // dequeued once the QP accepts it, so a still-full QP costs one peek.
   for (std::size_t q = 0; q < qp_backlog_.size(); ++q) {
     auto& backlog = qp_backlog_[q];
     while (!backlog.empty()) {
+      if (qps_[q]->state() != verbs::QpState::kRts) break;
       const std::uint32_t id = backlog.front();
       const Status st = qps_[q]->post_send(staged_[id].wr);
       if (st == Status::kResourceExhausted) break;
       PARTIB_ASSERT(ok(st));
       ++wrs_posted_total_;
       backlog.pop_front();
-      release_staged(id);
     }
   }
   check_completion();
 }
 
+void PsendRequest::retry_staged(std::uint32_t id, verbs::WcStatus status) {
+  StagedWr& staged = staged_[id];
+  ++staged.attempts;
+  if (staged.attempts > static_cast<std::uint32_t>(opts_.max_send_retries)) {
+    fail_channel(status);
+    abandon_staged(id);
+    return;
+  }
+  const std::uint32_t exp = std::min<std::uint32_t>(staged.attempts - 1, 10);
+  rank_.world().engine().schedule_after(
+      opts_.retry_backoff << exp, [this, id] { repost_staged(id); },
+      "psend.retry");
+}
+
+void PsendRequest::repost_staged(std::uint32_t id) {
+  if (failed_) {
+    abandon_staged(id);
+    return;
+  }
+  post_staged(id);  // parks in the backlog if the QP is not RTS yet
+  schedule_progress();
+}
+
+void PsendRequest::abandon_staged(std::uint32_t id) {
+  release_staged(id);
+  PARTIB_ASSERT(inflight_msgs_ > 0);
+  --inflight_msgs_;
+  PARTIB_CHECK_HOOK(on_psend_msg_intent_undone(this));
+}
+
+void PsendRequest::recycle_errored_qps() {
+  for (verbs::Qp* qp : qps_) {
+    if (qp->state() != verbs::QpState::kError) continue;
+    // Outstanding WRs mean more flush CQEs are coming; their progress
+    // pass recycles.  (Send-side QPs post no receives, so nothing else
+    // is lost in the reset.)
+    if (qp->outstanding_send_wrs() != 0) continue;
+    PARTIB_ASSERT(ok(qp->to_reset()));
+    PARTIB_ASSERT(ok(qp->to_init()));
+    PARTIB_ASSERT(ok(qp->to_rtr(qp->remote_qp_num())));
+    PARTIB_ASSERT(ok(qp->to_rts()));
+  }
+}
+
+void PsendRequest::fail_channel([[maybe_unused]] verbs::WcStatus status) {
+  PARTIB_ASSERT(!failed_);
+  failed_ = true;
+  PARTIB_CHECK_HOOK(
+      on_part_channel_failed(this, rank_.id(), verbs::to_string(status)));
+  for (Group& g : groups_) {
+    if (g.timer.valid()) {
+      rank_.world().engine().cancel(g.timer);
+      g.timer = sim::Engine::EventId{};
+    }
+  }
+  // Queued work can never drain now; drop it so inflight accounting
+  // terminates.  Records owned by a pending backoff event are abandoned
+  // when that event fires (repost_staged checks failed_).
+  for (auto& backlog : qp_backlog_) {
+    while (!backlog.empty()) {
+      abandon_staged(backlog.front());
+      backlog.pop_front();
+    }
+  }
+  while (!deferred_.empty()) {
+    // Each deferred entry holds exactly one message intent (post_message
+    // counted it before deferring).
+    deferred_.pop_front();
+    PARTIB_ASSERT(inflight_msgs_ > 0);
+    --inflight_msgs_;
+    PARTIB_CHECK_HOOK(on_psend_msg_intent_undone(this));
+  }
+  // The receiver's wait must terminate too: partitions this channel never
+  // delivered will never arrive.
+  if (receiver_request_ != nullptr) {
+    auto* recv = static_cast<PrecvRequest*>(receiver_request_);
+    rank_.world().send_control(rank_.id(), dst_,
+                               [recv] { recv->on_peer_failed(); });
+  }
+}
+
 bool PsendRequest::test() const {
+  if (failed_) return true;    // waiting must terminate; see status()
   if (!started_) return true;  // inactive request
   return ready_count_ == n_ && inflight_msgs_ == 0;
 }

@@ -77,8 +77,19 @@ class PsendRequest {
   Status pready_range(std::size_t first, std::size_t last);
 
   /// MPI_Test analogue: true when the current round is complete (an
-  /// inactive request is trivially complete).
+  /// inactive request is trivially complete).  A failed channel also
+  /// tests complete — waiting must terminate — with status() holding the
+  /// error.
   bool test() const;
+
+  /// True once the channel exhausted its failure budget (see
+  /// Options::max_send_retries).  start/pready then return kRemoteError
+  /// instead of queueing work that can never drain.
+  bool failed() const { return failed_; }
+  /// kRemoteError after channel failure, kOk otherwise.
+  Status status() const {
+    return failed_ ? Status::kRemoteError : Status::kOk;
+  }
 
   /// MPI_Wait analogue for event-driven callers: `cb` fires when the
   /// current round completes (immediately if it already has).
@@ -126,12 +137,16 @@ class PsendRequest {
   /// a free-listed slab so every pipeline closure captures only
   /// {this, record id} and stays inside the callback SBO buffers; the
   /// per-QP backlogs queue record ids, not WR copies.
+  /// The record now outlives the post: wr.wr_id carries the record id, so
+  /// the success CQE releases it and a failure CQE re-posts the same WR
+  /// (bounded by Options::max_send_retries, backed off exponentially).
   struct StagedWr {
     verbs::SendWr wr;
     sim::FifoResource* engine_res = nullptr;
     Duration serialized = 0;
     Duration pre_delay = 0;
     std::uint32_t qp_index = 0;
+    std::uint32_t attempts = 0;  ///< failed attempts so far
     std::uint32_t next_free = kNilStaged;
   };
   static constexpr std::uint32_t kNilStaged = ~std::uint32_t{0};
@@ -151,6 +166,21 @@ class PsendRequest {
   void on_host_work_done(std::uint32_t id);
   void on_doorbell_granted(std::uint32_t id);
   void post_staged(std::uint32_t id);
+  // -- fault recovery (docs/FAULTS.md) --------------------------------------
+  /// A send CQE carried a retryable error for record `id`: schedule a
+  /// backed-off re-post, or fail the channel once the budget is spent.
+  void retry_staged(std::uint32_t id, verbs::WcStatus status);
+  /// Backoff expired: re-post record `id` (parked in the QP backlog when
+  /// the QP is not back in RTS yet).
+  void repost_staged(std::uint32_t id);
+  /// Drop a record whose message will never be delivered (channel failed).
+  void abandon_staged(std::uint32_t id);
+  /// Recycle every fully drained error-state QP through
+  /// RESET -> INIT -> RTR -> RTS (same peer, no new handshake).
+  void recycle_errored_qps();
+  /// Spend the failure budget: surface kRemoteError from now on, drop
+  /// queued work, cancel timers, fire completions, notify the receiver.
+  void fail_channel(verbs::WcStatus status);
   /// Send every maximal contiguous arrived-but-unsent run of group `g`.
   void flush_group_runs(std::size_t g);
   void on_group_timer(std::size_t g);
@@ -187,10 +217,12 @@ class PsendRequest {
   bool remote_ready_ = false;
   verbs::Rkey remote_rkey_ = 0;
   std::uint64_t remote_base_ = 0;
+  void* receiver_request_ = nullptr;  ///< peer PrecvRequest (opaque)
   int credits_ = 0;
 
   // -- per-round state --------------------------------------------------------
   bool started_ = false;
+  bool failed_ = false;  ///< failure budget spent; channel is dead
   int round_ = 0;
   std::size_t ready_count_ = 0;
   Time round_first_pready_ = -1;
@@ -210,9 +242,9 @@ class PsendRequest {
   common::Ring<common::InlineFn<void()>> deferred_;
   std::vector<StagedWr> staged_;  ///< staged-WR slab (grows to peak in flight)
   std::uint32_t staged_free_ = kNilStaged;
-  /// Per-QP queues of staged ids waiting for WR slots.
+  /// Per-QP queues of staged ids waiting for WR slots (or for the QP to
+  /// come back to RTS after an error recycle).
   std::vector<common::Ring<std::uint32_t>> qp_backlog_;
-  std::uint64_t next_wr_id_ = 1;
   std::uint64_t wrs_posted_total_ = 0;
   bool progress_scheduled_ = false;
   // Completion callbacks ping-pong with a same-capacity scratch vector so

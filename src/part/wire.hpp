@@ -21,6 +21,10 @@ struct RecvAck {
   verbs::Rkey rkey = 0;
   std::uint64_t base_addr = 0;
   std::vector<std::uint32_t> qp_nums;
+  /// Peer PrecvRequest (opaque), the return path for the sender's
+  /// channel-failure notification — without it a receiver whose sender
+  /// exhausted its retry budget would wait forever.
+  void* receiver_request = nullptr;
 };
 
 }  // namespace partib::part

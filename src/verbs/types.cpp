@@ -1,0 +1,15 @@
+#include "verbs/types.hpp"
+
+#include <ostream>
+
+namespace partib::verbs {
+
+std::ostream& operator<<(std::ostream& os, WcStatus s) {
+  return os << to_string(s);
+}
+
+std::ostream& operator<<(std::ostream& os, QpState s) {
+  return os << to_string(s);
+}
+
+}  // namespace partib::verbs

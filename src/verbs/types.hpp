@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <initializer_list>
+#include <iosfwd>
 
 #include "common/assert.hpp"
 #include "common/time.hpp"
@@ -111,6 +112,9 @@ enum class WcStatus {
   kRemoteAccessError,     // bad rkey / range / permissions at the target
   kRemoteNotReady,        // no receive WR posted at the target
   kLocalLengthError,      // receive buffer too small for incoming send
+  kRetryExcErr,           // transport retry count exceeded (IBV_WC_RETRY_EXC_ERR)
+  kRnrRetryExcErr,        // RNR NAK retry count exceeded (IBV_WC_RNR_RETRY_EXC_ERR)
+  kWrFlushErr,            // WR flushed: QP entered the error state (IBV_WC_WR_FLUSH_ERR)
 };
 
 enum class WcOpcode {
@@ -146,8 +150,29 @@ constexpr const char* to_string(WcStatus s) {
     case WcStatus::kRemoteAccessError: return "REMOTE_ACCESS_ERROR";
     case WcStatus::kRemoteNotReady: return "REMOTE_NOT_READY";
     case WcStatus::kLocalLengthError: return "LOCAL_LENGTH_ERROR";
+    case WcStatus::kRetryExcErr: return "RETRY_EXC_ERR";
+    case WcStatus::kRnrRetryExcErr: return "RNR_RETRY_EXC_ERR";
+    case WcStatus::kWrFlushErr: return "WR_FLUSH_ERR";
   }
   return "UNKNOWN";
 }
+
+constexpr const char* to_string(QpState s) {
+  switch (s) {
+    case QpState::kReset: return "RESET";
+    case QpState::kInit: return "INIT";
+    case QpState::kRtr: return "RTR";
+    case QpState::kRts: return "RTS";
+    case QpState::kError: return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+// Stream insertion for diagnostics and test-failure messages: gtest would
+// otherwise print the raw enum ordinal, which no one can grep a verbs man
+// page for.  Defined out of line (types.cpp) to keep <ostream> out of this
+// header.
+std::ostream& operator<<(std::ostream& os, WcStatus s);
+std::ostream& operator<<(std::ostream& os, QpState s);
 
 }  // namespace partib::verbs

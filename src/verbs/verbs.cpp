@@ -149,6 +149,24 @@ Status Qp::to_rts() {
   return Status::kOk;
 }
 
+Status Qp::to_reset() {
+  // ibv_modify_qp accepts RESET from anywhere, but a reset with WRs still
+  // in flight would orphan their flush CQEs; require the drain first.
+  if (outstanding_ != 0) {
+    PARTIB_CHECK_HOOK(on_qp_reset_outstanding(this, outstanding_));
+    PARTIB_CHECK_HOOK(on_qp_transition(this, QpState::kReset, false));
+    return Status::kInvalidState;
+  }
+  state_ = QpState::kReset;
+  // Posted receives die with the context (real hardware flushes them; the
+  // consumer re-posts after the recycle).  remote_qp_num_ survives so the
+  // recovery path can to_rtr(remote_qp_num()) without a new handshake.
+  recv_queue_.clear();
+  pd_.context().device().fab().reset_qp_chain(qp_num_);
+  PARTIB_CHECK_HOOK(on_qp_transition(this, QpState::kReset, true));
+  return Status::kOk;
+}
+
 Status Qp::validate_sges(const SgList& sges, unsigned required_access,
                          std::size_t* total) const {
   std::size_t sum = 0;
@@ -237,6 +255,9 @@ Status Qp::post_send(const SendWr& wr) {
       wqe_recv_complete(slot, when);
     };
   }
+  op.on_failed = [this, slot](Time when, fabric::OpFailure failure) {
+    wqe_failed(slot, when, failure);
+  };
   fab.post_rdma_write(std::move(op));
   return Status::kOk;
 }
@@ -274,6 +295,32 @@ void Qp::wqe_recv_complete(std::uint32_t slot, Time when) {
     remote_->recv_cq_.push(wc);
   }
   release_wqe_ref(slot);
+}
+
+void Qp::wqe_failed(std::uint32_t slot, Time when, fabric::OpFailure failure) {
+  // A failed op never lands: the recv-CQE callback will not fire, so the
+  // slot's remaining references collapse to this one regardless of how
+  // many were taken at post time.
+  const SendWr wr = wqes_[slot].wr;
+  DeliveryResult res;
+  switch (failure) {
+    case fabric::OpFailure::kRetryExceeded:
+      res.status = WcStatus::kRetryExcErr;
+      break;
+    case fabric::OpFailure::kRnrRetryExceeded:
+      res.status = WcStatus::kRnrRetryExcErr;
+      break;
+    case fabric::OpFailure::kFlushed:
+      res.status = WcStatus::kWrFlushErr;
+      break;
+  }
+  res.byte_len = 0;
+  // Free the slot *before* raising the error CQE: a consumer re-posting
+  // synchronously from the CQE callback (retry-from-error-callback) must
+  // find both the outstanding budget and a free slot.
+  wqes_[slot].refs = 1;
+  release_wqe_ref(slot);
+  complete_send(wr, res, when);
 }
 
 Qp::DeliveryResult Qp::deliver_rdma_write(const SendWr& wr, bool with_imm,
@@ -364,7 +411,14 @@ void Qp::complete_send(const SendWr& wr, const DeliveryResult& result,
   wc.byte_len = result.byte_len;
   wc.qp_num = qp_num_;
   wc.completion_time = when;
-  if (result.status != WcStatus::kSuccess) {
+  // Transport retry exhaustion is retryable by re-posting on the same QP;
+  // every other failure (delivery faults, flushes) wedges the QP in the
+  // error state until the consumer recycles it.  The guard keeps a flush
+  // burst from re-announcing the transition per flushed WR.
+  const bool errors_qp = result.status != WcStatus::kSuccess &&
+                         result.status != WcStatus::kRetryExcErr &&
+                         result.status != WcStatus::kRnrRetryExcErr;
+  if (errors_qp && state_ != QpState::kError) {
     state_ = QpState::kError;
     PARTIB_CHECK_HOOK(on_qp_transition(this, QpState::kError, true));
   }

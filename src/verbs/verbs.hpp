@@ -221,12 +221,22 @@ class Qp {
   QpState state() const { return state_; }
   int outstanding_send_wrs() const { return outstanding_; }
   const QpCaps& caps() const { return caps_; }
+  /// The peer this QP was last connected to (0 before the first to_rtr).
+  /// Survives to_reset so a recovery path can reconnect to the same peer
+  /// without re-running the control-plane exchange.
+  std::uint32_t remote_qp_num() const { return remote_qp_num_; }
 
   // -- state machine (cf. ibv_modify_qp) -----------------------------------
   Status to_init();
   /// Ready-to-receive: binds this QP to its remote peer.
   Status to_rtr(std::uint32_t remote_qp_num);
   Status to_rts();
+  /// Back to RESET — the first hop of the error-recovery recycle
+  /// (ERROR -> RESET -> INIT -> RTR -> RTS).  Legal from any state, but
+  /// only once every outstanding send WR has completed (flushed): a reset
+  /// with WRs in flight would orphan their CQEs (rule
+  /// qp.reset_outstanding).  Drops all posted receive WRs.
+  Status to_reset();
 
   // -- work submission ------------------------------------------------------
   /// cf. ibv_post_send.  Returns kResourceExhausted when
@@ -286,6 +296,9 @@ class Qp {
   void wqe_move_data(std::uint32_t slot);
   void wqe_send_complete(std::uint32_t slot, Time when);
   void wqe_recv_complete(std::uint32_t slot, Time when);
+  /// Fault path: the fabric failed the op.  Raises the error CQE (no data
+  /// moved, no receive WR consumed, no receive CQE) and recycles the slot.
+  void wqe_failed(std::uint32_t slot, Time when, fabric::OpFailure failure);
 
   DeliveryResult deliver_rdma_write(const SendWr& wr, bool with_imm,
                                     bool copy_data);

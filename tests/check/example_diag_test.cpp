@@ -1,0 +1,102 @@
+// Root cause of the example-binary wr.rkey diagnostics (the counts pinned
+// by examples/CMakeLists.txt): the checker's MR shadow is thread-local and
+// process-lived, but each verbs::Device restarts rkey numbering.  A
+// process that builds two simulated worlds back to back therefore aliases
+// the second world's registrations onto the first's stale shadow entries,
+// and find_remote() resolves the shared rkey to the dead (first) region —
+// a false "RDMA target outside rkey region" diagnostic on perfectly valid
+// traffic.  check::reset() between the worlds clears it.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "check/check.hpp"
+#include "common/units.hpp"
+#include "fabric/fabric.hpp"
+#include "sim/engine.hpp"
+#include "verbs/verbs.hpp"
+
+namespace partib::check {
+namespace {
+
+// The smallest simulation that exercises an RDMA write: two nodes, one
+// connected QP pair, one valid 1KiB write into a registered region.
+struct Sim {
+  sim::Engine engine;
+  fabric::Fabric fab{engine, fabric::NicParams::connectx5_edr(),
+                     /*copy_data=*/true};
+  verbs::Device dev{fab};
+  std::vector<std::byte> sbuf = std::vector<std::byte>(4 * KiB);
+  std::vector<std::byte> rbuf = std::vector<std::byte>(4 * KiB);
+
+  void run_one_valid_write() {
+    verbs::Context& sctx = dev.open(fab.add_node());
+    verbs::Context& rctx = dev.open(fab.add_node());
+    verbs::Pd& spd = sctx.alloc_pd();
+    verbs::Pd& rpd = rctx.alloc_pd();
+    verbs::Cq& cq = sctx.create_cq(16);
+    verbs::Mr& smr = spd.register_mr(sbuf, verbs::kLocalRead);
+    verbs::Mr& rmr =
+        rpd.register_mr(rbuf, verbs::kLocalWrite | verbs::kRemoteWrite);
+    verbs::Qp& s = spd.create_qp(cq, cq, {});
+    verbs::Qp& r = rpd.create_qp(rctx.create_cq(16), rctx.create_cq(16), {});
+    ASSERT_TRUE(ok(s.to_init()));
+    ASSERT_TRUE(ok(r.to_init()));
+    ASSERT_TRUE(ok(s.to_rtr(r.qp_num())));
+    ASSERT_TRUE(ok(r.to_rtr(s.qp_num())));
+    ASSERT_TRUE(ok(s.to_rts()));
+    ASSERT_TRUE(ok(r.to_rts()));
+
+    verbs::SendWr wr;
+    wr.wr_id = 1;
+    wr.opcode = verbs::Opcode::kRdmaWrite;
+    wr.sg_list.push_back(verbs::Sge{
+        reinterpret_cast<std::uint64_t>(sbuf.data()), 1024, smr.lkey()});
+    wr.remote_addr = rmr.addr();
+    wr.rkey = rmr.rkey();
+    ASSERT_TRUE(ok(s.post_send(wr)));
+    engine.run();
+  }
+};
+
+struct ExampleDiag : ::testing::Test {
+  void SetUp() override {
+    if (!hooks_compiled_in()) GTEST_SKIP();
+    reset();
+  }
+  void TearDown() override { reset(); }
+};
+
+TEST_F(ExampleDiag, StaleMrShadowAliasesSequentialDevices) {
+  ScopedPolicy policy(Policy::kCount);
+  auto first = std::make_unique<Sim>();
+  first->run_one_valid_write();
+  EXPECT_EQ(count_rule("wr.rkey"), 0u);  // a lone world is clean
+
+  // Second world in the same process, no reset in between.  Its rkeys
+  // restart from the same counter, so find_remote() resolves them to the
+  // first world's (stale, differently-addressed) regions.  `first` is
+  // kept alive so the heap cannot hand the new buffers the old addresses.
+  auto second = std::make_unique<Sim>();
+  second->run_one_valid_write();
+  EXPECT_GE(count_rule("wr.rkey"), 1u);  // false positive, by construction
+}
+
+TEST_F(ExampleDiag, ResetBetweenWorldsClearsTheShadow) {
+  ScopedPolicy policy(Policy::kCount);
+  auto first = std::make_unique<Sim>();
+  first->run_one_valid_write();
+  ASSERT_EQ(count_rule("wr.rkey"), 0u);
+
+  // Same sequence, but the independent simulations are separated by
+  // check::reset() — the documented protocol (see check/check.hpp).
+  reset();
+  ScopedPolicy again(Policy::kCount);
+  auto second = std::make_unique<Sim>();
+  second->run_one_valid_write();
+  EXPECT_EQ(count_rule("wr.rkey"), 0u);
+}
+
+}  // namespace
+}  // namespace partib::check

@@ -1,0 +1,245 @@
+// The fault plane (fabric/fault.hpp): deterministic seed-driven decisions,
+// config fingerprinting, and the fabric-level error/flush/retransmit
+// machinery they drive.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/units.hpp"
+#include "fabric/fabric.hpp"
+#include "fabric/fault.hpp"
+#include "sim/engine.hpp"
+
+namespace partib::fabric {
+namespace {
+
+FaultPlanConfig mixed_config(std::uint64_t seed = 42) {
+  FaultPlanConfig cfg;
+  cfg.seed = seed;
+  cfg.drop_rate = 0.05;
+  cfg.delay_rate = 0.10;
+  cfg.rnr_rate = 0.03;
+  cfg.retry_exc_rate = 0.03;
+  cfg.qp_flush_rate = 0.02;
+  return cfg;
+}
+
+TEST(FaultPlan, DisabledByDefault) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  EXPECT_EQ(plan.decide(0).kind, FaultKind::kNone);
+  FaultPlanConfig zero;
+  EXPECT_FALSE(zero.enabled());
+  EXPECT_FALSE(FaultPlan(zero).enabled());
+}
+
+TEST(FaultPlan, SameSeedSameSchedule) {
+  FaultPlan a{mixed_config()};
+  FaultPlan b{mixed_config()};
+  for (std::uint64_t op = 0; op < 4096; ++op) {
+    const FaultDecision da = a.decide(op);
+    const FaultDecision db = b.decide(op);
+    EXPECT_EQ(da.kind, db.kind) << op;
+    EXPECT_EQ(da.delay, db.delay) << op;
+    EXPECT_EQ(da.drops, db.drops) << op;
+  }
+}
+
+TEST(FaultPlan, DifferentSeedsDiverge) {
+  FaultPlan a{mixed_config(1)};
+  FaultPlan b{mixed_config(2)};
+  int differ = 0;
+  for (std::uint64_t op = 0; op < 4096; ++op) {
+    if (a.decide(op).kind != b.decide(op).kind) ++differ;
+  }
+  EXPECT_GT(differ, 0);
+}
+
+TEST(FaultPlan, DecisionsAreOrderIndependent) {
+  // decide(k) must not consult any other ordinal: querying out of order
+  // and re-querying yields the same answers.
+  FaultPlan plan{mixed_config()};
+  std::vector<FaultKind> forward;
+  for (std::uint64_t op = 0; op < 512; ++op) {
+    forward.push_back(plan.decide(op).kind);
+  }
+  for (std::uint64_t op = 512; op-- > 0;) {
+    EXPECT_EQ(plan.decide(op).kind, forward[op]) << op;
+  }
+}
+
+TEST(FaultPlan, RatesApproximatelyHonoured) {
+  FaultPlan plan{mixed_config()};
+  std::map<FaultKind, int> counts;
+  const int kOps = 20000;
+  for (std::uint64_t op = 0; op < kOps; ++op) ++counts[plan.decide(op).kind];
+  // All five shapes must occur, at roughly their configured rates.
+  EXPECT_NEAR(counts[FaultKind::kDrop] / double(kOps), 0.05, 0.015);
+  EXPECT_NEAR(counts[FaultKind::kDelay] / double(kOps), 0.10, 0.02);
+  EXPECT_GT(counts[FaultKind::kRnrNak], 0);
+  EXPECT_GT(counts[FaultKind::kRetryExceeded], 0);
+  EXPECT_GT(counts[FaultKind::kQpFlush], 0);
+  EXPECT_NEAR(counts[FaultKind::kNone] / double(kOps), 0.77, 0.03);
+}
+
+TEST(FaultPlan, DecisionParametersStayInRange) {
+  FaultPlanConfig cfg = mixed_config();
+  cfg.max_delay = usec(7);
+  cfg.max_drops = 2;
+  FaultPlan plan{cfg};
+  for (std::uint64_t op = 0; op < 20000; ++op) {
+    const FaultDecision d = plan.decide(op);
+    if (d.kind == FaultKind::kDelay) {
+      EXPECT_GE(d.delay, 1);
+      EXPECT_LE(d.delay, usec(7));
+    }
+    if (d.kind == FaultKind::kDrop) {
+      EXPECT_GE(d.drops, 1);
+      EXPECT_LE(d.drops, 2);
+    }
+  }
+}
+
+TEST(FaultPlan, ZeroSeedDerivesFromConfigFingerprint) {
+  FaultPlanConfig cfg = mixed_config(/*seed=*/0);
+  FaultPlan a{cfg};
+  FaultPlan b{cfg};
+  EXPECT_NE(a.seed(), 0u);
+  EXPECT_EQ(a.seed(), b.seed());
+  // A different config derives a different seed.
+  FaultPlanConfig other = cfg;
+  other.drop_rate = 0.06;
+  EXPECT_NE(FaultPlan(other).seed(), a.seed());
+  EXPECT_NE(cfg.fingerprint(), other.fingerprint());
+}
+
+// --- fabric-level machinery --------------------------------------------------
+
+struct FabricFx {
+  sim::Engine engine;
+  Fabric fab{engine, NicParams::connectx5_edr(), /*copy_data=*/false};
+  NodeId n0 = fab.add_node();
+  NodeId n1 = fab.add_node();
+
+  RdmaOp op(std::uint64_t qp, int* completions, int* failures) {
+    RdmaOp o;
+    o.src = n0;
+    o.dst = n1;
+    o.src_qp = qp;
+    o.bytes = 4096;
+    o.on_send_complete = [completions](Time) { ++*completions; };
+    o.on_failed = [failures](Time, OpFailure) { ++*failures; };
+    return o;
+  }
+};
+
+TEST(FabricFaults, InjectQpErrorFlushesQueuedOpsInOrder) {
+  FabricFx fx;
+  int completions = 0;
+  std::vector<OpFailure> failures;
+  for (int i = 0; i < 5; ++i) {
+    RdmaOp o = fx.op(7, &completions, nullptr);
+    o.on_failed = [&failures](Time, OpFailure f) { failures.push_back(f); };
+    fx.fab.post_rdma_write(std::move(o));
+  }
+  fx.fab.inject_qp_error(7);
+  fx.engine.run();
+  // The op already on the wire completes; the four queued ones flush.
+  EXPECT_EQ(completions, 1);
+  ASSERT_EQ(failures.size(), 4u);
+  for (OpFailure f : failures) EXPECT_EQ(f, OpFailure::kFlushed);
+  EXPECT_EQ(fx.fab.stats().failed_ops, 4u);
+  EXPECT_TRUE(fx.fab.qp_chain_errored(7));
+}
+
+TEST(FabricFaults, ErroredChainFailsNewPostsUntilReset) {
+  FabricFx fx;
+  int completions = 0;
+  int failures = 0;
+  fx.fab.inject_qp_error(9);
+  fx.fab.post_rdma_write(fx.op(9, &completions, &failures));
+  fx.engine.run();
+  EXPECT_EQ(completions, 0);
+  EXPECT_EQ(failures, 1);
+
+  fx.fab.reset_qp_chain(9);
+  EXPECT_FALSE(fx.fab.qp_chain_errored(9));
+  fx.fab.post_rdma_write(fx.op(9, &completions, &failures));
+  fx.engine.run();
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(failures, 1);
+}
+
+TEST(FabricFaults, DropRetransmitsAndEventuallyDelivers) {
+  FabricFx fx;
+  FaultPlanConfig cfg;
+  cfg.seed = 3;
+  cfg.drop_rate = 1.0;  // every op drops at least once
+  fx.fab.set_fault_plan(FaultPlan{cfg});
+  int completions = 0;
+  int failures = 0;
+  for (int i = 0; i < 8; ++i) {
+    fx.fab.post_rdma_write(fx.op(4, &completions, &failures));
+  }
+  fx.engine.run();
+  EXPECT_EQ(completions, 8);  // drops retransmit, never fail
+  EXPECT_EQ(failures, 0);
+  EXPECT_GE(fx.fab.stats().retransmits, 8u);
+  EXPECT_EQ(fx.fab.stats().faults_injected, 8u);
+}
+
+TEST(FabricFaults, RetryExceededFailsWithoutDelivering) {
+  FabricFx fx;
+  FaultPlanConfig cfg;
+  cfg.seed = 5;
+  cfg.retry_exc_rate = 1.0;
+  fx.fab.set_fault_plan(FaultPlan{cfg});
+  int completions = 0;
+  std::vector<OpFailure> failures;
+  RdmaOp o = fx.op(2, &completions, nullptr);
+  bool moved = false;
+  o.move_data = [&moved] { moved = true; };
+  o.on_failed = [&failures](Time, OpFailure f) { failures.push_back(f); };
+  fx.fab.post_rdma_write(std::move(o));
+  fx.engine.run();
+  EXPECT_EQ(completions, 0);
+  EXPECT_FALSE(moved);  // a failed op never lands
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0], OpFailure::kRetryExceeded);
+}
+
+TEST(FabricFaults, QpFlushFaultWedgesTheChain) {
+  FabricFx fx;
+  FaultPlanConfig cfg;
+  cfg.seed = 11;
+  cfg.qp_flush_rate = 1.0;
+  fx.fab.set_fault_plan(FaultPlan{cfg});
+  int completions = 0;
+  int failures = 0;
+  for (int i = 0; i < 3; ++i) {
+    fx.fab.post_rdma_write(fx.op(6, &completions, &failures));
+  }
+  fx.engine.run();
+  EXPECT_EQ(completions, 0);
+  EXPECT_EQ(failures, 3);  // first op flushes the chain; rest flush behind it
+  EXPECT_TRUE(fx.fab.qp_chain_errored(6));
+}
+
+TEST(FabricFaults, InertPlanKeepsStatsClean) {
+  FabricFx fx;
+  fx.fab.set_fault_plan(FaultPlan{FaultPlanConfig{}});
+  int completions = 0;
+  int failures = 0;
+  for (int i = 0; i < 16; ++i) {
+    fx.fab.post_rdma_write(fx.op(1, &completions, &failures));
+  }
+  fx.engine.run();
+  EXPECT_EQ(completions, 16);
+  EXPECT_EQ(fx.fab.stats().faults_injected, 0u);
+  EXPECT_EQ(fx.fab.stats().retransmits, 0u);
+  EXPECT_EQ(fx.fab.stats().failed_ops, 0u);
+}
+
+}  // namespace
+}  // namespace partib::fabric

@@ -7,7 +7,9 @@
 #include "bench/overhead.hpp"
 #include "bench/perceived.hpp"
 #include "bench/sweep.hpp"
+#include "check/determinism.hpp"
 #include "common/units.hpp"
+#include "fabric/fault.hpp"
 #include "model/ploggp.hpp"
 #include "support/test_world.hpp"
 
@@ -237,6 +239,53 @@ TEST(Fig3, ModelRegimes) {
             model::completion_time(p, {4 * KiB, 32, msec(4)}));
   EXPECT_GT(model::completion_time(p, {256 * MiB, 1, msec(4)}),
             model::completion_time(p, {256 * MiB, 32, msec(4)}));
+}
+
+// --- Fault plumbing must cost nothing when off -------------------------------
+
+TEST(Fig8, DisabledFaultPlanLeavesEventStreamIdentical) {
+  // Full-figure byte-identity is pinned at the CSV level by the
+  // Fig08CsvBytePinned / Fig10And11CsvBytePinned ctest entries
+  // (bench/CMakeLists.txt, cmake/check_output_md5.cmake).  Here the same
+  // property at event granularity: installing a fault plan whose every
+  // rate is zero must leave the dispatched event stream bit-identical to
+  // a world with no plan at all.
+  std::uint64_t fp[2];
+  for (int i = 0; i < 2; ++i) {
+    check::DeterminismAuditor auditor;
+    ChannelFixture fx(512 * KiB, 32, ploggp_options());
+    if (i == 1) {
+      fx.world->fab().set_fault_plan(fabric::FaultPlan{});  // installed, inert
+    }
+    auditor.attach(fx.engine);
+    for (int round = 0; round < 3; ++round) fx.run_round(round);
+    EXPECT_TRUE(buffers_equal(fx.sbuf, fx.rbuf));
+    fp[i] = auditor.fingerprint();
+    EXPECT_GT(auditor.events_observed(), 0u);
+  }
+  EXPECT_EQ(fp[0], fp[1]);
+}
+
+TEST(Fig8, DisabledFaultConfigLeavesTrialResultsIdentical) {
+  // The WorldOptions::faults default (all rates zero) must take the
+  // exact same code path as a world that predates the fault plane: the
+  // fig08-style trial durations have to agree to the virtual nanosecond.
+  bench::OverheadConfig cfg;
+  cfg.total_bytes = 512 * KiB;
+  cfg.user_partitions = 32;
+  cfg.options = ploggp_options();
+  cfg.iterations = 5;
+  cfg.warmup = 2;
+  const bench::OverheadResult base = bench::run_overhead(cfg);
+
+  bench::OverheadConfig spelled = cfg;
+  spelled.world.faults = fabric::FaultPlanConfig{};  // explicit zero rates
+  const bench::OverheadResult same = bench::run_overhead(spelled);
+  EXPECT_EQ(base.mean_round, same.mean_round);
+  EXPECT_EQ(base.min_round, same.min_round);
+  EXPECT_EQ(base.max_round, same.max_round);
+  EXPECT_EQ(base.wrs_posted, same.wrs_posted);
+  EXPECT_EQ(base.host_cpu_per_round, same.host_cpu_per_round);
 }
 
 }  // namespace

@@ -1,0 +1,211 @@
+// Property-based lifecycle fuzzing under fault injection.
+//
+// One trial = one seed.  The seed derives everything: channel geometry,
+// aggregator options, the retry budget, the fault-plan shape and rates,
+// and the randomized pready/parrived/start/wait interleaving.  A trial
+// runs the channel to quiescence and checks the three lifecycle
+// invariants from docs/FAULTS.md:
+//
+//   1. no lost completions — every started round ends with test() true on
+//      both sides, whether it succeeded or surfaced a structured error;
+//   2. exact bytes on success — whenever neither side reports failure,
+//      the received buffer matches the sent pattern byte for byte;
+//   3. deterministic replay — the same seed reproduces the identical
+//      DES event fingerprint (asserted by the caller re-running a trial).
+//
+// All randomness flows through sim::Rng(seed); nothing reads the clock,
+// so a trial is a pure function of its seed.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "check/check.hpp"
+#include "check/determinism.hpp"
+#include "common/units.hpp"
+#include "fabric/fault.hpp"
+#include "sim/rng.hpp"
+#include "support/test_world.hpp"
+
+namespace partib::test {
+
+// One entry per fault-plan shape the fuzzer must cover (acceptance:
+// >= 5 shapes beyond "none").
+enum class FaultShape : int {
+  kNone = 0,
+  kDrop,
+  kDelay,
+  kRnr,
+  kRetryExceeded,
+  kQpFlush,
+  kMixed,
+};
+inline constexpr int kFaultShapeCount = 7;
+
+inline fabric::FaultPlanConfig make_fault_config(FaultShape shape,
+                                                 sim::Rng& rng) {
+  fabric::FaultPlanConfig f;
+  // Never 0: zero would re-derive from the config fingerprint, which is
+  // fine but makes two trials with equal rates share a schedule.
+  f.seed = rng.next_u64() | 1;
+  f.max_delay = usec(rng.uniform_int(1, 80));
+  f.retransmit_delay = usec(rng.uniform_int(4, 20));
+  f.fail_latency = usec(rng.uniform_int(1, 60));
+  f.max_drops = static_cast<int>(rng.uniform_int(1, 4));
+  switch (shape) {
+    case FaultShape::kNone:
+      break;
+    case FaultShape::kDrop:
+      f.drop_rate = rng.uniform(0.05, 0.5);
+      break;
+    case FaultShape::kDelay:
+      f.delay_rate = rng.uniform(0.05, 0.5);
+      break;
+    case FaultShape::kRnr:
+      f.rnr_rate = rng.uniform(0.05, 0.4);
+      break;
+    case FaultShape::kRetryExceeded:
+      f.retry_exc_rate = rng.uniform(0.05, 0.4);
+      break;
+    case FaultShape::kQpFlush:
+      f.qp_flush_rate = rng.uniform(0.05, 0.3);
+      break;
+    case FaultShape::kMixed:
+      f.drop_rate = rng.uniform(0.0, 0.15);
+      f.delay_rate = rng.uniform(0.0, 0.15);
+      f.rnr_rate = rng.uniform(0.0, 0.1);
+      f.retry_exc_rate = rng.uniform(0.0, 0.1);
+      f.qp_flush_rate = rng.uniform(0.0, 0.1);
+      break;
+  }
+  return f;
+}
+
+inline part::Options random_fuzz_options(sim::Rng& rng) {
+  part::Options o;
+  switch (rng.uniform_int(0, 3)) {
+    case 0: o = persistent_options(); break;
+    case 1: o = ploggp_options(); break;
+    case 2: o = timer_options(usec(rng.uniform_int(1, 200))); break;
+    default:
+      o = static_options(std::size_t{1} << rng.uniform_int(6, 12),
+                         static_cast<int>(rng.uniform_int(1, 4)));
+      break;
+  }
+  // Fuzz the recovery knobs too: tight budgets make budget exhaustion
+  // reachable, generous ones make recovery-to-success reachable.
+  o.max_send_retries = static_cast<int>(rng.uniform_int(1, 8));
+  o.retry_backoff = usec(rng.uniform_int(1, 16));
+  return o;
+}
+
+struct LifecycleTrialResult {
+  std::uint64_t fingerprint = 0;  ///< DES event-stream hash of the trial
+  std::uint64_t events = 0;
+  FaultShape shape = FaultShape::kNone;
+  bool channel_failed = false;  ///< budget exhausted -> structured error
+  std::uint64_t faults_injected = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t failed_ops = 0;
+};
+
+inline LifecycleTrialResult run_lifecycle_trial(std::uint64_t seed) {
+  LifecycleTrialResult result;
+  sim::Rng rng(seed);
+
+  // Worlds share one process: clear the checker's thread-local shadow of
+  // the previous trial (see check/example_diag_test.cpp) and count
+  // silently so expected rule reports don't flood CI logs.
+  check::reset();
+  check::ScopedPolicy policy(check::Policy::kCount);
+
+  const std::size_t partitions = std::size_t{1} << rng.uniform_int(0, 6);
+  const std::size_t psize = std::size_t{1} << rng.uniform_int(6, 12);
+  const int rounds = static_cast<int>(rng.uniform_int(1, 3));
+  result.shape = static_cast<FaultShape>(
+      rng.uniform_int(0, kFaultShapeCount - 1));
+
+  mpi::WorldOptions wopts;
+  wopts.faults = make_fault_config(result.shape, rng);
+
+  check::DeterminismAuditor auditor;
+  ChannelFixture fx(partitions * psize, partitions, random_fuzz_options(rng),
+                    wopts);
+  auditor.attach(fx.engine);
+
+  for (int round = 1; round <= rounds; ++round) {
+    if (fx.send->failed()) break;
+    fill_pattern(fx.sbuf, round);
+    const Status s_start = fx.send->start();
+    const Status r_start = fx.recv->start();
+    EXPECT_TRUE(ok(s_start) || s_start == Status::kRemoteError) << seed;
+    EXPECT_TRUE(ok(r_start) || r_start == Status::kRemoteError) << seed;
+    if (!ok(s_start) || !ok(r_start)) break;
+
+    // Random interleaving: every partition made ready exactly once at a
+    // random time in a random-scale window; parrived polled mid-flight.
+    const Duration window = usec(rng.uniform_int(1, 1500));
+    std::vector<std::size_t> order(partitions);
+    for (std::size_t i = 0; i < partitions; ++i) order[i] = i;
+    for (std::size_t i = partitions; i > 1; --i) {
+      std::swap(order[i - 1],
+                order[static_cast<std::size_t>(rng.uniform_int(
+                    0, static_cast<std::int64_t>(i) - 1))]);
+    }
+    const Time t0 = fx.engine.now();
+    for (std::size_t i : order) {
+      fx.engine.schedule_at(t0 + rng.uniform_int(0, window), [&fx, i, seed] {
+        // A pready racing the channel failure may see the structured
+        // error; anything else is a lifecycle bug.
+        const Status st = fx.send->pready(i);
+        EXPECT_TRUE(ok(st) || st == Status::kRemoteError) << seed;
+      });
+    }
+    fx.engine.schedule_at(t0 + window / 2, [&fx, partitions] {
+      for (std::size_t i = 0; i < partitions; ++i) {
+        (void)fx.recv->parrived(i);  // must never crash, failed or not
+      }
+    });
+    fx.engine.run();
+
+    // Invariant 1: no lost completions — quiescence means both sides
+    // observably finished, by success or by structured failure.
+    EXPECT_TRUE(fx.send->test()) << seed;
+    EXPECT_TRUE(fx.recv->test()) << seed;
+    EXPECT_EQ(fx.send->failed(), fx.recv->failed()) << seed;
+
+    // Invariant 2: exact bytes whenever the round reports success.
+    if (!fx.send->failed()) {
+      EXPECT_TRUE(buffers_equal(fx.sbuf, fx.rbuf)) << seed;
+      EXPECT_EQ(fx.send->status(), Status::kOk) << seed;
+    } else {
+      EXPECT_EQ(fx.send->status(), Status::kRemoteError) << seed;
+      EXPECT_EQ(fx.recv->status(), Status::kRemoteError) << seed;
+    }
+  }
+
+  result.channel_failed = fx.send->failed();
+  // A failed channel must have reported its rule; a healthy fuzz run must
+  // not have tripped any other checker rule.
+  if (check::hooks_compiled_in()) {
+    if (result.channel_failed) {
+      EXPECT_GE(check::count_rule("part.retry_exhausted"), 1u) << seed;
+      EXPECT_EQ(check::violation_count(),
+                check::count_rule("part.retry_exhausted"))
+          << seed;
+    } else {
+      EXPECT_EQ(check::violation_count(), 0u) << seed;
+    }
+  }
+
+  const fabric::FabricStats& stats = fx.world->fab().stats();
+  result.faults_injected = stats.faults_injected;
+  result.retransmits = stats.retransmits;
+  result.failed_ops = stats.failed_ops;
+  result.fingerprint = auditor.fingerprint();
+  result.events = auditor.events_observed();
+  return result;
+}
+
+}  // namespace partib::test

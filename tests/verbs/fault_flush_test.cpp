@@ -1,0 +1,288 @@
+// Fault-path verbs semantics: WQE slab flush on QP error, refcounted
+// error-path slot release, the ERROR -> RESET -> INIT -> RTR -> RTS
+// recycle, re-entrant posting from an error-CQE callback, and the
+// WcStatus/QpState diagnostics plumbing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "check/check.hpp"
+#include "common/units.hpp"
+#include "fabric/fabric.hpp"
+#include "sim/engine.hpp"
+#include "verbs/verbs.hpp"
+
+namespace partib::verbs {
+namespace {
+
+struct Fx {
+  sim::Engine engine;
+  fabric::Fabric fab;
+  Device dev;
+  Context* sctx;
+  Context* rctx;
+  Pd* spd;
+  Pd* rpd;
+  Cq* scq;
+  Cq* rcq;
+  std::vector<std::byte> sbuf;
+  std::vector<std::byte> rbuf;
+  Mr* smr;
+  Mr* rmr;
+
+  Fx()
+      : fab(engine, fabric::NicParams::connectx5_edr(), /*copy=*/true),
+        dev(fab),
+        sbuf(64 * KiB),
+        rbuf(64 * KiB) {
+    const auto n0 = fab.add_node();
+    const auto n1 = fab.add_node();
+    sctx = &dev.open(n0);
+    rctx = &dev.open(n1);
+    spd = &sctx->alloc_pd();
+    rpd = &rctx->alloc_pd();
+    scq = &sctx->create_cq(1024);
+    rcq = &rctx->create_cq(1024);
+    smr = &spd->register_mr(sbuf, kLocalRead);
+    rmr = &rpd->register_mr(rbuf, kLocalWrite | kRemoteWrite);
+  }
+
+  std::pair<Qp*, Qp*> connected_pair(QpCaps caps = {}) {
+    Qp& s = spd->create_qp(*scq, *scq, caps);
+    Qp& r = rpd->create_qp(*rcq, *rcq, caps);
+    EXPECT_TRUE(ok(s.to_init()));
+    EXPECT_TRUE(ok(r.to_init()));
+    EXPECT_TRUE(ok(s.to_rtr(r.qp_num())));
+    EXPECT_TRUE(ok(r.to_rtr(s.qp_num())));
+    EXPECT_TRUE(ok(s.to_rts()));
+    EXPECT_TRUE(ok(r.to_rts()));
+    return {&s, &r};
+  }
+
+  SendWr write_wr(std::uint64_t wr_id, std::size_t bytes = 1024) {
+    SendWr wr;
+    wr.wr_id = wr_id;
+    wr.opcode = Opcode::kRdmaWrite;
+    wr.sg_list.push_back(
+        Sge{reinterpret_cast<std::uint64_t>(sbuf.data()),
+            static_cast<std::uint32_t>(bytes), smr->lkey()});
+    wr.remote_addr = rmr->addr();
+    wr.rkey = rmr->rkey();
+    return wr;
+  }
+
+  std::vector<Wc> drain(Cq& cq) {
+    std::vector<Wc> out;
+    Wc wcs[8];
+    int n;
+    while ((n = cq.poll(std::span<Wc>(wcs))) > 0) {
+      out.insert(out.end(), wcs, wcs + n);
+    }
+    return out;
+  }
+};
+
+TEST(WcStatusDiagnostics, ToStringAndStreamInsertion) {
+  EXPECT_STREQ(to_string(WcStatus::kRetryExcErr), "RETRY_EXC_ERR");
+  EXPECT_STREQ(to_string(WcStatus::kRnrRetryExcErr), "RNR_RETRY_EXC_ERR");
+  EXPECT_STREQ(to_string(WcStatus::kWrFlushErr), "WR_FLUSH_ERR");
+  std::ostringstream os;
+  os << WcStatus::kWrFlushErr << "/" << QpState::kRtr;
+  EXPECT_EQ(os.str(), "WR_FLUSH_ERR/RTR");
+}
+
+// Sequential Devices in one process restart rkey numbering, so the
+// checker's thread-local MR shadow from an earlier test would alias the
+// new registrations (see check/example_diag_test.cpp) — reset around
+// every test.
+struct FaultFlush : ::testing::Test {
+  void SetUp() override { check::reset(); }
+  void TearDown() override { check::reset(); }
+};
+
+TEST_F(FaultFlush, ErroredQpFlushesWholeSlabInPostOrder) {
+  // A 16-deep flush burst also grows the CQ entry ring through several
+  // power-of-two doublings before anything is polled.
+  Fx fx;
+  QpCaps caps;
+  caps.max_send_wr = 16;
+  auto [s, r] = fx.connected_pair(caps);
+  fx.fab.inject_qp_error(s->qp_num());
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    ASSERT_TRUE(ok(s->post_send(fx.write_wr(i))));
+  }
+  EXPECT_EQ(s->outstanding_send_wrs(), 16);
+  fx.engine.run();
+
+  const std::vector<Wc> wcs = fx.drain(*fx.scq);
+  ASSERT_EQ(wcs.size(), 16u);
+  for (std::size_t i = 0; i < wcs.size(); ++i) {
+    EXPECT_EQ(wcs[i].status, WcStatus::kWrFlushErr) << i;
+    EXPECT_EQ(wcs[i].byte_len, 0u) << i;
+  }
+  EXPECT_EQ(s->outstanding_send_wrs(), 0);
+  EXPECT_EQ(s->state(), QpState::kError);
+  // No byte moved: a flushed WR never lands.
+  for (std::byte b : fx.rbuf) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST_F(FaultFlush, MidFlightErrorCompletesWireOpThenFlushesRest) {
+  Fx fx;
+  QpCaps caps;
+  caps.max_send_wr = 8;
+  auto [s, r] = fx.connected_pair(caps);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ok(s->post_send(fx.write_wr(i))));
+  }
+  // The first op already owns the chain when the error lands; it rides
+  // the wire to completion while the three queued behind it flush.  The
+  // flush CQEs are raised at chain release, before the wire op's send
+  // CQE (+L later), so CQ order is flush, flush, flush, success.
+  fx.fab.inject_qp_error(s->qp_num());
+  fx.engine.run();
+
+  const std::vector<Wc> wcs = fx.drain(*fx.scq);
+  ASSERT_EQ(wcs.size(), 4u);
+  int successes = 0;
+  int flushes = 0;
+  for (const Wc& wc : wcs) {
+    if (wc.status == WcStatus::kSuccess) ++successes;
+    if (wc.status == WcStatus::kWrFlushErr) ++flushes;
+  }
+  EXPECT_EQ(successes, 1);
+  EXPECT_EQ(flushes, 3);
+  EXPECT_EQ(wcs.back().status, WcStatus::kSuccess);
+  EXPECT_EQ(wcs.back().wr_id, 0u);
+}
+
+TEST_F(FaultFlush, RecycleRestoresDataPathAfterFlush) {
+  // ERROR -> RESET -> INIT -> RTR -> RTS against the remembered peer; the
+  // slab slots released on the error path must be reusable afterwards.
+  Fx fx;
+  QpCaps caps;
+  caps.max_send_wr = 4;
+  auto [s, r] = fx.connected_pair(caps);
+  fx.fab.inject_qp_error(s->qp_num());
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ok(s->post_send(fx.write_wr(i))));
+  }
+  fx.engine.run();
+  ASSERT_EQ(s->state(), QpState::kError);
+  ASSERT_EQ(s->outstanding_send_wrs(), 0);
+  (void)fx.drain(*fx.scq);
+
+  const std::uint32_t peer = s->remote_qp_num();
+  EXPECT_EQ(peer, r->qp_num());
+  ASSERT_TRUE(ok(s->to_reset()));
+  EXPECT_EQ(s->state(), QpState::kReset);
+  ASSERT_TRUE(ok(s->to_init()));
+  ASSERT_TRUE(ok(s->to_rtr(peer)));
+  ASSERT_TRUE(ok(s->to_rts()));
+
+  for (std::size_t i = 0; i < fx.sbuf.size(); ++i) {
+    fx.sbuf[i] = static_cast<std::byte>(i * 37 + 5);
+  }
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ok(s->post_send(fx.write_wr(100 + i))));
+  }
+  fx.engine.run();
+  const std::vector<Wc> wcs = fx.drain(*fx.scq);
+  ASSERT_EQ(wcs.size(), 4u);
+  for (const Wc& wc : wcs) EXPECT_EQ(wc.status, WcStatus::kSuccess);
+  for (std::size_t i = 0; i < 1024; ++i) {
+    EXPECT_EQ(fx.rbuf[i], fx.sbuf[i]) << i;
+  }
+}
+
+TEST_F(FaultFlush, ResetWithOutstandingWrsIsRejected) {
+  check::reset();
+  check::ScopedPolicy policy(check::Policy::kCount);
+  Fx fx;
+  auto [s, r] = fx.connected_pair();
+  ASSERT_TRUE(ok(s->post_send(fx.write_wr(1))));
+  EXPECT_EQ(s->to_reset(), Status::kInvalidState);
+  if (check::hooks_compiled_in()) {
+    EXPECT_EQ(check::count_rule("qp.reset_outstanding"), 1u);
+  }
+  fx.engine.run();  // let the WR complete
+  EXPECT_TRUE(ok(s->to_reset()));
+  check::reset();
+}
+
+TEST_F(FaultFlush, ResetDropsPostedReceives) {
+  Fx fx;
+  auto [s, r] = fx.connected_pair();
+  RecvWr rwr;
+  rwr.wr_id = 9;
+  ASSERT_TRUE(ok(r->post_recv(rwr)));
+  ASSERT_TRUE(ok(r->to_reset()));
+  ASSERT_TRUE(ok(r->to_init()));
+  ASSERT_TRUE(ok(r->to_rtr(s->qp_num())));
+  ASSERT_TRUE(ok(r->to_rts()));
+
+  // An RDMA_WRITE_WITH_IMM now finds no receive WR: kRemoteNotReady.
+  SendWr wr = fx.write_wr(2);
+  wr.opcode = Opcode::kRdmaWriteWithImm;
+  wr.imm = (1u << 16) | 1u;
+  ASSERT_TRUE(ok(s->post_send(wr)));
+  fx.engine.run();
+  const std::vector<Wc> wcs = fx.drain(*fx.scq);
+  ASSERT_EQ(wcs.size(), 1u);
+  EXPECT_EQ(wcs[0].status, WcStatus::kRemoteNotReady);
+}
+
+TEST_F(FaultFlush, RetryStatusesDoNotErrorTheQp) {
+  // Transport retry exhaustion is retryable on the same QP: the CQE
+  // carries the error but the QP stays in RTS.
+  Fx fx;
+  fabric::FaultPlanConfig cfg;
+  cfg.seed = 7;
+  cfg.retry_exc_rate = 1.0;
+  fx.fab.set_fault_plan(fabric::FaultPlan{cfg});
+  auto [s, r] = fx.connected_pair();
+  ASSERT_TRUE(ok(s->post_send(fx.write_wr(1))));
+  fx.engine.run();
+  const std::vector<Wc> wcs = fx.drain(*fx.scq);
+  ASSERT_EQ(wcs.size(), 1u);
+  EXPECT_EQ(wcs[0].status, WcStatus::kRetryExcErr);
+  EXPECT_EQ(s->state(), QpState::kRts);
+  EXPECT_EQ(s->outstanding_send_wrs(), 0);
+}
+
+TEST_F(FaultFlush, ReentrantRepostFromErrorCallbackFindsSlotFree) {
+  // The single WQE slot must already be back on the free list when the
+  // error CQE is raised, or a synchronous re-post from the completion
+  // callback would trip the slab (the bug this ordering guards against).
+  Fx fx;
+  fabric::FaultPlanConfig cfg;
+  cfg.seed = 13;
+  cfg.retry_exc_rate = 1.0;
+  cfg.fail_latency = usec(1);
+  fx.fab.set_fault_plan(fabric::FaultPlan{cfg});
+  QpCaps caps;
+  caps.max_send_wr = 1;
+  auto [s, r] = fx.connected_pair(caps);
+  Qp* qp = s;
+
+  int attempts = 0;
+  fx.scq->set_on_push([&] {
+    Wc wc;
+    ASSERT_EQ(fx.scq->poll(std::span<Wc>(&wc, 1)), 1);
+    ASSERT_EQ(wc.status, WcStatus::kRetryExcErr);
+    ++attempts;
+    if (attempts < 5) {
+      // Re-post synchronously from inside the error completion.
+      ASSERT_TRUE(ok(qp->post_send(fx.write_wr(wc.wr_id + 1))));
+    }
+  });
+  ASSERT_TRUE(ok(s->post_send(fx.write_wr(1))));
+  fx.engine.run();
+  EXPECT_EQ(attempts, 5);
+  EXPECT_EQ(s->outstanding_send_wrs(), 0);
+  EXPECT_EQ(s->state(), QpState::kRts);
+  fx.scq->set_on_push(nullptr);
+}
+
+}  // namespace
+}  // namespace partib::verbs
