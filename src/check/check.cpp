@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "check/concurrency_check.hpp"
 #include "check/part_check.hpp"
 #include "check/rules.hpp"
 #include "check/verbs_check.hpp"
@@ -55,6 +56,7 @@ void reset() {
   g_policy = Policy::kLog;
   detail::reset_verbs_shadow();
   detail::reset_part_shadow();
+  detail::reset_concurrency_shadow();
 }
 
 void report(const char* rule, const char* object, int rank,

@@ -2,41 +2,28 @@
 
 #include <cstring>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
 namespace partib::check {
 
 namespace {
 
-// Built-in rule table.  Keep ids short, dotted, and stable: they appear in
-// test logs and docs/CHECKING.md.
+// Built-in rule table, generated from the shared registry source
+// (rules.inc) so the runtime registry and the static
+// partib-diag-rule-registered check can never drift apart.
 constexpr RuleInfo kBuiltins[] = {
-    {"assert", "internal invariant (PARTIB_ASSERT) failed"},
-    {"qp.transition", "illegal QP state-machine transition attempted"},
-    {"qp.post_state", "post_send on a QP that is not in RTS"},
-    {"qp.recv_state", "post_recv on a QP in RESET or ERROR"},
-    {"qp.send_capacity", "more outstanding send WRs than max_send_wr"},
-    {"qp.recv_capacity", "receive queue exceeded max_recv_wr"},
-    {"qp.reset_outstanding",
-     "to_reset attempted with send WRs still in flight"},
-    {"wr.lkey", "SGE not covered by a registered MR with that lkey"},
-    {"wr.access", "MR lacks the access rights the operation requires"},
-    {"wr.rkey", "RDMA target rkey unknown, out of bounds, or not writable"},
-    {"cq.overflow", "completion queue exceeded its depth"},
-    {"imm.roundtrip", "immediate-field encode/decode round-trip mismatch"},
-    {"part.start_inflight", "Start while the previous round is in flight"},
-    {"part.pready_before_start", "Pready on an inactive (un-started) request"},
-    {"part.pready_double", "partition marked ready twice in one round"},
-    {"part.pready_range", "Pready partition index out of range"},
-    {"part.incomplete_completion",
-     "round completed without every partition marked ready"},
-    {"part.duplicate_arrival",
-     "receive partition landed more bytes than its size in one round"},
-    {"part.retry_exhausted",
-     "channel exceeded its failure budget and surfaced an error status"},
-    {"des.nondeterminism",
-     "event stream diverged between two identical simulation runs"},
+#define PARTIB_RULE(id, summary) {id, summary},
+#include "check/rules.inc"
+#undef PARTIB_RULE
 };
 
-std::vector<RuleInfo>& extra_rules() {
+// Process-wide extension registry.  find_rule sits on the violation
+// reporting path, which the concurrency auditor can drive from any
+// thread, so reads and the (rare) register_rule writes share one lock.
+common::Mutex g_registry_mu("check.rule_registry");
+
+std::vector<RuleInfo>& extra_rules_locked() PARTIB_REQUIRES(g_registry_mu) {
   static std::vector<RuleInfo> rules;
   return rules;
 }
@@ -47,21 +34,31 @@ const RuleInfo* find_rule(const char* id) {
   for (const RuleInfo& r : kBuiltins) {
     if (std::strcmp(r.id, id) == 0) return &r;
   }
-  for (const RuleInfo& r : extra_rules()) {
+  common::MutexLock lock(g_registry_mu);
+  for (const RuleInfo& r : extra_rules_locked()) {
     if (std::strcmp(r.id, id) == 0) return &r;
   }
   return nullptr;
 }
 
 bool register_rule(const RuleInfo& info) {
-  if (find_rule(info.id) != nullptr) return false;
-  extra_rules().push_back(info);
+  for (const RuleInfo& r : kBuiltins) {
+    if (std::strcmp(r.id, info.id) == 0) return false;
+  }
+  // Uniqueness check and insert under one hold, so two threads racing to
+  // register the same id cannot both succeed.
+  common::MutexLock lock(g_registry_mu);
+  for (const RuleInfo& r : extra_rules_locked()) {
+    if (std::strcmp(r.id, info.id) == 0) return false;
+  }
+  extra_rules_locked().push_back(info);
   return true;
 }
 
 std::vector<RuleInfo> all_rules() {
   std::vector<RuleInfo> out(std::begin(kBuiltins), std::end(kBuiltins));
-  const std::vector<RuleInfo>& extra = extra_rules();
+  common::MutexLock lock(g_registry_mu);
+  const std::vector<RuleInfo>& extra = extra_rules_locked();
   out.insert(out.end(), extra.begin(), extra.end());
   return out;
 }

@@ -20,11 +20,32 @@ void diag_emit(const Diagnostic& d) {
   } else {
     std::snprintf(rankbuf, sizeof(rankbuf), "-");
   }
-  std::fprintf(stderr, "partib: diagnostic: rule=%s object=%s time=%s rank=%s %s",
-               d.rule, d.object[0] ? d.object : "-", timebuf, rankbuf,
-               d.detail);
-  if (d.file != nullptr) std::fprintf(stderr, " [%s:%d]", d.file, d.line);
-  std::fputc('\n', stderr);
+  // The whole diagnostic is formatted into one buffer and issued as a
+  // single stdio call: parallel-runner workers emit concurrently, and
+  // per-call stdio locking then guarantees lines never interleave
+  // fragment-wise (a sequence of fprintf calls would).  Oversized details
+  // truncate rather than split.
+  char line[1024];
+  int len;
+  if (d.file != nullptr) {
+    len = std::snprintf(line, sizeof(line),
+                        "partib: diagnostic: rule=%s object=%s time=%s "
+                        "rank=%s %s [%s:%d]\n",
+                        d.rule, d.object[0] ? d.object : "-", timebuf, rankbuf,
+                        d.detail, d.file, d.line);
+  } else {
+    len = std::snprintf(line, sizeof(line),
+                        "partib: diagnostic: rule=%s object=%s time=%s "
+                        "rank=%s %s\n",
+                        d.rule, d.object[0] ? d.object : "-", timebuf, rankbuf,
+                        d.detail);
+  }
+  if (len < 0) return;
+  if (static_cast<std::size_t>(len) >= sizeof(line)) {
+    line[sizeof(line) - 2] = '\n';
+    len = static_cast<int>(sizeof(line)) - 1;
+  }
+  std::fwrite(line, 1, static_cast<std::size_t>(len), stderr);
 }
 
 void diag_fail(const Diagnostic& d) {

@@ -4,10 +4,26 @@
 #include <cstring>
 
 #include "common/assert.hpp"
+#include "common/mutex.hpp"
 
 namespace partib {
 
+namespace {
+
+// getenv() returns a pointer into the environment block; a concurrent
+// setenv/putenv (tests re-point PARTIB_* knobs between trials) can
+// invalidate it mid-copy.  Serializing the lookup *and* the copy-out
+// through one lock class makes every env read in the library a single
+// critical section — the threaded host runtime inherits this for free.
+// Values are deliberately NOT memoized: tests flip knobs with setenv and
+// expect the next read to see the new value.
+common::Mutex g_env_mu("common.env");
+
+}  // namespace
+
 std::optional<std::string> env_string(const char* name) {
+  common::MutexLock lock(g_env_mu);
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): serialized under g_env_mu; see above.
   const char* v = std::getenv(name);
   if (v == nullptr || v[0] == '\0') return std::nullopt;
   return std::string(v);

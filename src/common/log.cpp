@@ -1,6 +1,7 @@
 #include "common/log.hpp"
 
 #include <cstdio>
+#include <cstring>
 
 #include "common/env.hpp"
 
@@ -17,12 +18,21 @@ void log_emit(LogLevel level, const char* fmt, ...) {
   const char* tag = level == LogLevel::kWarn   ? "W"
                     : level == LogLevel::kInfo ? "I"
                                                : "D";
-  std::fprintf(stderr, "[partib:%s] ", tag);
+  // Single-buffer, single-write emission (same reasoning as diag_emit):
+  // concurrent runner workers log concurrently, and one stdio call per
+  // line keeps lines whole.  Long messages truncate.
+  char line[1024];
+  int off = std::snprintf(line, sizeof(line), "[partib:%s] ", tag);
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  int body = std::vsnprintf(line + off, sizeof(line) - static_cast<std::size_t>(off) - 1,
+                            fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  if (body < 0) return;
+  std::size_t len = static_cast<std::size_t>(off) + static_cast<std::size_t>(body);
+  if (len > sizeof(line) - 2) len = sizeof(line) - 2;
+  line[len] = '\n';
+  std::fwrite(line, 1, len + 1, stderr);
 }
 
 }  // namespace partib

@@ -1,0 +1,23 @@
+#include "common/mutex.hpp"
+
+#include <atomic>
+
+namespace partib::common {
+
+namespace {
+
+// Release/acquire so an observer installed before audited threads spawn is
+// fully visible to them (fields are written before the pointer publish).
+std::atomic<const MutexObserver*> g_observer{nullptr};
+
+}  // namespace
+
+void set_mutex_observer(const MutexObserver* obs) {
+  g_observer.store(obs, std::memory_order_release);
+}
+
+const MutexObserver* mutex_observer() {
+  return g_observer.load(std::memory_order_acquire);
+}
+
+}  // namespace partib::common

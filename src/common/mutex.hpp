@@ -1,0 +1,132 @@
+// Annotated mutual exclusion, the only lock the library uses.
+//
+// partib::Mutex wraps std::mutex with three additions:
+//
+//  1. Clang thread-safety capability attributes
+//     (common/thread_annotations.hpp), so `PARTIB_GUARDED_BY(mu)` members
+//     are compiler-checked under -Wthread-safety (PARTIB_THREAD_SAFETY=ON).
+//     std::mutex is invisible to that analysis, which is why the
+//     partib-mutex-wrapper-only tidy check bans it outside src/common/.
+//
+//  2. A lock *name* — a string literal identifying the lock class (all
+//     worker-deque locks share "runner.worker_deque").  The lock-order
+//     auditor builds its graph over classes, so an inversion between two
+//     instances of different classes is caught even when the two runs that
+//     exhibit each direction never touch the same instance.
+//
+//  3. Acquire/release observer hooks for the PARTIB_CHECK concurrency
+//     auditor (check/concurrency_check.hpp): lock-order-cycle and
+//     cross-thread-ownership auditing.  With PARTIB_CHECK=OFF the hook
+//     call sites compile away and Mutex is exactly std::mutex.
+//
+// CondVar pairs with Mutex the way std::condition_variable pairs with
+// std::mutex; waiting re-enters Mutex::unlock/lock so the observer's
+// held-lock picture stays truthful across the wait.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace partib::common {
+
+/// Acquire/release observer, installed once by the concurrency auditor
+/// (must point at static-lifetime storage; fields may not be null).
+struct MutexObserver {
+  void (*on_acquire)(const void* mu, const char* name);
+  void (*on_release)(const void* mu, const char* name);
+};
+
+/// Install `obs` (nullptr uninstalls).  Not synchronized against in-flight
+/// lock operations: install before spawning audited threads (the auditor
+/// does this from its enable call, which tests issue up front).
+void set_mutex_observer(const MutexObserver* obs);
+const MutexObserver* mutex_observer();
+
+class PARTIB_CAPABILITY("mutex") Mutex {
+ public:
+  /// `name` identifies the lock class for deadlock-order auditing and
+  /// diagnostics; use a string literal ("runner.pool_state").  nullptr
+  /// makes the instance its own anonymous class.
+  explicit Mutex(const char* name = nullptr) : name_(name) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PARTIB_ACQUIRE() {
+    mu_.lock();
+    note_acquired();
+  }
+
+  void unlock() PARTIB_RELEASE() {
+    note_released();
+    mu_.unlock();
+  }
+
+  bool try_lock() PARTIB_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    note_acquired();
+    return true;
+  }
+
+  const char* name() const { return name_; }
+
+ private:
+  void note_acquired() {
+#if PARTIB_CHECK_ENABLED
+    if (const MutexObserver* obs = mutex_observer()) {
+      obs->on_acquire(this, name_);
+    }
+#endif
+  }
+
+  void note_released() {
+#if PARTIB_CHECK_ENABLED
+    if (const MutexObserver* obs = mutex_observer()) {
+      obs->on_release(this, name_);
+    }
+#endif
+  }
+
+  std::mutex mu_;
+  const char* name_;
+};
+
+/// RAII lock; the std::lock_guard of this library.  (std::lock_guard
+/// itself carries no capability annotations, so the analysis would not see
+/// the acquisition.)
+class PARTIB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PARTIB_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() PARTIB_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable over partib::Mutex.  Callers hold the mutex (via
+/// MutexLock) around wait(); the wait re-enters Mutex::unlock/lock so both
+/// the thread-safety analysis contract (REQUIRES on entry and exit) and
+/// the runtime auditor's held-set remain accurate.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Atomically release `mu`, block, and re-acquire before returning.
+  /// Spurious wakeups happen; loop on the predicate.
+  void wait(Mutex& mu) PARTIB_REQUIRES(mu) { cv_.wait(mu); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace partib::common

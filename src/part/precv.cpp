@@ -4,6 +4,7 @@
 
 #include "check/hooks.hpp"
 #include "common/assert.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/bits.hpp"
 #include "part/imm.hpp"
 #include "part/psend.hpp"
@@ -197,7 +198,8 @@ void PrecvRequest::progress() {
   check_completion();
 }
 
-bool PrecvRequest::parrived(std::size_t partition) const {
+PARTIB_HOT bool PrecvRequest::parrived(std::size_t partition) const {
+  PARTIB_CHECK_HOOK(on_owned_access(this, "precv"));
   PARTIB_ASSERT(partition < n_);
   return started_ && bytes_arrived_[partition] == psize_;
 }

@@ -5,6 +5,7 @@
 
 #include "check/hooks.hpp"
 #include "common/assert.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/bits.hpp"
 #include "part/bitrun.hpp"
 #include "part/imm.hpp"
@@ -192,7 +193,8 @@ void PsendRequest::adapt_transport_partitions() {
   }
 }
 
-Status PsendRequest::pready(std::size_t partition) {
+PARTIB_HOT Status PsendRequest::pready(std::size_t partition) {
+  PARTIB_CHECK_HOOK(on_owned_access(this, "psend"));
   if (failed_) return Status::kRemoteError;
   PARTIB_CHECK_HOOK(on_pready(this, partition));
   if (!started_) return Status::kInvalidState;
@@ -226,7 +228,8 @@ Status PsendRequest::pready(std::size_t partition) {
   return Status::kOk;
 }
 
-Status PsendRequest::pready_range(std::size_t first, std::size_t last) {
+PARTIB_HOT Status PsendRequest::pready_range(std::size_t first,
+                                             std::size_t last) {
   if (first > last || last >= n_) return Status::kInvalidArgument;
   for (std::size_t i = first; i <= last; ++i) {
     const Status st = pready(i);

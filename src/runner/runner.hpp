@@ -24,15 +24,16 @@
 #pragma once
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
+#include <exception>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "runner/result_cache.hpp"
 #include "runner/thread_pool.hpp"
 
@@ -72,20 +73,53 @@ class Latch {
   explicit Latch(std::size_t count) : remaining_(count) {}
 
   void count_down() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     PARTIB_ASSERT(remaining_ > 0);
     if (--remaining_ == 0) done_.notify_all();
   }
 
   void wait() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_.wait(lock, [this] { return remaining_ == 0; });
+    common::MutexLock lock(mutex_);
+    while (remaining_ != 0) done_.wait(mutex_);
   }
 
  private:
-  std::mutex mutex_;
-  std::condition_variable done_;
-  std::size_t remaining_;
+  common::Mutex mutex_{"runner.latch"};
+  common::CondVar done_;
+  std::size_t remaining_ PARTIB_GUARDED_BY(mutex_);
+};
+
+/// First-exception box: trials run on pool workers, where a throw must
+/// not unwind (the pool would terminate and the latch would never count
+/// down — see thread_pool.hpp).  Each worker stows its exception here
+/// instead; run_trials rethrows the first one on the submitting thread
+/// after every task has signalled the latch, so the pool always winds
+/// down cleanly even when trials fail.
+class ErrorBox {
+ public:
+  void capture() {
+    common::MutexLock lock(mutex_);
+    if (!first_) first_ = std::current_exception();
+  }
+
+  [[noreturn]] void rethrow() {
+    std::exception_ptr e;
+    {
+      common::MutexLock lock(mutex_);
+      e = first_;
+    }
+    PARTIB_ASSERT(e != nullptr);
+    std::rethrow_exception(e);
+  }
+
+  bool armed() {
+    common::MutexLock lock(mutex_);
+    return first_ != nullptr;
+  }
+
+ private:
+  common::Mutex mutex_{"runner.error_box"};
+  std::exception_ptr first_ PARTIB_GUARDED_BY(mutex_);
 };
 
 }  // namespace detail
@@ -132,19 +166,32 @@ std::vector<Result> run_trials(const std::vector<Config>& configs,
   const std::size_t jobs = opts.jobs == 0 ? default_jobs() : opts.jobs;
   if (jobs <= 1 || pending.size() <= 1) {
     // Serial reference path: submission order on the calling thread.
+    // Exceptions propagate directly — same observable behaviour as the
+    // parallel path's stow-and-rethrow below.
     for (std::size_t i : pending) execute(i);
   } else {
     detail::Latch latch(pending.size());
+    detail::ErrorBox errors;
     {
       ThreadPool pool(std::min(jobs, pending.size()));
       for (std::size_t i : pending) {
-        pool.submit([&execute, &latch, i] {
-          execute(i);
+        pool.submit([&execute, &latch, &errors, i] {
+          // The latch counts down on *every* exit path: a trial that
+          // throws must not leave wait() blocked forever (nor let the
+          // exception reach the pool, which treats that as fatal).
+          try {
+            execute(i);
+          } catch (...) {
+            errors.capture();
+          }
           latch.count_down();
         });
       }
       latch.wait();
     }
+    // Pool joined: every worker is done, results[] is quiescent.  Surface
+    // the first failure on the calling thread, as the serial path would.
+    if (errors.armed()) errors.rethrow();
   }
 
   if (stats != nullptr) *stats = local;

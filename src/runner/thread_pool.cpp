@@ -1,11 +1,15 @@
 #include "runner/thread_pool.hpp"
 
 #include <algorithm>
+#include <exception>
 
 #include "common/assert.hpp"
+#include "common/diag.hpp"
 #include "common/env.hpp"
 
 namespace partib::runner {
+
+using common::MutexLock;
 
 ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t n = std::max<std::size_t>(1, threads);
@@ -21,7 +25,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    MutexLock lock(state_mutex_);
     stopping_ = true;
   }
   work_available_.notify_all();
@@ -32,14 +36,14 @@ void ThreadPool::submit(Task task) {
   PARTIB_ASSERT(task != nullptr);
   std::size_t victim;
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    MutexLock lock(state_mutex_);
     PARTIB_ASSERT_MSG(!stopping_, "submit on a stopping pool");
     victim = next_victim_;
     next_victim_ = (next_victim_ + 1) % workers_.size();
     ++queued_;
   }
   {
-    std::lock_guard<std::mutex> lock(workers_[victim]->mutex);
+    MutexLock lock(workers_[victim]->mutex);
     workers_[victim]->tasks.push_back(std::move(task));
   }
   work_available_.notify_one();
@@ -49,7 +53,7 @@ ThreadPool::Task ThreadPool::take(std::size_t id) {
   // Own deque first, back end (LIFO).
   {
     Worker& own = *workers_[id];
-    std::lock_guard<std::mutex> lock(own.mutex);
+    MutexLock lock(own.mutex);
     if (!own.tasks.empty()) {
       Task t = std::move(own.tasks.back());
       own.tasks.pop_back();
@@ -60,7 +64,7 @@ ThreadPool::Task ThreadPool::take(std::size_t id) {
   // next worker so thieves spread out instead of all hammering worker 0.
   for (std::size_t k = 1; k < workers_.size(); ++k) {
     Worker& victim = *workers_[(id + k) % workers_.size()];
-    std::lock_guard<std::mutex> lock(victim.mutex);
+    MutexLock lock(victim.mutex);
     if (!victim.tasks.empty()) {
       Task t = std::move(victim.tasks.front());
       victim.tasks.pop_front();
@@ -70,24 +74,57 @@ ThreadPool::Task ThreadPool::take(std::size_t id) {
   return nullptr;
 }
 
+void ThreadPool::run_task(Task& task) {
+  // Explicit no-throw boundary: an exception escaping a task would either
+  // std::terminate with no context here, or — if swallowed — leave every
+  // completion the task owed (runner latch count_down, caller condvars)
+  // unsignalled, deadlocking the joiners.  The runner's trial wrapper
+  // catches and stows exceptions before they reach the pool (runner.hpp);
+  // anything arriving here is a submitter bug and fails loudly.
+  try {
+    task();
+  } catch (const std::exception& e) {
+    Diagnostic d;
+    d.rule = "assert";
+    d.object = "thread_pool";
+    d.detail = e.what();
+    diag_emit(d);
+    Diagnostic fatal;
+    fatal.rule = "assert";
+    fatal.object = "thread_pool";
+    fatal.detail =
+        "pool task threw (tasks must be noexcept; wrap trial exceptions "
+        "before submit — see runner/thread_pool.hpp)";
+    diag_fail(fatal);
+  } catch (...) {
+    Diagnostic fatal;
+    fatal.rule = "assert";
+    fatal.object = "thread_pool";
+    fatal.detail =
+        "pool task threw a non-std exception (tasks must be noexcept; "
+        "wrap trial exceptions before submit — see runner/thread_pool.hpp)";
+    diag_fail(fatal);
+  }
+}
+
 void ThreadPool::worker_loop(std::size_t id) {
   for (;;) {
     Task task = take(id);
     if (task == nullptr) {
-      std::unique_lock<std::mutex> lock(state_mutex_);
+      MutexLock lock(state_mutex_);
       // A task submitted between the failed scan and this lock bumped
-      // `queued_` under the same mutex, so the predicate re-checks it —
-      // no lost wakeup window.
-      work_available_.wait(lock, [this] { return queued_ > 0 || stopping_; });
+      // `queued_` under the same mutex, so the wait predicate re-checks
+      // it — no lost wakeup window.
+      while (queued_ == 0 && !stopping_) work_available_.wait(state_mutex_);
       if (queued_ == 0 && stopping_) return;
       continue;  // retry the scan; another worker may have won the race
     }
     {
-      std::lock_guard<std::mutex> lock(state_mutex_);
+      MutexLock lock(state_mutex_);
       PARTIB_ASSERT(queued_ > 0);
       --queued_;
     }
-    task();
+    run_task(task);
   }
 }
 

@@ -12,17 +12,31 @@
 // The pool runs arbitrary move-only callables (common::InlineFn) and has
 // no futures of its own — the runner layers submission-order result
 // collection on top (runner/runner.hpp).
+//
+// Shutdown and exception policy (explicit, enforced):
+//  * ~ThreadPool (= shutdown()) drains every already-queued task, then
+//    joins; submitting during or after shutdown is a fatal assert.
+//  * Tasks must not throw.  The runner wraps each trial in a catch-all
+//    that stows the exception for rethrow on the submitting thread
+//    (runner.hpp), so a throwing task reaching the pool is a bug in the
+//    submitter — the worker converts it into a fatal structured
+//    diagnostic instead of letting std::terminate unwind with no context
+//    (or, worse, leaving joiners waiting on a completion signal the dead
+//    task will never send).
+//
+// All shared state is guarded by annotated partib::Mutex
+// (common/mutex.hpp) and compiler-checked under PARTIB_THREAD_SAFETY=ON.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/inline_fn.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace partib::runner {
 
@@ -40,21 +54,24 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue one task.  Tasks may be submitted from any thread, including
-  /// from within a running task.
+  /// from within a running task, but not once shutdown has begun.
   void submit(Task task);
 
   std::size_t threads() const { return workers_.size(); }
 
  private:
   struct Worker {
-    std::mutex mutex;
-    std::deque<Task> tasks;
+    Worker() : mutex("runner.worker_deque") {}
+    common::Mutex mutex;
+    std::deque<Task> tasks PARTIB_GUARDED_BY(mutex);
   };
 
   void worker_loop(std::size_t id);
   /// Pop from own back, else steal from the front of the next non-empty
   /// victim.  Returns an empty Task when every deque is empty.
   Task take(std::size_t id);
+  /// Run one task under the no-throw policy (see header comment).
+  static void run_task(Task& task);
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
@@ -62,11 +79,12 @@ class ThreadPool {
   // Submission/wakeup state: `queued_` counts tasks pushed but not yet
   // dequeued, and is only touched under `state_mutex_` so a worker that
   // observes queued_ == 0 under the lock cannot miss a wakeup.
-  std::mutex state_mutex_;
-  std::condition_variable work_available_;
-  std::size_t queued_ = 0;
-  std::size_t next_victim_ = 0;  // round-robin submission target
-  bool stopping_ = false;
+  common::Mutex state_mutex_{"runner.pool_state"};
+  common::CondVar work_available_;
+  std::size_t queued_ PARTIB_GUARDED_BY(state_mutex_) = 0;
+  // round-robin submission target
+  std::size_t next_victim_ PARTIB_GUARDED_BY(state_mutex_) = 0;
+  bool stopping_ PARTIB_GUARDED_BY(state_mutex_) = false;
 };
 
 /// Default worker count: PARTIB_JOBS when set (>= 1), otherwise the

@@ -4,6 +4,7 @@
 
 #include "check/hooks.hpp"
 #include "common/assert.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace partib::verbs {
 
@@ -38,7 +39,8 @@ bool Mr::contains(std::uint64_t addr, std::size_t len) const {
   return addr >= base && addr + len <= base + length();
 }
 
-int Cq::poll(std::span<Wc> out) {
+PARTIB_HOT int Cq::poll(std::span<Wc> out) {
+  PARTIB_CHECK_HOOK(on_owned_access(this, "cq"));
   int n = 0;
   while (n < static_cast<int>(out.size()) && !entries_.empty()) {
     out[static_cast<std::size_t>(n)] = entries_.front();
@@ -215,7 +217,8 @@ void Qp::release_wqe_ref(std::uint32_t slot) {
   }
 }
 
-Status Qp::post_send(const SendWr& wr) {
+PARTIB_HOT Status Qp::post_send(const SendWr& wr) {
+  PARTIB_CHECK_HOOK(on_owned_access(this, "qp"));
   PARTIB_CHECK_HOOK(on_post_send(this, &pd_, wr));
   if (state_ != QpState::kRts) return Status::kInvalidState;
   if (outstanding_ >= caps_.max_send_wr) return Status::kResourceExhausted;

@@ -1,0 +1,133 @@
+// ResultCache under concurrent readers and writers.  The cache's contract
+// is torn-read freedom: load() returns either a complete payload or a
+// miss, never a partial file (store() writes a unique temp file and
+// renames it into place).  These tests drive overlapping fingerprints from
+// several threads and verify that contract; run them under TSan for the
+// memory-level version of the same claim.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runner/result_cache.hpp"
+
+namespace partib::runner {
+namespace {
+
+class ResultCacheConcurrentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/partib_cache_test_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  /// Deterministic per-key payload, large enough that a torn write would
+  /// be visible as a truncated or mixed-prefix string.
+  static std::string payload_for(std::uint64_t key) {
+    std::string p;
+    p.reserve(4096 + 32);
+    p += "key=" + std::to_string(key) + ";";
+    p.append(4096, static_cast<char>('a' + (key % 26)));
+    return p;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ResultCacheConcurrentTest, OverlappingReadersAndWritersNeverTear) {
+  ResultCache cache(dir_);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  constexpr std::uint64_t kKeys = 16;
+  std::atomic<int> bad{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &bad, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const std::uint64_t key =
+            static_cast<std::uint64_t>(t * kIters + i) % kKeys;
+        if (t % 2 == 0) {
+          cache.store(key, payload_for(key));
+        } else if (auto got = cache.load(key)) {
+          if (*got != payload_for(key)) {
+            bad.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(bad.load(), 0) << "torn or mixed payload observed";
+
+  // Quiescent state: every key a writer thread produced reads back whole.
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    auto got = cache.load(key);
+    if (got) {
+      EXPECT_EQ(*got, payload_for(key)) << "key " << key;
+    }
+  }
+}
+
+TEST_F(ResultCacheConcurrentTest, DuplicateWritersOfOneKeyConverge) {
+  // Concurrent writers of the *same* fingerprint model duplicate configs
+  // in one grid: each renames a complete temp file, so the survivor is
+  // byte-identical regardless of interleaving.
+  ResultCache cache(dir_);
+  constexpr std::uint64_t kKey = 42;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 6; ++t) {
+    writers.emplace_back(
+        [&cache] { for (int i = 0; i < 100; ++i) cache.store(kKey, payload_for(kKey)); });
+  }
+  for (std::thread& t : writers) t.join();
+  auto got = cache.load(kKey);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, payload_for(kKey));
+  // No leaked temp files once every rename landed.
+  std::size_t stray = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().string().find(".tmp.") != std::string::npos) ++stray;
+  }
+  EXPECT_EQ(stray, 0u);
+}
+
+TEST_F(ResultCacheConcurrentTest, DisjointKeysAllPersist) {
+  ResultCache cache(dir_);
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      const std::uint64_t base = 1000u * static_cast<std::uint64_t>(t);
+      for (std::uint64_t k = 0; k < kPerThread; ++k) {
+        cache.store(base + k, payload_for(base + k));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    const std::uint64_t base = 1000u * static_cast<std::uint64_t>(t);
+    for (std::uint64_t k = 0; k < kPerThread; ++k) {
+      auto got = cache.load(base + k);
+      ASSERT_TRUE(got.has_value()) << "key " << base + k;
+      EXPECT_EQ(*got, payload_for(base + k));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace partib::runner

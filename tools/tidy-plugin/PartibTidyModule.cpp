@@ -1,0 +1,286 @@
+// Clang-tidy plugin implementing the four partib-* checks over the AST.
+//
+// Built as a shared object only when the clang-tidy development headers are
+// available (see CMakeLists.txt next to this file); loaded into stock
+// clang-tidy with
+//
+//   clang-tidy -load=libpartib_tidy_plugin.so -checks=partib-* ...
+//
+// The checks mirror tools/tidy-plugin/partib_lint.cpp — the lexer-based
+// fallback that runs on hosts without clang — and both emit the same
+// diagnostic grammar, so the FileCheck fixtures under test/ validate
+// either implementation.  Keep messages in sync when editing.
+
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "llvm/Support/Regex.h"
+
+namespace clang::tidy::partib {
+
+using namespace clang::ast_matchers;
+
+namespace {
+
+/// True when `loc` spells a file inside one of the deterministic
+/// simulation layers.
+bool inSimLayer(const SourceManager &SM, SourceLocation loc) {
+  static llvm::Regex re("(^|/)src/(sim|fabric|verbs|part)/");
+  return re.match(SM.getFilename(SM.getSpellingLoc(loc)));
+}
+
+bool inCommon(const SourceManager &SM, SourceLocation loc) {
+  static llvm::Regex re("(^|/)src/common/");
+  return re.match(SM.getFilename(SM.getSpellingLoc(loc)));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// partib-no-alloc-in-hot-path
+// ---------------------------------------------------------------------------
+
+class NoAllocInHotPathCheck : public ClangTidyCheck {
+ public:
+  using ClangTidyCheck::ClangTidyCheck;
+
+  void registerMatchers(MatchFinder *finder) override {
+    // PARTIB_HOT expands to __attribute__((annotate("partib_hot"))) under
+    // clang precisely so this check can find hot functions in the AST.
+    auto hotFunction = functionDecl(
+        hasAttr(attr::Annotate),
+        hasDescendant(stmt()));  // definition, not bare declaration
+    finder->addMatcher(
+        cxxNewExpr(hasAncestor(hotFunction)).bind("new"), this);
+    finder->addMatcher(
+        callExpr(hasAncestor(hotFunction),
+                 callee(functionDecl(hasAnyName(
+                     "malloc", "calloc", "realloc", "aligned_alloc",
+                     "posix_memalign", "strdup", "::std::make_unique",
+                     "::std::make_shared"))))
+            .bind("call"),
+        this);
+  }
+
+  void check(const MatchFinder::MatchResult &result) override {
+    if (const auto *e = result.Nodes.getNodeAs<CXXNewExpr>("new")) {
+      if (!isHot(result, e)) return;
+      diag(e->getBeginLoc(),
+           "heap allocation ('new') inside a PARTIB_HOT function");
+      return;
+    }
+    if (const auto *e = result.Nodes.getNodeAs<CallExpr>("call")) {
+      if (!isHot(result, e)) return;
+      const auto *callee = e->getDirectCallee();
+      diag(e->getBeginLoc(),
+           "heap allocation ('%0') inside a PARTIB_HOT function")
+          << (callee ? callee->getNameAsString() : std::string("alloc"));
+    }
+  }
+
+ private:
+  /// The attr::Annotate matcher above is spelling-agnostic; confirm the
+  /// annotation really is "partib_hot" before reporting.
+  template <typename NodeT>
+  static bool isHot(const MatchFinder::MatchResult &result, const NodeT *e) {
+    auto parents = result.Context->getParents(*e);
+    while (!parents.empty()) {
+      if (const auto *fd = parents[0].template get<FunctionDecl>()) {
+        for (const auto *attr : fd->specific_attrs<AnnotateAttr>()) {
+          if (attr->getAnnotation() == "partib_hot") return true;
+        }
+        return false;
+      }
+      parents = result.Context->getParents(parents[0]);
+    }
+    return false;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// partib-no-wall-clock-in-sim
+// ---------------------------------------------------------------------------
+
+class NoWallClockInSimCheck : public ClangTidyCheck {
+ public:
+  using ClangTidyCheck::ClangTidyCheck;
+
+  void registerMatchers(MatchFinder *finder) override {
+    finder->addMatcher(
+        callExpr(callee(functionDecl(hasAnyName(
+                     "::time", "::std::time", "::rand", "::std::rand",
+                     "::srand", "::std::srand", "::clock", "::std::clock",
+                     "::gettimeofday", "::drand48", "::random"))))
+            .bind("libc"),
+        this);
+    finder->addMatcher(
+        declRefExpr(to(namedDecl(hasAnyName(
+                        "::std::chrono::system_clock",
+                        "::std::chrono::steady_clock",
+                        "::std::chrono::high_resolution_clock"))))
+            .bind("clock"),
+        this);
+    finder->addMatcher(
+        typeLoc(loc(qualType(hasDeclaration(namedDecl(hasAnyName(
+                    "::std::chrono::system_clock",
+                    "::std::chrono::steady_clock",
+                    "::std::chrono::high_resolution_clock"))))))
+            .bind("clocktype"),
+        this);
+  }
+
+  void check(const MatchFinder::MatchResult &result) override {
+    const SourceManager &SM = *result.SourceManager;
+    if (const auto *e = result.Nodes.getNodeAs<CallExpr>("libc")) {
+      if (!inSimLayer(SM, e->getBeginLoc())) return;
+      diag(e->getBeginLoc(),
+           "non-deterministic libc call '%0()' in the simulation layer; "
+           "use the DES clock or a seeded RNG")
+          << e->getDirectCallee()->getNameAsString();
+      return;
+    }
+    SourceLocation loc;
+    std::string name;
+    if (const auto *e = result.Nodes.getNodeAs<DeclRefExpr>("clock")) {
+      loc = e->getBeginLoc();
+      name = e->getDecl()->getNameAsString();
+    } else if (const auto *tl =
+                   result.Nodes.getNodeAs<TypeLoc>("clocktype")) {
+      loc = tl->getBeginLoc();
+      name = tl->getType().getAsString();
+    } else {
+      return;
+    }
+    if (!inSimLayer(SM, loc)) return;
+    diag(loc,
+         "wall-clock source 'std::chrono::%0' in the deterministic "
+         "simulation layer; time comes from sim::Engine::now()")
+        << name;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// partib-diag-rule-registered
+// ---------------------------------------------------------------------------
+
+class DiagRuleRegisteredCheck : public ClangTidyCheck {
+ public:
+  DiagRuleRegisteredCheck(StringRef name, ClangTidyContext *context)
+      : ClangTidyCheck(name, context),
+        rulesFile_(Options.get("RulesFile", "src/check/rules.inc")) {
+    loadRules();
+  }
+
+  void storeOptions(ClangTidyOptions::OptionMap &opts) override {
+    Options.store(opts, "RulesFile", rulesFile_);
+  }
+
+  void registerMatchers(MatchFinder *finder) override {
+    finder->addMatcher(
+        callExpr(callee(functionDecl(hasName("::partib::check::report"))),
+                 hasArgument(0, stringLiteral().bind("lit"))),
+        this);
+    finder->addMatcher(
+        binaryOperator(
+            hasOperatorName("="),
+            hasLHS(memberExpr(member(hasName("rule")))),
+            hasRHS(ignoringImplicit(stringLiteral().bind("lit")))),
+        this);
+  }
+
+  void check(const MatchFinder::MatchResult &result) override {
+    const auto *lit = result.Nodes.getNodeAs<StringLiteral>("lit");
+    if (lit == nullptr || lit->getCharByteWidth() != 1) return;
+    const std::string id = lit->getString().str();
+    if (rules_.count(id) != 0) return;
+    diag(lit->getBeginLoc(),
+         "diagnostic names rule id '%0' which is not registered in "
+         "src/check/rules.inc")
+        << id;
+  }
+
+ private:
+  void loadRules() {
+    std::ifstream in(rulesFile_);
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto open = line.find("PARTIB_RULE(\"");
+      if (open == std::string::npos) continue;
+      const auto start = open + 13;
+      const auto end = line.find('"', start);
+      if (end != std::string::npos) {
+        rules_.insert(line.substr(start, end - start));
+      }
+    }
+  }
+
+  std::string rulesFile_;
+  std::set<std::string> rules_;
+};
+
+// ---------------------------------------------------------------------------
+// partib-mutex-wrapper-only
+// ---------------------------------------------------------------------------
+
+class MutexWrapperOnlyCheck : public ClangTidyCheck {
+ public:
+  using ClangTidyCheck::ClangTidyCheck;
+
+  void registerMatchers(MatchFinder *finder) override {
+    finder->addMatcher(
+        typeLoc(loc(qualType(hasDeclaration(cxxRecordDecl(hasAnyName(
+                    "::std::mutex", "::std::recursive_mutex",
+                    "::std::timed_mutex", "::std::recursive_timed_mutex",
+                    "::std::shared_mutex", "::std::shared_timed_mutex",
+                    "::std::condition_variable",
+                    "::std::condition_variable_any"))))))
+            .bind("type"),
+        this);
+  }
+
+  void check(const MatchFinder::MatchResult &result) override {
+    const auto *tl = result.Nodes.getNodeAs<TypeLoc>("type");
+    const SourceManager &SM = *result.SourceManager;
+    const SourceLocation loc = tl->getBeginLoc();
+    if (!loc.isValid() || SM.isInSystemHeader(loc)) return;
+    if (inCommon(SM, loc)) return;  // the wrapper itself lives there
+    diag(loc,
+         "raw '%0' outside src/common/; use common::Mutex / common::CondVar "
+         "(common/mutex.hpp) so thread-safety annotations and the "
+         "lock-order auditor see it")
+        << tl->getType().getAsString();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Module registration
+// ---------------------------------------------------------------------------
+
+class PartibModule : public ClangTidyModule {
+ public:
+  void addCheckFactories(ClangTidyCheckFactories &factories) override {
+    factories.registerCheck<NoAllocInHotPathCheck>(
+        "partib-no-alloc-in-hot-path");
+    factories.registerCheck<NoWallClockInSimCheck>(
+        "partib-no-wall-clock-in-sim");
+    factories.registerCheck<DiagRuleRegisteredCheck>(
+        "partib-diag-rule-registered");
+    factories.registerCheck<MutexWrapperOnlyCheck>(
+        "partib-mutex-wrapper-only");
+  }
+};
+
+static ClangTidyModuleRegistry::Add<PartibModule> X(
+    "partib-module", "partib project-specific checks");
+
+// Anchor so -load keeps the module object alive.
+volatile int PartibModuleAnchorSource = 0;
+
+}  // namespace clang::tidy::partib

@@ -1,0 +1,21 @@
+// Fixture: partib-no-alloc-in-hot-path fires on heap allocation inside a
+// PARTIB_HOT function body.  Linted as src/part/alloc_fire.cpp; never
+// compiled, so the declarations are free-standing.
+
+// Cold function: allocation is fine, no marker, no finding.
+int* cold(int n) { return new int(n); }
+
+// CHECK: src/part/alloc_fire.cpp:[[@LINE+3]]:12: warning: heap allocation ('new') inside a PARTIB_HOT function [partib-no-alloc-in-hot-path]
+// CHECK: src/part/alloc_fire.cpp:[[@LINE+4]]:17: warning: heap allocation ('make_unique') inside a PARTIB_HOT function [partib-no-alloc-in-hot-path]
+PARTIB_HOT int hot_path(int n) {
+  int* p = new int(n);
+  int result = *p;
+  auto q = std::make_unique<int>(n);
+  delete p;
+  return result + *q;
+}
+
+// CHECK: src/part/alloc_fire.cpp:[[@LINE+2]]:29: warning: heap allocation ('malloc') inside a PARTIB_HOT function [partib-no-alloc-in-hot-path]
+PARTIB_HOT void* hot_malloc(unsigned long n) {
+  return static_cast<char*>(malloc(n));
+}

@@ -1,0 +1,22 @@
+// Fixture: partib-no-alloc-in-hot-path stays silent on a clean hot
+// function, on cold allocations, and on a NOLINT-suppressed allocation.
+// Linted as src/part/alloc_silent.cpp.
+
+// SILENT-NOT: warning:
+
+int* cold(int n) { return new int(n); }
+
+PARTIB_HOT int hot_clean(const int* ring, unsigned idx, unsigned mask) {
+  // Fast path touches preallocated storage only.
+  return ring[idx & mask];
+}
+
+PARTIB_HOT int* hot_justified(int n) {
+  // One-time lazy init measured to be off the steady-state path.
+  return new int(n);  // NOLINT(partib-no-alloc-in-hot-path)
+}
+
+// A bodiless PARTIB_HOT declaration marks nothing hot.
+PARTIB_HOT int hot_decl(int n);
+
+int cold_after_decl(int n) { return *(new int(n)); }

@@ -1,0 +1,15 @@
+// Fixture: partib-diag-rule-registered fires when a diagnostic names a
+// rule id absent from src/check/rules.inc.  Linted as
+// src/check/diagrule_fire.cpp with --rules pointing at the real registry.
+
+// CHECK: src/check/diagrule_fire.cpp:[[@LINE+2]]:10: warning: diagnostic names rule id 'part.no_such_rule' which is not registered in src/check/rules.inc [partib-diag-rule-registered]
+void bad_report(int rank) {
+  report("part.no_such_rule", "psend", rank, "oops");
+}
+
+// CHECK: src/check/diagrule_fire.cpp:[[@LINE+3]]:12: warning: diagnostic names rule id 'qp.transiton' which is not registered in src/check/rules.inc [partib-diag-rule-registered]
+void bad_assignment() {
+  Diagnostic d;
+  d.rule = "qp.transiton";  // typo'd id
+  diag_emit(d);
+}

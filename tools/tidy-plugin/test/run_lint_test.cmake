@@ -1,0 +1,57 @@
+# Driver for the partib_lint FileCheck fixtures (lit-style, without lit).
+#
+#   cmake -DLINT=<partib_lint> -DFILECHECK=<FileCheck> -DFIXTURE=<file>
+#         -DAS_PATH=<virtual path> -DRULES=<rules.inc> -DMODE=<fire|silent>
+#         -DOUT=<scratch file> -P run_lint_test.cmake
+#
+# fire:   lint must exit 1 and its output must satisfy the fixture's
+#         CHECK lines (FileCheck uses the fixture itself as the check file).
+# silent: lint must exit 0 with empty output; FileCheck additionally runs
+#         the fixture's SILENT-NOT lines over the (empty) output.
+
+foreach(var LINT FILECHECK FIXTURE AS_PATH RULES MODE OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_lint_test.cmake: missing -D${var}=")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${LINT} --rules=${RULES} --as-path=${AS_PATH} ${FIXTURE}
+  OUTPUT_VARIABLE lint_out
+  ERROR_VARIABLE lint_err
+  RESULT_VARIABLE lint_res)
+file(WRITE ${OUT} "${lint_out}")
+
+if(lint_res GREATER 1)
+  message(FATAL_ERROR "partib_lint usage/I-O error (${lint_res}): ${lint_err}")
+endif()
+
+if(MODE STREQUAL "fire")
+  if(lint_res EQUAL 0)
+    message(FATAL_ERROR "expected findings on ${FIXTURE}, got none")
+  endif()
+  execute_process(
+    COMMAND ${FILECHECK} ${FIXTURE} --input-file=${OUT}
+    ERROR_VARIABLE fc_err
+    RESULT_VARIABLE fc_res)
+  if(NOT fc_res EQUAL 0)
+    message(FATAL_ERROR
+            "FileCheck mismatch for ${FIXTURE}:\n${fc_err}\n"
+            "lint output was:\n${lint_out}")
+  endif()
+elseif(MODE STREQUAL "silent")
+  if(NOT lint_res EQUAL 0)
+    message(FATAL_ERROR
+            "expected silence on ${FIXTURE}, got findings:\n${lint_out}")
+  endif()
+  execute_process(
+    COMMAND ${FILECHECK} ${FIXTURE} --input-file=${OUT}
+            --check-prefix=SILENT --allow-empty
+    ERROR_VARIABLE fc_err
+    RESULT_VARIABLE fc_res)
+  if(NOT fc_res EQUAL 0)
+    message(FATAL_ERROR "FileCheck mismatch for ${FIXTURE}:\n${fc_err}")
+  endif()
+else()
+  message(FATAL_ERROR "MODE must be fire or silent, got '${MODE}'")
+endif()

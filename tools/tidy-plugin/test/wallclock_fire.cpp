@@ -1,0 +1,23 @@
+// Fixture: partib-no-wall-clock-in-sim fires on wall-clock and libc
+// randomness inside the simulation layers.  Linted as
+// src/sim/wallclock_fire.cpp.
+
+// CHECK: src/sim/wallclock_fire.cpp:[[@LINE+2]]:23: warning: wall-clock source 'std::chrono::system_clock' in the deterministic simulation layer; time comes from sim::Engine::now() [partib-no-wall-clock-in-sim]
+long wall_now() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+// CHECK: src/sim/wallclock_fire.cpp:[[@LINE+2]]:10: warning: non-deterministic libc call 'rand()' in the simulation layer; use the DES clock or a seeded RNG [partib-no-wall-clock-in-sim]
+int jitter() {
+  return rand() % 7;
+}
+
+// CHECK: src/sim/wallclock_fire.cpp:[[@LINE+2]]:10: warning: non-deterministic libc call 'time()' in the simulation layer; use the DES clock or a seeded RNG [partib-no-wall-clock-in-sim]
+long stamp() {
+  return time(nullptr);
+}
+
+// CHECK: src/sim/wallclock_fire.cpp:[[@LINE+2]]:3: warning: non-deterministic libc call 'srand()' in the simulation layer; use the DES clock or a seeded RNG [partib-no-wall-clock-in-sim]
+void reseed(unsigned s) {
+  srand(s);
+}

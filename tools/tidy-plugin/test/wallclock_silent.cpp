@@ -1,0 +1,32 @@
+// Fixture: partib-no-wall-clock-in-sim stays silent on DES-clock use,
+// identifiers that merely contain banned names, member/qualified calls,
+// and suppressed lines.  Linted as src/sim/wallclock_silent.cpp.
+
+// SILENT-NOT: warning:
+
+long des_now(Engine& engine) {
+  return engine.now();  // the one legitimate clock
+}
+
+long member_named_time(const Wc& wc) {
+  return wc.completion_time;     // field, not a call
+}
+
+long method_named_time(Trace& t) {
+  return t.time();               // member call on a domain object
+}
+
+long qualified(Trace& t) {
+  return Trace::time(t);         // class-qualified, not libc
+}
+
+long declaration() {
+  Duration time(3);              // variable named 'time'
+  return time.count();
+}
+
+unsigned suppressed_seed() {
+  // Seeding the *host-side* shuffle for a stress harness is justified:
+  // NOLINTNEXTLINE(partib-no-wall-clock-in-sim)
+  return static_cast<unsigned>(time(nullptr));
+}
