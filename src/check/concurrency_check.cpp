@@ -27,8 +27,14 @@ namespace {
 
 std::atomic<bool> g_lock_audit{false};
 std::atomic<bool> g_owner_audit{false};
+std::atomic<bool> g_shard_audit{false};
 std::atomic<std::uint64_t> g_lock_order_count{0};
 std::atomic<std::uint64_t> g_cross_thread_count{0};
+std::atomic<std::uint64_t> g_shard_affinity_count{0};
+
+// Shard the calling thread has declared itself to be draining
+// (ScopedShardAffinity); kNoShard outside any drain.
+thread_local int t_active_shard = kNoShard;
 
 // One entry per partib::Mutex the calling thread currently holds.
 struct HeldLock {
@@ -231,6 +237,38 @@ void rebind_owner(const void* obj) {
   it->second.tid = std::this_thread::get_id();
 }
 
+void shard_audit_enable(bool on) {
+  g_shard_audit.store(on, std::memory_order_relaxed);
+}
+
+bool shard_audit_enabled() {
+  return g_shard_audit.load(std::memory_order_relaxed);
+}
+
+std::size_t shard_affinity_reports() {
+  return static_cast<std::size_t>(
+      g_shard_affinity_count.load(std::memory_order_relaxed));
+}
+
+void on_shard_access(const void* obj, int object_shard, const char* kind) {
+  if (!g_shard_audit.load(std::memory_order_relaxed)) return;
+  if (t_in_observer) return;
+  // Untagged objects and non-drain contexts are exempt (header comment).
+  if (object_shard == kNoShard || t_active_shard == kNoShard) return;
+  if (object_shard == t_active_shard) return;
+  g_shard_affinity_count.fetch_add(1, std::memory_order_relaxed);
+  char detail[160];
+  std::snprintf(detail, sizeof(detail),
+                "drain for shard %d touched a %s at %p tagged for shard %d "
+                "— shard partitioning violated",
+                t_active_shard, kind, obj, object_shard);
+  report("check.shard_affinity", kind, -1, detail);
+}
+
+void set_active_shard(int shard) { t_active_shard = shard; }
+
+int active_shard() { return t_active_shard; }
+
 std::size_t held_lock_count() { return t_held.size(); }
 
 namespace detail {
@@ -239,8 +277,11 @@ void reset_concurrency_shadow() {
   g_lock_audit.store(false, std::memory_order_relaxed);
   g_owner_audit.store(false, std::memory_order_relaxed);
   update_observer();
+  g_shard_audit.store(false, std::memory_order_relaxed);
   g_lock_order_count.store(0, std::memory_order_relaxed);
   g_cross_thread_count.store(0, std::memory_order_relaxed);
+  g_shard_affinity_count.store(0, std::memory_order_relaxed);
+  t_active_shard = kNoShard;
   {
     std::lock_guard<std::mutex> lock(g_graph_mu);
     g_edges.clear();

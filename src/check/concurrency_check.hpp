@@ -67,6 +67,50 @@ void forget_owned(const void* obj);
 /// Explicit ownership handoff: the calling thread becomes the owner.
 void rebind_owner(const void* obj);
 
+// --- shard-affinity auditor ---------------------------------------------
+//
+// The sharded progress runtime (src/runtime/) partitions QPs and CQs into
+// shards, each drained by exactly one progress context at a time.  Verbs
+// objects carry a shard tag (Qp::set_shard / Cq::set_shard) and the
+// drain loop declares its shard via ScopedShardAffinity; touching an
+// object tagged for a *different* shard from inside a drain fires
+// `check.shard_affinity` — the dynamic proof that the shard partitioning
+// is real and not just a naming convention.  Accesses outside any drain
+// (DES mode, registration phase) are exempt: affinity is a property of
+// the drain loops, not of single-threaded setup code.
+
+void shard_audit_enable(bool on);
+bool shard_audit_enabled();
+
+/// Process-wide count of check.shard_affinity reports.
+std::size_t shard_affinity_reports();
+
+/// Hook site: `obj` (tagged `object_shard`; kNoShard = untagged) was
+/// touched.  Reports when both the object's tag and the calling thread's
+/// active shard are set and differ.
+void on_shard_access(const void* obj, int object_shard, const char* kind);
+
+/// Declare the calling thread's active shard (kNoShard to clear).
+void set_active_shard(int shard);
+int active_shard();
+
+inline constexpr int kNoShard = -1;
+
+/// RAII shard declaration for drain loops (restores the previous shard, so
+/// nested drains — which the runtime never does, but tests do — unwind).
+class ScopedShardAffinity {
+ public:
+  explicit ScopedShardAffinity(int shard) : prev_(active_shard()) {
+    set_active_shard(shard);
+  }
+  ~ScopedShardAffinity() { set_active_shard(prev_); }
+  ScopedShardAffinity(const ScopedShardAffinity&) = delete;
+  ScopedShardAffinity& operator=(const ScopedShardAffinity&) = delete;
+
+ private:
+  int prev_;
+};
+
 /// Number of audited (partib::Mutex) locks the calling thread holds.
 /// Only meaningful while an auditor is enabled (the observer is otherwise
 /// not installed).
@@ -87,6 +131,14 @@ class ScopedOwnerAudit {
   ~ScopedOwnerAudit() { owner_audit_enable(false); }
   ScopedOwnerAudit(const ScopedOwnerAudit&) = delete;
   ScopedOwnerAudit& operator=(const ScopedOwnerAudit&) = delete;
+};
+
+class ScopedShardAudit {
+ public:
+  ScopedShardAudit() { shard_audit_enable(true); }
+  ~ScopedShardAudit() { shard_audit_enable(false); }
+  ScopedShardAudit(const ScopedShardAudit&) = delete;
+  ScopedShardAudit& operator=(const ScopedShardAudit&) = delete;
 };
 
 namespace detail {

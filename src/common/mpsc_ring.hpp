@@ -1,0 +1,132 @@
+// Bounded lock-free MPSC hand-off ring (Vyukov bounded-queue layout).
+//
+// The threaded runtime (src/runtime/) moves pready/pready_range claims
+// from N producer threads to the single bridge thread that owns the DES
+// engine.  `Ring<T>` (common/ring.hpp) is single-threaded by design, and
+// a mutex-guarded deque would put every producer on the consumer's poll
+// path — exactly the contention the sharded engine exists to avoid.  This
+// ring is the classic Dmitry Vyukov bounded queue: one cache-line-sized
+// cell per slot, each carrying its own sequence counter, so a push is one
+// fetch_add on the tail plus one release store into a private cell, and
+// producers never touch the consumer's head index.
+//
+// Capacity is fixed at construction (rounded up to a power of two) and
+// the ring never allocates after that: the runtime sizes rings so a full
+// round of claims fits, and `try_push` reports a full ring instead of
+// blocking so the producer can fall back to the shard mutex (the slow
+// path the lock-order auditor already understands).
+//
+// Memory-order contract (what TSan checks and the comments below assume):
+//  * `seq` acquire-load in push/pop synchronizes with the release store
+//    that published the cell, so the payload write happens-before the
+//    consumer's read without any fence on the payload itself.
+//  * The queue is linearizable per-producer FIFO; cross-producer order is
+//    whatever the tail fetch_add order was, which is all the runtime
+//    needs (claims commute — the bitmap fetch_or already decided
+//    exactly-once ownership before the push).
+//
+// T must be trivially copyable: cells are reused in place and pop returns
+// by value.  ReadyOp (runtime/shard.hpp) is a 16-byte POD.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace partib::common {
+
+template <typename T>
+class MpscRing {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "MpscRing hands cells off by value between threads");
+
+ public:
+  explicit MpscRing(std::size_t capacity)
+      : mask_(next_pow2(capacity < 2 ? 2 : capacity) - 1),
+        cells_(std::make_unique<Cell[]>(mask_ + 1)) {
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Multi-producer push.  Returns false when the ring is full (the cell
+  /// the tail points at has not been consumed yet); never blocks.
+  bool try_push(const T& value) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      std::intptr_t diff =
+          static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        // Cell is free for this ticket; claim it with a CAS on the tail
+        // (weak is fine: a spurious failure just retries the loop).
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          cell.value = value;
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        // The consumer is a full lap behind: ring full.
+        return false;
+      } else {
+        // Another producer took this ticket; chase the tail.
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Single-consumer pop.  Returns false when empty.  Must only be called
+  /// from the one consumer thread (the bridge / shard drain).
+  bool try_pop(T& out) {
+    Cell& cell = cells_[head_ & mask_];
+    std::size_t seq = cell.seq.load(std::memory_order_acquire);
+    if (static_cast<std::intptr_t>(seq) -
+            static_cast<std::intptr_t>(head_ + 1) !=
+        0) {
+      return false;  // producer has not published this cell yet
+    }
+    out = cell.value;
+    // Recycle the cell for the producer one lap ahead.
+    cell.seq.store(head_ + mask_ + 1, std::memory_order_release);
+    ++head_;
+    return true;
+  }
+
+  /// Consumer-side emptiness probe (same thread as try_pop).  A false
+  /// result is momentarily stale by construction — producers may push
+  /// right after — so callers pair it with an external quiescence signal
+  /// (runtime: producers_done + per-producer pushed counts).
+  bool consumer_empty() const {
+    const Cell& cell = cells_[head_ & mask_];
+    std::size_t seq = cell.seq.load(std::memory_order_acquire);
+    return static_cast<std::intptr_t>(seq) -
+               static_cast<std::intptr_t>(head_ + 1) !=
+           0;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  const std::size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  // Producers share the tail; the consumer owns the head.  Separate cache
+  // lines so tail CAS traffic never invalidates the consumer's head line.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  alignas(64) std::size_t head_{0};
+};
+
+}  // namespace partib::common

@@ -7,41 +7,61 @@
 namespace partib::mpi {
 
 void InitMatcher::post_recv_init(const MatchKey& key, OnMatch on_match) {
-  for (std::size_t i = 0; i < unexpected_send_.size(); ++i) {
-    if (unexpected_send_[i].init.key != key) continue;
-    // Front-to-back scan of a posted-order vector: the first hit is the
-    // oldest matching entry, which is exactly MPI's ordered-matching rule.
+  SendInit matched;
+  bool hit = false;
+  {
+    common::MutexLock lock(mu_);
+    for (std::size_t i = 0; i < unexpected_send_.size(); ++i) {
+      if (unexpected_send_[i].init.key != key) continue;
+      // Front-to-back scan of a posted-order vector: the first hit is the
+      // oldest matching entry, which is exactly MPI's ordered-matching
+      // rule.
 #if PARTIB_CHECK_ENABLED
-    for (std::size_t j = 0; j < i; ++j) {
-      PARTIB_ASSERT_MSG(unexpected_send_[j].seq < unexpected_send_[i].seq,
-                        "matcher drain order not posted order");
-    }
+      for (std::size_t j = 0; j < i; ++j) {
+        PARTIB_ASSERT_MSG(unexpected_send_[j].seq < unexpected_send_[i].seq,
+                          "matcher drain order not posted order");
+      }
 #endif
-    const SendInit init = std::move(unexpected_send_[i].init);
-    unexpected_send_.erase(unexpected_send_.begin() +
-                           static_cast<std::ptrdiff_t>(i));
-    on_match(init);
-    return;
+      matched = std::move(unexpected_send_[i].init);
+      unexpected_send_.erase(unexpected_send_.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+      hit = true;
+      break;
+    }
+    if (!hit) {
+      pending_recv_.push_back(
+          PendingRecv{key, std::move(on_match), next_seq_++});
+      return;
+    }
   }
-  pending_recv_.push_back(PendingRecv{key, std::move(on_match), next_seq_++});
+  on_match(matched);  // outside mu_ (header comment)
 }
 
 void InitMatcher::on_send_init(const SendInit& init) {
-  for (std::size_t i = 0; i < pending_recv_.size(); ++i) {
-    if (pending_recv_[i].key != init.key) continue;
+  OnMatch on_match;
+  {
+    common::MutexLock lock(mu_);
+    bool hit = false;
+    for (std::size_t i = 0; i < pending_recv_.size(); ++i) {
+      if (pending_recv_[i].key != init.key) continue;
 #if PARTIB_CHECK_ENABLED
-    for (std::size_t j = 0; j < i; ++j) {
-      PARTIB_ASSERT_MSG(pending_recv_[j].seq < pending_recv_[i].seq,
-                        "matcher drain order not posted order");
-    }
+      for (std::size_t j = 0; j < i; ++j) {
+        PARTIB_ASSERT_MSG(pending_recv_[j].seq < pending_recv_[i].seq,
+                          "matcher drain order not posted order");
+      }
 #endif
-    OnMatch on_match = std::move(pending_recv_[i].on_match);
-    pending_recv_.erase(pending_recv_.begin() +
-                        static_cast<std::ptrdiff_t>(i));
-    on_match(init);
-    return;
+      on_match = std::move(pending_recv_[i].on_match);
+      pending_recv_.erase(pending_recv_.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+      hit = true;
+      break;
+    }
+    if (!hit) {
+      unexpected_send_.push_back(UnexpectedSend{init, next_seq_++});
+      return;
+    }
   }
-  unexpected_send_.push_back(UnexpectedSend{init, next_seq_++});
+  on_match(init);  // outside mu_ (header comment)
 }
 
 }  // namespace partib::mpi

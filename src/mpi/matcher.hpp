@@ -5,12 +5,20 @@
 // wildcards (§II-A: avoiding wildcard matching is one of the interface's
 // deliberate benefits for threaded codes).  Matching happens once, at
 // initialisation — never on the per-partition fast path.
+// Thread-safety: both queues live under the annotated `mu_`; the matched
+// on_match callback is invoked *after* the lock is released (it re-enters
+// PrecvRequest setup, which posts WRs and sends credits — none of which
+// may run under the matcher's lock).  Matching remains init-time-only, so
+// this lock is never on the per-partition fast path.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace partib::mpi {
 
@@ -63,8 +71,14 @@ class InitMatcher {
   /// A remote Psend_init handshake arrived.
   void on_send_init(const SendInit& init);
 
-  std::size_t pending_recvs() const { return pending_recv_.size(); }
-  std::size_t unexpected_sends() const { return unexpected_send_.size(); }
+  std::size_t pending_recvs() const {
+    common::MutexLock lock(mu_);
+    return pending_recv_.size();
+  }
+  std::size_t unexpected_sends() const {
+    common::MutexLock lock(mu_);
+    return unexpected_send_.size();
+  }
 
  private:
   struct PendingRecv {
@@ -77,9 +91,11 @@ class InitMatcher {
     std::uint64_t seq;
   };
 
-  std::vector<PendingRecv> pending_recv_;
-  std::vector<UnexpectedSend> unexpected_send_;
-  std::uint64_t next_seq_ = 0;  ///< posted-order stamp (both sides share it)
+  mutable common::Mutex mu_{"mpi.matcher"};
+  std::vector<PendingRecv> pending_recv_ PARTIB_GUARDED_BY(mu_);
+  std::vector<UnexpectedSend> unexpected_send_ PARTIB_GUARDED_BY(mu_);
+  /// posted-order stamp (both sides share it)
+  std::uint64_t next_seq_ PARTIB_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace partib::mpi

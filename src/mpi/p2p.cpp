@@ -1,6 +1,7 @@
 #include "mpi/p2p.hpp"
 
 #include <cstring>
+#include <utility>
 
 #include "common/assert.hpp"
 #include "common/bits.hpp"
@@ -21,6 +22,7 @@ P2pEndpoint::P2pEndpoint(Rank& rank)
   cq_->set_on_push([this] { schedule_progress(); });
   arena_mr_ = &rank_.pd().register_mr(
       arena_, verbs::kLocalWrite | verbs::kLocalRead);
+  common::MutexLock lock(mu_);
   free_slots_.reserve(kTotalSlots);
   for (std::size_t i = 0; i < kTotalSlots; ++i) {
     free_slots_.push_back(i * kSlotBytes);
@@ -57,6 +59,8 @@ void P2pEndpoint::connect(int peer) {
     P2pEndpoint* remote_ep = world.rank(peer).p2p();
     PARTIB_ASSERT_MSG(remote_ep != nullptr,
                       "peer rank has no P2pEndpoint");
+    // send_control only schedules; the remote entry point runs from a
+    // later engine event with no lock held here.
     world.send_control(me, peer, [remote_ep, me, qpn] {
       remote_ep->on_connect_request(me, qpn);
     });
@@ -70,9 +74,13 @@ void P2pEndpoint::connect(int peer) {
   }
 }
 
-void P2pEndpoint::on_connect_poke(int peer) { connect(peer); }
+void P2pEndpoint::on_connect_poke(int peer) {
+  common::MutexLock lock(mu_);
+  connect(peer);
+}
 
 void P2pEndpoint::on_connect_request(int peer, std::uint32_t peer_qp_num) {
+  common::MutexLock lock(mu_);
   Peer& p = peer_state(peer);
   PARTIB_ASSERT(!p.connected);
   p.qp = &make_qp();
@@ -88,10 +96,11 @@ void P2pEndpoint::on_connect_request(int peer, std::uint32_t peer_qp_num) {
   rank_.world().send_control(me, peer, [remote_ep, me, qpn] {
     remote_ep->on_connect_ack(me, qpn);
   });
-  flush_deferred(p);
+  flush_deferred(peer);
 }
 
 void P2pEndpoint::on_connect_ack(int peer, std::uint32_t peer_qp_num) {
+  common::MutexLock lock(mu_);
   Peer& p = peer_state(peer);
   PARTIB_ASSERT(p.qp != nullptr && !p.connected);
   PARTIB_ASSERT(ok(p.qp->to_rtr(peer_qp_num)));
@@ -99,7 +108,7 @@ void P2pEndpoint::on_connect_ack(int peer, std::uint32_t peer_qp_num) {
   allocate_and_post_recv_slots(peer);
   p.connected = true;
   p.send_credits = static_cast<int>(kRecvSlotsPerPeer);
-  flush_deferred(p);
+  flush_deferred(peer);
 }
 
 std::size_t P2pEndpoint::take_slot() {
@@ -133,16 +142,15 @@ Status P2pEndpoint::send(int dst, int tag, std::span<const std::byte> data,
     return Status::kInvalidArgument;
   }
   if (data.size() > kEagerLimit) return Status::kResourceExhausted;
+  common::MutexLock lock(mu_);
   connect(dst);
   Peer& p = peer_state(dst);
   if (!p.connected || p.send_credits == 0) {
     // Stage a copy now (eager semantics: the caller's buffer is reusable
     // on return) and dispatch once connected / credited.
-    std::vector<std::byte> copy(data.begin(), data.end());
-    p.deferred_sends.push_back(
-        [this, dst, tag, copy = std::move(copy), done = std::move(done)] {
-          send_now(dst, tag, copy, done);
-        });
+    p.deferred_sends.push_back(DeferredSend{
+        tag, std::vector<std::byte>(data.begin(), data.end()),
+        std::move(done)});
     return Status::kOk;
   }
   send_now(dst, tag, data, std::move(done));
@@ -181,6 +189,7 @@ Status P2pEndpoint::recv(int src, int tag, std::span<std::byte> buffer,
     return Status::kInvalidArgument;  // wildcards unsupported, as ever
   }
   const auto key = std::make_pair(src, tag);
+  common::MutexLock lock(mu_);
   auto uit = unexpected_.find(key);
   if (uit != unexpected_.end() && !uit->second.empty()) {
     std::vector<std::byte> payload = std::move(uit->second.front());
@@ -191,8 +200,10 @@ Status P2pEndpoint::recv(int src, int tag, std::span<std::byte> buffer,
     if (!payload.empty()) {
       std::memcpy(buffer.data(), payload.data(), payload.size());
     }
-    ++recvs_completed_;
+    recvs_completed_.fetch_add(1, std::memory_order_relaxed);
     const std::size_t n = payload.size();
+    // Already asynchronous: the callback fires from a fresh engine event,
+    // never under mu_.
     rank_.world().engine().schedule_after(
         0, [done = std::move(done), n] { done(n); });
     return Status::kOk;
@@ -201,60 +212,72 @@ Status P2pEndpoint::recv(int src, int tag, std::span<std::byte> buffer,
   return Status::kOk;
 }
 
-void P2pEndpoint::flush_deferred(Peer& peer) {
-  while (!peer.deferred_sends.empty() && peer.connected &&
-         peer.send_credits > 0) {
-    auto fn = std::move(peer.deferred_sends.front());
-    peer.deferred_sends.pop_front();
-    fn();
+void P2pEndpoint::flush_deferred(int peer) {
+  Peer& p = peer_state(peer);
+  while (!p.deferred_sends.empty() && p.connected && p.send_credits > 0) {
+    DeferredSend d = std::move(p.deferred_sends.front());
+    p.deferred_sends.pop_front();
+    send_now(peer, d.tag, d.copy, std::move(d.done));
   }
 }
 
 void P2pEndpoint::on_credit(int peer) {
+  common::MutexLock lock(mu_);
   Peer& p = peer_state(peer);
   ++p.send_credits;
-  flush_deferred(p);
+  flush_deferred(peer);
 }
 
 void P2pEndpoint::schedule_progress() {
-  if (progress_scheduled_) return;
-  progress_scheduled_ = true;
+  // exchange, not test-and-store: two racing CQ notifications must fold
+  // into exactly one scheduled progress event (the pre-threaded code's
+  // check-then-set was the race seed ISSUE 7 calls out).
+  if (progress_scheduled_.exchange(true, std::memory_order_acq_rel)) return;
   rank_.world().engine().schedule_after(0, [this] {
-    progress_scheduled_ = false;
+    progress_scheduled_.store(false, std::memory_order_release);
     progress();
   });
 }
 
 void P2pEndpoint::progress() {
-  verbs::Wc wcs[16];
-  int n;
-  while ((n = cq_->poll(std::span<verbs::Wc>(wcs))) > 0) {
-    for (int i = 0; i < n; ++i) {
-      const verbs::Wc& wc = wcs[i];
-      PARTIB_ASSERT_MSG(wc.status == verbs::WcStatus::kSuccess,
-                        to_string(wc.status));
-      if (wc.opcode == verbs::WcOpcode::kSend) {
-        auto it = inflight_sends_.find(wc.wr_id);
-        PARTIB_ASSERT(it != inflight_sends_.end());
-        free_slots_.push_back(it->second.first);
-        SendDone done = std::move(it->second.second);
-        inflight_sends_.erase(it);
-        ++sends_completed_;
-        if (done) done();
-      } else {
-        PARTIB_ASSERT(wc.opcode == verbs::WcOpcode::kRecv);
-        auto it = recv_slot_of_wr_.find(wc.wr_id);
-        PARTIB_ASSERT(it != recv_slot_of_wr_.end());
-        const auto [peer, offset] = it->second;
-        recv_slot_of_wr_.erase(it);
-        deliver(peer, wc, offset);
+  // Completion callbacks collected under the lock, invoked after it: a
+  // done callback may re-enter send()/recv() (non-recursive Mutex), and
+  // holding a lock across user code is how lock-order cycles start.
+  std::vector<std::function<void()>> fired;
+  {
+    common::MutexLock lock(mu_);
+    verbs::Wc wcs[16];
+    int n;
+    while ((n = cq_->poll(std::span<verbs::Wc>(wcs))) > 0) {
+      for (int i = 0; i < n; ++i) {
+        const verbs::Wc& wc = wcs[i];
+        PARTIB_ASSERT_MSG(wc.status == verbs::WcStatus::kSuccess,
+                          to_string(wc.status));
+        if (wc.opcode == verbs::WcOpcode::kSend) {
+          auto it = inflight_sends_.find(wc.wr_id);
+          PARTIB_ASSERT(it != inflight_sends_.end());
+          free_slots_.push_back(it->second.first);
+          SendDone done = std::move(it->second.second);
+          inflight_sends_.erase(it);
+          sends_completed_.fetch_add(1, std::memory_order_relaxed);
+          if (done) fired.push_back(std::move(done));
+        } else {
+          PARTIB_ASSERT(wc.opcode == verbs::WcOpcode::kRecv);
+          auto it = recv_slot_of_wr_.find(wc.wr_id);
+          PARTIB_ASSERT(it != recv_slot_of_wr_.end());
+          const auto [peer, offset] = it->second;
+          recv_slot_of_wr_.erase(it);
+          deliver(peer, wc, offset, fired);
+        }
       }
     }
   }
+  for (auto& fn : fired) fn();
 }
 
 void P2pEndpoint::deliver(int peer, const verbs::Wc& wc,
-                          std::size_t slot_offset) {
+                          std::size_t slot_offset,
+                          std::vector<std::function<void()>>& fired) {
   Header header;
   PARTIB_ASSERT(wc.byte_len >= sizeof(header));
   std::memcpy(&header, arena_.data() + slot_offset, sizeof(header));
@@ -272,8 +295,10 @@ void P2pEndpoint::deliver(int peer, const verbs::Wc& wc,
     if (header.size > 0) {
       std::memcpy(pending.buffer.data(), payload, header.size);
     }
-    ++recvs_completed_;
-    pending.done(header.size);
+    recvs_completed_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t n = header.size;
+    fired.push_back(
+        [done = std::move(pending.done), n] { done(n); });
   } else {
     unexpected_[key].emplace_back(payload, payload + header.size);
   }
@@ -290,12 +315,14 @@ void P2pEndpoint::deliver(int peer, const verbs::Wc& wc,
 }
 
 std::size_t P2pEndpoint::unexpected_count() const {
+  common::MutexLock lock(mu_);
   std::size_t n = 0;
   for (const auto& [k, q] : unexpected_) n += q.size();
   return n;
 }
 
 std::size_t P2pEndpoint::pending_recvs() const {
+  common::MutexLock lock(mu_);
   std::size_t n = 0;
   for (const auto& [k, q] : posted_) n += q.size();
   return n;

@@ -13,8 +13,15 @@
 // Eager-only: messages larger than the slot size are rejected
 // (kResourceExhausted) rather than silently falling back to a rendezvous
 // this substrate does not need.
+// Thread-safety (ROADMAP item 1, threaded runtime PR): all matching and
+// slot state is guarded by the annotated `mu_` (PARTIB_GUARDED_BY, checked
+// under PARTIB_THREAD_SAFETY=ON), user completion callbacks are invoked
+// *outside* the lock (they may legally re-enter send/recv — the Mutex is
+// non-recursive), and the progress-coalescing flag is an atomic exchange
+// so concurrent CQ notifications schedule exactly one progress event.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -24,7 +31,9 @@
 #include <span>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/status.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/units.hpp"
 #include "mpi/world.hpp"
 #include "verbs/verbs.hpp"
@@ -66,8 +75,12 @@ class P2pEndpoint {
   }
   std::size_t unexpected_count() const;
   std::size_t pending_recvs() const;
-  std::uint64_t sends_completed() const { return sends_completed_; }
-  std::uint64_t recvs_completed() const { return recvs_completed_; }
+  std::uint64_t sends_completed() const {
+    return sends_completed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t recvs_completed() const {
+    return recvs_completed_.load(std::memory_order_relaxed);
+  }
 
   // Internal (control-plane entries).
   void on_connect_request(int peer, std::uint32_t peer_qp_num);
@@ -85,12 +98,22 @@ class P2pEndpoint {
   static constexpr std::size_t kSlotBytes = kEagerLimit + sizeof(Header);
   static constexpr std::size_t kTotalSlots = 256;
 
+  /// A send staged while the peer was unconnected or uncredited.  Plain
+  /// data, not a closure: flush replays it under `mu_` through the
+  /// REQUIRES-annotated send_now, which a captured lambda body could not
+  /// express to the thread-safety analysis.
+  struct DeferredSend {
+    int tag = 0;
+    std::vector<std::byte> copy;
+    SendDone done;
+  };
+
   struct Peer {
     verbs::Qp* qp = nullptr;
     bool connected = false;
     bool connect_initiated = false;
     int send_credits = 0;  ///< remote recv slots we may still consume
-    std::deque<std::function<void()>> deferred_sends;
+    std::deque<DeferredSend> deferred_sends;
   };
 
   struct PendingRecv {
@@ -102,33 +125,47 @@ class P2pEndpoint {
   verbs::Cq* cq_;
   std::vector<std::byte> arena_;  // slot pool, registered once
   verbs::Mr* arena_mr_ = nullptr;
-  std::vector<std::size_t> free_slots_;  // offsets into arena_
-  std::map<int, Peer> peers_;
-  // Matching state: ordered queues per (src, tag).
-  std::map<std::pair<int, int>, std::deque<PendingRecv>> posted_;
-  std::map<std::pair<int, int>, std::deque<std::vector<std::byte>>>
-      unexpected_;
-  std::uint64_t sends_completed_ = 0;
-  std::uint64_t recvs_completed_ = 0;
-  bool progress_scheduled_ = false;
-  std::uint64_t next_wr_id_ = 1;
-  // In-flight send slots: wr_id -> (slot offset, completion).
-  std::map<std::uint64_t, std::pair<std::size_t, SendDone>> inflight_sends_;
-  // Posted recv slots: wr_id -> (peer, slot offset).
-  std::map<std::uint64_t, std::pair<int, std::size_t>> recv_slot_of_wr_;
 
-  Peer& peer_state(int peer);
-  void connect(int peer);
+  /// Guards every piece of matching/slot/connection state below.  User
+  /// callbacks never run under it (see file comment).
+  mutable common::Mutex mu_{"mpi.p2p"};
+  std::vector<std::size_t> free_slots_
+      PARTIB_GUARDED_BY(mu_);  // offsets into arena_
+  std::map<int, Peer> peers_ PARTIB_GUARDED_BY(mu_);
+  // Matching state: ordered queues per (src, tag).
+  std::map<std::pair<int, int>, std::deque<PendingRecv>> posted_
+      PARTIB_GUARDED_BY(mu_);
+  std::map<std::pair<int, int>, std::deque<std::vector<std::byte>>>
+      unexpected_ PARTIB_GUARDED_BY(mu_);
+  std::atomic<std::uint64_t> sends_completed_{0};
+  std::atomic<std::uint64_t> recvs_completed_{0};
+  /// Progress-coalescing flag: exchange(true) so exactly one progress
+  /// event is in flight however many CQ pushes race on it.
+  std::atomic<bool> progress_scheduled_{false};
+  std::uint64_t next_wr_id_ PARTIB_GUARDED_BY(mu_) = 1;
+  // In-flight send slots: wr_id -> (slot offset, completion).
+  std::map<std::uint64_t, std::pair<std::size_t, SendDone>> inflight_sends_
+      PARTIB_GUARDED_BY(mu_);
+  // Posted recv slots: wr_id -> (peer, slot offset).
+  std::map<std::uint64_t, std::pair<int, std::size_t>> recv_slot_of_wr_
+      PARTIB_GUARDED_BY(mu_);
+
+  Peer& peer_state(int peer) PARTIB_REQUIRES(mu_);
+  void connect(int peer) PARTIB_REQUIRES(mu_);
   verbs::Qp& make_qp();
-  void allocate_and_post_recv_slots(int peer);
-  void post_recv_slot(int peer, std::size_t offset);
-  std::size_t take_slot();
+  void allocate_and_post_recv_slots(int peer) PARTIB_REQUIRES(mu_);
+  void post_recv_slot(int peer, std::size_t offset) PARTIB_REQUIRES(mu_);
+  std::size_t take_slot() PARTIB_REQUIRES(mu_);
   void send_now(int dst, int tag, std::span<const std::byte> data,
-                SendDone done);
-  void flush_deferred(Peer& peer);
+                SendDone done) PARTIB_REQUIRES(mu_);
+  void flush_deferred(int peer) PARTIB_REQUIRES(mu_);
   void schedule_progress();
   void progress();
-  void deliver(int peer, const verbs::Wc& wc, std::size_t slot_offset);
+  /// Match one landed message.  Out-of-lock completion callbacks are
+  /// appended to `fired`; the caller invokes them after releasing mu_.
+  void deliver(int peer, const verbs::Wc& wc, std::size_t slot_offset,
+               std::vector<std::function<void()>>& fired)
+      PARTIB_REQUIRES(mu_);
 };
 
 }  // namespace partib::mpi

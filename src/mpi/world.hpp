@@ -7,6 +7,7 @@
 // contention aggregation relieves, §V-B2), and the init matcher.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -114,7 +115,11 @@ class World {
   void send_control(int from, int to, std::function<void()> deliver);
 
   /// Allocate a communicator context id (monotonic, world-scoped).
-  int next_comm_id() { return next_comm_id_++; }
+  /// Atomic: MPI_THREAD_MULTIPLE producers may create communicators
+  /// concurrently (threaded runtime, src/runtime/).
+  int next_comm_id() {
+    return next_comm_id_.fetch_add(1, std::memory_order_relaxed);
+  }
 
  private:
   sim::Engine& engine_;
@@ -122,7 +127,7 @@ class World {
   std::unique_ptr<fabric::Fabric> fabric_;
   std::unique_ptr<verbs::Device> device_;
   std::vector<std::unique_ptr<Rank>> ranks_;
-  int next_comm_id_ = 1;
+  std::atomic<int> next_comm_id_{1};
 };
 
 }  // namespace partib::mpi

@@ -57,6 +57,11 @@ PrecvRequest::~PrecvRequest() {
   if (cq_ != nullptr) cq_->set_on_push(nullptr);
 }
 
+void PrecvRequest::tag_shard(int shard) {
+  if (cq_ != nullptr) cq_->set_shard(shard);
+  for (verbs::Qp* qp : qps_) qp->set_shard(shard);
+}
+
 void PrecvRequest::on_match(const mpi::SendInit& si) {
   PARTIB_ASSERT(!matched_);
   // MPI-4.0 semantics: the two sides may partition differently; only the
@@ -147,12 +152,11 @@ void PrecvRequest::send_credit() {
 }
 
 void PrecvRequest::schedule_progress() {
-  if (progress_scheduled_) return;
-  progress_scheduled_ = true;
+  if (progress_scheduled_.exchange(true, std::memory_order_acq_rel)) return;
   rank_.world().engine().schedule_after(
       0,
       [this] {
-        progress_scheduled_ = false;
+        progress_scheduled_.store(false, std::memory_order_release);
         progress();
       },
       "precv.progress");

@@ -8,6 +8,7 @@
 // per-partition arrival flags, exactly as the paper's receive path does.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -70,6 +71,10 @@ class PrecvRequest {
 
   void set_arrival_hook(ArrivalHook hook) { arrival_hook_ = std::move(hook); }
 
+  /// Threaded runtime (src/runtime/): tag this side's CQ and QPs with the
+  /// owning progress shard (see PsendRequest::tag_shard).
+  void tag_shard(int shard);
+
   // -- introspection ---------------------------------------------------------
   std::size_t user_partitions() const { return n_; }
   std::size_t partition_bytes() const { return psize_; }
@@ -122,7 +127,8 @@ class PrecvRequest {
   std::vector<int> posted_recvs_;
 
   std::uint64_t msgs_received_ = 0;
-  bool progress_scheduled_ = false;
+  /// Progress-coalescing flag (see PsendRequest::progress_scheduled_).
+  std::atomic<bool> progress_scheduled_{false};
   // Ping-pong pair reserved at init so steady-state rounds fire completion
   // callbacks without allocating (same contract as PsendRequest).
   static constexpr std::size_t kCallbackReserve = 8;

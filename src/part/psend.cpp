@@ -83,6 +83,12 @@ PsendRequest::~PsendRequest() {
   if (cq_ != nullptr) cq_->set_on_push(nullptr);
 }
 
+void PsendRequest::tag_shard(int shard) {
+  shard_tag_ = shard;
+  if (cq_ != nullptr) cq_->set_shard(shard);
+  for (verbs::Qp* qp : qps_) qp->set_shard(shard);
+}
+
 void PsendRequest::setup_verbs_and_handshake() {
   mpi::World& world = rank_.world();
   cq_ = &rank_.context().create_cq(world.options().cq_depth);
@@ -433,12 +439,11 @@ void PsendRequest::post_staged(std::uint32_t id) {
 }
 
 void PsendRequest::schedule_progress() {
-  if (progress_scheduled_) return;
-  progress_scheduled_ = true;
+  if (progress_scheduled_.exchange(true, std::memory_order_acq_rel)) return;
   rank_.world().engine().schedule_after(
       0,
       [this] {
-        progress_scheduled_ = false;
+        progress_scheduled_.store(false, std::memory_order_release);
         progress();
       },
       "psend.progress");

@@ -22,6 +22,7 @@
 // FifoResource.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -109,6 +110,14 @@ class PsendRequest {
   std::size_t group_size() const { return group_size_; }
   std::size_t partition_bytes() const { return psize_; }
   int qp_count() const { return static_cast<int>(qps_.size()); }
+
+  /// Threaded runtime (src/runtime/): tag this channel's CQ and QPs with
+  /// the progress shard that owns them, for the shard-affinity auditor
+  /// (check/concurrency_check.hpp).  Call after the handshake created the
+  /// QPs; a no-op on whatever does not exist yet.
+  void tag_shard(int shard);
+  /// The tag_shard() value (-1 when untagged / DES-only use).
+  int shard_tag() const { return shard_tag_; }
   int round() const { return round_; }
   bool handshake_done() const { return remote_ready_; }
   std::uint64_t wrs_posted_total() const { return wrs_posted_total_; }
@@ -212,6 +221,7 @@ class PsendRequest {
   verbs::Cq* cq_ = nullptr;
   verbs::Mr* mr_ = nullptr;
   std::vector<verbs::Qp*> qps_;
+  int shard_tag_ = -1;  ///< owning progress shard (threaded runtime)
 
   // -- handshake / flow control ----------------------------------------------
   bool remote_ready_ = false;
@@ -246,7 +256,10 @@ class PsendRequest {
   /// come back to RTS after an error recycle).
   std::vector<common::Ring<std::uint32_t>> qp_backlog_;
   std::uint64_t wrs_posted_total_ = 0;
-  bool progress_scheduled_ = false;
+  /// Progress-coalescing flag.  Atomic exchange so a CQ notification
+  /// raised from a shard drain (threaded runtime) and one from the DES
+  /// path fold into a single scheduled progress event.
+  std::atomic<bool> progress_scheduled_{false};
   // Completion callbacks ping-pong with a same-capacity scratch vector so
   // steady-state rounds never allocate (asserted under PARTIB_CHECK).
   static constexpr std::size_t kCallbackReserve = 8;

@@ -1,0 +1,41 @@
+// Real-time bridge: pumping the DES engine against live producer threads.
+//
+// The thread that owns the sim::Engine is the bridge.  Virtual time only
+// advances when the bridge dispatches events, and producer claims only
+// become DES work when the bridge drains the shard rings — so the bridge
+// alternates the two via Engine::run_pumped until a caller-supplied
+// round-completion predicate holds AND the runtime is quiescent AND the
+// event queue is dry.  Determinism note (docs/THREADING.md): virtual
+// time is decoupled from wall time, so *when* the bridge picks claims up
+// does not change what the fabric computes — only the interleaving of
+// claim arrivals, which the differential harness shows is invariant in
+// received bytes and completion sets.
+//
+// When nothing was drained and nothing dispatched, the bridge yields the
+// core to the producers (this repo's CI runs single-core) instead of
+// spinning on the cache-hot quiescence counters.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+
+#include "runtime/sharded_engine.hpp"
+#include "sim/engine.hpp"
+
+namespace partib::runtime {
+
+/// Pump `engine` until `done()` holds with `runtime` quiescent and no
+/// events pending.  Returns the number of DES events dispatched.
+inline std::size_t pump_until(sim::Engine& engine,
+                              ShardedProgressEngine& runtime,
+                              const std::function<bool()>& done) {
+  return engine.run_pumped([&] {
+    const std::size_t applied = runtime.drain();
+    if (done() && runtime.quiescent() && engine.empty()) return false;
+    if (applied == 0) std::this_thread::yield();
+    return true;
+  });
+}
+
+}  // namespace partib::runtime

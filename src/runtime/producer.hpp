@@ -1,0 +1,94 @@
+// Per-producer-thread handle: claim batching over the sharded engine.
+//
+// A producer that marks partitions in ascending order (the common MPI
+// pattern — each thread owns a contiguous slice of the buffer) would
+// otherwise push one ReadyOp per partition.  The handle keeps a single
+// pending run per thread — a tiny staging arena that lives entirely in
+// this thread's cache — and extends it while claims stay contiguous on
+// the same channel, handing off one coalesced op per run.  The bridge
+// then applies the run with one pready_range call, which re-enters the
+// group/aggregation machinery exactly as a user's MPI_Pready_range would.
+//
+// flush() publishes the pending run; the destructor flushes too, but a
+// round barrier must call flush() explicitly *before* signalling the
+// bridge (an op sitting in the arena is invisible to quiescent()).
+//
+// The handle is strictly single-threaded: one per producer thread, never
+// shared.  In serialized mode it degenerates to direct engine calls so
+// benchmark loops are mode-agnostic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "runtime/sharded_engine.hpp"
+
+namespace partib::runtime {
+
+class ProducerHandle {
+ public:
+  ProducerHandle(ShardedProgressEngine& engine, std::uint32_t producer_id)
+      : engine_(engine), id_(producer_id) {}
+
+  ~ProducerHandle() { flush(); }
+  ProducerHandle(const ProducerHandle&) = delete;
+  ProducerHandle& operator=(const ProducerHandle&) = delete;
+
+  /// Claim one partition; true iff this thread won it.  Won claims are
+  /// coalesced into the pending run when contiguous.
+  bool pready(std::size_t channel, std::size_t partition) {
+    if (engine_.mode() == ShardedProgressEngine::Mode::kSerialized) {
+      return engine_.pready(channel, partition, id_);
+    }
+    if (!engine_.try_claim(channel, partition)) return false;
+    ++claims_won_;
+    if (pending_.count != 0 &&
+        pending_.channel == static_cast<std::uint32_t>(channel) &&
+        pending_.first + pending_.count ==
+            static_cast<std::uint32_t>(partition)) {
+      ++pending_.count;
+      ++coalesced_;
+      return true;
+    }
+    flush();
+    pending_ = ReadyOp{static_cast<std::uint32_t>(channel),
+                       static_cast<std::uint32_t>(partition), 1, id_};
+    return true;
+  }
+
+  /// Inclusive range claim (bypasses the arena — the engine already
+  /// emits maximal runs).  Returns the number of partitions won.
+  std::size_t pready_range(std::size_t channel, std::size_t first,
+                           std::size_t last) {
+    flush();
+    const std::size_t won = engine_.pready_range(channel, first, last, id_);
+    claims_won_ += won;
+    return won;
+  }
+
+  bool parrived(std::size_t channel, std::size_t partition) const {
+    return engine_.parrived(channel, partition);
+  }
+
+  /// Publish the pending run to its shard.  Call before any round
+  /// barrier.
+  void flush() {
+    if (pending_.count == 0) return;
+    engine_.submit(pending_);
+    pending_.count = 0;
+  }
+
+  std::uint32_t id() const { return id_; }
+  std::uint64_t claims_won() const { return claims_won_; }
+  /// Claims folded into an already-pending run (hand-offs saved).
+  std::uint64_t coalesced() const { return coalesced_; }
+
+ private:
+  ShardedProgressEngine& engine_;
+  std::uint32_t id_;
+  ReadyOp pending_{};  // count == 0 means empty
+  std::uint64_t claims_won_ = 0;
+  std::uint64_t coalesced_ = 0;
+};
+
+}  // namespace partib::runtime

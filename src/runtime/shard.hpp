@@ -1,0 +1,104 @@
+// One progress shard: the hand-off point between producer threads and
+// the bridge thread that owns the DES engine.
+//
+// The sharded runtime (sharded_engine.hpp) partitions channels — and
+// through them their QPs and CQs — across shards.  Each shard carries:
+//
+//  * a bounded lock-free MPSC ring (common/mpsc_ring.hpp) producers push
+//    claimed ReadyOps into without ever touching the consumer's poll
+//    path — the fast path, one fetch_add + one release store per op;
+//  * an annotated partib::Mutex guarding an overflow vector — the slow
+//    path a producer falls back to when the ring is full, and the lock
+//    the bridge holds while draining, which is exactly the "held audited
+//    lock = synchronized" shape the PR 6 cross-thread ownership auditor
+//    blesses (check/concurrency_check.hpp).
+//
+// Quiescence accounting: producers increment `pushed_` (release) *before*
+// publishing the op, the drain counts what it applied, so
+// `pushed == applied` can only under-report progress — the bridge may
+// spin one extra pump, never exit with an op still in flight.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/mpsc_ring.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace partib::runtime {
+
+/// One claimed pready unit: `count` partitions of `channel` starting at
+/// `first`, claimed by producer thread `producer`.  16-byte POD so the
+/// MPSC cells hand it off by value.
+struct ReadyOp {
+  std::uint32_t channel = 0;
+  std::uint32_t first = 0;
+  std::uint32_t count = 0;
+  std::uint32_t producer = 0;
+};
+
+class ProgressShard {
+ public:
+  explicit ProgressShard(std::size_t ring_capacity) : ring_(ring_capacity) {}
+  ProgressShard(const ProgressShard&) = delete;
+  ProgressShard& operator=(const ProgressShard&) = delete;
+
+  /// Producer side, any thread.  Never blocks on the consumer: a full
+  /// ring falls back to the mutex-guarded overflow vector (counted, so
+  /// benchmarks can see when ring sizing is wrong).
+  void push(const ReadyOp& op) {
+    pushed_.fetch_add(1, std::memory_order_release);
+    if (ring_.try_push(op)) return;
+    ring_full_.fetch_add(1, std::memory_order_relaxed);
+    common::MutexLock lock(mu_);
+    overflow_.push_back(op);
+  }
+
+  /// Consumer side — the bridge thread only.  Applies `apply(op)` to
+  /// every pending op under the shard mutex and returns the count.
+  template <typename Fn>
+  std::size_t drain(Fn&& apply) {
+    common::MutexLock lock(mu_);
+    std::size_t n = 0;
+    ReadyOp op;
+    while (ring_.try_pop(op)) {
+      apply(op);
+      ++n;
+    }
+    for (const ReadyOp& o : overflow_) {
+      apply(o);
+      ++n;
+    }
+    overflow_.clear();
+    applied_ += n;
+    return n;
+  }
+
+  /// Bridge-side: every op pushed so far has been applied.  May lag a
+  /// producer that claimed but has not pushed yet; callers pair it with a
+  /// round-completion predicate (see header comment).
+  bool quiescent() const {
+    return pushed_.load(std::memory_order_acquire) == applied_;
+  }
+
+  std::uint64_t pushed() const {
+    return pushed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t applied() const { return applied_; }
+  std::uint64_t ring_full_fallbacks() const {
+    return ring_full_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  common::MpscRing<ReadyOp> ring_;
+  mutable common::Mutex mu_{"runtime.shard"};
+  std::vector<ReadyOp> overflow_ PARTIB_GUARDED_BY(mu_);
+  std::atomic<std::uint64_t> pushed_{0};
+  std::atomic<std::uint64_t> ring_full_{0};
+  std::uint64_t applied_ = 0;  // bridge-thread-only
+};
+
+}  // namespace partib::runtime

@@ -1,0 +1,179 @@
+#include "runtime/sharded_engine.hpp"
+
+#include <utility>
+
+#include "check/hooks.hpp"
+#include "common/assert.hpp"
+#include "common/atomic_bits.hpp"
+#include "common/bits.hpp"
+
+namespace partib::runtime {
+
+ShardedProgressEngine::ShardedProgressEngine(const Config& cfg)
+    : mode_(cfg.mode) {
+  PARTIB_ASSERT_MSG(cfg.shards >= 1, "at least one progress shard");
+  shards_.reserve(cfg.shards);
+  for (std::size_t i = 0; i < cfg.shards; ++i) {
+    shards_.push_back(std::make_unique<ProgressShard>(cfg.ring_capacity));
+  }
+}
+
+std::size_t ShardedProgressEngine::add_channel(part::PsendRequest* send,
+                                               part::PrecvRequest* recv) {
+  PARTIB_ASSERT(send != nullptr);
+  const std::size_t id = channels_.size();
+  auto ch = std::make_unique<Channel>();
+  ch->send = send;
+  ch->recv = recv;
+  ch->partitions = send->user_partitions();
+  ch->shard = id % shards_.size();
+  ch->claim_words.assign(bitmap_words(ch->partitions), 0);
+  ch->arrived_mirror.assign(bitmap_words(ch->partitions), 0);
+  send->tag_shard(static_cast<int>(ch->shard));
+  if (recv != nullptr) {
+    recv->tag_shard(static_cast<int>(ch->shard));
+    // The hook runs on the bridge thread (inside engine dispatch);
+    // atomic_publish_bit's release pairs with parrived's acquire so a
+    // producer that sees the bit also sees the partition's bytes landed.
+    std::uint64_t* mirror = ch->arrived_mirror.data();
+    recv->set_arrival_hook([mirror](std::size_t p, Time /*at*/) {
+      atomic_publish_bit(mirror, p);
+    });
+  }
+  claim_base_.push_back(ch->claim_words.data());
+  claim_bits_.push_back(ch->partitions);
+  shard_base_.push_back(shards_[ch->shard].get());
+  channels_.push_back(std::move(ch));
+  return id;
+}
+
+void ShardedProgressEngine::begin_round() {
+  PARTIB_ASSERT_MSG(quiescent(), "begin_round with claims still in flight");
+  for (auto& ch : channels_) {
+    // Producers are quiescent between rounds (thread contract), so plain
+    // stores are race-free; the next round's first claim synchronizes via
+    // the round gate the harness already needs.
+    for (std::uint64_t& w : ch->claim_words) w = 0;
+    for (std::uint64_t& w : ch->arrived_mirror) w = 0;
+  }
+}
+
+bool ShardedProgressEngine::pready(std::size_t channel, std::size_t partition,
+                                   std::uint32_t producer) {
+  if (mode_ == Mode::kSerialized) {
+    Channel& ch = *channels_[channel];
+    PARTIB_ASSERT(partition < ch.partitions);
+    common::MutexLock lock(serial_mu_);
+    if (bitmap_test(ch.claim_words.data(), partition)) return false;
+    bitmap_set(ch.claim_words.data(), partition);
+    const Status st = ch.send->pready(partition);
+    PARTIB_ASSERT_MSG(ok(st) || ch.send->failed(), "pready failed");
+    serial_applied_.fetch_add(1, std::memory_order_relaxed);
+    if (serial_progress_) serial_progress_();
+    return true;
+  }
+  if (!try_claim(channel, partition)) return false;
+  submit(ReadyOp{static_cast<std::uint32_t>(channel),
+                 static_cast<std::uint32_t>(partition), 1, producer});
+  return true;
+}
+
+std::size_t ShardedProgressEngine::pready_range(std::size_t channel,
+                                                std::size_t first,
+                                                std::size_t last,
+                                                std::uint32_t producer) {
+  Channel& ch = *channels_[channel];
+  PARTIB_ASSERT(first <= last && last < ch.partitions);
+  if (mode_ == Mode::kSerialized) {
+    common::MutexLock lock(serial_mu_);
+    std::size_t won = 0;
+    for (std::size_t p = first; p <= last; ++p) {
+      if (bitmap_test(ch.claim_words.data(), p)) continue;
+      bitmap_set(ch.claim_words.data(), p);
+      const Status st = ch.send->pready(p);
+      PARTIB_ASSERT_MSG(ok(st) || ch.send->failed(), "pready failed");
+      ++won;
+    }
+    serial_applied_.fetch_add(won, std::memory_order_relaxed);
+    if (serial_progress_) serial_progress_();
+    return won;
+  }
+  ProgressShard& shard = *shards_[ch.shard];
+  return atomic_claim_range(
+      ch.claim_words.data(), first, last - first + 1,
+      [&](std::size_t run_first, std::size_t run_len) {
+        shard.push(ReadyOp{static_cast<std::uint32_t>(channel),
+                           static_cast<std::uint32_t>(run_first),
+                           static_cast<std::uint32_t>(run_len), producer});
+      });
+}
+
+bool ShardedProgressEngine::parrived(std::size_t channel,
+                                     std::size_t partition) const {
+  const Channel& ch = *channels_[channel];
+  PARTIB_ASSERT(partition < ch.partitions);
+  if (mode_ == Mode::kSerialized) {
+    common::MutexLock lock(serial_mu_);
+    return ch.recv != nullptr && ch.recv->parrived(partition);
+  }
+  return atomic_test_bit(ch.arrived_mirror.data(), partition);
+}
+
+void ShardedProgressEngine::apply(const ReadyOp& op) {
+  Channel& ch = *channels_[op.channel];
+  // The drain is entering this channel's DES domain; the affinity auditor
+  // verifies the request's tagged shard is the one draining it.  (The
+  // QP/CQ hooks alone can't see this — the actual post_send runs in a
+  // later engine event, outside any drain scope.)
+  PARTIB_CHECK_HOOK(on_shard_access(ch.send, ch.send->shard_tag(), "psend"));
+  Status st;
+  if (op.count == 1) {
+    st = ch.send->pready(op.first);
+  } else {
+    st = ch.send->pready_range(op.first, op.first + op.count - 1);
+  }
+  PARTIB_ASSERT_MSG(ok(st) || ch.send->failed(), "drain apply failed");
+}
+
+std::size_t ShardedProgressEngine::drain() {
+  if (mode_ == Mode::kSerialized) return 0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+#if PARTIB_CHECK_ENABLED
+    check::ScopedShardAffinity affinity(static_cast<int>(i));
+#endif
+    n += shards_[i]->drain([this](const ReadyOp& op) { apply(op); });
+  }
+  return n;
+}
+
+bool ShardedProgressEngine::quiescent() const {
+  for (const auto& shard : shards_) {
+    if (!shard->quiescent()) return false;
+  }
+  return true;
+}
+
+std::size_t ShardedProgressEngine::shard_of(std::size_t channel) const {
+  return channels_[channel]->shard;
+}
+
+std::uint64_t ShardedProgressEngine::ops_pushed() const {
+  std::uint64_t n = serial_applied_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) n += shard->pushed();
+  return n;
+}
+
+std::uint64_t ShardedProgressEngine::ops_applied() const {
+  std::uint64_t n = serial_applied_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) n += shard->applied();
+  return n;
+}
+
+std::uint64_t ShardedProgressEngine::ring_full_fallbacks() const {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards_) n += shard->ring_full_fallbacks();
+  return n;
+}
+
+}  // namespace partib::runtime

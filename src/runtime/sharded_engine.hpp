@@ -1,0 +1,192 @@
+// Sharded multi-threaded progress engine: real MPI_THREAD_MULTIPLE
+// producers over the single-threaded DES data plane.
+//
+// The paper's headline scenario is many threads per node each calling
+// MPI_Pready independently; the DES core (sim/engine.hpp) is and stays
+// single-threaded.  This engine reconciles the two with a claim/hand-off
+// split:
+//
+//   producer threads                         bridge thread (owns Engine)
+//   ----------------                         ---------------------------
+//   pready(ch, p):
+//     fetch_or on the channel's
+//     claim bitmap  ── exactly-once ──►  (nothing; no contention)
+//     push ReadyOp onto the
+//     owning shard's MPSC ring   ──────►  drain(): pop ops, apply plain
+//                                         PsendRequest::pready under the
+//                                         shard mutex + shard affinity
+//   parrived(ch, p):
+//     atomic read of the arrived          arrival hook publishes each
+//     mirror bitmap  ◄── release ──────   partition bit (atomic OR)
+//
+// Producers therefore never touch a QP, CQ, PsendRequest, or the engine:
+// exactly-once partition ownership is decided by one atomic fetch_or
+// (common/atomic_bits.hpp), and everything the DES fast path does —
+// WQE staging from the PR 4 slab, aggregation, doorbells — runs
+// unchanged on the bridge thread.  DES mode is untouched by construction
+// and remains the determinism oracle the differential tests compare
+// against (tests/runtime/threaded_differential_test.cpp).
+//
+// Channels are assigned to shards round-robin at add_channel() time; the
+// channel's QPs and CQs are tagged with the shard id so the dynamic
+// shard-affinity auditor (check/concurrency_check.hpp) can prove the
+// partitioning holds at drain time.
+//
+// Mode::kSerialized is the baseline the benchmarks compare against: every
+// producer call takes one global mutex and applies the full pready
+// synchronously — the naive MPI_THREAD_MULTIPLE implementation with a big
+// lock around the library.  Callers pumping the engine in serialized mode
+// must hold serial_mutex() around engine access themselves.
+//
+// Thread contract:
+//  * add_channel()/begin_round() — bridge thread only, with no producer
+//    running (registration / between-round phases).
+//  * pready()/pready_range()/parrived() — any thread.
+//  * drain()/quiescent() — bridge thread only.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/atomic_bits.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+#include "part/precv.hpp"
+#include "part/psend.hpp"
+#include "runtime/shard.hpp"
+
+namespace partib::runtime {
+
+class ShardedProgressEngine {
+ public:
+  enum class Mode {
+    kSharded,     ///< claim + MPSC hand-off; producers never lock
+    kSerialized,  ///< one global mutex, full apply per call (baseline)
+  };
+
+  struct Config {
+    std::size_t shards = 4;
+    /// Per-shard MPSC ring capacity (rounded up to a power of two).
+    /// Undersizing is safe — full rings fall back to the shard mutex —
+    /// but shows up in ring_full_fallbacks().
+    std::size_t ring_capacity = 1024;
+    Mode mode = Mode::kSharded;
+  };
+
+  explicit ShardedProgressEngine(const Config& cfg);
+
+  // -- registration (bridge thread, before producers start) -----------------
+
+  /// Register a channel; `send` is required, `recv` may be nullptr (a
+  /// send-only view — parrived() then always returns false).  Assigns the
+  /// channel to a shard round-robin, tags its verbs objects, and installs
+  /// the arrival hook that maintains the parrived mirror.  Returns the
+  /// channel id producers use.
+  std::size_t add_channel(part::PsendRequest* send, part::PrecvRequest* recv);
+
+  /// Reset claim bitmaps and arrived mirrors for the next round.  All
+  /// producers must be quiescent (between rounds) and every claim
+  /// drained.
+  void begin_round();
+
+  // -- producer API (any thread) ---------------------------------------------
+
+  /// Claim partition `partition` of `channel`.  True iff this caller won
+  /// the claim (every partition is claimed exactly once per round across
+  /// all threads).  Sharded mode: O(1) fetch_or + ring push, no lock.
+  bool pready(std::size_t channel, std::size_t partition,
+              std::uint32_t producer = 0);
+
+  /// Claim every unclaimed partition in the inclusive range
+  /// [first, last]; returns the number of partitions this caller won.
+  /// Maximal claimed runs are handed off as single ops.
+  std::size_t pready_range(std::size_t channel, std::size_t first,
+                           std::size_t last, std::uint32_t producer = 0);
+
+  /// Has partition `partition` of `channel` arrived this round?  Sharded
+  /// mode reads the atomic mirror the bridge publishes; never blocks.
+  bool parrived(std::size_t channel, std::size_t partition) const;
+
+  // -- split producer API (per-thread batching, see producer.hpp) ------------
+
+  /// Claim without hand-off; pair with submit().  Sharded mode only.
+  /// Inline over dense side arrays (no Channel deref): this is the
+  /// per-call floor of the producer fast path — bounds check plus one
+  /// relaxed fetch_or on the channel's claim bitmap.
+  bool try_claim(std::size_t channel, std::size_t partition) {
+    PARTIB_ASSERT(partition < claim_bits_[channel]);
+    return atomic_claim_bit(claim_base_[channel], partition);
+  }
+  /// Hand a claimed run to its shard.  Sharded mode only.
+  void submit(const ReadyOp& op) {
+    shard_base_[op.channel]->push(op);
+  }
+
+  /// Serialized-baseline fidelity knob: real big-lock MPI implementations
+  /// obey the progress rule — every MPI call opportunistically advances
+  /// the engine while it holds the lock.  When set, serialized
+  /// pready/pready_range invoke `hook` under serial_mu_ after applying.
+  /// Ignored in sharded mode (the bridge owns progress there; producers
+  /// never pay it — that asymmetry IS the optimisation being measured).
+  void set_serial_progress(std::function<void()> hook) {
+    serial_progress_ = std::move(hook);
+  }
+
+  // -- bridge API (engine-owner thread only) ---------------------------------
+
+  /// Apply every pending claim to the underlying requests; returns the
+  /// number of ops applied.  Declares shard affinity per shard for the
+  /// auditor.  No-op in serialized mode (producers already applied).
+  std::size_t drain();
+
+  /// Every pushed op has been applied (see ProgressShard::quiescent).
+  bool quiescent() const;
+
+  // -- introspection ---------------------------------------------------------
+
+  Mode mode() const { return mode_; }
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t channel_count() const { return channels_.size(); }
+  std::size_t shard_of(std::size_t channel) const;
+  std::uint64_t ops_pushed() const;
+  std::uint64_t ops_applied() const;
+  std::uint64_t ring_full_fallbacks() const;
+
+  /// The serialized-mode global lock; exposed so a serialized-mode bridge
+  /// can hold it around engine pumping (see header comment).
+  common::Mutex& serial_mutex() { return serial_mu_; }
+
+ private:
+  struct Channel {
+    part::PsendRequest* send = nullptr;
+    part::PrecvRequest* recv = nullptr;
+    std::size_t partitions = 0;
+    std::size_t shard = 0;
+    /// Producer-side claim bitmap (atomic fetch_or decides ownership).
+    std::vector<std::uint64_t> claim_words;
+    /// Bridge-published arrival mirror (atomic release set, acquire read).
+    std::vector<std::uint64_t> arrived_mirror;
+  };
+
+  void apply(const ReadyOp& op);
+
+  Mode mode_;
+  std::vector<std::unique_ptr<ProgressShard>> shards_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  // Dense mirrors of per-channel hot fields so the inline producer fast
+  // path (try_claim/submit) costs two flat loads instead of chasing
+  // unique_ptr<Channel> (stable: Channels are append-only, heap-pinned).
+  std::vector<std::uint64_t*> claim_base_;
+  std::vector<std::size_t> claim_bits_;
+  std::vector<ProgressShard*> shard_base_;
+  mutable common::Mutex serial_mu_{"runtime.serial"};
+  std::atomic<std::uint64_t> serial_applied_{0};
+  std::function<void()> serial_progress_;  ///< progress-on-call model
+};
+
+}  // namespace partib::runtime

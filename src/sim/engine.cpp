@@ -166,4 +166,12 @@ std::size_t Engine::run_until(Time deadline) {
   return n;
 }
 
+std::size_t Engine::run_pumped(const std::function<bool()>& pump) {
+  std::size_t n = 0;
+  for (;;) {
+    n += run();
+    if (!pump() && empty()) return n;
+  }
+}
+
 }  // namespace partib::sim

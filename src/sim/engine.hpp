@@ -116,6 +116,16 @@ class Engine {
   /// `deadline` even if idle.  Returns the number dispatched.
   std::size_t run_until(Time deadline);
 
+  /// Real-time bridge loop for the threaded runtime (src/runtime/): drain
+  /// the event queue, then invoke `pump` to inject work arriving from
+  /// producer threads (shard-ring drains).  `pump` returns true to keep
+  /// pumping; the loop exits once pump says stop *and* the queue is empty
+  /// (a stop verdict that scheduled new events keeps the loop alive until
+  /// they drain).  The engine itself stays single-threaded: only the
+  /// calling thread ever touches it, and `pump` is where cross-thread
+  /// hand-off happens.  Returns the number of events dispatched.
+  std::size_t run_pumped(const std::function<bool()>& pump);
+
   bool empty() const { return live_ == 0; }
   std::size_t pending() const { return live_; }
   std::uint64_t processed_count() const { return processed_; }

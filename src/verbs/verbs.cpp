@@ -41,6 +41,7 @@ bool Mr::contains(std::uint64_t addr, std::size_t len) const {
 
 PARTIB_HOT int Cq::poll(std::span<Wc> out) {
   PARTIB_CHECK_HOOK(on_owned_access(this, "cq"));
+  PARTIB_CHECK_HOOK(on_shard_access(this, shard_, "cq"));
   int n = 0;
   while (n < static_cast<int>(out.size()) && !entries_.empty()) {
     out[static_cast<std::size_t>(n)] = entries_.front();
@@ -219,6 +220,7 @@ void Qp::release_wqe_ref(std::uint32_t slot) {
 
 PARTIB_HOT Status Qp::post_send(const SendWr& wr) {
   PARTIB_CHECK_HOOK(on_owned_access(this, "qp"));
+  PARTIB_CHECK_HOOK(on_shard_access(this, shard_, "qp"));
   PARTIB_CHECK_HOOK(on_post_send(this, &pd_, wr));
   if (state_ != QpState::kRts) return Status::kInvalidState;
   if (outstanding_ >= caps_.max_send_wr) return Status::kResourceExhausted;

@@ -169,8 +169,17 @@ class Cq {
   /// can schedule a progress poll (cf. ibv_req_notify_cq + comp channel).
   void set_on_push(std::function<void()> fn) { on_push_ = std::move(fn); }
 
+  /// Shard ownership tag for the threaded runtime (src/runtime/): the
+  /// progress shard whose drain loop is allowed to poll this CQ.  -1
+  /// (check::kNoShard) = untagged, i.e. single-threaded DES mode.  The
+  /// shard-affinity auditor (check/concurrency_check.hpp) cross-checks
+  /// the tag against the draining thread's declared shard on every poll.
+  void set_shard(int shard) { shard_ = shard; }
+  int shard() const { return shard_; }
+
  private:
   int depth_;
+  int shard_ = -1;
   bool overrun_ = false;
   common::Ring<Wc> entries_;
   std::function<void()> on_push_;
@@ -247,6 +256,11 @@ class Qp {
   /// cf. ibv_post_recv.  Legal from INIT onwards.
   Status post_recv(const RecvWr& wr);
 
+  /// Shard ownership tag (see Cq::set_shard): the progress shard whose
+  /// context may post to this QP in threaded mode; -1 = untagged.
+  void set_shard(int shard) { shard_ = shard; }
+  int shard() const { return shard_; }
+
  private:
   friend class Device;
 
@@ -278,6 +292,7 @@ class Qp {
   Cq& recv_cq_;
   QpCaps caps_;
   std::uint32_t qp_num_;
+  int shard_ = -1;
   QpState state_ = QpState::kReset;
   std::uint32_t remote_qp_num_ = 0;
   Qp* remote_ = nullptr;  // resolved at to_rtr time

@@ -1,0 +1,176 @@
+// Fuzz: concurrent pready_range over overlapping/adjacent ranges must
+// partition the claim space exactly like the single-threaded reference.
+//
+// Layer 1 fuzzes atomic_claim_range (the bitmap primitive the engine's
+// pready_range is built on) directly against a plain-bitmap reference:
+// the runs the racing threads win must be pairwise disjoint and their
+// union must equal what one thread marking the same ranges with
+// part/bitrun.hpp-style plain stores would produce.
+//
+// Layer 2 drives a real channel end to end: racing ProducerHandles issue
+// the same overlapping ranges, and the receive buffer must come out
+// byte-identical to the DES oracle regardless of which thread won what.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "common/atomic_bits.hpp"
+#include "common/bits.hpp"
+#include "part/bitrun.hpp"
+#include "runtime/bridge.hpp"
+#include "runtime/producer.hpp"
+#include "runtime/sharded_engine.hpp"
+#include "support/test_world.hpp"
+
+namespace partib::runtime {
+namespace {
+
+struct Range {
+  std::size_t first;
+  std::size_t count;
+};
+
+/// Overlapping/adjacent ranges biased toward word boundaries (the
+/// cross-word stitching in atomic_claim_range is the part worth fuzzing).
+std::vector<Range> random_ranges(std::mt19937& rng, std::size_t bits,
+                                 std::size_t n) {
+  std::vector<Range> out;
+  std::uniform_int_distribution<std::size_t> pos(0, bits - 1);
+  std::uniform_int_distribution<std::size_t> len(1, bits / 2);
+  std::uniform_int_distribution<int> mode(0, 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t first = pos(rng);
+    if (mode(rng) == 0) first = (first / 64) * 64;        // word-aligned
+    if (mode(rng) == 1 && first > 0) first = first - 1;   // straddle
+    const std::size_t count = std::min(len(rng), bits - first);
+    out.push_back({first, count});
+  }
+  return out;
+}
+
+TEST(ClaimFuzz, AtomicClaimRangeMatchesSingleThreadedReference) {
+  constexpr std::size_t kBits = 640;  // 10 words
+  constexpr int kThreads = 4;
+  constexpr int kTrials = 40;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::mt19937 seed_rng(0xC1A1Fu + static_cast<unsigned>(trial));
+    std::vector<std::vector<Range>> per_thread;
+    for (int t = 0; t < kThreads; ++t) {
+      per_thread.push_back(random_ranges(seed_rng, kBits, 6));
+    }
+
+    // Single-threaded reference: plain bitmap union of all the ranges.
+    std::vector<std::uint64_t> reference(bitmap_words(kBits), 0);
+    for (const auto& ranges : per_thread) {
+      for (const Range& r : ranges) {
+        part::bitmap_set_range(reference.data(), r.first, r.count);
+      }
+    }
+
+    // Racing claims: every thread replays its ranges concurrently,
+    // collecting the runs it won.
+    std::vector<std::uint64_t> shared(bitmap_words(kBits), 0);
+    std::vector<std::vector<Range>> won(kThreads);
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        while (!go.load(std::memory_order_acquire)) {}
+        for (const Range& r : per_thread[static_cast<std::size_t>(t)]) {
+          atomic_claim_range(
+              shared.data(), r.first, r.count,
+              [&](std::size_t run_first, std::size_t run_len) {
+                won[static_cast<std::size_t>(t)].push_back(
+                    {run_first, run_len});
+              });
+        }
+      });
+    }
+    go.store(true, std::memory_order_release);
+    for (auto& th : threads) th.join();
+
+    // Rebuild a bitmap from the won runs: any double-claim shows up as a
+    // bit set twice, any dropped claim as a missing bit.
+    std::vector<std::uint64_t> rebuilt(bitmap_words(kBits), 0);
+    std::size_t total_won = 0;
+    for (const auto& runs : won) {
+      for (const Range& r : runs) {
+        for (std::size_t b = r.first; b < r.first + r.count; ++b) {
+          ASSERT_FALSE(bitmap_test(rebuilt.data(), b))
+              << "partition " << b << " claimed twice (trial " << trial
+              << ")";
+          bitmap_set(rebuilt.data(), b);
+        }
+        total_won += r.count;
+      }
+    }
+    EXPECT_EQ(rebuilt, reference) << "trial " << trial;
+    EXPECT_EQ(rebuilt, shared) << "trial " << trial;
+    std::size_t expect_bits = 0;
+    for (std::uint64_t w : reference) {
+      expect_bits += static_cast<std::size_t>(std::popcount(w));
+    }
+    EXPECT_EQ(total_won, expect_bits) << "trial " << trial;
+  }
+}
+
+TEST(ClaimFuzz, ConcurrentOverlappingRangesDeliverEveryByteOnce) {
+  constexpr std::size_t kPartitions = 256;
+  constexpr int kThreads = 4;
+  constexpr int kTrials = 10;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    test::ChannelFixture fx(kPartitions * 32, kPartitions,
+                            test::static_options(32, 2));
+    fx.engine.run();  // settle the handshake
+    ShardedProgressEngine::Config cfg;
+    cfg.shards = 2;
+    ShardedProgressEngine rt(cfg);
+    const std::size_t ch = rt.add_channel(fx.send.get(), fx.recv.get());
+
+    test::fill_pattern(fx.sbuf, trial);
+    ASSERT_TRUE(ok(fx.send->start()));
+    ASSERT_TRUE(ok(fx.recv->start()));
+    rt.begin_round();
+
+    std::mt19937 seed_rng(0xFADEDu + static_cast<unsigned>(trial));
+    std::vector<std::vector<Range>> per_thread;
+    for (int t = 0; t < kThreads; ++t) {
+      per_thread.push_back(random_ranges(seed_rng, kPartitions, 8));
+    }
+
+    std::atomic<std::size_t> wins{0};
+    std::vector<std::thread> producers;
+    for (int t = 0; t < kThreads; ++t) {
+      producers.emplace_back([&, t] {
+        ProducerHandle h(rt, static_cast<std::uint32_t>(t));
+        std::size_t mine = 0;
+        for (const Range& r : per_thread[static_cast<std::size_t>(t)]) {
+          mine += h.pready_range(ch, r.first, r.first + r.count - 1);
+        }
+        // The random ranges rarely cover everything; one thread (id 0)
+        // sweeps the full buffer so the round can complete.  Overlap with
+        // everyone else is the point.
+        if (t == 0) mine += h.pready_range(ch, 0, kPartitions - 1);
+        wins.fetch_add(mine, std::memory_order_relaxed);
+      });
+    }
+    pump_until(fx.engine, rt,
+               [&] { return fx.send->test() && fx.recv->test(); });
+    for (auto& p : producers) p.join();
+
+    EXPECT_EQ(wins.load(), kPartitions)
+        << "trial " << trial << ": claims must sum to exactly one win "
+        << "per partition";
+    EXPECT_EQ(fx.rbuf, fx.sbuf) << "trial " << trial;
+    EXPECT_TRUE(rt.quiescent());
+  }
+}
+
+}  // namespace
+}  // namespace partib::runtime

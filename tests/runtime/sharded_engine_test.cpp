@@ -1,0 +1,230 @@
+// ShardedProgressEngine unit tests: exactly-once claims under real
+// producer threads, serialized-baseline equivalence, the parrived mirror,
+// quiescence accounting, and the shard-affinity auditor.
+#include "runtime/sharded_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "check/concurrency_check.hpp"
+#include "check/check.hpp"
+#include "runtime/bridge.hpp"
+#include "runtime/producer.hpp"
+#include "support/test_world.hpp"
+
+namespace partib::runtime {
+namespace {
+
+using test::ChannelFixture;
+using test::fill_pattern;
+
+ShardedProgressEngine::Config config(std::size_t shards,
+                                     ShardedProgressEngine::Mode mode) {
+  ShardedProgressEngine::Config cfg;
+  cfg.shards = shards;
+  cfg.mode = mode;
+  return cfg;
+}
+
+/// Complete the channel handshake so tag_shard() has QPs to tag.
+void settle(ChannelFixture& fx) { fx.engine.run(); }
+
+TEST(ShardedEngine, ClaimIsExactlyOncePerPartition) {
+  ChannelFixture fx(64 * 64, 64, test::static_options(8, 2));
+  settle(fx);
+  ShardedProgressEngine rt(
+      config(4, ShardedProgressEngine::Mode::kSharded));
+  const std::size_t ch = rt.add_channel(fx.send.get(), fx.recv.get());
+
+  fill_pattern(fx.sbuf, 1);
+  ASSERT_TRUE(ok(fx.send->start()));
+  ASSERT_TRUE(ok(fx.recv->start()));
+  rt.begin_round();
+
+  constexpr int kThreads = 8;
+  std::atomic<std::size_t> wins{0};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      std::size_t mine = 0;
+      // Every thread races for every partition; the claim bitmap must
+      // hand each one out exactly once.
+      for (std::size_t p = 0; p < 64; ++p) {
+        if (rt.pready(ch, p, static_cast<std::uint32_t>(t))) ++mine;
+      }
+      wins.fetch_add(mine, std::memory_order_relaxed);
+    });
+  }
+  pump_until(fx.engine, rt,
+             [&] { return fx.send->test() && fx.recv->test(); });
+  for (auto& p : producers) p.join();
+
+  EXPECT_EQ(wins.load(), 64u) << "every partition claimed exactly once";
+  EXPECT_TRUE(rt.quiescent());
+  EXPECT_EQ(rt.ops_pushed(), rt.ops_applied());
+  EXPECT_EQ(fx.rbuf, fx.sbuf);
+}
+
+TEST(ShardedEngine, SerializedBaselineCompletesRound) {
+  ChannelFixture fx(32 * 128, 32, test::ploggp_options());
+  settle(fx);
+  ShardedProgressEngine rt(
+      config(1, ShardedProgressEngine::Mode::kSerialized));
+  const std::size_t ch = rt.add_channel(fx.send.get(), fx.recv.get());
+
+  fill_pattern(fx.sbuf, 2);
+  ASSERT_TRUE(ok(fx.send->start()));
+  ASSERT_TRUE(ok(fx.recv->start()));
+  rt.begin_round();
+
+  for (std::size_t p = 0; p < 32; ++p) EXPECT_TRUE(rt.pready(ch, p));
+  // Second claim of a marked partition is a no-op returning false.
+  EXPECT_FALSE(rt.pready(ch, 0));
+  fx.engine.run();
+  EXPECT_TRUE(fx.send->test());
+  EXPECT_TRUE(fx.recv->test());
+  EXPECT_EQ(fx.rbuf, fx.sbuf);
+  EXPECT_TRUE(rt.quiescent()) << "serialized mode has no in-flight ops";
+  for (std::size_t p = 0; p < 32; ++p) EXPECT_TRUE(rt.parrived(ch, p));
+}
+
+TEST(ShardedEngine, RangeClaimHandsOffMaximalRuns) {
+  ChannelFixture fx(128 * 16, 128, test::static_options(16, 2));
+  settle(fx);
+  ShardedProgressEngine rt(
+      config(2, ShardedProgressEngine::Mode::kSharded));
+  const std::size_t ch = rt.add_channel(fx.send.get(), fx.recv.get());
+
+  ASSERT_TRUE(ok(fx.send->start()));
+  ASSERT_TRUE(ok(fx.recv->start()));
+  rt.begin_round();
+
+  // Punch a hole, then claim across it: the engine must emit the two
+  // surviving maximal runs as two ops, not 127 singletons.
+  EXPECT_TRUE(rt.pready(ch, 60));
+  EXPECT_EQ(rt.pready_range(ch, 0, 127), 127u);
+  EXPECT_EQ(rt.ops_pushed(), 3u) << "one singleton + two maximal runs";
+  // Everything is claimed; a re-claim wins nothing and pushes nothing.
+  EXPECT_EQ(rt.pready_range(ch, 0, 127), 0u);
+  EXPECT_EQ(rt.ops_pushed(), 3u);
+
+  pump_until(fx.engine, rt,
+             [&] { return fx.send->test() && fx.recv->test(); });
+  for (std::size_t p = 0; p < 128; ++p) EXPECT_TRUE(rt.parrived(ch, p));
+}
+
+TEST(ShardedEngine, BeginRoundResetsClaimsAndMirror) {
+  ChannelFixture fx(16 * 64, 16, test::static_options(4, 1));
+  settle(fx);
+  ShardedProgressEngine rt(
+      config(2, ShardedProgressEngine::Mode::kSharded));
+  const std::size_t ch = rt.add_channel(fx.send.get(), fx.recv.get());
+
+  for (int round = 1; round <= 3; ++round) {
+    fill_pattern(fx.sbuf, round);
+    ASSERT_TRUE(ok(fx.send->start()));
+    ASSERT_TRUE(ok(fx.recv->start()));
+    rt.begin_round();
+    EXPECT_FALSE(rt.parrived(ch, 0)) << "mirror must reset each round";
+    EXPECT_EQ(rt.pready_range(ch, 0, 15), 16u)
+        << "claims must reset each round";
+    pump_until(fx.engine, rt,
+               [&] { return fx.send->test() && fx.recv->test(); });
+    EXPECT_EQ(fx.rbuf, fx.sbuf) << "round " << round;
+    EXPECT_TRUE(rt.parrived(ch, 15));
+  }
+}
+
+TEST(ShardedEngine, ChannelsAssignRoundRobinAcrossShards) {
+  ChannelFixture fx(8 * 64, 8, test::static_options(2, 1));
+  settle(fx);
+  ShardedProgressEngine rt(
+      config(3, ShardedProgressEngine::Mode::kSharded));
+  for (std::size_t i = 0; i < 5; ++i) {
+    // Registration geometry only; reuse the same request pointers.
+    EXPECT_EQ(rt.add_channel(fx.send.get(), fx.recv.get()), i);
+    EXPECT_EQ(rt.shard_of(i), i % 3);
+  }
+  EXPECT_EQ(rt.shard_count(), 3u);
+  EXPECT_EQ(rt.channel_count(), 5u);
+}
+
+TEST(ShardedEngine, ProducerHandleCoalescesContiguousClaims) {
+  ChannelFixture fx(64 * 32, 64, test::static_options(8, 2));
+  settle(fx);
+  ShardedProgressEngine rt(
+      config(2, ShardedProgressEngine::Mode::kSharded));
+  const std::size_t ch = rt.add_channel(fx.send.get(), fx.recv.get());
+
+  ASSERT_TRUE(ok(fx.send->start()));
+  ASSERT_TRUE(ok(fx.recv->start()));
+  rt.begin_round();
+
+  ProducerHandle h(rt, /*producer_id=*/7);
+  for (std::size_t p = 0; p < 64; ++p) EXPECT_TRUE(h.pready(ch, p));
+  EXPECT_EQ(h.claims_won(), 64u);
+  EXPECT_EQ(h.coalesced(), 63u) << "ascending claims fold into one run";
+  EXPECT_EQ(rt.ops_pushed(), 0u) << "run still in the thread arena";
+  h.flush();
+  EXPECT_EQ(rt.ops_pushed(), 1u) << "one op for the whole buffer";
+
+  pump_until(fx.engine, rt,
+             [&] { return fx.send->test() && fx.recv->test(); });
+  EXPECT_TRUE(fx.send->test());
+}
+
+#if PARTIB_CHECK_ENABLED
+TEST(ShardedEngine, ShardAffinityAuditorCatchesMistaggedChannel) {
+  check::reset();
+  ChannelFixture fx(16 * 64, 16, test::static_options(4, 1));
+  settle(fx);
+  ShardedProgressEngine rt(
+      config(2, ShardedProgressEngine::Mode::kSharded));
+  const std::size_t ch = rt.add_channel(fx.send.get(), fx.recv.get());
+
+  ASSERT_TRUE(ok(fx.send->start()));
+  ASSERT_TRUE(ok(fx.recv->start()));
+  rt.begin_round();
+
+  // Sabotage: re-tag the channel's verbs objects to a shard that will
+  // never drain it.  The next drain-side QP touch must be reported.
+  const int wrong = static_cast<int>(rt.shard_of(ch)) + 1;
+  fx.send->tag_shard(wrong);
+
+  check::ScopedShardAudit audit;
+  const std::size_t before = check::shard_affinity_reports();
+  rt.pready_range(ch, 0, 15);
+  pump_until(fx.engine, rt,
+             [&] { return fx.send->test() && fx.recv->test(); });
+  EXPECT_GT(check::shard_affinity_reports(), before)
+      << "drain posted on a QP tagged for another shard";
+  check::reset();
+}
+
+TEST(ShardedEngine, ShardAffinityAuditorSilentWhenTagsMatch) {
+  check::reset();
+  ChannelFixture fx(16 * 64, 16, test::static_options(4, 1));
+  settle(fx);
+  ShardedProgressEngine rt(
+      config(2, ShardedProgressEngine::Mode::kSharded));
+  const std::size_t ch = rt.add_channel(fx.send.get(), fx.recv.get());
+
+  ASSERT_TRUE(ok(fx.send->start()));
+  ASSERT_TRUE(ok(fx.recv->start()));
+  rt.begin_round();
+
+  check::ScopedShardAudit audit;
+  rt.pready_range(ch, 0, 15);
+  pump_until(fx.engine, rt,
+             [&] { return fx.send->test() && fx.recv->test(); });
+  EXPECT_EQ(check::shard_affinity_reports(), 0u);
+  check::reset();
+}
+#endif  // PARTIB_CHECK_ENABLED
+
+}  // namespace
+}  // namespace partib::runtime

@@ -1,4 +1,4 @@
-// Clang-tidy plugin implementing the four partib-* checks over the AST.
+// Clang-tidy plugin implementing the five partib-* checks over the AST.
 //
 // Built as a shared object only when the clang-tidy development headers are
 // available (see CMakeLists.txt next to this file); loaded into stock
@@ -38,6 +38,13 @@ bool inSimLayer(const SourceManager &SM, SourceLocation loc) {
 
 bool inCommon(const SourceManager &SM, SourceLocation loc) {
   static llvm::Regex re("(^|/)src/common/");
+  return re.match(SM.getFilename(SM.getSpellingLoc(loc)));
+}
+
+/// True inside the MPI / partitioned layers, where producer threads must
+/// use the shard hand-off API rather than ad-hoc atomic spin-waits.
+bool inMpiOrPart(const SourceManager &SM, SourceLocation loc) {
+  static llvm::Regex re("(^|/)src/(mpi|part)/");
   return re.match(SM.getFilename(SM.getSpellingLoc(loc)));
 }
 
@@ -260,6 +267,49 @@ class MutexWrapperOnlyCheck : public ClangTidyCheck {
 };
 
 // ---------------------------------------------------------------------------
+// partib-no-raw-atomic-spin
+// ---------------------------------------------------------------------------
+
+class NoRawAtomicSpinCheck : public ClangTidyCheck {
+ public:
+  using ClangTidyCheck::ClangTidyCheck;
+
+  void registerMatchers(MatchFinder *finder) override {
+    // A member call to one of the atomic wait-idiom methods on a
+    // std::atomic / std::atomic_flag, sitting anywhere inside a loop
+    // condition.  Unlike the lexer fallback this is type-accurate; the
+    // lexer compensates by also flagging same-named calls on non-atomics
+    // (see partib_lint.cpp for why that blindness is acceptable).
+    auto atomicCall =
+        cxxMemberCallExpr(
+            on(hasType(hasUnqualifiedDesugaredType(recordType(hasDeclaration(
+                cxxRecordDecl(hasAnyName("::std::atomic",
+                                         "::std::atomic_flag"))))))),
+            callee(cxxMethodDecl(hasAnyName(
+                "load", "exchange", "test", "test_and_set",
+                "compare_exchange_weak", "compare_exchange_strong"))))
+            .bind("call");
+    auto spinCond = expr(anyOf(atomicCall, hasDescendant(atomicCall)));
+    finder->addMatcher(whileStmt(hasCondition(spinCond)), this);
+    finder->addMatcher(doStmt(hasCondition(spinCond)), this);
+    finder->addMatcher(forStmt(hasCondition(spinCond)), this);
+  }
+
+  void check(const MatchFinder::MatchResult &result) override {
+    const auto *call = result.Nodes.getNodeAs<CXXMemberCallExpr>("call");
+    if (call == nullptr) return;
+    const SourceManager &SM = *result.SourceManager;
+    if (!inMpiOrPart(SM, call->getExprLoc())) return;
+    const auto *method = call->getMethodDecl();
+    diag(call->getExprLoc(),
+         "raw atomic '%0()' spin in a loop condition; producers hand off "
+         "through the shard API (runtime::ShardedProgressEngine / "
+         "ProducerHandle) instead of spinning")
+        << (method ? method->getNameAsString() : std::string("load"));
+  }
+};
+
+// ---------------------------------------------------------------------------
 // Module registration
 // ---------------------------------------------------------------------------
 
@@ -274,6 +324,8 @@ class PartibModule : public ClangTidyModule {
         "partib-diag-rule-registered");
     factories.registerCheck<MutexWrapperOnlyCheck>(
         "partib-mutex-wrapper-only");
+    factories.registerCheck<NoRawAtomicSpinCheck>(
+        "partib-no-raw-atomic-spin");
   }
 };
 

@@ -1,4 +1,4 @@
-// partib_lint — standalone implementation of the four partib-* checks.
+// partib_lint — standalone implementation of the five partib-* checks.
 //
 // The authoritative, AST-accurate implementation of these checks is the
 // clang-tidy plugin next to this file (PartibTidyModule.cpp).  That plugin
@@ -32,6 +32,12 @@
 //                                 src/common/ — use common::Mutex, whose
 //                                 annotations and observer hooks the
 //                                 concurrency auditors depend on
+//   partib-no-raw-atomic-spin     atomic flag reads spun on in a loop
+//                                 condition inside src/mpi or src/part —
+//                                 producer threads hand work to the
+//                                 bridge via the shard API
+//                                 (runtime/sharded_engine.hpp), they do
+//                                 not busy-wait on ad-hoc atomics
 //
 // Usage:
 //   partib_lint [--rules=<path/to/rules.inc>] [--as-path=<virtual path>]
@@ -63,6 +69,7 @@ constexpr const char* kAllocCheck = "partib-no-alloc-in-hot-path";
 constexpr const char* kWallClockCheck = "partib-no-wall-clock-in-sim";
 constexpr const char* kDiagRuleCheck = "partib-diag-rule-registered";
 constexpr const char* kMutexCheck = "partib-mutex-wrapper-only";
+constexpr const char* kAtomicSpinCheck = "partib-no-raw-atomic-spin";
 
 // ---------------------------------------------------------------------------
 // Lexer
@@ -269,6 +276,7 @@ class Linter {
     if (in_sim_layer()) check_wall_clock(file.tokens);
     if (rules_ != nullptr) check_diag_rules(file.tokens);
     if (!in_common()) check_raw_mutex(file.tokens);
+    if (in_mpi_or_part()) check_atomic_spin(file.tokens);
 
     std::vector<Finding> kept;
     for (const Finding& f : findings_) {
@@ -294,6 +302,10 @@ class Linter {
   }
 
   bool in_common() const { return path_has_dir("src/common"); }
+
+  bool in_mpi_or_part() const {
+    return path_has_dir("src/mpi") || path_has_dir("src/part");
+  }
 
   static bool suppressed(const std::vector<Suppression>& supp,
                          const Finding& f) {
@@ -479,6 +491,70 @@ class Linter {
                 "(common/mutex.hpp) so thread-safety annotations and the "
                 "lock-order auditor see it",
             kMutexCheck);
+      }
+    }
+  }
+
+  // --- partib-no-raw-atomic-spin ------------------------------------------
+  //
+  // A producer thread that busy-waits on a std::atomic (or atomic_flag)
+  // inside the MPI / partitioned layers is bypassing the claim/hand-off
+  // contract: exactly-once ownership comes from one fetch_or on the claim
+  // bitmap and completion flows back through the bridge's drain + arrival
+  // mirror (runtime/sharded_engine.hpp), never from polling shared flags.
+  // The lexer is type-blind, so this flags *any* member call to the
+  // atomic wait-idiom methods inside a while/for/do-while condition.
+  // That blindness is deliberate: `test` is also the MPI-style request
+  // test, and spinning on that inside the library is just as wrong — the
+  // single-threaded DES engine can make no progress while the caller
+  // spins.  A justified exception carries a NOLINT with the reason.
+
+  void check_atomic_spin(const std::vector<Token>& toks) {
+    static const std::set<std::string> kSpinCalls = {
+        "load",         "exchange",
+        "test",         "test_and_set",
+        "compare_exchange_weak", "compare_exchange_strong"};
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != Tok::kIdent ||
+          (toks[i].text != "while" && toks[i].text != "for")) {
+        continue;
+      }
+      if (toks[i + 1].kind != Tok::kPunct || toks[i + 1].text != "(") {
+        continue;
+      }
+      // Walk the balanced loop header (for a `for`, all three clauses:
+      // re-reading an atomic each iteration is the same polling pattern
+      // whichever clause it sits in).  `do { } while (cond);` lands here
+      // too — the trailing `while (` scans the same way.
+      int depth = 0;
+      for (std::size_t j = i + 1; j < toks.size(); ++j) {
+        const Token& t = toks[j];
+        if (t.kind == Tok::kPunct) {
+          if (t.text == "(") ++depth;
+          if (t.text == ")" && --depth == 0) {
+            i = j;
+            break;
+          }
+          continue;
+        }
+        if (t.kind != Tok::kIdent || kSpinCalls.count(t.text) == 0) continue;
+        if (j == 0 || j + 1 >= toks.size()) continue;
+        // Member call only: preceded by '.' or '->', followed by '('.
+        const Token& prev = toks[j - 1];
+        const Token& next = toks[j + 1];
+        const bool member =
+            prev.kind == Tok::kPunct &&
+            (prev.text == "." ||
+             (prev.text == ">" && j >= 2 &&
+              toks[j - 2].kind == Tok::kPunct && toks[j - 2].text == "-"));
+        if (!member) continue;
+        if (next.kind != Tok::kPunct || next.text != "(") continue;
+        add(t,
+            "raw atomic '" + t.text +
+                "()' spin in a loop condition; producers hand off through "
+                "the shard API (runtime::ShardedProgressEngine / "
+                "ProducerHandle) instead of spinning",
+            kAtomicSpinCheck);
       }
     }
   }

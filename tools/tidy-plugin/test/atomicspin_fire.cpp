@@ -1,0 +1,36 @@
+// Fixture: partib-no-raw-atomic-spin fires on atomic flag spin-waits in
+// loop conditions inside the MPI / partitioned layers.  Linted as
+// src/mpi/atomicspin_fire.cpp.
+
+std::atomic<bool> done_{false};
+std::atomic<unsigned> gen_{0};
+std::atomic_flag spin_ = ATOMIC_FLAG_INIT;
+std::atomic<bool> stop_{false};
+
+void wait_for_bridge() {
+  // CHECK: src/mpi/atomicspin_fire.cpp:[[@LINE+1]]:17: warning: raw atomic 'load()' spin in a loop condition; producers hand off through the shard API (runtime::ShardedProgressEngine / ProducerHandle) instead of spinning [partib-no-raw-atomic-spin]
+  while (!done_.load(std::memory_order_acquire)) {
+  }
+}
+
+void advance_generation() {
+  unsigned seen = gen_.load(std::memory_order_relaxed);
+  do {
+    // CHECK: src/mpi/atomicspin_fire.cpp:[[@LINE+1]]:18: warning: raw atomic 'compare_exchange_weak()' spin in a loop condition; producers hand off through the shard API (runtime::ShardedProgressEngine / ProducerHandle) instead of spinning [partib-no-raw-atomic-spin]
+  } while (!gen_.compare_exchange_weak(seen, seen + 1));
+}
+
+void take_spinlock() {
+  // CHECK: src/mpi/atomicspin_fire.cpp:[[@LINE+1]]:16: warning: raw atomic 'test_and_set()' spin in a loop condition; producers hand off through the shard API (runtime::ShardedProgressEngine / ProducerHandle) instead of spinning [partib-no-raw-atomic-spin]
+  while (spin_.test_and_set(std::memory_order_acquire)) {
+  }
+}
+
+void poll_until_stopped(Worker* self) {
+  // CHECK: src/mpi/atomicspin_fire.cpp:[[@LINE+1]]:23: warning: raw atomic 'load()' spin in a loop condition; producers hand off through the shard API (runtime::ShardedProgressEngine / ProducerHandle) instead of spinning [partib-no-raw-atomic-spin]
+  while (self->ready_.load()) {
+  }
+  // CHECK: src/mpi/atomicspin_fire.cpp:[[@LINE+1]]:17: warning: raw atomic 'test()' spin in a loop condition; producers hand off through the shard API (runtime::ShardedProgressEngine / ProducerHandle) instead of spinning [partib-no-raw-atomic-spin]
+  for (; !stop_.test(std::memory_order_relaxed);) {
+  }
+}
