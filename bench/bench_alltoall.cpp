@@ -1,0 +1,63 @@
+// Connection-scale all-to-all: every rank holds a partitioned channel to
+// every other rank, so an N-rank job carries N*(N-1) channels.  This is
+// the workload where per-channel dedicated resources stop scaling (each
+// rank provisions N-1 full CQs and recv rings) and the shared
+// SRQ/shared-CQ/connection-manager path keeps the per-rank footprint
+// flat (ROADMAP item 2; cf. Ibdxnet's all-to-all connection management).
+#include <string>
+#include <vector>
+
+#include "bench/connscale.hpp"
+#include "bench/report.hpp"
+#include "bench/trial.hpp"
+#include "common/units.hpp"
+#include "support/bench_main.hpp"
+
+using namespace partib;
+
+int main(int argc, char** argv) {
+  const bench::Cli cli(argc, argv);
+  const std::vector<int> sweep = {8, 16, 32, 64};
+
+  bench::Table table(
+      "Connection-scale all-to-all: N ranks, N*(N-1) channels, dedicated "
+      "vs shared (SRQ + shared CQ + on-demand connections)",
+      {"ranks", "channels", "ded_round_us", "shr_round_us",
+       "ded_kib_per_rank", "shr_kib_per_rank", "footprint_ratio",
+       "establishments"});
+
+  std::vector<bench::ConnScaleConfig> grid;
+  for (int ranks : sweep) {
+    bench::ConnScaleConfig base;
+    base.peers = ranks;
+    base.alltoall = true;
+    base.bytes = 8 * KiB;
+    base.user_partitions = 8;
+    base.rounds = 2;
+    base.options = bench::static_options(/*tp=*/4, /*qps=*/1);
+    base.world.copy_data = false;
+    grid.push_back(base);  // dedicated
+    bench::ConnScaleConfig shared_cfg = base;
+    shared_cfg.options.shared_resources = true;
+    grid.push_back(shared_cfg);
+  }
+  const std::vector<bench::ConnScaleResult> results =
+      bench::run_connscale_grid(grid, cli.run_options());
+
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const bench::ConnScaleResult& ded = results[2 * i];
+    const bench::ConnScaleResult& shr = results[2 * i + 1];
+    const int channels = sweep[i] * (sweep[i] - 1);
+    table.add_row(
+        {std::to_string(sweep[i]), std::to_string(channels),
+         bench::fmt(static_cast<double>(ded.mean_round) / 1000.0),
+         bench::fmt(static_cast<double>(shr.mean_round) / 1000.0),
+         bench::fmt(static_cast<double>(ded.hot_provisioned_bytes) / 1024.0),
+         bench::fmt(static_cast<double>(shr.hot_provisioned_bytes) / 1024.0),
+         bench::fmt(static_cast<double>(ded.hot_provisioned_bytes) /
+                    static_cast<double>(shr.hot_provisioned_bytes)),
+         std::to_string(shr.establishments)});
+  }
+  cli.emit(table);
+  return 0;
+}

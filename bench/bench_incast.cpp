@@ -1,0 +1,83 @@
+// Connection-scale incast: N senders converging on one hot rank, swept
+// to 1k-4k peers, dedicated per-channel resources vs the shared
+// SRQ/shared-CQ/connection-manager fast path (ROADMAP item 2).
+//
+// Columns: mean round time per mode, hot-rank receive-side provisioning
+// per peer, the provisioned-footprint ratio (the >= 4x acceptance bar),
+// and the connection-manager establishment count in shared mode.
+//
+// --peers=N caps the sweep (CI smoke runs --peers=1024; the 4096 point
+// is the paper-scale demonstration).
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/connscale.hpp"
+#include "bench/report.hpp"
+#include "bench/trial.hpp"
+#include "common/units.hpp"
+#include "support/bench_main.hpp"
+
+using namespace partib;
+
+int main(int argc, char** argv) {
+  int max_peers = 4096;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--peers=", 8) == 0) {
+      max_peers = std::atoi(argv[i] + 8);
+      if (max_peers <= 0) {
+        std::fprintf(stderr, "bench: invalid --peers value \"%s\"\n",
+                     argv[i] + 8);
+        return 2;
+      }
+    }
+  }
+  const bench::Cli cli(argc, argv);
+
+  std::vector<int> sweep;
+  for (int p : {64, 256, 1024, 4096}) {
+    if (p <= max_peers) sweep.push_back(p);
+  }
+
+  bench::Table table(
+      "Connection-scale incast: N senders -> 1 rank, dedicated vs shared "
+      "(SRQ + shared CQ + on-demand connections)",
+      {"peers", "ded_round_us", "shr_round_us", "ded_kib_per_peer",
+       "shr_kib_per_peer", "footprint_ratio", "establishments"});
+
+  std::vector<bench::ConnScaleConfig> grid;
+  for (int peers : sweep) {
+    bench::ConnScaleConfig base;
+    base.peers = peers;
+    base.bytes = 16 * KiB;
+    base.user_partitions = 8;
+    base.rounds = 2;
+    base.options = bench::static_options(/*tp=*/4, /*qps=*/1);
+    base.world.copy_data = false;  // scale run: timing + footprint only
+    grid.push_back(base);  // dedicated
+    bench::ConnScaleConfig shared_cfg = base;
+    shared_cfg.options.shared_resources = true;
+    grid.push_back(shared_cfg);
+  }
+  const std::vector<bench::ConnScaleResult> results =
+      bench::run_connscale_grid(grid, cli.run_options());
+
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const bench::ConnScaleResult& ded = results[2 * i];
+    const bench::ConnScaleResult& shr = results[2 * i + 1];
+    const double peers = static_cast<double>(sweep[i]);
+    table.add_row(
+        {std::to_string(sweep[i]),
+         bench::fmt(static_cast<double>(ded.mean_round) / 1000.0),
+         bench::fmt(static_cast<double>(shr.mean_round) / 1000.0),
+         bench::fmt(static_cast<double>(ded.hot_provisioned_bytes) / peers /
+                    1024.0),
+         bench::fmt(static_cast<double>(shr.hot_provisioned_bytes) / peers /
+                    1024.0),
+         bench::fmt(static_cast<double>(ded.hot_provisioned_bytes) /
+                    static_cast<double>(shr.hot_provisioned_bytes)),
+         std::to_string(shr.establishments)});
+  }
+  cli.emit(table);
+  return 0;
+}

@@ -13,6 +13,7 @@
 #include "agg/strategies.hpp"
 #include "common/units.hpp"
 #include "fabric/fluid_network.hpp"
+#include "mpi/conn.hpp"
 #include "mpi/matcher.hpp"
 #include "mpi/world.hpp"
 #include "part/imm.hpp"
@@ -206,6 +207,90 @@ void BM_CqPollBurst(benchmark::State& state) {
                           256);
 }
 BENCHMARK(BM_CqPollBurst);
+
+void BM_SrqPollBurst(benchmark::State& state) {
+  // SRQ slab turnover at burst rate: post a 256-WR wave, consume it in
+  // strict order (what each delivery does on an SRQ-attached QP).  The
+  // comparison against BM_CqPollBurst bounds what receive staging through
+  // the shared slab costs over a private ring.
+  sim::Engine engine;
+  fabric::Fabric fab(engine, fabric::NicParams::connectx5_edr());
+  verbs::Device dev(fab);
+  verbs::Context& ctx = dev.open(fab.add_node());
+  verbs::Pd& pd = ctx.alloc_pd();
+  verbs::SrqAttrs attrs;
+  attrs.max_wr = 4096;
+  verbs::Srq& srq = pd.create_srq(attrs);
+  for (auto _ : state) {
+    for (std::uint64_t i = 0; i < 256; ++i) {
+      verbs::RecvWr wr;
+      wr.wr_id = i;
+      PARTIB_ASSERT(ok(srq.post_recv(wr)));
+    }
+    std::uint64_t sum = 0;
+    verbs::PostedRecv out;
+    while (srq.consume(&out)) sum += out.wr.wr_id;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          256);
+}
+BENCHMARK(BM_SrqPollBurst);
+
+void BM_SharedCqDemux(benchmark::State& state) {
+  // The connection manager's completion fan-out: 256 CQEs round-robined
+  // across 16 bound qp_nums, routed through WcRouter's dense handler
+  // table.  The acceptance bar is <= 1.15x BM_CqPollBurst — demux must
+  // cost no more than a bounds-checked array index over the raw drain.
+  verbs::Cq cq(4096);
+  mpi::WcRouter router;
+  std::uint64_t sum = 0;
+  for (std::uint32_t q = 0; q < 16; ++q) {
+    router.bind(verbs::Device::kFirstQpNum + q,
+                [&sum](const verbs::Wc& wc) { sum += wc.wr_id; });
+  }
+  for (auto _ : state) {
+    for (std::uint64_t i = 0; i < 256; ++i) {
+      verbs::Wc wc;
+      wc.wr_id = i;
+      wc.qp_num =
+          verbs::Device::kFirstQpNum + static_cast<std::uint32_t>(i % 16);
+      cq.push(wc);
+    }
+    const int n = router.drain(cq);
+    benchmark::DoNotOptimize(n);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          256);
+}
+BENCHMARK(BM_SharedCqDemux);
+
+void BM_ConnSetupTeardown(benchmark::State& state) {
+  // Full lazy-establishment round trip at cap: connect drives the
+  // control-plane handshake to RTS on both sides, release leaves the
+  // slot warm, and the next connect recycles it through
+  // ERROR->RESET->INIT->RTR->RTS (the Ibdxnet churn pattern).
+  sim::Engine engine;
+  mpi::WorldOptions wopts;
+  wopts.ranks = 2;
+  wopts.conn_max_connections = 1;
+  mpi::World world(engine, wopts);
+  mpi::ConnectionManager& active = world.rank(0).connections();
+  mpi::ConnectionManager& passive = world.rank(1).connections();
+  std::uint64_t token = 1;
+  for (auto _ : state) {
+    passive.expect(token, [](mpi::ConnectionManager::Connection&) {});
+    const auto id = active.connect(
+        /*peer=*/1, /*qp_count=*/2, token,
+        [](mpi::ConnectionManager::Connection&) {});
+    engine.run();
+    active.release(id);
+    ++token;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ConnSetupTeardown);
 
 void BM_QpLookup(benchmark::State& state) {
   // Device-wide qp_num -> Qp resolution (the per-delivery lookup a real

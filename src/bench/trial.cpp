@@ -57,6 +57,7 @@ void hash_options(runner::Hasher& h, const part::Options& o) {
   // when they plan identically.
   h.str(o.aggregator ? o.aggregator->describe() : "none");
   h.u64(o.transport_partitions_override).i64(o.qp_count_override);
+  h.boolean(o.shared_resources);
   hash_ucx(h, o.ucx);
 }
 
@@ -178,6 +179,20 @@ std::uint64_t fingerprint(const HaloConfig& cfg) {
   return h.digest();
 }
 
+std::uint64_t fingerprint(const ConnScaleConfig& cfg) {
+  runner::Hasher h;
+  h.str("connscale/v1")
+      .i64(cfg.peers)
+      .boolean(cfg.alltoall)
+      .u64(cfg.bytes)
+      .u64(cfg.user_partitions)
+      .i64(cfg.rounds)
+      .u64(cfg.seed);
+  hash_options(h, cfg.options);
+  hash_world(h, cfg.world);
+  return h.digest();
+}
+
 // -- codecs ------------------------------------------------------------------
 
 runner::Codec<OverheadResult> overhead_codec() {
@@ -266,6 +281,33 @@ runner::Codec<HaloResult> halo_codec() {
   return c;
 }
 
+runner::Codec<ConnScaleResult> connscale_codec() {
+  runner::Codec<ConnScaleResult> c;
+  c.encode = [](const ConnScaleResult& r) -> std::string {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%" PRId64 " %" PRId64 " %" PRId64 " %" PRId64 " %" PRIu64
+                  " %" PRIu64 " %" PRIu64 " %" PRIu64,
+                  static_cast<std::int64_t>(r.mean_round), r.hot_qps,
+                  r.hot_cqs, r.hot_srqs, r.hot_provisioned_bytes,
+                  r.hot_resident_bytes, r.establishments, r.recycles);
+    return buf;
+  };
+  c.decode = [](std::string_view s, ConnScaleResult* r) -> bool {
+    FieldReader f(s);
+    r->mean_round = f.i64();
+    r->hot_qps = f.i64();
+    r->hot_cqs = f.i64();
+    r->hot_srqs = f.i64();
+    r->hot_provisioned_bytes = f.u64();
+    r->hot_resident_bytes = f.u64();
+    r->establishments = f.u64();
+    r->recycles = f.u64();
+    return f.ok;
+  };
+  return c;
+}
+
 // -- trial forms -------------------------------------------------------------
 
 OverheadResult overhead_trial(const OverheadConfig& cfg) {
@@ -290,6 +332,12 @@ HaloResult halo_trial(const HaloConfig& cfg) {
   HaloConfig c = cfg;
   if (c.seed == 0) c.seed = runner::derive_seed(fingerprint(cfg));
   return run_halo(c);
+}
+
+ConnScaleResult connscale_trial(const ConnScaleConfig& cfg) {
+  ConnScaleConfig c = cfg;
+  if (c.seed == 0) c.seed = runner::derive_seed(fingerprint(cfg));
+  return run_connscale(c);
 }
 
 // -- grid runners ------------------------------------------------------------
@@ -333,6 +381,15 @@ std::vector<HaloResult> run_halo_grid(const std::vector<HaloConfig>& grid,
   return runner::run_trials<HaloConfig, HaloResult>(
       grid, halo_trial, [](const HaloConfig& c) { return fingerprint(c); },
       halo_codec(), opts, stats);
+}
+
+std::vector<ConnScaleResult> run_connscale_grid(
+    const std::vector<ConnScaleConfig>& grid, const runner::RunOptions& opts,
+    runner::RunStats* stats) {
+  return runner::run_trials<ConnScaleConfig, ConnScaleResult>(
+      grid, connscale_trial,
+      [](const ConnScaleConfig& c) { return fingerprint(c); },
+      connscale_codec(), opts, stats);
 }
 
 }  // namespace partib::bench

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "bench/connscale.hpp"
 #include "bench/halo.hpp"
 #include "bench/overhead.hpp"
 #include "bench/perceived.hpp"
@@ -34,11 +35,13 @@ std::uint64_t fingerprint(const OverheadConfig& cfg);
 std::uint64_t fingerprint(const PerceivedConfig& cfg);
 std::uint64_t fingerprint(const SweepConfig& cfg);
 std::uint64_t fingerprint(const HaloConfig& cfg);
+std::uint64_t fingerprint(const ConnScaleConfig& cfg);
 
 runner::Codec<OverheadResult> overhead_codec();
 runner::Codec<PerceivedResult> perceived_codec();
 runner::Codec<SweepResult> sweep_codec();
 runner::Codec<HaloResult> halo_codec();
+runner::Codec<ConnScaleResult> connscale_codec();
 
 /// Pure `(config) -> result` trial forms: resolve the seed convention
 /// (seed == 0 derives from the fingerprint) and run one isolated
@@ -47,6 +50,7 @@ OverheadResult overhead_trial(const OverheadConfig& cfg);
 PerceivedResult perceived_trial(const PerceivedConfig& cfg);
 SweepResult sweep_trial(const SweepConfig& cfg);
 HaloResult halo_trial(const HaloConfig& cfg);
+ConnScaleResult connscale_trial(const ConnScaleConfig& cfg);
 
 /// Grid runners: results come back in submission order, so a driver that
 /// formats them sequentially emits byte-identical output for any job
@@ -64,5 +68,8 @@ std::vector<SweepResult> run_sweep_grid(const std::vector<SweepConfig>& grid,
 std::vector<HaloResult> run_halo_grid(const std::vector<HaloConfig>& grid,
                                       const runner::RunOptions& opts,
                                       runner::RunStats* stats = nullptr);
+std::vector<ConnScaleResult> run_connscale_grid(
+    const std::vector<ConnScaleConfig>& grid, const runner::RunOptions& opts,
+    runner::RunStats* stats = nullptr);
 
 }  // namespace partib::bench

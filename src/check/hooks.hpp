@@ -13,6 +13,7 @@
 #if PARTIB_CHECK_ENABLED
 
 #include "check/concurrency_check.hpp"
+#include "check/conn_check.hpp"
 #include "check/part_check.hpp"
 #include "check/verbs_check.hpp"
 

@@ -28,6 +28,11 @@ struct CqShadow {
   int pending = 0;
 };
 
+struct SrqShadow {
+  int max_wr = 0;
+  int posted = 0;
+};
+
 struct MrShadow {
   const void* pd = nullptr;
   std::uint64_t addr = 0;
@@ -44,6 +49,7 @@ struct MrShadow {
 struct Shadow {
   std::map<const void*, QpShadow> qps;
   std::map<const void*, CqShadow> cqs;
+  std::map<const void*, SrqShadow> srqs;
   // All registrations, newest last; lookup scans because lkeys are only
   // unique per device, and the checker spans every device in the process.
   std::vector<MrShadow> mrs;
@@ -120,6 +126,16 @@ void on_cq_created(const void* cq, int depth) {
 void on_mr_registered(const void* pd, std::uint64_t addr, std::size_t len,
                       std::uint32_t lkey, std::uint32_t rkey,
                       unsigned access) {
+  // Keys are device-global, so a colliding rkey can only be a stale entry
+  // from an earlier simulation in this process: replace it (last wins).
+  // This keeps find_remote() exact and bounds shadow growth across
+  // world-per-trial fuzz runs.
+  for (MrShadow& mr : shadow().mrs) {
+    if (mr.rkey == rkey) {
+      mr = MrShadow{pd, addr, len, lkey, rkey, access};
+      return;
+    }
+  }
   shadow().mrs.push_back(MrShadow{pd, addr, len, lkey, rkey, access});
 }
 
@@ -299,10 +315,72 @@ void on_cq_poll(const void* cq, int n) {
   it->second.pending = std::max(0, it->second.pending - n);
 }
 
+void on_srq_created(const void* srq, const verbs::SrqAttrs& attrs) {
+  shadow().srqs[srq] = SrqShadow{attrs.max_wr, 0};
+}
+
+void on_srq_post(const void* srq, const void* pd, const verbs::RecvWr& wr) {
+  auto it = shadow().srqs.find(srq);
+  if (it == shadow().srqs.end()) return;
+  const SrqShadow& s = it->second;
+  if (s.posted >= s.max_wr) {
+    char detail[80];
+    std::snprintf(detail, sizeof(detail),
+                  "%d recv WRs already posted, max_wr=%d", s.posted,
+                  s.max_wr);
+    report("srq.capacity", "srq", -1, detail);
+  }
+  for (const verbs::Sge& sge : wr.sg_list) {
+    const MrShadow* mr = find_local(pd, sge.lkey, sge.addr, sge.length);
+    if (mr == nullptr) {
+      char detail[96];
+      std::snprintf(detail, sizeof(detail),
+                    "SGE [0x%llx, +%u) not covered by an MR with lkey %u",
+                    static_cast<unsigned long long>(sge.addr), sge.length,
+                    sge.lkey);
+      report("wr.lkey", "srq", -1, detail);
+    } else if ((mr->access & verbs::kLocalWrite) == 0) {
+      report("wr.access", "srq", -1,
+             "receive buffer MR lacks LOCAL_WRITE access");
+    }
+  }
+}
+
+void on_srq_accepted(const void* srq) {
+  auto it = shadow().srqs.find(srq);
+  if (it == shadow().srqs.end()) return;
+  ++it->second.posted;
+}
+
+void on_srq_consumed(const void* srq) {
+  auto it = shadow().srqs.find(srq);
+  if (it == shadow().srqs.end()) return;
+  it->second.posted = std::max(0, it->second.posted - 1);
+}
+
+void on_srq_armed(const void* srq, int limit) {
+  auto it = shadow().srqs.find(srq);
+  if (it == shadow().srqs.end()) return;
+  if (limit < 0 || limit >= it->second.max_wr) {
+    char detail[80];
+    std::snprintf(detail, sizeof(detail),
+                  "limit %d outside [0, max_wr=%d)", limit,
+                  it->second.max_wr);
+    report("srq.limit", "srq", -1, detail);
+  }
+}
+
+void on_srq_resized(const void* srq, int max_wr) {
+  auto it = shadow().srqs.find(srq);
+  if (it == shadow().srqs.end()) return;
+  it->second.max_wr = max_wr;
+}
+
 namespace detail {
 void reset_verbs_shadow() {
   shadow().qps.clear();
   shadow().cqs.clear();
+  shadow().srqs.clear();
   shadow().mrs.clear();
 }
 }  // namespace detail

@@ -64,6 +64,20 @@ void on_cq_push(const void* cq);
 /// `n` CQEs were drained by a poll.
 void on_cq_poll(const void* cq, int n);
 
+// -- shared receive queues ---------------------------------------------------
+void on_srq_created(const void* srq, const verbs::SrqAttrs& attrs);
+/// post_recv attempted on the SRQ.  Validates SGE/MR coverage (wr.lkey,
+/// wr.access) and capacity (srq.capacity when the shadow count is already
+/// at max_wr).
+void on_srq_post(const void* srq, const void* pd, const verbs::RecvWr& wr);
+void on_srq_accepted(const void* srq);
+/// A delivery dequeued one WR from the SRQ.
+void on_srq_consumed(const void* srq);
+/// arm_limit attempted; limit outside [0, max_wr) violates srq.limit.
+void on_srq_armed(const void* srq, int limit);
+/// The library applied a capacity resize.
+void on_srq_resized(const void* srq, int max_wr);
+
 namespace detail {
 void reset_verbs_shadow();
 }  // namespace detail

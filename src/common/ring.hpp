@@ -21,6 +21,7 @@
 
 #include <cstddef>
 #include <new>
+#include <span>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -113,6 +114,25 @@ class Ring {
     data_[head_].~T();
     head_ = (head_ + 1) & (cap_ - 1);
     --len_;
+  }
+
+  /// Contiguous run at the front, up to the wrap point: zero-copy batch
+  /// consumption (read the span in place, then pop_front_n what was
+  /// consumed).  Invalidated by anything that can grow the ring — see the
+  /// reference-stability note in the header comment.
+  std::span<const T> front_run() const {
+    const std::size_t wrap = cap_ - head_;
+    return {data_ + head_, len_ < wrap ? len_ : wrap};
+  }
+
+  /// Destroy and drop the first n elements (n <= size()).
+  void pop_front_n(std::size_t n) {
+    PARTIB_ASSERT(n <= len_);
+    for (std::size_t i = 0; i < n; ++i) {
+      data_[(head_ + i) & (cap_ - 1)].~T();
+    }
+    head_ = (head_ + n) & (cap_ - 1);
+    len_ -= n;
   }
 
   /// Destroy all elements; capacity is retained.

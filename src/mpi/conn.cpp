@@ -1,0 +1,384 @@
+#include "mpi/conn.hpp"
+
+#include <algorithm>
+
+#include "check/hooks.hpp"
+#include "common/assert.hpp"
+#include "mpi/world.hpp"
+
+namespace partib::mpi {
+
+// ---------------------------------------------------------------------------
+// WcRouter
+
+void WcRouter::bind(std::uint32_t qp_num, Handler h) {
+  PARTIB_ASSERT_MSG(!draining_, "bind during drain would invalidate handlers");
+  PARTIB_ASSERT(qp_num >= verbs::Device::kFirstQpNum);
+  const std::size_t idx = qp_num - verbs::Device::kFirstQpNum;
+  if (idx >= handlers_.size()) handlers_.resize(idx + 1);
+  PARTIB_ASSERT_MSG(!handlers_[idx], "qp_num already bound");
+  handlers_[idx] = std::move(h);
+}
+
+void WcRouter::unbind(std::uint32_t qp_num) {
+  const std::size_t idx = qp_num - verbs::Device::kFirstQpNum;
+  if (qp_num >= verbs::Device::kFirstQpNum && idx < handlers_.size()) {
+    handlers_[idx] = nullptr;
+  }
+}
+
+bool WcRouter::bound(std::uint32_t qp_num) const {
+  const std::size_t idx = qp_num - verbs::Device::kFirstQpNum;
+  return qp_num >= verbs::Device::kFirstQpNum && idx < handlers_.size() &&
+         handlers_[idx] != nullptr;
+}
+
+int WcRouter::drain(verbs::Cq& cq) {
+  PARTIB_ASSERT_MSG(!draining_, "re-entrant drain");
+  draining_ = true;
+  // Dispatch straight over the CQ ring instead of copying completions out
+  // through poll(): one shared CQ aggregates many QPs' bursts, and the
+  // copy it saves pays for the per-Wc handler indirection
+  // (BM_SharedCqDemux vs BM_CqPollBurst).  A handler may push into this
+  // same CQ (e.g. a flush completion from re-posting to an errored
+  // sibling); a push can grow the ring and relocate the run, so stop and
+  // re-peek whenever the capacity changes.
+  const Handler* const handlers = handlers_.data();
+  const std::size_t bound = handlers_.size();
+  int routed = 0;
+  for (;;) {
+    const std::span<const verbs::Wc> run = cq.peek_run();
+    if (run.empty()) break;
+    const std::size_t cap = cq.ring_capacity();
+    std::size_t done = 0;
+    while (done < run.size()) {
+      const verbs::Wc& wc = run[done];
+      const std::size_t idx = wc.qp_num - verbs::Device::kFirstQpNum;
+      if (wc.qp_num < verbs::Device::kFirstQpNum || idx >= bound ||
+          !handlers[idx]) {
+        PARTIB_CHECK_HOOK(on_conn_demux_miss(this, wc.qp_num));
+        ++done;
+        continue;
+      }
+      handlers[idx](wc);
+      ++routed;
+      ++done;
+      if (cq.ring_capacity() != cap) break;
+    }
+    cq.discard(static_cast<int>(done));
+  }
+  draining_ = false;
+  return routed;
+}
+
+// ---------------------------------------------------------------------------
+// ConnectionManager
+
+namespace {
+
+verbs::Srq& make_srq(Rank& rank, const ConnConfig& cfg) {
+  verbs::SrqAttrs attrs;
+  attrs.max_wr = std::max(cfg.srq_capacity, 1);
+  attrs.srq_limit = std::clamp(cfg.srq_limit, 0, attrs.max_wr - 1);
+  return rank.pd().create_srq(attrs);
+}
+
+}  // namespace
+
+ConnectionManager::ConnectionManager(Rank& rank, const ConnConfig& cfg)
+    : rank_(rank),
+      cfg_(cfg),
+      cq_(rank.context().create_cq(cfg.cq_depth)),
+      srq_(make_srq(rank, cfg)) {
+  cq_.set_on_push([this] { schedule_dispatch(); });
+  srq_.set_on_limit([this] { schedule_refill(); });
+}
+
+ConnectionManager::~ConnectionManager() = default;
+
+void ConnectionManager::bind(std::uint32_t qp_num, WcRouter::Handler h) {
+  router_.bind(qp_num, std::move(h));
+}
+
+void ConnectionManager::unbind(std::uint32_t qp_num) {
+  router_.unbind(qp_num);
+}
+
+void ConnectionManager::reserve_recv_wrs(std::size_t n) {
+  reserve_target_ += n;
+  if (reserve_target_ > static_cast<std::size_t>(srq_.attrs().max_wr)) {
+    // Demand outran the provisioning floor: grow the SRQ (keeping the bound
+    // above the armed limit, which resize() rejects crossing).
+    const int want = std::max<int>(static_cast<int>(reserve_target_),
+                                   srq_.attrs().srq_limit + 1);
+    PARTIB_ASSERT(ok(srq_.resize(want)));
+  }
+  refill_srq();
+}
+
+void ConnectionManager::release_recv_wrs(std::size_t n) {
+  PARTIB_ASSERT(n <= reserve_target_);
+  reserve_target_ -= n;
+}
+
+ConnectionManager::ConnId ConnectionManager::connect(int peer, int qp_count,
+                                                     std::uint64_t token,
+                                                     Ready on_ready) {
+  PARTIB_ASSERT(peer >= 0 && peer != rank_.id());
+  Connection& conn = acquire_slot(peer, qp_count);
+  conn.peer = peer;
+  conn.leased = true;
+  touch(conn);
+  pending_ready_[conn.id] = std::move(on_ready);
+
+  std::vector<std::uint32_t> qp_nums;
+  qp_nums.reserve(conn.qps.size());
+  for (verbs::Qp* qp : conn.qps) qp_nums.push_back(qp->qp_num());
+
+  ConnectionManager* peer_mgr = &rank_.world().rank(peer).connections();
+  const int from = rank_.id();
+  const ConnId origin = conn.id;
+  rank_.world().send_control(
+      from, peer, [peer_mgr, from, token, qp_nums, origin] {
+        peer_mgr->on_connect_request(from, token, qp_nums, origin);
+      });
+  return conn.id;
+}
+
+void ConnectionManager::release(ConnId id) {
+  Connection& conn = connection(id);
+  PARTIB_ASSERT(conn.leased);
+  for (verbs::Qp* qp : conn.qps) router_.unbind(qp->qp_num());
+  conn.leased = false;
+  touch(conn);
+}
+
+void ConnectionManager::note_posted(ConnId id, std::size_t bytes) {
+  Connection& conn = connection(id);
+  conn.stats.bytes += bytes;
+  total_bytes_ += bytes;
+  touch(conn);
+}
+
+ConnectionManager::Connection& ConnectionManager::connection(ConnId id) {
+  PARTIB_ASSERT(id >= 0 && id < static_cast<ConnId>(conns_.size()));
+  return *conns_[static_cast<std::size_t>(id)];
+}
+
+void ConnectionManager::expect(std::uint64_t token, Ready on_accept) {
+  PARTIB_ASSERT_MSG(expected_.find(token) == expected_.end(),
+                    "token already expected");
+  expected_[token] = std::move(on_accept);
+}
+
+void ConnectionManager::forget(std::uint64_t token) { expected_.erase(token); }
+
+void ConnectionManager::on_connect_request(
+    int from, std::uint64_t token, const std::vector<std::uint32_t>& qp_nums,
+    ConnId origin) {
+  auto it = expected_.find(token);
+  PARTIB_ASSERT_MSG(it != expected_.end(),
+                    "connect request for a token nobody expects");
+  Ready on_accept = std::move(it->second);
+  expected_.erase(it);
+
+  Connection& conn = acquire_slot(from, static_cast<int>(qp_nums.size()));
+  conn.peer = from;
+  conn.leased = true;
+  conn.remote_id = origin;
+  for (std::size_t i = 0; i < conn.qps.size(); ++i) {
+    PARTIB_ASSERT(ok(conn.qps[i]->to_rtr(qp_nums[i])));
+    PARTIB_ASSERT(ok(conn.qps[i]->to_rts()));
+  }
+  conn.established = true;
+  ++conn.stats.establishments;
+  ++total_establishments_;
+  touch(conn);
+
+  std::vector<std::uint32_t> mine;
+  mine.reserve(conn.qps.size());
+  for (verbs::Qp* qp : conn.qps) mine.push_back(qp->qp_num());
+
+  ConnectionManager* origin_mgr = &rank_.world().rank(from).connections();
+  const ConnId remote_id = conn.id;
+  rank_.world().send_control(
+      rank_.id(), from, [origin_mgr, origin, mine, remote_id] {
+        origin_mgr->on_connect_reply(origin, mine, remote_id);
+      });
+  on_accept(conn);
+}
+
+void ConnectionManager::on_connect_reply(
+    ConnId local, const std::vector<std::uint32_t>& qp_nums,
+    ConnId remote_id) {
+  Connection& conn = connection(local);
+  PARTIB_ASSERT(qp_nums.size() == conn.qps.size());
+  conn.remote_id = remote_id;
+  for (std::size_t i = 0; i < conn.qps.size(); ++i) {
+    PARTIB_ASSERT(ok(conn.qps[i]->to_rtr(qp_nums[i])));
+    PARTIB_ASSERT(ok(conn.qps[i]->to_rts()));
+  }
+  conn.established = true;
+  ++conn.stats.establishments;
+  ++total_establishments_;
+  touch(conn);
+
+  auto it = pending_ready_.find(local);
+  PARTIB_ASSERT(it != pending_ready_.end());
+  Ready on_ready = std::move(it->second);
+  pending_ready_.erase(it);
+  on_ready(conn);
+}
+
+void ConnectionManager::on_disconnect(ConnId local) {
+  Connection& conn = connection(local);
+  if (!conn.established) return;
+  for (verbs::Qp* qp : conn.qps) {
+    router_.unbind(qp->qp_num());
+    PARTIB_ASSERT_MSG(qp->outstanding_send_wrs() == 0,
+                      "disconnect with WRs in flight");
+    if (qp->state() != verbs::QpState::kReset) {
+      PARTIB_ASSERT(ok(qp->to_reset()));
+    }
+  }
+  conn.established = false;
+  conn.remote_id = kNilConn;
+}
+
+int ConnectionManager::established_connections() const {
+  int n = 0;
+  for (const auto& c : conns_) n += c->established ? 1 : 0;
+  return n;
+}
+
+ConnectionManager::Connection& ConnectionManager::acquire_slot(int peer,
+                                                               int qp_count) {
+  // 1. Reuse a slot whose previous connection was already torn down.
+  for (auto& c : conns_) {
+    if (!c->established && !c->leased) {
+      prepare_qps(*c, qp_count);
+      return *c;
+    }
+  }
+  // 2. At the cap: recycle the least-recently-used idle connection.
+  const int cap = cfg_.max_connections;
+  if (cap > 0 && established_connections() >= cap) {
+    Connection* victim = nullptr;
+    for (auto& c : conns_) {
+      if (c->established && !c->leased &&
+          (victim == nullptr || c->last_use < victim->last_use)) {
+        victim = c.get();
+      }
+    }
+    if (victim != nullptr) {
+      recycle(*victim);
+      prepare_qps(*victim, qp_count);
+      return *victim;
+    }
+    // Every established connection is leased: a soft cap proceeds anyway
+    // and the checker records the overshoot.
+    PARTIB_CHECK_HOOK(
+        on_conn_over_cap(this, established_connections(), cap));
+  }
+  // 3. Fresh slot.
+  auto conn = std::make_unique<Connection>();
+  conn->id = static_cast<ConnId>(conns_.size());
+  conn->peer = peer;
+  conns_.push_back(std::move(conn));
+  prepare_qps(*conns_.back(), qp_count);
+  return *conns_.back();
+}
+
+void ConnectionManager::recycle(Connection& conn) {
+  PARTIB_ASSERT(conn.established && !conn.leased);
+  // Tell the peer so its half of the chain is reset and freed too.
+  if (conn.remote_id != kNilConn) {
+    ConnectionManager* peer_mgr =
+        &rank_.world().rank(conn.peer).connections();
+    const ConnId remote_id = conn.remote_id;
+    rank_.world().send_control(rank_.id(), conn.peer,
+                               [peer_mgr, remote_id] {
+                                 peer_mgr->on_disconnect(remote_id);
+                               });
+  }
+  for (verbs::Qp* qp : conn.qps) {
+    router_.unbind(qp->qp_num());
+    PARTIB_ASSERT_MSG(qp->outstanding_send_wrs() == 0,
+                      "recycling a connection with WRs in flight");
+    if (qp->state() != verbs::QpState::kReset) {
+      PARTIB_ASSERT(ok(qp->to_reset()));
+    }
+  }
+  conn.established = false;
+  conn.remote_id = kNilConn;
+  ++conn.stats.recycles;
+  ++total_recycles_;
+}
+
+void ConnectionManager::prepare_qps(Connection& conn, int qp_count) {
+  PARTIB_ASSERT(qp_count > 0);
+  // Reuse the slot's existing chain members (RESET -> INIT); any extras
+  // stay parked in the Pd (the sim has no ibv_destroy_qp, and a parked
+  // RESET QP provisions only its send slab).
+  if (static_cast<int>(conn.qps.size()) > qp_count) {
+    conn.qps.resize(static_cast<std::size_t>(qp_count));
+  }
+  for (verbs::Qp* qp : conn.qps) {
+    if (qp->state() != verbs::QpState::kReset) {
+      PARTIB_ASSERT(ok(qp->to_reset()));
+    }
+    PARTIB_ASSERT(ok(qp->to_init()));
+  }
+  while (static_cast<int>(conn.qps.size()) < qp_count) {
+    verbs::Qp& qp = rank_.pd().create_qp(cq_, cq_, cfg_.qp_caps, &srq_);
+    PARTIB_ASSERT(ok(qp.to_init()));
+    conn.qps.push_back(&qp);
+  }
+}
+
+void ConnectionManager::refill_srq() {
+  // Top the SRQ back up to the reservation sum.  reserve_recv_wrs grew the
+  // capacity bound past the target, so these posts cannot hit max_wr.
+  while (srq_.posted() < reserve_target_) {
+    verbs::RecvWr wr;
+    wr.wr_id = next_recv_wr_id_++;
+    PARTIB_ASSERT(ok(srq_.post_recv(wr)));
+  }
+  // Re-arm the one-shot low-watermark event for the next drain.
+  const int limit = std::clamp(cfg_.srq_limit, 0, srq_.attrs().max_wr - 1);
+  if (limit > 0) PARTIB_ASSERT(ok(srq_.arm_limit(limit)));
+}
+
+void ConnectionManager::schedule_refill() {
+  if (refill_scheduled_) return;
+  refill_scheduled_ = true;
+  rank_.world().engine().schedule_after(
+      0,
+      [this] {
+        refill_scheduled_ = false;
+        refill_srq();
+      },
+      "conn.srq_refill");
+}
+
+void ConnectionManager::schedule_dispatch() {
+  if (dispatch_scheduled_) return;
+  dispatch_scheduled_ = true;
+  rank_.world().engine().schedule_after(0, [this] { dispatch(); },
+                                        "conn.dispatch");
+}
+
+void ConnectionManager::dispatch() {
+  dispatch_scheduled_ = false;
+  router_.drain(cq_);
+  // Completions mean receive WRs were consumed — restock opportunistically
+  // so a quiet SRQ never sits below the reservation waiting for the limit
+  // event.
+  if (srq_.posted() < reserve_target_) refill_srq();
+}
+
+void ConnectionManager::touch(Connection& conn) {
+  conn.last_use = ++use_clock_;
+}
+
+}  // namespace partib::mpi

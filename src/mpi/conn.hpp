@@ -1,0 +1,202 @@
+// Connection-scale shared resources: one CQ + one SRQ per rank, and an
+// Ibdxnet-style on-demand connection manager over them.
+//
+// The per-channel design (part/psend.hpp, part/precv.hpp) gives every
+// channel private QPs and a private CQ — fine at paper scale, linear in
+// peers at incast scale: a 1k-peer fan-in provisions a thousand
+// 65536-entry CQs on the hot rank.  Real high-connection-count InfiniBand
+// deployments (Ibdxnet, PAPERS.md; rdmalib's
+// `Cluster::establish(num_rc, share_cq_with)`, SNIPPETS.md) share receive
+// resources instead:
+//
+//   * every QP the manager creates drains into the rank's single shared
+//     CQ and draws receive WRs from the rank's single SRQ;
+//   * completions are demultiplexed by wc.qp_num through a dense handler
+//     table (WcRouter) — one array load per CQE, preserving the PR 4
+//     allocation-free poll path;
+//   * QP chains are created lazily, on the first send toward a peer, and
+//     recycled LRU through the PR 5 ERROR→RESET→INIT→RTR→RTS machinery
+//     when the configured connection cap is hit.
+//
+// Channels opt in with part::Options::shared_resources; the dedicated
+// per-channel path remains the default (and keeps the figure fingerprints
+// byte-identical).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/status.hpp"
+#include "verbs/verbs.hpp"
+
+namespace partib::mpi {
+
+class Rank;
+
+/// Manager knobs, resolved from WorldOptions by Rank::connections().
+struct ConnConfig {
+  /// Concurrent established-connection cap; 0 = uncapped.  A soft cap:
+  /// when no idle connection can be recycled the manager proceeds and
+  /// PARTIB_CHECK records rule conn.cap.
+  int max_connections = 0;
+  /// SRQ provisioning floor; grows with reserve_recv_wrs demand.
+  int srq_capacity = 1024;
+  /// SRQ low watermark: refills are scheduled when the posted count drops
+  /// below it (plus after every dispatch batch).
+  int srq_limit = 64;
+  int cq_depth = 1 << 16;
+  verbs::QpCaps qp_caps{};
+};
+
+/// Dense wc.qp_num -> handler table for shared-CQ demultiplexing.
+/// qp_nums are device-dense (verbs::Device::kFirstQpNum + index), so the
+/// route is a bounds check and one array load — the same cost model as
+/// Device::find_qp.  Standalone so BM_SharedCqDemux measures exactly the
+/// dispatch the manager runs.
+class WcRouter {
+ public:
+  using Handler = std::function<void(const verbs::Wc&)>;
+
+  void bind(std::uint32_t qp_num, Handler h);
+  void unbind(std::uint32_t qp_num);
+  bool bound(std::uint32_t qp_num) const;
+
+  /// Drain `cq` in 16-entry bursts, routing each completion to its QP's
+  /// handler.  A CQE for an unbound qp_num is dropped (rule conn.demux).
+  /// Returns the number of completions routed.
+  int drain(verbs::Cq& cq);
+
+ private:
+  std::vector<Handler> handlers_;  // index == qp_num - kFirstQpNum
+  /// Guards against bind() growing handlers_ under drain's feet (the hot
+  /// loop calls through a reference into the table).
+  bool draining_ = false;
+};
+
+/// Per-connection statistics (tentpole requirement: byte/establishment
+/// accounting per connection, aggregated by the manager).
+struct ConnStats {
+  std::uint64_t establishments = 0;  ///< times this slot reached RTS
+  std::uint64_t recycles = 0;        ///< LRU evictions this slot absorbed
+  std::uint64_t bytes = 0;           ///< payload bytes posted through it
+};
+
+class ConnectionManager {
+ public:
+  using ConnId = int;
+  static constexpr ConnId kNilConn = -1;
+
+  /// One connection slot: a QP chain toward `peer`.  Slots are recycled
+  /// in place (stats survive the churn; `peer`/`qps` are rebound).
+  struct Connection {
+    ConnId id = kNilConn;
+    int peer = -1;
+    ConnId remote_id = kNilConn;  ///< slot id on the peer's manager
+    std::vector<verbs::Qp*> qps;
+    bool established = false;
+    bool leased = false;  ///< held by a live channel; not recyclable
+    std::uint64_t last_use = 0;
+    ConnStats stats;
+  };
+
+  using Ready = std::function<void(Connection&)>;
+
+  ConnectionManager(Rank& rank, const ConnConfig& cfg);
+  ~ConnectionManager();
+  ConnectionManager(const ConnectionManager&) = delete;
+  ConnectionManager& operator=(const ConnectionManager&) = delete;
+
+  // -- shared resources ------------------------------------------------------
+  verbs::Cq& cq() { return cq_; }
+  verbs::Srq& srq() { return srq_; }
+  WcRouter& router() { return router_; }
+
+  // -- demultiplexing --------------------------------------------------------
+  void bind(std::uint32_t qp_num, WcRouter::Handler h);
+  void unbind(std::uint32_t qp_num);
+
+  // -- SRQ staging -----------------------------------------------------------
+  /// Channels reserve worst-case receive-WR headroom for their lifetime;
+  /// the manager keeps the SRQ topped up to the reservation sum (growing
+  /// its capacity when demand outruns the configured floor) and refills
+  /// after consumption — on the SRQ limit event and after each dispatch.
+  void reserve_recv_wrs(std::size_t n);
+  void release_recv_wrs(std::size_t n);
+
+  // -- active (sender) side --------------------------------------------------
+  /// Lazily establish a `qp_count`-QP chain toward `peer`.  `token` names
+  /// the passive side's expect() registration (the channels use the
+  /// receiver-request pointer from the ack).  `on_ready` fires — after the
+  /// control-plane round trip — with the chain in RTS.  The returned slot
+  /// is leased until release().
+  ConnId connect(int peer, int qp_count, std::uint64_t token, Ready on_ready);
+
+  /// Drop the lease: the slot stays established (warm) but becomes
+  /// recyclable.  Unbinds the chain's router handlers.
+  void release(ConnId id);
+
+  /// LRU bump + per-connection byte accounting for one posted WR.
+  void note_posted(ConnId id, std::size_t bytes);
+
+  Connection& connection(ConnId id);
+
+  // -- passive (receiver) side -----------------------------------------------
+  /// Register `on_accept` for an incoming connect carrying `token`; fires
+  /// with this side's chain already in RTS.  The accepted slot is leased.
+  void expect(std::uint64_t token, Ready on_accept);
+  void forget(std::uint64_t token);
+
+  // -- control-plane entry points (called via World::send_control) -----------
+  void on_connect_request(int from, std::uint64_t token,
+                          const std::vector<std::uint32_t>& qp_nums,
+                          ConnId origin);
+  void on_connect_reply(ConnId local, const std::vector<std::uint32_t>& qp_nums,
+                        ConnId remote_id);
+  void on_disconnect(ConnId local);
+
+  // -- introspection ---------------------------------------------------------
+  int established_connections() const;
+  std::size_t slot_count() const { return conns_.size(); }
+  std::uint64_t total_establishments() const { return total_establishments_; }
+  std::uint64_t total_recycles() const { return total_recycles_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  std::size_t reserved_recv_wrs() const { return reserve_target_; }
+  const ConnConfig& config() const { return cfg_; }
+
+ private:
+  /// Find or make a free slot: an unestablished one, else the LRU
+  /// established+unleased victim (recycled through RESET), else — over
+  /// cap, rule conn.cap — a fresh slot.
+  Connection& acquire_slot(int peer, int qp_count);
+  void recycle(Connection& conn);
+  /// Bring conn.qps to exactly `qp_count` chain members in INIT.
+  void prepare_qps(Connection& conn, int qp_count);
+  void refill_srq();
+  void schedule_refill();
+  void schedule_dispatch();
+  void dispatch();
+  void touch(Connection& conn);
+
+  Rank& rank_;
+  ConnConfig cfg_;
+  verbs::Cq& cq_;
+  verbs::Srq& srq_;
+  WcRouter router_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+  std::map<std::uint64_t, Ready> expected_;
+  std::map<ConnId, Ready> pending_ready_;
+  std::uint64_t use_clock_ = 0;
+  std::size_t reserve_target_ = 0;
+  std::uint64_t next_recv_wr_id_ = 0;
+  std::uint64_t total_establishments_ = 0;
+  std::uint64_t total_recycles_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool dispatch_scheduled_ = false;
+  bool refill_scheduled_ = false;
+};
+
+}  // namespace partib::mpi

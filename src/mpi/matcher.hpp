@@ -37,7 +37,13 @@ struct SendInit {
   std::size_t user_partitions = 0;
   std::size_t transport_partitions = 0;
   int qp_count = 0;
+  /// Sender QP numbers (dedicated mode).  Empty in shared mode, where the
+  /// QP exchange rides the connection manager's lazy-establish protocol
+  /// (mpi/conn.hpp) instead of the handshake.
   std::vector<std::uint32_t> qp_nums;
+  /// True when the sender runs part::Options::shared_resources; the
+  /// receiver must match (channel modes cannot be mixed).
+  bool shared = false;
   /// Opaque sender-side request handle echoed back in the ack path
   /// (in-process simulation: the ack closure resolves it).
   void* sender_request = nullptr;

@@ -1,5 +1,7 @@
 #include "mpi/world.hpp"
 
+#include "mpi/conn.hpp"
+
 namespace partib::mpi {
 
 Rank::Rank(World& world, int id, fabric::NodeId node, verbs::Context& ctx,
@@ -14,6 +16,21 @@ Rank::Rank(World& world, int id, fabric::NodeId node, verbs::Context& ctx,
   if (world.options().dpu_aggregation) {
     dpu_ = std::make_unique<sim::FifoResource>(world.engine(), 1);
   }
+}
+
+Rank::~Rank() = default;
+
+ConnectionManager& Rank::connections() {
+  if (conn_ == nullptr) {
+    const WorldOptions& wo = world_.options();
+    ConnConfig cfg;
+    cfg.max_connections = wo.conn_max_connections;
+    cfg.srq_capacity = wo.conn_srq_capacity;
+    cfg.srq_limit = wo.conn_srq_limit;
+    cfg.cq_depth = wo.cq_depth;
+    conn_ = std::make_unique<ConnectionManager>(*this, cfg);
+  }
+  return *conn_;
 }
 
 World::World(sim::Engine& engine, WorldOptions options)

@@ -21,6 +21,7 @@
 
 namespace partib::mpi {
 
+class ConnectionManager;
 class P2pEndpoint;
 
 struct WorldOptions {
@@ -53,6 +54,14 @@ struct WorldOptions {
   /// All rates zero (the default) keeps the data path fault-free and
   /// allocation-identical to a build without the fault plane.
   fabric::FaultPlanConfig faults{};
+
+  /// Connection-scale shared resources (mpi/conn.hpp), consulted by
+  /// Rank::connections() on first use.  Channels opt in with
+  /// part::Options::shared_resources; conn_max_connections = 0 leaves the
+  /// manager uncapped.
+  int conn_max_connections = 0;
+  int conn_srq_capacity = 1024;
+  int conn_srq_limit = 64;
 };
 
 class World;
@@ -61,6 +70,7 @@ class Rank {
  public:
   Rank(World& world, int id, fabric::NodeId node, verbs::Context& ctx,
        int cores);
+  ~Rank();  // out of line: conn_ holds an incomplete ConnectionManager
   Rank(const Rank&) = delete;
   Rank& operator=(const Rank&) = delete;
 
@@ -80,6 +90,12 @@ class Rank {
   P2pEndpoint* p2p() { return p2p_; }
   void set_p2p(P2pEndpoint* ep) { p2p_ = ep; }
 
+  /// The rank's shared connection manager (mpi/conn.hpp), created lazily —
+  /// ranks running only dedicated per-channel resources never pay for the
+  /// shared CQ/SRQ.
+  ConnectionManager& connections();
+  bool has_connections() const { return conn_ != nullptr; }
+
  private:
   World& world_;
   int id_;
@@ -91,6 +107,7 @@ class Rank {
   std::unique_ptr<sim::FifoResource> dpu_;
   InitMatcher matcher_;
   P2pEndpoint* p2p_ = nullptr;
+  std::unique_ptr<ConnectionManager> conn_;
 };
 
 class World {

@@ -48,6 +48,15 @@ struct Options {
   int qp_count_override = 0;                      ///< 0 = plan decides
   UcxModel ucx;
 
+  /// Connection-scale mode (mpi/conn.hpp): draw QPs from the rank's
+  /// on-demand connection manager, drain completions through the rank's
+  /// shared CQ, and stage receives in the rank's SRQ instead of
+  /// provisioning a private CQ (and receive rings) per channel.  Both
+  /// sides of a channel must agree (asserted at match time).  Off by
+  /// default: dedicated resources keep the single-channel figures'
+  /// event streams untouched.
+  bool shared_resources = false;
+
   // -- fault recovery (docs/FAULTS.md) --------------------------------------
   /// Failure budget per message: a WR whose send completion carries a
   /// retryable error (RETRY_EXC_ERR, RNR_RETRY_EXC_ERR, WR_FLUSH_ERR) is

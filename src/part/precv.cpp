@@ -55,6 +55,15 @@ PrecvRequest::PrecvRequest(mpi::Rank& rank, std::span<std::byte> buffer,
 
 PrecvRequest::~PrecvRequest() {
   if (cq_ != nullptr) cq_->set_on_push(nullptr);
+  if (expect_registered_) {
+    // Matched but never accepted (the sender posted nothing): withdraw
+    // the token so the manager map does not leak a dangling this.
+    rank_.connections().forget(reinterpret_cast<std::uint64_t>(this));
+  }
+  if (conn_id_ != mpi::ConnectionManager::kNilConn) {
+    rank_.connections().release(conn_id_);
+  }
+  if (reserved_wrs_ != 0) rank_.connections().release_recv_wrs(reserved_wrs_);
 }
 
 void PrecvRequest::tag_shard(int shard) {
@@ -68,36 +77,54 @@ void PrecvRequest::on_match(const mpi::SendInit& si) {
   // aggregate buffer sizes must agree (geometry mismatch is erroneous).
   PARTIB_ASSERT_MSG(si.total_bytes == buf_.size(),
                     "sender/receiver partitioned-channel geometry mismatch");
+  PARTIB_ASSERT_MSG(si.shared == opts_.shared_resources,
+                    "sender/receiver disagree on shared_resources mode");
   mpi::World& world = rank_.world();
   sender_request_ = si.sender_request;
   sender_tp_ = si.transport_partitions;
   sender_group_size_ = si.user_partitions / sender_tp_;
   sender_psize_ = si.total_bytes / si.user_partitions;
 
-  cq_ = &rank_.context().create_cq(world.options().cq_depth);
-  cq_->set_on_push([this] { schedule_progress(); });
   mr_ = &rank_.pd().register_mr(
       buf_, verbs::kLocalWrite | verbs::kRemoteWrite);
-
-  // Receive WR budget: in the worst case (timer-based sender, fully
-  // scattered arrivals) every user partition of a group arrives in its own
-  // message, so a QP needs group_size WRs per group mapped to it.
-  verbs::QpCaps caps;
-  caps.max_recv_wr = static_cast<int>(std::max<std::size_t>(n_, 64));
 
   RecvAck ack;
   ack.rkey = mr_->rkey();
   ack.base_addr = mr_->addr();
   ack.receiver_request = this;
-  for (int i = 0; i < si.qp_count; ++i) {
-    verbs::Qp& qp = rank_.pd().create_qp(*cq_, *cq_, caps);
-    PARTIB_ASSERT(ok(qp.to_init()));
-    PARTIB_ASSERT(ok(qp.to_rtr(si.qp_nums[static_cast<std::size_t>(i)])));
-    PARTIB_ASSERT(ok(qp.to_rts()));
-    qps_.push_back(&qp);
-    ack.qp_nums.push_back(qp.qp_num());
+  if (opts_.shared_resources) {
+    // Shared mode: receive staging comes from the rank's SRQ and the QP
+    // exchange rides the connection manager.  Reserve worst-case headroom
+    // (every sender partition in its own message) and register this
+    // channel's accept token — the ack pointer the sender will connect
+    // with — before the ack ships, so the token is always expected by the
+    // time the connect request can arrive.
+    mpi::ConnectionManager& mgr = rank_.connections();
+    reserved_wrs_ = si.user_partitions;
+    mgr.reserve_recv_wrs(reserved_wrs_);
+    mgr.expect(reinterpret_cast<std::uint64_t>(this),
+               [this](mpi::ConnectionManager::Connection& conn) {
+                 on_accept(conn);
+               });
+    expect_registered_ = true;
+  } else {
+    // Dedicated mode: a private CQ plus a per-channel SRQ feeding every
+    // QP of the chain — receive staging is provisioned once per channel
+    // instead of once per QP.
+    cq_ = &rank_.context().create_cq(world.options().cq_depth);
+    cq_->set_on_push([this] { schedule_progress(); });
+    verbs::SrqAttrs srq_attrs;
+    srq_attrs.max_wr = static_cast<int>(std::max<std::size_t>(n_, 64));
+    srq_ = &rank_.pd().create_srq(srq_attrs);
+    for (int i = 0; i < si.qp_count; ++i) {
+      verbs::Qp& qp = rank_.pd().create_qp(*cq_, *cq_, verbs::QpCaps{}, srq_);
+      PARTIB_ASSERT(ok(qp.to_init()));
+      PARTIB_ASSERT(ok(qp.to_rtr(si.qp_nums[static_cast<std::size_t>(i)])));
+      PARTIB_ASSERT(ok(qp.to_rts()));
+      qps_.push_back(&qp);
+      ack.qp_nums.push_back(qp.qp_num());
+    }
   }
-  posted_recvs_.assign(qps_.size(), 0);
   matched_ = true;
 
   auto* sender = static_cast<PsendRequest*>(sender_request_);
@@ -108,6 +135,20 @@ void PrecvRequest::on_match(const mpi::SendInit& si) {
     // side effects now.
     post_recv_wrs();
     send_credit();
+  }
+}
+
+void PrecvRequest::on_accept(mpi::ConnectionManager::Connection& conn) {
+  PARTIB_ASSERT(conn_id_ == mpi::ConnectionManager::kNilConn);
+  expect_registered_ = false;  // the manager consumed the token
+  conn_id_ = conn.id;
+  qps_ = conn.qps;
+  mpi::ConnectionManager& mgr = rank_.connections();
+  for (verbs::Qp* qp : qps_) {
+    mgr.bind(qp->qp_num(), [this](const verbs::Wc& wc) {
+      consume_recv_wc(wc);
+      check_completion();
+    });
   }
 }
 
@@ -127,21 +168,19 @@ Status PrecvRequest::start() {
 }
 
 void PrecvRequest::post_recv_wrs() {
-  // Top up each QP to its worst-case WR count for one round.  Unconsumed
-  // WRs from aggregated rounds carry over; we only post the difference.
-  for (std::size_t q = 0; q < qps_.size(); ++q) {
-    std::size_t groups_on_qp = 0;
-    for (std::size_t g = 0; g < sender_tp_; ++g) {
-      if (g % qps_.size() == q) ++groups_on_qp;
-    }
-    const int needed =
-        static_cast<int>(groups_on_qp * sender_group_size_);
-    while (posted_recvs_[q] < needed) {
-      verbs::RecvWr wr;
-      wr.wr_id = static_cast<std::uint64_t>(q);
-      PARTIB_ASSERT(ok(qps_[q]->post_recv(wr)));
-      ++posted_recvs_[q];
-    }
+  // Shared mode: the rank's connection manager keeps the node SRQ topped
+  // up to the reservation sum; nothing to post per round.
+  if (srq_ == nullptr) return;
+  // Dedicated mode: top the channel SRQ up to the worst case for one
+  // round — a timer-based sender with fully scattered arrivals sends
+  // every user partition in its own message.  Unconsumed WRs from
+  // aggregated rounds carry over; we only post the difference.
+  const int needed = static_cast<int>(sender_tp_ * sender_group_size_);
+  while (posted_recvs_ < needed) {
+    verbs::RecvWr wr;
+    wr.wr_id = static_cast<std::uint64_t>(posted_recvs_);
+    PARTIB_ASSERT(ok(srq_->post_recv(wr)));
+    ++posted_recvs_;
   }
 }
 
@@ -162,42 +201,42 @@ void PrecvRequest::schedule_progress() {
       "precv.progress");
 }
 
+void PrecvRequest::consume_recv_wc(const verbs::Wc& wc) {
+  PARTIB_ASSERT_MSG(wc.status == verbs::WcStatus::kSuccess,
+                    to_string(wc.status));
+  PARTIB_ASSERT(wc.opcode == verbs::WcOpcode::kRecvRdmaWithImm);
+  PARTIB_ASSERT(wc.has_imm);
+  if (srq_ != nullptr) --posted_recvs_;
+  ++msgs_received_;
+  // The immediate names a run of *sender* partitions; translate the
+  // byte range it covers into receive partitions.
+  const ImmRange range = decode_imm(wc.imm);
+  PARTIB_ASSERT(range.count >= 1);
+  const std::size_t byte_lo = range.first * sender_psize_;
+  const std::size_t byte_hi =
+      byte_lo + std::size_t{range.count} * sender_psize_;
+  PARTIB_ASSERT(byte_hi <= buf_.size());
+  std::size_t pos = byte_lo;
+  while (pos < byte_hi) {
+    const std::size_t p = pos / psize_;
+    const std::size_t chunk = std::min(byte_hi, (p + 1) * psize_) - pos;
+    PARTIB_CHECK_HOOK(on_precv_bytes(this, p, chunk));
+    PARTIB_ASSERT_MSG(bytes_arrived_[p] + chunk <= psize_,
+                      "duplicate partition arrival");
+    bytes_arrived_[p] += chunk;
+    if (bytes_arrived_[p] == psize_) {
+      ++arrived_count_;
+      if (arrival_hook_) arrival_hook_(p, wc.completion_time);
+    }
+    pos += chunk;
+  }
+}
+
 void PrecvRequest::progress() {
   verbs::Wc wcs[16];
   int n;
   while ((n = cq_->poll(std::span<verbs::Wc>(wcs))) > 0) {
-    for (int i = 0; i < n; ++i) {
-      const verbs::Wc& wc = wcs[i];
-      PARTIB_ASSERT_MSG(wc.status == verbs::WcStatus::kSuccess,
-                        to_string(wc.status));
-      PARTIB_ASSERT(wc.opcode == verbs::WcOpcode::kRecvRdmaWithImm);
-      PARTIB_ASSERT(wc.has_imm);
-      --posted_recvs_[wc.wr_id];
-      ++msgs_received_;
-      // The immediate names a run of *sender* partitions; translate the
-      // byte range it covers into receive partitions.
-      const ImmRange range = decode_imm(wc.imm);
-      PARTIB_ASSERT(range.count >= 1);
-      const std::size_t byte_lo = range.first * sender_psize_;
-      const std::size_t byte_hi =
-          byte_lo + std::size_t{range.count} * sender_psize_;
-      PARTIB_ASSERT(byte_hi <= buf_.size());
-      std::size_t pos = byte_lo;
-      while (pos < byte_hi) {
-        const std::size_t p = pos / psize_;
-        const std::size_t chunk =
-            std::min(byte_hi, (p + 1) * psize_) - pos;
-        PARTIB_CHECK_HOOK(on_precv_bytes(this, p, chunk));
-        PARTIB_ASSERT_MSG(bytes_arrived_[p] + chunk <= psize_,
-                          "duplicate partition arrival");
-        bytes_arrived_[p] += chunk;
-        if (bytes_arrived_[p] == psize_) {
-          ++arrived_count_;
-          if (arrival_hook_) arrival_hook_(p, wc.completion_time);
-        }
-        pos += chunk;
-      }
-    }
+    for (int i = 0; i < n; ++i) consume_recv_wc(wcs[i]);
   }
   check_completion();
 }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "mpi/conn.hpp"
 #include "mpi/world.hpp"
 #include "part/options.hpp"
 #include "part/wire.hpp"
@@ -90,6 +91,13 @@ class PrecvRequest {
   void on_match(const mpi::SendInit& si);
   void post_recv_wrs();
   void send_credit();
+  /// The manager accepted the sender's chain (shared mode): adopt the QPs
+  /// and bind the receive-Wc handlers.
+  void on_accept(mpi::ConnectionManager::Connection& conn);
+  /// Decode one receive completion into partition-arrival bookkeeping
+  /// (shared mode: routed per-Wc by the manager; dedicated mode: polled in
+  /// batches by progress()).
+  void consume_recv_wc(const verbs::Wc& wc);
   void schedule_progress();
   void progress();
   void check_completion();
@@ -103,9 +111,17 @@ class PrecvRequest {
   int comm_id_;
   Options opts_;
 
-  verbs::Cq* cq_ = nullptr;
+  verbs::Cq* cq_ = nullptr;   ///< private CQ; nullptr in shared mode
+  verbs::Srq* srq_ = nullptr; ///< per-channel SRQ (dedicated mode staging)
   verbs::Mr* mr_ = nullptr;
   std::vector<verbs::Qp*> qps_;
+
+  // -- shared-resources mode (mpi/conn.hpp) -----------------------------------
+  mpi::ConnectionManager::ConnId conn_id_ = mpi::ConnectionManager::kNilConn;
+  /// SRQ headroom reserved on the rank manager (worst case: every sender
+  /// partition in its own message), returned in the destructor.
+  std::size_t reserved_wrs_ = 0;
+  bool expect_registered_ = false;
 
   bool matched_ = false;
   void* sender_request_ = nullptr;  ///< peer PsendRequest (opaque)
@@ -123,8 +139,10 @@ class PrecvRequest {
   std::size_t arrived_count_ = 0;  ///< completed *receive* partitions
   /// Bytes landed in each receive partition this round.
   std::vector<std::size_t> bytes_arrived_;
-  /// Receive WRs currently posted per QP (topped up each Start).
-  std::vector<int> posted_recvs_;
+  /// Receive WRs currently posted to the channel SRQ (dedicated mode;
+  /// topped up each Start).  Every QP of the channel draws from the one
+  /// SRQ, so the count is per-channel, not per-QP.
+  int posted_recvs_ = 0;
 
   std::uint64_t msgs_received_ = 0;
   /// Progress-coalescing flag (see PsendRequest::progress_scheduled_).

@@ -81,6 +81,9 @@ PsendRequest::~PsendRequest() {
     if (g.timer.valid()) rank_.world().engine().cancel(g.timer);
   }
   if (cq_ != nullptr) cq_->set_on_push(nullptr);
+  if (conn_id_ != mpi::ConnectionManager::kNilConn) {
+    rank_.connections().release(conn_id_);
+  }
 }
 
 void PsendRequest::tag_shard(int shard) {
@@ -91,12 +94,8 @@ void PsendRequest::tag_shard(int shard) {
 
 void PsendRequest::setup_verbs_and_handshake() {
   mpi::World& world = rank_.world();
-  cq_ = &rank_.context().create_cq(world.options().cq_depth);
-  cq_->set_on_push([this] { schedule_progress(); });
   mr_ = &rank_.pd().register_mr(buf_, verbs::kLocalRead);
 
-  verbs::QpCaps caps;
-  caps.max_send_wr = world.options().nic.max_outstanding_wr_per_qp;
   mpi::SendInit si;
   si.key = mpi::MatchKey{rank_.id(), tag_, comm_id_};
   si.total_bytes = buf_.size();
@@ -104,11 +103,21 @@ void PsendRequest::setup_verbs_and_handshake() {
   si.transport_partitions = tp_;
   si.qp_count = plan_.qp_count;
   si.sender_request = this;
-  for (int i = 0; i < plan_.qp_count; ++i) {
-    verbs::Qp& qp = rank_.pd().create_qp(*cq_, *cq_, caps);
-    PARTIB_ASSERT(ok(qp.to_init()));
-    qps_.push_back(&qp);
-    si.qp_nums.push_back(qp.qp_num());
+  si.shared = opts_.shared_resources;
+  if (!opts_.shared_resources) {
+    // Dedicated mode: a private CQ and eagerly created QPs whose numbers
+    // ride the handshake.  Shared mode sends no qp_nums — the chain comes
+    // from the connection manager, lazily, on the first post.
+    cq_ = &rank_.context().create_cq(world.options().cq_depth);
+    cq_->set_on_push([this] { schedule_progress(); });
+    verbs::QpCaps caps;
+    caps.max_send_wr = world.options().nic.max_outstanding_wr_per_qp;
+    for (int i = 0; i < plan_.qp_count; ++i) {
+      verbs::Qp& qp = rank_.pd().create_qp(*cq_, *cq_, caps);
+      PARTIB_ASSERT(ok(qp.to_init()));
+      qps_.push_back(&qp);
+      si.qp_nums.push_back(qp.qp_num());
+    }
   }
 
   mpi::Rank& peer = world.rank(dst_);
@@ -119,18 +128,52 @@ void PsendRequest::setup_verbs_and_handshake() {
 
 void PsendRequest::on_ack(const RecvAck& ack) {
   PARTIB_ASSERT(!remote_ready_);
-  PARTIB_ASSERT(ack.qp_nums.size() == qps_.size());
   remote_rkey_ = ack.rkey;
   remote_base_ = ack.base_addr;
   receiver_request_ = ack.receiver_request;
-  for (std::size_t i = 0; i < qps_.size(); ++i) {
-    PARTIB_ASSERT(ok(qps_[i]->to_rtr(ack.qp_nums[i])));
-    PARTIB_ASSERT(ok(qps_[i]->to_rts()));
+  if (opts_.shared_resources) {
+    PARTIB_ASSERT(ack.qp_nums.empty());
+  } else {
+    PARTIB_ASSERT(ack.qp_nums.size() == qps_.size());
+    for (std::size_t i = 0; i < qps_.size(); ++i) {
+      PARTIB_ASSERT(ok(qps_[i]->to_rtr(ack.qp_nums[i])));
+      PARTIB_ASSERT(ok(qps_[i]->to_rts()));
+    }
   }
   remote_ready_ = true;
   completions_scratch_.swap(prepare_callbacks_);
   for (auto& cb : completions_scratch_) cb();
   completions_scratch_.clear();
+  flush_deferred();
+}
+
+void PsendRequest::request_connection() {
+  PARTIB_ASSERT(opts_.shared_resources && remote_ready_ && !conn_requested_);
+  conn_requested_ = true;
+  // The expect() token is the receiver-request pointer the ack carried —
+  // already registered on the peer manager before the ack was sent.
+  conn_id_ = rank_.connections().connect(
+      dst_, plan_.qp_count,
+      reinterpret_cast<std::uint64_t>(receiver_request_),
+      [this](mpi::ConnectionManager::Connection& conn) {
+        on_connected(conn);
+      });
+}
+
+void PsendRequest::on_connected(mpi::ConnectionManager::Connection& conn) {
+  PARTIB_ASSERT(!conn_established_);
+  PARTIB_ASSERT(conn.qps.size() == static_cast<std::size_t>(plan_.qp_count));
+  qps_ = conn.qps;
+  mpi::ConnectionManager& mgr = rank_.connections();
+  for (verbs::Qp* qp : qps_) {
+    mgr.bind(qp->qp_num(), [this](const verbs::Wc& wc) {
+      handle_send_wc(wc);
+      // The shared tail (backlog drain, error recycle, completion check)
+      // runs once per dispatch batch via the coalesced progress event.
+      schedule_progress();
+    });
+  }
+  conn_established_ = true;
   flush_deferred();
 }
 
@@ -149,6 +192,13 @@ void PsendRequest::on_credit() {
 }
 
 void PsendRequest::flush_deferred() {
+  // Deferred work queued before the ack arrived is a pending "first send":
+  // once the ack names the peer's expect() token, it must kick off the
+  // lazy establishment or nothing ever would.
+  if (opts_.shared_resources && remote_ready_ && !conn_requested_ &&
+      !deferred_.empty()) {
+    request_connection();
+  }
   if (!can_post()) return;
   while (!deferred_.empty()) {
     auto fn = std::move(deferred_.front());
@@ -336,6 +386,11 @@ void PsendRequest::post_message(std::size_t first, std::size_t count) {
   ++inflight_msgs_;
   PARTIB_CHECK_HOOK(on_psend_msg_intent(this));
   if (!can_post()) {
+    // Shared mode establishes lazily: the first blocked post is the
+    // "first send toward the peer" that kicks off the QP chain.
+    if (opts_.shared_resources && remote_ready_ && !conn_requested_) {
+      request_connection();
+    }
     deferred_.push_back([this, first, count] {
       --inflight_msgs_;  // re-counted by the re-entrant call
       PARTIB_CHECK_HOOK(on_psend_msg_intent_undone(this));
@@ -436,6 +491,9 @@ void PsendRequest::post_staged(std::uint32_t id) {
   }
   PARTIB_ASSERT_MSG(ok(st), to_string(st));
   ++wrs_posted_total_;
+  if (conn_id_ != mpi::ConnectionManager::kNilConn) {
+    rank_.connections().note_posted(conn_id_, staged.wr.sg_list[0].length);
+  }
 }
 
 void PsendRequest::schedule_progress() {
@@ -449,32 +507,38 @@ void PsendRequest::schedule_progress() {
       "psend.progress");
 }
 
-void PsendRequest::progress() {
-  verbs::Wc wcs[16];
-  int n;
-  while ((n = cq_->poll(std::span<verbs::Wc>(wcs))) > 0) {
-    for (int i = 0; i < n; ++i) {
-      const verbs::Wc& wc = wcs[i];
-      const auto id = static_cast<std::uint32_t>(wc.wr_id);
-      switch (wc.status) {
-        case verbs::WcStatus::kSuccess:
-          release_staged(id);
-          PARTIB_ASSERT(inflight_msgs_ > 0);
-          --inflight_msgs_;
-          PARTIB_CHECK_HOOK(on_psend_msg_complete(this));
-          break;
-        case verbs::WcStatus::kRetryExcErr:
-        case verbs::WcStatus::kRnrRetryExcErr:
-        case verbs::WcStatus::kWrFlushErr:
-          if (failed_) {
-            abandon_staged(id);  // post-failure flush stragglers
-          } else {
-            retry_staged(id, wc.status);
-          }
-          break;
-        default:
-          PARTIB_ASSERT_MSG(false, to_string(wc.status));
+void PsendRequest::handle_send_wc(const verbs::Wc& wc) {
+  const auto id = static_cast<std::uint32_t>(wc.wr_id);
+  switch (wc.status) {
+    case verbs::WcStatus::kSuccess:
+      release_staged(id);
+      PARTIB_ASSERT(inflight_msgs_ > 0);
+      --inflight_msgs_;
+      PARTIB_CHECK_HOOK(on_psend_msg_complete(this));
+      break;
+    case verbs::WcStatus::kRetryExcErr:
+    case verbs::WcStatus::kRnrRetryExcErr:
+    case verbs::WcStatus::kWrFlushErr:
+      if (failed_) {
+        abandon_staged(id);  // post-failure flush stragglers
+      } else {
+        retry_staged(id, wc.status);
       }
+      break;
+    default:
+      PARTIB_ASSERT_MSG(false, to_string(wc.status));
+  }
+}
+
+void PsendRequest::progress() {
+  // Shared mode has no private CQ: completions arrive through the
+  // manager's router (handle_send_wc per Wc), and this event runs only
+  // the shared tail below.
+  if (cq_ != nullptr) {
+    verbs::Wc wcs[16];
+    int n;
+    while ((n = cq_->poll(std::span<verbs::Wc>(wcs))) > 0) {
+      for (int i = 0; i < n; ++i) handle_send_wc(wcs[i]);
     }
   }
   // Flushed WRs leave their QP wedged in ERROR; once its last outstanding

@@ -35,6 +35,7 @@
 
 #include "agg/aggregator.hpp"
 #include "common/status.hpp"
+#include "mpi/conn.hpp"
 #include "mpi/world.hpp"
 #include "part/options.hpp"
 #include "part/wire.hpp"
@@ -161,8 +162,23 @@ class PsendRequest {
   static constexpr std::uint32_t kNilStaged = ~std::uint32_t{0};
 
   void setup_verbs_and_handshake();
-  bool can_post() const { return remote_ready_ && credits_ >= round_; }
+  /// Shared mode additionally gates on the lazily established connection;
+  /// the first blocked post triggers the establishment (request_connection).
+  bool can_post() const {
+    return remote_ready_ && credits_ >= round_ &&
+           (!opts_.shared_resources || conn_established_);
+  }
   void flush_deferred();
+  // -- shared-resources mode (mpi/conn.hpp) ---------------------------------
+  /// Ask the rank's connection manager for a chain toward dst_ (once, on
+  /// the first post after the ack made the peer's expect() token known).
+  void request_connection();
+  /// The manager's on_ready: adopt the chain, bind the Wc handlers, drain
+  /// deferred work.
+  void on_connected(mpi::ConnectionManager::Connection& conn);
+  /// One send CQE (shared mode: routed per-Wc by the manager; dedicated
+  /// mode: polled in batches by progress()).
+  void handle_send_wc(const verbs::Wc& wc);
 
   std::size_t group_of(std::size_t partition) const {
     return partition / group_size_;
@@ -218,10 +234,15 @@ class PsendRequest {
   std::size_t tp_ = 1;          ///< transport partitions
   std::size_t group_size_ = 1;  ///< user partitions per transport partition
 
-  verbs::Cq* cq_ = nullptr;
+  verbs::Cq* cq_ = nullptr;  ///< private CQ; nullptr in shared mode
   verbs::Mr* mr_ = nullptr;
   std::vector<verbs::Qp*> qps_;
   int shard_tag_ = -1;  ///< owning progress shard (threaded runtime)
+
+  // -- shared-resources mode --------------------------------------------------
+  bool conn_requested_ = false;
+  bool conn_established_ = false;
+  mpi::ConnectionManager::ConnId conn_id_ = mpi::ConnectionManager::kNilConn;
 
   // -- handshake / flow control ----------------------------------------------
   bool remote_ready_ = false;

@@ -143,6 +143,22 @@ struct QpCaps {
   int max_recv_wr = 1024;
 };
 
+/// Shared-receive-queue attributes (cf. ibv_srq_init_attr.attr).
+struct SrqAttrs {
+  int max_wr = 1024;  ///< capacity bound; post_recv past it is rejected
+  /// Low-watermark arm value (cf. ibv_modify_srq IBV_SRQ_LIMIT): when the
+  /// posted count drops below it the one-shot limit event fires and the
+  /// limit disarms, exactly like IBV_EVENT_SRQ_LIMIT_REACHED.  0 = never.
+  int srq_limit = 0;
+};
+
+/// One posted receive WR staged for delivery.  Shared between the per-QP
+/// receive ring and the SRQ slab (verbs.hpp).
+struct PostedRecv {
+  RecvWr wr;
+  std::size_t total_length = 0;
+};
+
 constexpr const char* to_string(WcStatus s) {
   switch (s) {
     case WcStatus::kSuccess: return "SUCCESS";

@@ -30,6 +30,28 @@ Cq& Context::create_cq(int depth) {
   return *cqs_.back();
 }
 
+ResourceFootprint Context::footprint() const {
+  ResourceFootprint fp;
+  for (const auto& cq : cqs_) {
+    ++fp.cqs;
+    fp.provisioned_bytes += cq->provisioned_bytes();
+    fp.resident_bytes += cq->resident_bytes();
+  }
+  for (const auto& pd : pds_) {
+    for (const auto& qp : pd->qps_) {
+      ++fp.qps;
+      fp.provisioned_bytes += qp->provisioned_bytes();
+      fp.resident_bytes += qp->resident_bytes();
+    }
+    for (const auto& srq : pd->srqs_) {
+      ++fp.srqs;
+      fp.provisioned_bytes += srq->provisioned_bytes();
+      fp.resident_bytes += srq->resident_bytes();
+    }
+  }
+  return fp;
+}
+
 // ---------------------------------------------------------------------------
 // Mr / Cq / Pd
 // ---------------------------------------------------------------------------
@@ -50,6 +72,17 @@ PARTIB_HOT int Cq::poll(std::span<Wc> out) {
   }
   PARTIB_CHECK_HOOK(on_cq_poll(this, n));
   return n;
+}
+
+PARTIB_HOT std::span<const Wc> Cq::peek_run() {
+  PARTIB_CHECK_HOOK(on_owned_access(this, "cq"));
+  PARTIB_CHECK_HOOK(on_shard_access(this, shard_, "cq"));
+  return entries_.front_run();
+}
+
+PARTIB_HOT void Cq::discard(int n) {
+  entries_.pop_front_n(static_cast<std::size_t>(n));
+  PARTIB_CHECK_HOOK(on_cq_poll(this, n));
 }
 
 void Cq::push(const Wc& wc) {
@@ -77,15 +110,83 @@ Mr& Pd::register_mr(std::span<std::byte> range, unsigned access) {
   return mr;
 }
 
-Qp& Pd::create_qp(Cq& send_cq, Cq& recv_cq, QpCaps caps) {
+Qp& Pd::create_qp(Cq& send_cq, Cq& recv_cq, QpCaps caps, Srq* srq) {
   Device& dev = context_.device();
   const std::uint32_t num =
       Device::kFirstQpNum + static_cast<std::uint32_t>(dev.qp_by_num_.size());
-  qps_.push_back(std::make_unique<Qp>(*this, send_cq, recv_cq, caps, num));
+  qps_.push_back(
+      std::make_unique<Qp>(*this, send_cq, recv_cq, caps, num, srq));
   Qp& qp = *qps_.back();
   dev.qp_by_num_.push_back(&qp);
   PARTIB_CHECK_HOOK(on_qp_created(&qp, num, caps));
   return qp;
+}
+
+Srq& Pd::create_srq(SrqAttrs attrs) {
+  srqs_.push_back(std::make_unique<Srq>(*this, attrs));
+  PARTIB_CHECK_HOOK(on_srq_created(srqs_.back().get(), attrs));
+  return *srqs_.back();
+}
+
+// ---------------------------------------------------------------------------
+// Srq
+// ---------------------------------------------------------------------------
+
+Srq::Srq(Pd& pd, SrqAttrs attrs) : pd_(pd), attrs_(attrs) {
+  PARTIB_ASSERT(attrs.max_wr > 0);
+  PARTIB_ASSERT(attrs.srq_limit >= 0 && attrs.srq_limit < attrs.max_wr);
+  limit_armed_ = attrs.srq_limit > 0;
+}
+
+Status Srq::post_recv(const RecvWr& wr) {
+  PARTIB_CHECK_HOOK(on_srq_post(this, &pd_, wr));
+  if (queue_.size() >= static_cast<std::size_t>(attrs_.max_wr)) {
+    return Status::kResourceExhausted;
+  }
+  std::size_t total = 0;
+  for (const Sge& sge : wr.sg_list) {
+    const Mr* mr = pd_.find_local_mr(sge.lkey, sge.addr, sge.length);
+    if (mr == nullptr ||
+        (mr->access() & Access::kLocalWrite) != Access::kLocalWrite) {
+      return Status::kInvalidArgument;
+    }
+    total += sge.length;
+  }
+  queue_.push_back(PostedRecv{wr, total});
+  PARTIB_CHECK_HOOK(on_srq_accepted(this));
+  return Status::kOk;
+}
+
+Status Srq::arm_limit(int limit) {
+  PARTIB_CHECK_HOOK(on_srq_armed(this, limit));
+  if (limit < 0 || limit >= attrs_.max_wr) return Status::kInvalidArgument;
+  attrs_.srq_limit = limit;
+  limit_armed_ = limit > 0;
+  return Status::kOk;
+}
+
+Status Srq::resize(int max_wr) {
+  if (max_wr < static_cast<int>(queue_.size()) || max_wr <= attrs_.srq_limit) {
+    return Status::kInvalidArgument;
+  }
+  attrs_.max_wr = max_wr;
+  PARTIB_CHECK_HOOK(on_srq_resized(this, max_wr));
+  return Status::kOk;
+}
+
+bool Srq::consume(PostedRecv* out) {
+  if (queue_.empty()) return false;
+  *out = queue_.front();
+  queue_.pop_front();
+  PARTIB_CHECK_HOOK(on_srq_consumed(this));
+  if (limit_armed_ &&
+      queue_.size() < static_cast<std::size_t>(attrs_.srq_limit)) {
+    // One-shot, as IBV_EVENT_SRQ_LIMIT_REACHED: disarm before notifying so
+    // a refill posted from the handler can re-arm cleanly.
+    limit_armed_ = false;
+    if (on_limit_) on_limit_();
+  }
+  return true;
 }
 
 const Mr* Pd::find_local_mr(Lkey lkey, std::uint64_t addr,
@@ -100,12 +201,15 @@ const Mr* Pd::find_local_mr(Lkey lkey, std::uint64_t addr,
 // Qp
 // ---------------------------------------------------------------------------
 
-Qp::Qp(Pd& pd, Cq& send_cq, Cq& recv_cq, QpCaps caps, std::uint32_t qp_num)
+Qp::Qp(Pd& pd, Cq& send_cq, Cq& recv_cq, QpCaps caps, std::uint32_t qp_num,
+       Srq* srq)
     : pd_(pd),
       send_cq_(send_cq),
       recv_cq_(recv_cq),
       caps_(caps),
-      qp_num_(qp_num) {
+      qp_num_(qp_num),
+      srq_(srq) {
+  PARTIB_ASSERT(srq == nullptr || &srq->pd() == &pd);
   PARTIB_ASSERT(caps.max_send_wr > 0 && caps.max_recv_wr > 0);
   // One WQE slot per possible outstanding WR, chained into a free list;
   // outstanding_ < max_send_wr guarantees acquire_wqe() always succeeds.
@@ -162,9 +266,11 @@ Status Qp::to_reset() {
   }
   state_ = QpState::kReset;
   // Posted receives die with the context (real hardware flushes them; the
-  // consumer re-posts after the recycle).  remote_qp_num_ survives so the
-  // recovery path can to_rtr(remote_qp_num()) without a new handshake.
-  recv_queue_.clear();
+  // consumer re-posts after the recycle) — but WRs on an attached SRQ
+  // belong to every sibling QP and survive, as on real hardware.
+  // remote_qp_num_ survives so the recovery path can
+  // to_rtr(remote_qp_num()) without a new handshake.
+  if (srq_ == nullptr) recv_queue_.clear();
   pd_.context().device().fab().reset_qp_chain(qp_num_);
   PARTIB_CHECK_HOOK(on_qp_transition(this, QpState::kReset, true));
   return Status::kOk;
@@ -187,6 +293,9 @@ Status Qp::validate_sges(const SgList& sges, unsigned required_access,
 }
 
 Status Qp::post_recv(const RecvWr& wr) {
+  // SRQ-attached QPs have no receive queue of their own; ibv_post_recv
+  // fails with EINVAL there and so do we (post to the SRQ instead).
+  if (srq_ != nullptr) return Status::kInvalidArgument;
   PARTIB_CHECK_HOOK(on_post_recv(this, &pd_, wr));
   if (state_ == QpState::kReset || state_ == QpState::kError) {
     return Status::kInvalidState;
@@ -230,6 +339,7 @@ PARTIB_HOT Status Qp::post_send(const SendWr& wr) {
   PARTIB_ASSERT(remote_ != nullptr);
 
   ++outstanding_;
+  bytes_posted_ += total;
   PARTIB_CHECK_HOOK(on_send_accepted(this));
   fabric::Fabric& fab = pd_.context().device().fab();
   const bool with_imm = wr.opcode == Opcode::kRdmaWriteWithImm;
@@ -328,6 +438,15 @@ void Qp::wqe_failed(std::uint32_t slot, Time when, fabric::OpFailure failure) {
   complete_send(wr, res, when);
 }
 
+bool Qp::take_recv(PostedRecv* out) {
+  if (srq_ != nullptr) return srq_->consume(out);
+  if (recv_queue_.empty()) return false;
+  *out = recv_queue_.front();
+  recv_queue_.pop_front();
+  PARTIB_CHECK_HOOK(on_recv_consumed(this));
+  return true;
+}
+
 Qp::DeliveryResult Qp::deliver_rdma_write(const SendWr& wr, bool with_imm,
                                           bool copy_data) {
   DeliveryResult res;
@@ -342,14 +461,13 @@ Qp::DeliveryResult Qp::deliver_rdma_write(const SendWr& wr, bool with_imm,
     return res;
   }
   if (with_imm) {
-    if (recv_queue_.empty()) {
+    PostedRecv posted;
+    if (!take_recv(&posted)) {
       res.status = WcStatus::kRemoteNotReady;
       return res;
     }
     res.recv_wr_consumed = true;
-    res.recv_wr_id = recv_queue_.front().wr.wr_id;
-    recv_queue_.pop_front();
-    PARTIB_CHECK_HOOK(on_recv_consumed(this));
+    res.recv_wr_id = posted.wr.wr_id;
   }
   if (copy_data) {
     std::byte* dst = wire_ptr(wr.remote_addr);
@@ -367,13 +485,11 @@ Qp::DeliveryResult Qp::deliver_send(const SendWr& wr, bool copy_data) {
   for (const Sge& sge : wr.sg_list) total += sge.length;
   res.byte_len = static_cast<std::uint32_t>(total);
 
-  if (recv_queue_.empty()) {
+  PostedRecv posted;
+  if (!take_recv(&posted)) {
     res.status = WcStatus::kRemoteNotReady;
     return res;
   }
-  const PostedRecv posted = recv_queue_.front();
-  recv_queue_.pop_front();
-  PARTIB_CHECK_HOOK(on_recv_consumed(this));
   res.recv_wr_consumed = true;
   res.recv_wr_id = posted.wr.wr_id;
   if (total > posted.total_length) {

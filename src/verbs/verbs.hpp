@@ -43,6 +43,23 @@ class Pd;
 class Mr;
 class Cq;
 class Qp;
+class Srq;
+
+/// Aggregate resource accounting for one context (see Context::footprint).
+///
+/// `provisioned_bytes` models what real hardware commits at creation time
+/// — ibv_create_cq/qp/srq allocate the full queue up front, so a channel
+/// that provisions a 65536-entry CQ pays for it whether or not completions
+/// ever burst that deep.  `resident_bytes` is what the simulator's lazily
+/// growing rings actually hold.  The connection-scale comparison in
+/// docs/PERF.md reports both.
+struct ResourceFootprint {
+  int cqs = 0;
+  int qps = 0;
+  int srqs = 0;
+  std::size_t provisioned_bytes = 0;
+  std::size_t resident_bytes = 0;
+};
 
 /// The "HCA": entry point tying contexts to the simulated fabric and
 /// providing device-wide qp_num / key allocation.
@@ -100,6 +117,9 @@ class Context {
 
   Device& device() { return device_; }
   fabric::NodeId node() const { return node_; }
+
+  /// Sum CQ/QP/SRQ memory over everything created on this node.
+  ResourceFootprint footprint() const;
 
   /// Resolve an rkey to a region registered on this node (target-side
   /// validation of incoming RDMA).
@@ -159,6 +179,16 @@ class Cq {
   /// (cf. ibv_poll_cq).
   int poll(std::span<Wc> out);
 
+  /// Zero-copy drain surface (simulator-internal; used by the shared-CQ
+  /// demux in mpi::WcRouter): expose the contiguous run of completions at
+  /// the ring head, dispatch in place, then discard() what was consumed.
+  /// Entries stay queued until discard().  A push from inside dispatch
+  /// may grow the ring and relocate the run, so consumers must stop and
+  /// re-peek when ring_capacity() changes.
+  std::span<const Wc> peek_run();
+  void discard(int n);
+  std::size_t ring_capacity() const { return entries_.capacity(); }
+
   std::size_t pending() const { return entries_.size(); }
   bool overrun() const { return overrun_; }
 
@@ -176,6 +206,14 @@ class Cq {
   /// the tag against the draining thread's declared shard on every poll.
   void set_shard(int shard) { shard_ = shard; }
   int shard() const { return shard_; }
+
+  /// Hardware commits the full `depth` at creation (see ResourceFootprint).
+  std::size_t provisioned_bytes() const {
+    return static_cast<std::size_t>(depth_) * sizeof(Wc);
+  }
+  std::size_t resident_bytes() const {
+    return entries_.capacity() * sizeof(Wc);
+  }
 
  private:
   int depth_;
@@ -197,7 +235,15 @@ class Pd {
   Mr& register_mr(std::span<std::byte> range, unsigned access);
 
   /// Create an RC queue pair with separate (or shared) send/recv CQs.
-  Qp& create_qp(Cq& send_cq, Cq& recv_cq, QpCaps caps = {});
+  /// With `srq` non-null the QP draws receive WRs from the shared receive
+  /// queue instead of a private ring (cf. ibv_qp_init_attr.srq); its own
+  /// post_recv is then rejected, as on real hardware.
+  Qp& create_qp(Cq& send_cq, Cq& recv_cq, QpCaps caps = {},
+                Srq* srq = nullptr);
+
+  /// Create a shared receive queue (cf. ibv_create_srq).  The PD keeps
+  /// ownership, as with MRs and QPs.
+  Srq& create_srq(SrqAttrs attrs = {});
 
   Context& context() { return context_; }
 
@@ -206,9 +252,64 @@ class Pd {
                           std::size_t len) const;
 
  private:
+  friend class Context;
+
   Context& context_;
   std::vector<std::unique_ptr<Mr>> mrs_;
   std::vector<std::unique_ptr<Qp>> qps_;
+  std::vector<std::unique_ptr<Srq>> srqs_;
+};
+
+/// Shared receive queue (cf. ibv_srq): one ring of posted receive WRs
+/// drained in post order by every QP attached to it, so receive-side
+/// provisioning is per-node instead of per-connection.  Receive
+/// completions still land on each consuming QP's recv CQ with wc.qp_num
+/// identifying the consumer — demultiplexing is the reader's job, exactly
+/// as with a hardware SRQ.
+class Srq {
+ public:
+  Srq(Pd& pd, SrqAttrs attrs);
+  Srq(const Srq&) = delete;
+  Srq& operator=(const Srq&) = delete;
+
+  /// cf. ibv_post_srq_recv.  Returns kResourceExhausted at max_wr (rule
+  /// srq.capacity under PARTIB_CHECK).
+  Status post_recv(const RecvWr& wr);
+
+  /// Re-arm the low-watermark event (cf. ibv_modify_srq + IBV_SRQ_LIMIT).
+  /// `limit` must be in [0, max_wr); 0 disarms (rule srq.limit).
+  Status arm_limit(int limit);
+
+  /// Grow the capacity bound (cf. ibv_modify_srq + IBV_SRQ_MAX_WR).
+  /// Shrinking below the posted count or the armed limit is rejected.
+  Status resize(int max_wr);
+
+  /// One-shot limit event sink (cf. IBV_EVENT_SRQ_LIMIT_REACHED on the
+  /// async event channel): fires when a consume drops the posted count
+  /// below the armed limit, then disarms until the next arm_limit.
+  void set_on_limit(std::function<void()> fn) { on_limit_ = std::move(fn); }
+
+  std::size_t posted() const { return queue_.size(); }
+  const SrqAttrs& attrs() const { return attrs_; }
+  Pd& pd() { return pd_; }
+
+  std::size_t provisioned_bytes() const {
+    return static_cast<std::size_t>(attrs_.max_wr) * sizeof(PostedRecv);
+  }
+  std::size_t resident_bytes() const {
+    return queue_.capacity() * sizeof(PostedRecv);
+  }
+
+  /// Internal: delivery-path dequeue, called by an attached Qp.  False on
+  /// an empty queue (the RNR condition).
+  bool consume(PostedRecv* out);
+
+ private:
+  Pd& pd_;
+  SrqAttrs attrs_;
+  bool limit_armed_ = false;
+  common::Ring<PostedRecv> queue_;
+  std::function<void()> on_limit_;
 };
 
 /// RC queue pair.
@@ -222,7 +323,8 @@ class Pd {
 /// reference-counted, not FIFO).
 class Qp {
  public:
-  Qp(Pd& pd, Cq& send_cq, Cq& recv_cq, QpCaps caps, std::uint32_t qp_num);
+  Qp(Pd& pd, Cq& send_cq, Cq& recv_cq, QpCaps caps, std::uint32_t qp_num,
+     Srq* srq);
   Qp(const Qp&) = delete;
   Qp& operator=(const Qp&) = delete;
 
@@ -230,6 +332,12 @@ class Qp {
   QpState state() const { return state_; }
   int outstanding_send_wrs() const { return outstanding_; }
   const QpCaps& caps() const { return caps_; }
+  /// The shared receive queue this QP draws from, nullptr when it owns a
+  /// private receive ring.
+  Srq* srq() { return srq_; }
+  /// Payload bytes accepted by post_send over this QP's lifetime (survives
+  /// resets; feeds per-connection statistics in mpi/conn.hpp).
+  std::uint64_t bytes_posted_total() const { return bytes_posted_; }
   /// The peer this QP was last connected to (0 before the first to_rtr).
   /// Survives to_reset so a recovery path can reconnect to the same peer
   /// without re-running the control-plane exchange.
@@ -253,7 +361,9 @@ class Qp {
   /// the paper designs around).
   Status post_send(const SendWr& wr);
 
-  /// cf. ibv_post_recv.  Legal from INIT onwards.
+  /// cf. ibv_post_recv.  Legal from INIT onwards.  Rejected with
+  /// kInvalidArgument on an SRQ-attached QP (post to the SRQ instead, as
+  /// ibv_post_recv fails with EINVAL there).
   Status post_recv(const RecvWr& wr);
 
   /// Shard ownership tag (see Cq::set_shard): the progress shard whose
@@ -261,13 +371,23 @@ class Qp {
   void set_shard(int shard) { shard_ = shard; }
   int shard() const { return shard_; }
 
+  /// Hardware commits the send slab and (without an SRQ) the full
+  /// max_recv_wr receive queue at creation; SRQ-attached QPs share the
+  /// SRQ's provisioning instead (see ResourceFootprint).
+  std::size_t provisioned_bytes() const {
+    std::size_t b = static_cast<std::size_t>(caps_.max_send_wr) * sizeof(Wqe);
+    if (srq_ == nullptr) {
+      b += static_cast<std::size_t>(caps_.max_recv_wr) * sizeof(PostedRecv);
+    }
+    return b;
+  }
+  std::size_t resident_bytes() const {
+    return wqes_.capacity() * sizeof(Wqe) +
+           recv_queue_.capacity() * sizeof(PostedRecv);
+  }
+
  private:
   friend class Device;
-
-  struct PostedRecv {
-    RecvWr wr;
-    std::size_t total_length;
-  };
 
   // Target-side handlers (run on delivery).
   struct DeliveryResult {
@@ -292,14 +412,20 @@ class Qp {
   Cq& recv_cq_;
   QpCaps caps_;
   std::uint32_t qp_num_;
+  Srq* srq_;  ///< shared receive queue, or nullptr for a private ring
   int shard_ = -1;
   QpState state_ = QpState::kReset;
   std::uint32_t remote_qp_num_ = 0;
   Qp* remote_ = nullptr;  // resolved at to_rtr time
   int outstanding_ = 0;
+  std::uint64_t bytes_posted_ = 0;
   common::Ring<PostedRecv> recv_queue_;
   std::vector<Wqe> wqes_;  // fixed at max_send_wr slots
   std::uint32_t free_wqe_ = kNilWqe;
+
+  /// Dequeue the next receive WR — from the SRQ when attached, else from
+  /// the private ring.  False = nothing posted (RNR).
+  bool take_recv(PostedRecv* out);
 
   Status validate_sges(const SgList& sges, unsigned required_access,
                        std::size_t* total) const;

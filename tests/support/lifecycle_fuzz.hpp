@@ -40,8 +40,12 @@ enum class FaultShape : int {
   kRetryExceeded,
   kQpFlush,
   kMixed,
+  /// Shared-resources mode: two sibling channels over one CQ + one SRQ,
+  /// with QP-flush and retry-exhausted faults.  A fault on one chain must
+  /// not lose or misattribute the sibling's completions.
+  kSrqShared,
 };
-inline constexpr int kFaultShapeCount = 7;
+inline constexpr int kFaultShapeCount = 8;
 
 inline fabric::FaultPlanConfig make_fault_config(FaultShape shape,
                                                  sim::Rng& rng) {
@@ -78,6 +82,12 @@ inline fabric::FaultPlanConfig make_fault_config(FaultShape shape,
       f.retry_exc_rate = rng.uniform(0.0, 0.1);
       f.qp_flush_rate = rng.uniform(0.0, 0.1);
       break;
+    case FaultShape::kSrqShared:
+      // Modest rates so the corpus covers both full recovery and
+      // structured failure of one sibling while the other survives.
+      f.qp_flush_rate = rng.uniform(0.02, 0.2);
+      f.retry_exc_rate = rng.uniform(0.02, 0.2);
+      break;
   }
   return f;
 }
@@ -100,6 +110,41 @@ inline part::Options random_fuzz_options(sim::Rng& rng) {
   return o;
 }
 
+/// kSrqShared trial body: two sibling channels (ranks 1 and 2 -> rank 0)
+/// in shared-resources mode, so the hot rank drains both chains through
+/// the connection manager's single CQ and stages receives in its SRQ.
+/// The invariants are the standard three, held PER SIBLING: a QP-flush or
+/// retry-exhausted fault on one chain must not strand the other's
+/// completions (quiescence), deliver them to the wrong channel (exact
+/// bytes), or perturb replay (fingerprint).
+struct SharedSiblingFixture {
+  sim::Engine engine;
+  std::unique_ptr<mpi::World> world;
+  std::vector<std::byte> sbuf[2];
+  std::vector<std::byte> rbuf[2];
+  std::unique_ptr<part::PsendRequest> send[2];
+  std::unique_ptr<part::PrecvRequest> recv[2];
+
+  SharedSiblingFixture(std::size_t bytes, std::size_t partitions,
+                       part::Options opts, mpi::WorldOptions wopts) {
+    opts.shared_resources = true;
+    wopts.ranks = 3;
+    world = std::make_unique<mpi::World>(engine, wopts);
+    for (int c = 0; c < 2; ++c) {
+      sbuf[c].resize(bytes);
+      rbuf[c].resize(bytes);
+      PARTIB_ASSERT(partib::ok(part::psend_init(world->rank(c + 1), sbuf[c],
+                                                partitions, /*dst=*/0,
+                                                /*tag=*/c, /*comm=*/0, opts,
+                                                &send[c])));
+      PARTIB_ASSERT(partib::ok(part::precv_init(world->rank(0), rbuf[c],
+                                                partitions, /*src=*/c + 1,
+                                                /*tag=*/c, /*comm=*/0, opts,
+                                                &recv[c])));
+    }
+  }
+};
+
 struct LifecycleTrialResult {
   std::uint64_t fingerprint = 0;  ///< DES event-stream hash of the trial
   std::uint64_t events = 0;
@@ -109,6 +154,82 @@ struct LifecycleTrialResult {
   std::uint64_t retransmits = 0;
   std::uint64_t failed_ops = 0;
 };
+
+inline void run_srq_shared_trial(std::uint64_t seed, sim::Rng& rng,
+                                 std::size_t partitions, std::size_t psize,
+                                 int rounds, const mpi::WorldOptions& wopts,
+                                 LifecycleTrialResult* result) {
+  check::DeterminismAuditor auditor;
+  SharedSiblingFixture fx(partitions * psize, partitions,
+                          random_fuzz_options(rng), wopts);
+  auditor.attach(fx.engine);
+
+  for (int round = 1; round <= rounds; ++round) {
+    bool any_active = false;
+    for (int c = 0; c < 2; ++c) {
+      if (fx.send[c]->failed()) continue;  // sibling may still be healthy
+      fill_pattern(fx.sbuf[c], round * 2 + c);
+      const Status s_start = fx.send[c]->start();
+      const Status r_start = fx.recv[c]->start();
+      EXPECT_TRUE(ok(s_start) || s_start == Status::kRemoteError) << seed;
+      EXPECT_TRUE(ok(r_start) || r_start == Status::kRemoteError) << seed;
+      if (!ok(s_start) || !ok(r_start)) continue;
+      any_active = true;
+
+      const Duration window = usec(rng.uniform_int(1, 1500));
+      const Time t0 = fx.engine.now();
+      part::PsendRequest* sp = fx.send[c].get();
+      for (std::size_t i = 0; i < partitions; ++i) {
+        fx.engine.schedule_at(t0 + rng.uniform_int(0, window),
+                              [sp, i, seed] {
+                                const Status st = sp->pready(i);
+                                EXPECT_TRUE(ok(st) ||
+                                            st == Status::kRemoteError)
+                                    << seed;
+                              });
+      }
+    }
+    if (!any_active) break;
+    fx.engine.run();
+
+    for (int c = 0; c < 2; ++c) {
+      // Invariant 1, per sibling: quiescence means BOTH chains observably
+      // finished — one chain's fault must not strand or misroute the
+      // other's CQEs through the shared CQ/SRQ.
+      EXPECT_TRUE(fx.send[c]->test()) << seed << " sibling " << c;
+      EXPECT_TRUE(fx.recv[c]->test()) << seed << " sibling " << c;
+      EXPECT_EQ(fx.send[c]->failed(), fx.recv[c]->failed())
+          << seed << " sibling " << c;
+      // Invariant 2, per sibling: exact bytes whenever THIS chain
+      // succeeded, regardless of what happened to the other one.
+      if (!fx.send[c]->failed()) {
+        EXPECT_TRUE(buffers_equal(fx.sbuf[c], fx.rbuf[c]))
+            << seed << " sibling " << c;
+        EXPECT_EQ(fx.send[c]->status(), Status::kOk)
+            << seed << " sibling " << c;
+      }
+    }
+  }
+
+  result->channel_failed = fx.send[0]->failed() || fx.send[1]->failed();
+  if (check::hooks_compiled_in()) {
+    if (result->channel_failed) {
+      EXPECT_GE(check::count_rule("part.retry_exhausted"), 1u) << seed;
+      EXPECT_EQ(check::violation_count(),
+                check::count_rule("part.retry_exhausted"))
+          << seed;
+    } else {
+      EXPECT_EQ(check::violation_count(), 0u) << seed;
+    }
+  }
+
+  const fabric::FabricStats& stats = fx.world->fab().stats();
+  result->faults_injected = stats.faults_injected;
+  result->retransmits = stats.retransmits;
+  result->failed_ops = stats.failed_ops;
+  result->fingerprint = auditor.fingerprint();
+  result->events = auditor.events_observed();
+}
 
 inline LifecycleTrialResult run_lifecycle_trial(std::uint64_t seed) {
   LifecycleTrialResult result;
@@ -128,6 +249,12 @@ inline LifecycleTrialResult run_lifecycle_trial(std::uint64_t seed) {
 
   mpi::WorldOptions wopts;
   wopts.faults = make_fault_config(result.shape, rng);
+
+  if (result.shape == FaultShape::kSrqShared) {
+    run_srq_shared_trial(seed, rng, partitions, psize, rounds, wopts,
+                         &result);
+    return result;
+  }
 
   check::DeterminismAuditor auditor;
   ChannelFixture fx(partitions * psize, partitions, random_fuzz_options(rng),
