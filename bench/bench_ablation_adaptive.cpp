@@ -1,79 +1,80 @@
-// Ablation: online-adaptive PLogGP aggregation (the auto-tuning the
-// paper's §IV-D defers to future work).
+// Ablation: adaptive and learning aggregation under shifting imbalance
+// (the auto-tuning the paper's §IV-D defers to future work).
 //
-// A 64 MiB / 32-partition channel runs 24 rounds whose thread imbalance
-// changes regime twice: nearly balanced (5 us spread), then heavily
-// imbalanced (8 ms), then moderately imbalanced (500 us).  The table
-// shows the adaptive plan tracking the measured spread round by round,
-// against the static PLogGP plan which is chosen once at init.
-#include <memory>
+// Every strategy runs the same regime-shifting zoo trace — nearly
+// balanced, then heavily imbalanced with a bursty tail, then moderately
+// imbalanced, by epoch thirds — through the shared zoo harness.  The
+// per-phase perceived-bandwidth columns show how each design copes with
+// the regime changes: the init-time plans (tuning table, PLogGP, timer-δ)
+// are stuck with one plan, scalar-adaptive re-picks only the partition
+// count, arrival-learning re-plans count, group boundaries and δ from the
+// per-partition EWMA profile, and the oracle re-plans from ground truth.
+#include <cstddef>
 #include <string>
 #include <vector>
 
-#include "agg/strategies.hpp"
 #include "bench/report.hpp"
+#include "bench/trial.hpp"
+#include "bench/zoo.hpp"
 #include "common/units.hpp"
-#include "mpi/world.hpp"
-#include "part/partitioned.hpp"
-#include "sim/engine.hpp"
 #include "support/bench_main.hpp"
 
 using namespace partib;
 
 int main(int argc, char** argv) {
   const bench::Cli cli(argc, argv);
-  constexpr std::size_t kParts = 32;
-  constexpr std::size_t kBytes = 64 * MiB;
+  const model::LogGPParams params = cli.model_params();
+  const Duration delta0 = cli.initial_delta();
+  const int epochs = cli.iterations(30);
+  // No warm-up: the measured thirds then coincide with the trace's regime
+  // thirds, so phase1 includes the learners' cold-start ramp — that ramp
+  // is part of what this ablation is about.
+  const int warmup = 0;
 
-  sim::Engine engine;
-  mpi::WorldOptions wopts;
-  wopts.copy_data = false;
-  mpi::World world(engine, wopts);
-  std::vector<std::byte> sbuf(kBytes), rbuf(kBytes);
+  struct Strategy {
+    const char* name;
+    part::Options options;
+    bool oracle;
+  };
+  const std::vector<Strategy> strategies = {
+      {"tuning-table", bench::tuning_table_options(), false},
+      {"ploggp", bench::ploggp_options(params), false},
+      {"timer", bench::timer_options(delta0, params), false},
+      {"adaptive-ploggp", bench::adaptive_options(params, delta0), false},
+      {"learning", bench::learning_options(params, delta0), false},
+      {"oracle", bench::oracle_options(params, delta0), true},
+  };
 
-  part::Options opts;
-  opts.aggregator = std::make_shared<agg::AdaptivePLogGPAggregator>(
-      model::LogGPParams::niagara_mpi_measured(), /*initial=*/msec(4),
-      /*alpha=*/0.5);
-  std::unique_ptr<part::PsendRequest> send;
-  std::unique_ptr<part::PrecvRequest> recv;
-  if (!ok(part::psend_init(world.rank(0), sbuf, kParts, 1, 0, 0, opts,
-                           &send)) ||
-      !ok(part::precv_init(world.rank(1), rbuf, kParts, 0, 0, 0, opts,
-                           &recv))) {
-    return 1;
+  std::vector<bench::ZooConfig> grid;
+  for (const Strategy& s : strategies) {
+    bench::ZooConfig cfg;
+    cfg.shape = bench::ZooShape::kRegimeShift;
+    cfg.options = s.options;
+    cfg.oracle = s.oracle;
+    cfg.epochs = epochs;
+    cfg.warmup = warmup;
+    grid.push_back(cfg);
   }
-  engine.run();
-
-  const std::size_t static_tp = model::optimal_transport_partitions(
-      model::LogGPParams::niagara_mpi_measured(), kBytes, kParts);
+  const std::vector<bench::ZooResult> results =
+      bench::run_zoo_grid(grid, cli.run_options());
 
   bench::Table table(
-      "Ablation: online-adaptive aggregation under shifting imbalance "
-      "(64 MiB, 32 partitions; static PLogGP plan would stay at " +
-          std::to_string(static_tp) + " transport partitions)",
-      {"round", "injected_spread_us", "measured_ewma_us", "adaptive_tp"});
-
-  const int rounds = cli.iterations(24);
-  for (int round = 1; round <= rounds; ++round) {
-    Duration spread = usec(5);
-    if (round > rounds / 3) spread = msec(8);
-    if (round > 2 * rounds / 3) spread = usec(500);
-
-    (void)send->start();
-    (void)recv->start();
-    const Time t0 = engine.now();
-    for (std::size_t i = 0; i < kParts; ++i) {
-      const Time at = t0 + (spread * static_cast<Duration>(i)) /
-                               static_cast<Duration>(kParts - 1);
-      engine.schedule_at(at, [&send, i] { (void)send->pready(i); });
-    }
-    engine.run();
-    table.add_row({std::to_string(round), bench::fmt(to_usec(spread), 0),
-                   send->adapted_delay() < 0
-                       ? std::string("-")
-                       : bench::fmt(to_usec(send->adapted_delay()), 1),
-                   std::to_string(send->transport_partitions())});
+      "Ablation: aggregation strategies on the regime-shifting trace "
+      "(64 MiB, 64 partitions, " +
+          std::to_string(epochs) + " epochs; perceived GB/s per measured "
+          "third — balanced / bursty / moderate)",
+      {"strategy", "phase1_gbps", "phase2_gbps", "phase3_gbps", "warm_gbps",
+       "final_tp", "delta_us", "replans"});
+  for (std::size_t i = 0; i < strategies.size(); ++i) {
+    const bench::ZooResult& r = results[i];
+    table.add_row({strategies[i].name,
+                   bench::fmt(r.phase_gbytes_per_s[0], 3),
+                   bench::fmt(r.phase_gbytes_per_s[1], 3),
+                   bench::fmt(r.phase_gbytes_per_s[2], 3),
+                   bench::fmt(r.warm_gbytes_per_s, 3),
+                   std::to_string(r.final_tp),
+                   bench::fmt(r.final_delta_us, 1),
+                   std::to_string(r.replans_adopted)});
   }
   cli.emit(table);
   return 0;

@@ -11,7 +11,10 @@
 #include <vector>
 
 #include "agg/strategies.hpp"
+#include "common/atomic_bits.hpp"
 #include "common/units.hpp"
+#include "model/arrival_plan.hpp"
+#include "part/arrival_profile.hpp"
 #include "fabric/fluid_network.hpp"
 #include "mpi/conn.hpp"
 #include "mpi/matcher.hpp"
@@ -349,6 +352,77 @@ void BM_MatcherChurn(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
 }
 BENCHMARK(BM_MatcherChurn);
+
+void BM_ArrivalReplan(benchmark::State& state) {
+  // The full epoch-boundary replan psend pays at MPI_Start once the
+  // arrival profile is warm: plan_from_arrivals scores every uniform
+  // power-of-two candidate plus the clustered cut layout, and the
+  // incumbent is re-predicted for the hysteresis compare.  The arrival
+  // vector is the hard case — a tight head ramp with an index-contiguous
+  // straggler cluster, so the cut path runs too.  The acceptance bar is
+  // <= 2 us at 64 partitions (BENCH_hotpaths.json): a replan must stay
+  // invisible next to the multi-millisecond epoch it plans.
+  const model::LogGPParams p = model::LogGPParams::niagara_mpi_measured();
+  model::ArrivalLearnConfig cfg;
+  model::ArrivalPlanScratch scratch;
+  scratch.reserve(64);
+  Duration arrival[64];
+  for (std::size_t i = 0; i < 56; ++i) {
+    arrival[i] = (usec(120) * static_cast<Duration>(i)) / 55;
+  }
+  for (std::size_t i = 56; i < 64; ++i) {
+    arrival[i] = msec(5) + (usec(600) * static_cast<Duration>(i - 56)) / 7;
+  }
+  std::size_t gf[64];
+  std::size_t gc[64];
+  std::size_t inc_first[1] = {0};
+  std::size_t inc_count[1] = {64};
+  for (auto _ : state) {
+    const model::ArrivalPlanResult r = model::plan_from_arrivals(
+        p, std::size_t{64} << 20, arrival, 64, cfg, gf, gc, scratch);
+    const Duration incumbent = model::predict_grouped_completion(
+        p, (std::size_t{64} << 20) / 64, arrival, inc_first, inc_count, 1,
+        msec(4), scratch);
+    benchmark::DoNotOptimize(r);
+    benchmark::DoNotOptimize(incumbent);
+  }
+}
+BENCHMARK(BM_ArrivalReplan);
+
+void BM_ArrivalProfilePublish(benchmark::State& state) {
+  // What learning adds to the Pready critical path: record() is one
+  // branch plus a plain store into fixed storage, folded into EWMAs only
+  // at the epoch boundary.  The acceptance bar is <= 1.15x
+  // BM_ArrivedMirrorStore — recording an arrival offset must cost no more
+  // than the arrived-mirror publish that already sits on the same path.
+  part::ArrivalProfile prof;
+  prof.init(64, model::ArrivalLearnConfig{});
+  Time now = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < 64; ++i) {
+      prof.record(i, now + static_cast<Time>(i) * 1000);
+    }
+    now += msec(1);
+    benchmark::DoNotOptimize(prof.predicted());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_ArrivalProfilePublish);
+
+void BM_ArrivedMirrorStore(benchmark::State& state) {
+  // Sibling gate for BM_ArrivalProfilePublish: the PR 7 arrived-mirror
+  // publish (one release bit-or per Pready) over the same 64 partitions.
+  std::uint64_t words[1] = {0};
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < 64; ++i) {
+      atomic_publish_bit(words, i);
+    }
+    benchmark::DoNotOptimize(words[0]);
+    words[0] = 0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_ArrivedMirrorStore);
 
 // -- threaded pready throughput (docs/THREADING.md) --------------------------
 //

@@ -1,8 +1,9 @@
 // Shared helpers for the figure/table bench binaries: a tiny CLI
 // (--csv for machine-readable output, --iters=N to override iteration
 // counts, --jobs=N / --no-cache / --cache-dir= for the parallel
-// experiment runner) and canned part::Options constructors for each
-// design.
+// experiment runner, --loggp=L,o_s,o_r,g,G / --delta0=NS to swap the
+// machine model and initial timer window) and canned part::Options
+// constructors for each design.
 #pragma once
 
 #include <charconv>
@@ -34,6 +35,11 @@ class Cli {
         no_cache_ = true;
       } else if (std::strncmp(argv[i], "--cache-dir=", 12) == 0) {
         cache_dir_ = argv[i] + 12;
+      } else if (std::strncmp(argv[i], "--loggp=", 8) == 0) {
+        parse_loggp(argv[i] + 8);
+      } else if (std::strncmp(argv[i], "--delta0=", 9) == 0) {
+        delta0_ = static_cast<Duration>(
+            parse_positive(argv[i] + 9, "--delta0"));
       }
     }
     if (!no_cache_) {
@@ -46,6 +52,19 @@ class Cli {
   bool csv() const { return csv_; }
   int iterations(int fallback) const {
     return iters_override_ > 0 ? iters_override_ : fallback;
+  }
+
+  /// The machine model the drivers should plan with: --loggp=L,o_s,o_r,g,G
+  /// (ns, ns, ns, ns, ns/byte) or the measured Niagara defaults.  The
+  /// defaults keep existing figure fingerprints byte-identical.
+  model::LogGPParams model_params() const {
+    return loggp_set_ ? loggp_ : model::LogGPParams::niagara_mpi_measured();
+  }
+
+  /// Initial timer window for δ-based designs: --delta0=NS or `fallback`
+  /// (the drivers' historical hard-coded value, typically msec(4)).
+  Duration initial_delta(Duration fallback = msec(4)) const {
+    return delta0_ > 0 ? delta0_ : fallback;
   }
 
   /// Runner options wired from the command line: --jobs=N worker threads
@@ -82,12 +101,38 @@ class Cli {
     return parsed;
   }
 
+  void parse_loggp(const char* value) {
+    model::LogGPParams p{};
+    char* next = nullptr;
+    const char* cursor = value;
+    Duration* ints[4] = {&p.L, &p.o_s, &p.o_r, &p.g};
+    for (Duration* field : ints) {
+      *field = static_cast<Duration>(std::strtoll(cursor, &next, 10));
+      if (next == cursor || *next != ',') bad_loggp(value);
+      cursor = next + 1;
+    }
+    p.G = std::strtod(cursor, &next);
+    if (next == cursor || *next != '\0') bad_loggp(value);
+    loggp_ = p;
+    loggp_set_ = true;
+  }
+
+  [[noreturn]] static void bad_loggp(const char* value) {
+    std::cerr << "bench: invalid --loggp value \"" << value
+              << "\" (expected L,o_s,o_r,g,G — four ns integers and a "
+                 "ns/byte double)\n";
+    std::exit(2);
+  }
+
   bool csv_ = false;
   int iters_override_ = 0;
   std::size_t jobs_ = 0;  ///< 0 = runner default
   bool no_cache_ = false;
   std::string cache_dir_;
   std::unique_ptr<runner::ResultCache> cache_;
+  model::LogGPParams loggp_{};
+  bool loggp_set_ = false;
+  Duration delta0_ = 0;  ///< 0 = use the driver's fallback
 };
 
 inline part::Options options_with(
@@ -105,19 +150,47 @@ inline part::Options static_options(std::size_t tp, int qps) {
   return options_with(std::make_shared<agg::StaticAggregator>(tp, qps));
 }
 
-inline part::Options ploggp_options() {
-  return options_with(std::make_shared<agg::PLogGPAggregator>(
-      model::LogGPParams::niagara_mpi_measured()));
+inline part::Options ploggp_options(
+    const model::LogGPParams& params =
+        model::LogGPParams::niagara_mpi_measured()) {
+  return options_with(std::make_shared<agg::PLogGPAggregator>(params));
 }
 
-inline part::Options timer_options(Duration delta) {
-  return options_with(std::make_shared<agg::TimerPLogGPAggregator>(
-      model::LogGPParams::niagara_mpi_measured(), delta));
+inline part::Options timer_options(
+    Duration delta, const model::LogGPParams& params =
+                        model::LogGPParams::niagara_mpi_measured()) {
+  return options_with(
+      std::make_shared<agg::TimerPLogGPAggregator>(params, delta));
 }
 
 inline part::Options tuning_table_options() {
   return options_with(std::make_shared<agg::TuningTableAggregator>(
       agg::TuningTable::niagara_prebuilt()));
+}
+
+inline part::Options adaptive_options(
+    const model::LogGPParams& params, Duration initial = msec(4),
+    double alpha = 0.5) {
+  return options_with(std::make_shared<agg::AdaptivePLogGPAggregator>(
+      params, initial, alpha));
+}
+
+inline part::Options learning_options(
+    const model::LogGPParams& params, Duration delta0 = msec(4),
+    model::ArrivalLearnConfig cfg = {}) {
+  return options_with(std::make_shared<agg::ArrivalLearningAggregator>(
+      params, delta0, cfg));
+}
+
+/// The zoo's oracle arm: a learning channel whose profile the harness
+/// re-seeds with ground truth each epoch, planning greedily on it
+/// (alpha = 1 — trust the seed fully; epsilon = 0 — no hysteresis).
+inline part::Options oracle_options(const model::LogGPParams& params,
+                                    Duration delta0 = msec(4)) {
+  model::ArrivalLearnConfig cfg;
+  cfg.ewma_alpha = 1.0;
+  cfg.hysteresis_epsilon = 0.0;
+  return learning_options(params, delta0, cfg);
 }
 
 }  // namespace partib::bench

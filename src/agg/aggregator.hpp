@@ -15,8 +15,10 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "common/time.hpp"
+#include "model/arrival_plan.hpp"
 #include "model/ploggp.hpp"
 
 namespace partib::agg {
@@ -49,6 +51,23 @@ struct Plan {
   model::LogGPParams model_params{};
   model::OptimizerConfig optimizer{};
   double ewma_alpha = 0.25;
+
+  /// Arrival-learning mode (docs/ADAPTIVE.md): the send request records
+  /// per-partition Pready offsets into an ArrivalProfile, folds them into
+  /// per-partition EWMAs, and at every Start re-plans transport-partition
+  /// count, group *boundaries* (non-uniform but contiguous), and the timer
+  /// delta from the learned arrival vector — adopting a candidate only on
+  /// a predicted >= learn.hysteresis_epsilon win over the incumbent.
+  /// Mutually exclusive with `adaptive` (the scalar-EWMA predecessor).
+  bool learning = false;
+  model::ArrivalLearnConfig learn{};
+
+  /// Explicit contiguous group layout (group g covers
+  /// [group_first[g], group_first[g] + group_count[g])).  Empty means the
+  /// uniform transport_partitions layout.  The oracle ablation arm plans
+  /// directly from the true arrival vector through this.
+  std::vector<std::size_t> group_first;
+  std::vector<std::size_t> group_count;
 };
 
 class Aggregator {

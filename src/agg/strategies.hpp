@@ -2,9 +2,11 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "agg/aggregator.hpp"
 #include "agg/tuning_table.hpp"
+#include "model/arrival_plan.hpp"
 #include "model/ploggp.hpp"
 
 namespace partib::agg {
@@ -88,6 +90,57 @@ class AdaptivePLogGPAggregator final : public Aggregator {
   model::LogGPParams params_;
   Duration initial_delay_;
   double alpha_;
+};
+
+/// Online arrival-learning aggregation (docs/ADAPTIVE.md) — the full
+/// version of the auto-tuning the paper's §IV-D defers to future work.
+/// Starts from the drain-aware PLogGP plan for an initial delay guess
+/// with the timer refinement on; the runtime then learns the
+/// per-partition arrival pattern (part/arrival_profile.hpp) and at every
+/// Start re-plans transport-partition count, non-uniform contiguous group
+/// boundaries, and the timer delta from the learned vector, with
+/// hysteresis.  Single QP, like AdaptivePLogGPAggregator, so the
+/// receiver's worst-case receive-WR budget never depends on the evolving
+/// plan.
+class ArrivalLearningAggregator final : public Aggregator {
+ public:
+  explicit ArrivalLearningAggregator(model::LogGPParams params,
+                                     Duration initial_delay_guess = msec(4),
+                                     model::ArrivalLearnConfig cfg = {});
+  Plan plan(std::size_t user_partitions,
+            std::size_t total_bytes) const override;
+  const char* name() const override { return "arrival-learning"; }
+  std::string describe() const override;
+
+  const model::ArrivalLearnConfig& config() const { return cfg_; }
+
+ private:
+  model::LogGPParams params_;
+  Duration initial_delay_;
+  model::ArrivalLearnConfig cfg_;
+};
+
+/// Ablation upper bound: handed the true per-partition arrival vector at
+/// init, plans the non-uniform layout and delta directly from it (no
+/// learning, no warm-up).  For regime-shifting workloads the zoo instead
+/// re-seeds a learning channel with the truth each epoch
+/// (PsendRequest::seed_profile), which subsumes this for the stationary
+/// shapes too — this class exists so the oracle is also reachable as a
+/// plain init-time Aggregator.
+class OracleArrivalAggregator final : public Aggregator {
+ public:
+  OracleArrivalAggregator(model::LogGPParams params,
+                          std::vector<Duration> arrival,
+                          model::ArrivalLearnConfig cfg = {});
+  Plan plan(std::size_t user_partitions,
+            std::size_t total_bytes) const override;
+  const char* name() const override { return "oracle-arrival"; }
+  std::string describe() const override;
+
+ private:
+  model::LogGPParams params_;
+  std::vector<Duration> arrival_;
+  model::ArrivalLearnConfig cfg_;
 };
 
 /// Timer-based PLogGP aggregation (§IV-D): the PLogGP plan plus the

@@ -193,6 +193,22 @@ std::uint64_t fingerprint(const ConnScaleConfig& cfg) {
   return h.digest();
 }
 
+std::uint64_t fingerprint(const ZooConfig& cfg) {
+  runner::Hasher h;
+  h.str("zoo/v1")
+      .i64(static_cast<std::int64_t>(cfg.shape))
+      .u64(cfg.total_bytes)
+      .u64(cfg.user_partitions)
+      .boolean(cfg.oracle)
+      .i64(cfg.spread)
+      .i64(cfg.epochs)
+      .i64(cfg.warmup)
+      .u64(cfg.seed);
+  hash_options(h, cfg.options);
+  hash_world(h, cfg.world);
+  return h.digest();
+}
+
 // -- codecs ------------------------------------------------------------------
 
 runner::Codec<OverheadResult> overhead_codec() {
@@ -308,6 +324,34 @@ runner::Codec<ConnScaleResult> connscale_codec() {
   return c;
 }
 
+runner::Codec<ZooResult> zoo_codec() {
+  runner::Codec<ZooResult> c;
+  c.encode = [](const ZooResult& r) -> std::string {
+    char buf[320];
+    std::snprintf(buf, sizeof(buf),
+                  "%a %a %a %a %a %" PRId64 " %a %a %" PRId64,
+                  r.warm_gbytes_per_s, r.all_gbytes_per_s,
+                  r.phase_gbytes_per_s[0], r.phase_gbytes_per_s[1],
+                  r.phase_gbytes_per_s[2], r.final_tp, r.final_delta_us,
+                  r.mean_wrs_per_epoch, r.replans_adopted);
+    return buf;
+  };
+  c.decode = [](std::string_view s, ZooResult* r) -> bool {
+    FieldReader f(s);
+    r->warm_gbytes_per_s = f.f64();
+    r->all_gbytes_per_s = f.f64();
+    r->phase_gbytes_per_s[0] = f.f64();
+    r->phase_gbytes_per_s[1] = f.f64();
+    r->phase_gbytes_per_s[2] = f.f64();
+    r->final_tp = f.i64();
+    r->final_delta_us = f.f64();
+    r->mean_wrs_per_epoch = f.f64();
+    r->replans_adopted = f.i64();
+    return f.ok;
+  };
+  return c;
+}
+
 // -- trial forms -------------------------------------------------------------
 
 OverheadResult overhead_trial(const OverheadConfig& cfg) {
@@ -338,6 +382,12 @@ ConnScaleResult connscale_trial(const ConnScaleConfig& cfg) {
   ConnScaleConfig c = cfg;
   if (c.seed == 0) c.seed = runner::derive_seed(fingerprint(cfg));
   return run_connscale(c);
+}
+
+ZooResult zoo_trial(const ZooConfig& cfg) {
+  ZooConfig c = cfg;
+  if (c.seed == 0) c.seed = runner::derive_seed(fingerprint(cfg));
+  return run_zoo(c);
 }
 
 // -- grid runners ------------------------------------------------------------
@@ -390,6 +440,14 @@ std::vector<ConnScaleResult> run_connscale_grid(
       grid, connscale_trial,
       [](const ConnScaleConfig& c) { return fingerprint(c); },
       connscale_codec(), opts, stats);
+}
+
+std::vector<ZooResult> run_zoo_grid(const std::vector<ZooConfig>& grid,
+                                    const runner::RunOptions& opts,
+                                    runner::RunStats* stats) {
+  return runner::run_trials<ZooConfig, ZooResult>(
+      grid, zoo_trial, [](const ZooConfig& c) { return fingerprint(c); },
+      zoo_codec(), opts, stats);
 }
 
 }  // namespace partib::bench

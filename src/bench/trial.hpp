@@ -27,6 +27,7 @@
 #include "bench/overhead.hpp"
 #include "bench/perceived.hpp"
 #include "bench/sweep.hpp"
+#include "bench/zoo.hpp"
 #include "runner/runner.hpp"
 
 namespace partib::bench {
@@ -36,12 +37,14 @@ std::uint64_t fingerprint(const PerceivedConfig& cfg);
 std::uint64_t fingerprint(const SweepConfig& cfg);
 std::uint64_t fingerprint(const HaloConfig& cfg);
 std::uint64_t fingerprint(const ConnScaleConfig& cfg);
+std::uint64_t fingerprint(const ZooConfig& cfg);
 
 runner::Codec<OverheadResult> overhead_codec();
 runner::Codec<PerceivedResult> perceived_codec();
 runner::Codec<SweepResult> sweep_codec();
 runner::Codec<HaloResult> halo_codec();
 runner::Codec<ConnScaleResult> connscale_codec();
+runner::Codec<ZooResult> zoo_codec();
 
 /// Pure `(config) -> result` trial forms: resolve the seed convention
 /// (seed == 0 derives from the fingerprint) and run one isolated
@@ -51,6 +54,7 @@ PerceivedResult perceived_trial(const PerceivedConfig& cfg);
 SweepResult sweep_trial(const SweepConfig& cfg);
 HaloResult halo_trial(const HaloConfig& cfg);
 ConnScaleResult connscale_trial(const ConnScaleConfig& cfg);
+ZooResult zoo_trial(const ZooConfig& cfg);
 
 /// Grid runners: results come back in submission order, so a driver that
 /// formats them sequentially emits byte-identical output for any job
@@ -71,5 +75,8 @@ std::vector<HaloResult> run_halo_grid(const std::vector<HaloConfig>& grid,
 std::vector<ConnScaleResult> run_connscale_grid(
     const std::vector<ConnScaleConfig>& grid, const runner::RunOptions& opts,
     runner::RunStats* stats = nullptr);
+std::vector<ZooResult> run_zoo_grid(const std::vector<ZooConfig>& grid,
+                                    const runner::RunOptions& opts,
+                                    runner::RunStats* stats = nullptr);
 
 }  // namespace partib::bench

@@ -1,0 +1,112 @@
+// Arrival-vector planner: the model half of the online arrival-learning
+// aggregator (docs/ADAPTIVE.md).
+//
+// The drain-aware PLogGP optimizer (ploggp.hpp) collapses a round's
+// arrival pattern to a single laggard delay.  This planner consumes the
+// full per-partition predicted arrival vector instead and produces a
+// *non-uniform* contiguous group layout plus a self-tuned timer delta:
+//
+//   1. quantize arrivals onto a coarse grid (cfg.quantum) so plans are a
+//      pure function of the arrival *pattern*, not of nanosecond jitter
+//      (producer-thread-count invariance, docs/THREADING.md);
+//   2. cut group boundaries at the largest index-adjacent arrival jumps
+//      — groups stay contiguous per the paper's no-staging rule (§IV-A),
+//      so a cut is only ever between user partitions i-1 and i;
+//   3. split each arrival cluster with the drain-aware PLogGP search so
+//      large clusters still pipeline (the §IV-C optimum applied per
+//      cluster rather than per buffer);
+//   4. set delta to the worst intra-group spread plus one quantum — the
+//      smallest window that still lets a learned group aggregate fully
+//      (the paper's §IV-D delta made self-tuning).
+//
+// Everything here is deterministic (no RNG, no wall clock) and
+// allocation-free once the scratch is reserved: the epoch-boundary replan
+// in part/psend.cpp calls these under PARTIB_HOT.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+#include "model/loggp.hpp"
+
+namespace partib::model {
+
+/// Knobs of the arrival-learning layer; carried inside agg::Plan and
+/// hashed (every field) into aggregator describe() strings.
+struct ArrivalLearnConfig {
+  /// EWMA weight of the newest epoch's quantized arrival offsets.
+  double ewma_alpha = 0.25;
+  /// Hysteresis: a candidate plan is adopted only when its predicted
+  /// completion beats the incumbent's by this relative margin.
+  double hysteresis_epsilon = 0.05;
+  /// Clamp range for the self-tuned timer delta.
+  Duration delta_min = usec(2);
+  Duration delta_max = msec(16);
+  /// Arrival-offset quantization grid (step 1 above).
+  Duration quantum = usec(64);
+  /// Transport-partition budget (the paper's Table I tops out at 32).
+  std::size_t max_groups = 32;
+};
+
+/// Pre-reserved work arrays so planning never touches the allocator.
+/// reserve() is called once at channel init; the plan/predict calls below
+/// assert the capacity instead of growing it.
+struct ArrivalPlanScratch {
+  void reserve(std::size_t partitions);
+  std::size_t capacity = 0;
+  /// Cut candidates: boundary index (cut before partition i).
+  std::vector<std::uint32_t> cuts;
+  /// Quantized arrival offsets for the in-flight plan call.
+  std::vector<Duration> quant;
+  /// predict scratch: per-message post times / bytes / sort order.
+  std::vector<Duration> post_time;
+  std::vector<std::size_t> post_bytes;
+  std::vector<std::uint32_t> post_order;
+};
+
+struct ArrivalPlanResult {
+  std::size_t groups = 0;
+  Duration delta = 0;
+  /// Predicted completion (time of last byte receivable) of the emitted
+  /// layout under the same model predict_grouped_completion uses, so the
+  /// caller can compare it against the incumbent plan for hysteresis.
+  Duration predicted = 0;
+};
+
+/// Quantize one arrival offset onto the learning grid.
+constexpr Duration quantize_arrival(Duration a, Duration quantum) {
+  return quantum <= 1 ? a : (a / quantum) * quantum;
+}
+
+/// Predicted completion time of an arbitrary contiguous grouped plan with
+/// timer `delta` under per-partition arrival offsets: each group posts one
+/// aggregated message when complete or when the delta window closes
+/// (stragglers then post individually), and a single serial wire drains
+/// the posts in time order (the drain-awareness of §IV-C generalised to a
+/// measured arrival vector).  Deterministic and allocation-free given
+/// scratch reserved for >= the partition count.
+Duration predict_grouped_completion(const LogGPParams& p,
+                                    std::size_t partition_bytes,
+                                    const Duration* arrival,
+                                    const std::size_t* group_first,
+                                    const std::size_t* group_count,
+                                    std::size_t groups, Duration delta,
+                                    ArrivalPlanScratch& scratch);
+
+/// Build the candidate plan for `n` partitions of `total_bytes` bytes from
+/// predicted per-partition arrival offsets (ns, relative to the epoch's
+/// first Pready).  Writes the contiguous layout into
+/// group_first/group_count (capacity >= min(n, cfg.max_groups) each) and
+/// returns the group count, tuned delta, and predicted completion.
+/// Deterministic and allocation-free given reserved scratch.
+ArrivalPlanResult plan_from_arrivals(const LogGPParams& p,
+                                     std::size_t total_bytes,
+                                     const Duration* arrival, std::size_t n,
+                                     const ArrivalLearnConfig& cfg,
+                                     std::size_t* group_first,
+                                     std::size_t* group_count,
+                                     ArrivalPlanScratch& scratch);
+
+}  // namespace partib::model

@@ -1,0 +1,92 @@
+// Per-channel arrival profile: the learning memory of the online
+// arrival-learning aggregator (docs/ADAPTIVE.md).
+//
+// The sender records each partition's Pready time relative to the epoch's
+// first Pready.  record() runs on the thread that already owns the
+// channel's bookkeeping (the DES event context / the bridge thread of the
+// threaded runtime, which also publishes the PR 7 arrived-mirror), so it
+// is one plain store — no new synchronization.  fold() runs at the next
+// MPI_Start and mixes the finished epoch into per-partition EWMAs; offsets
+// are quantized onto the learning grid *before* the EWMA so sub-quantum
+// timestamp noise (threaded-producer scheduling jitter) never reaches the
+// learned state — this is what makes learned plans producer-thread-count
+// invariant.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/thread_annotations.hpp"
+#include "common/time.hpp"
+#include "model/arrival_plan.hpp"
+
+namespace partib::part {
+
+class ArrivalProfile {
+ public:
+  /// Size the fixed per-channel storage; called once at Psend_init.
+  void init(std::size_t partitions, const model::ArrivalLearnConfig& cfg) {
+    alpha_ = cfg.ewma_alpha;
+    quantum_ = cfg.quantum;
+    offsets_.assign(partitions, 0);
+    ewma_.assign(partitions, 0.0);
+    predicted_.assign(partitions, 0);
+  }
+
+  /// Record partition `p`'s Pready at virtual time `now`.  The first
+  /// record of an epoch anchors the epoch base, so offsets are relative
+  /// to the epoch's first arrival (start-time independent).
+  PARTIB_HOT void record(std::size_t p, Time now) {
+    PARTIB_ASSERT(p < offsets_.size());
+    if (epoch_base_ < 0) epoch_base_ = now;
+    offsets_[p] = now - epoch_base_;
+  }
+
+  /// Fold the finished epoch into the EWMAs.  Only call after a complete
+  /// epoch (every partition recorded); psend gates on ready_count == n.
+  /// A no-op when nothing was recorded since the last fold/seed (a seed()
+  /// discards the half-recorded epoch it interrupts).
+  PARTIB_HOT void fold() {
+    if (epoch_base_ < 0) return;
+    const std::size_t n = offsets_.size();
+    for (std::size_t p = 0; p < n; ++p) {
+      const auto q = static_cast<double>(
+          model::quantize_arrival(offsets_[p], quantum_));
+      ewma_[p] = epochs_ == 0 ? q : alpha_ * q + (1.0 - alpha_) * ewma_[p];
+      predicted_[p] = static_cast<Duration>(ewma_[p]);
+    }
+    ++epochs_;
+    epoch_base_ = -1;
+  }
+
+  /// Overwrite the learned state with an externally supplied arrival
+  /// vector (the oracle ablation arm hands in the ground truth).  Marks
+  /// the profile warm so the next Start re-plans immediately.
+  void seed(const Duration* offsets, std::size_t n) {
+    PARTIB_ASSERT(n == predicted_.size());
+    for (std::size_t p = 0; p < n; ++p) {
+      ewma_[p] = static_cast<double>(offsets[p]);
+      predicted_[p] = offsets[p];
+    }
+    if (epochs_ == 0) epochs_ = 1;
+    epoch_base_ = -1;  // discard the in-flight epoch's partial records
+  }
+
+  /// Predicted per-partition arrival offsets (valid once epochs() >= 1).
+  const Duration* predicted() const { return predicted_.data(); }
+  std::size_t size() const { return predicted_.size(); }
+  /// Completed epochs folded in (0 = still cold, no plan changes yet).
+  std::size_t epochs() const { return epochs_; }
+
+ private:
+  double alpha_ = 0.25;
+  Duration quantum_ = usec(64);
+  Time epoch_base_ = -1;
+  std::size_t epochs_ = 0;
+  std::vector<Duration> offsets_;   ///< raw offsets of the epoch in flight
+  std::vector<double> ewma_;        ///< per-partition quantized-offset EWMA
+  std::vector<Duration> predicted_; ///< ewma_ rounded back to Duration
+};
+
+}  // namespace partib::part

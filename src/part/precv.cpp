@@ -83,6 +83,7 @@ void PrecvRequest::on_match(const mpi::SendInit& si) {
   sender_request_ = si.sender_request;
   sender_tp_ = si.transport_partitions;
   sender_group_size_ = si.user_partitions / sender_tp_;
+  sender_parts_ = si.user_partitions;
   sender_psize_ = si.total_bytes / si.user_partitions;
 
   mr_ = &rank_.pd().register_mr(
@@ -173,9 +174,12 @@ void PrecvRequest::post_recv_wrs() {
   if (srq_ == nullptr) return;
   // Dedicated mode: top the channel SRQ up to the worst case for one
   // round — a timer-based sender with fully scattered arrivals sends
-  // every user partition in its own message.  Unconsumed WRs from
-  // aggregated rounds carry over; we only post the difference.
-  const int needed = static_cast<int>(sender_tp_ * sender_group_size_);
+  // every user partition in its own message.  The worst case is the
+  // sender's *user* partition count, which stays valid even when a
+  // learning sender re-plans to non-uniform groups mid-stream (no
+  // renegotiation needed).  Unconsumed WRs from aggregated rounds carry
+  // over; we only post the difference.
+  const int needed = static_cast<int>(sender_parts_);
   while (posted_recvs_ < needed) {
     verbs::RecvWr wr;
     wr.wr_id = static_cast<std::uint64_t>(posted_recvs_);

@@ -127,6 +127,11 @@ class PrecvRequest {
   void* sender_request_ = nullptr;  ///< peer PsendRequest (opaque)
   std::size_t sender_tp_ = 1;
   std::size_t sender_group_size_ = 1;
+  /// Sender-side user partition count — the worst-case messages per round
+  /// (fully scattered timer flush).  Kept separately from tp * group_size
+  /// because learned plans may adopt non-uniform groups whose count does
+  /// not divide the partition count.
+  std::size_t sender_parts_ = 1;
   /// Sender-side user partition size.  MPI-4.0 allows the two sides to
   /// partition the buffer differently as long as the totals match; all
   /// wire traffic is in sender units and translated to receive partitions

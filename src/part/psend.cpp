@@ -59,12 +59,49 @@ PsendRequest::PsendRequest(mpi::Rank& rank, std::span<std::byte> buffer,
   plan_ = opts_.aggregator->plan(n_, buf_.size());
   if (opts_.transport_partitions_override != 0) {
     plan_.transport_partitions = opts_.transport_partitions_override;
+    plan_.group_first.clear();
+    plan_.group_count.clear();
   }
   if (opts_.qp_count_override != 0) plan_.qp_count = opts_.qp_count_override;
-  tp_ = agg::clamp_transport_partitions(plan_.transport_partitions, n_);
-  plan_.transport_partitions = tp_;
-  group_size_ = n_ / tp_;
   PARTIB_ASSERT(plan_.qp_count >= 1);
+  PARTIB_ASSERT_MSG(!(plan_.learning && plan_.adaptive),
+                    "learning and scalar-adaptive modes are exclusive");
+
+  // Group-layout storage is reserved once for the largest layout any
+  // replan may adopt, so Start-time re-planning stays allocation-free.
+  part_group_.assign(n_, 0);
+  std::size_t max_groups =
+      agg::clamp_transport_partitions(plan_.transport_partitions, n_);
+  if (plan_.learning) {
+    max_groups = std::max(max_groups, std::min(n_, plan_.learn.max_groups));
+  }
+  if (plan_.adaptive) {
+    // The scalar-adaptive re-optimizer may raise tp up to the optimizer's
+    // cap when the measured spread grows.
+    max_groups = std::max(
+        max_groups, std::min(n_, plan_.optimizer.max_transport_partitions));
+  }
+  max_groups = std::max(max_groups, plan_.group_first.size());
+  group_first_.reserve(max_groups);
+  group_count_.reserve(max_groups);
+  groups_.reserve(max_groups);
+
+  if (!plan_.group_first.empty()) {
+    // Explicit (possibly non-uniform) layout from the aggregator — the
+    // oracle arm plans straight from the true arrival vector.
+    PARTIB_ASSERT(plan_.group_first.size() == plan_.group_count.size());
+    adopt_layout(plan_.group_first.data(), plan_.group_count.data(),
+                 plan_.group_first.size());
+  } else {
+    set_uniform_groups(
+        agg::clamp_transport_partitions(plan_.transport_partitions, n_));
+  }
+  if (plan_.learning) {
+    profile_.init(n_, plan_.learn);
+    plan_scratch_.reserve(n_);
+    cand_first_.assign(max_groups, 0);
+    cand_count_.assign(max_groups, 0);
+  }
 
   arrived_words_.assign(bitmap_words(n_), 0);
   sent_words_.assign(bitmap_words(n_), 0);
@@ -211,7 +248,13 @@ Status PsendRequest::start() {
   if (failed_) return Status::kRemoteError;
   PARTIB_CHECK_HOOK(on_psend_start(this));
   if (started_ && !test()) return Status::kInvalidState;
-  if (plan_.adaptive && started_ && ready_count_ == n_) {
+  if (plan_.learning) {
+    // Fold the finished epoch (if one completed) and re-plan.  The round
+    // is quiescent here — start() rejects in-flight rounds above — so
+    // swapping the group layout cannot orphan a timer or an arrived run.
+    if (started_ && ready_count_ == n_) profile_.fold();
+    replan_from_profile();
+  } else if (plan_.adaptive && started_ && ready_count_ == n_) {
     adapt_transport_partitions();
   }
   started_ = true;
@@ -242,11 +285,84 @@ void PsendRequest::adapt_transport_partitions() {
       model::optimal_transport_partitions_with_drain(plan_.model_params,
                                                      buf_.size(), n_, cfg),
       n_);
-  if (new_tp != tp_) {
-    tp_ = new_tp;
-    plan_.transport_partitions = tp_;
-    group_size_ = n_ / tp_;
+  if (new_tp != tp_) set_uniform_groups(new_tp);
+}
+
+void PsendRequest::set_uniform_groups(std::size_t tp) {
+  PARTIB_ASSERT(tp >= 1 && n_ % tp == 0);
+  PARTIB_ASSERT(tp <= group_first_.capacity());
+  const std::size_t gs = n_ / tp;
+  group_first_.resize(tp);
+  group_count_.resize(tp);
+  for (std::size_t g = 0; g < tp; ++g) {
+    group_first_[g] = g * gs;
+    group_count_[g] = gs;
   }
+  for (std::size_t p = 0; p < n_; ++p) {
+    part_group_[p] = static_cast<std::uint16_t>(p / gs);
+  }
+  tp_ = tp;
+  plan_.transport_partitions = tp_;
+  group_size_ = gs;
+}
+
+PARTIB_HOT void PsendRequest::adopt_layout(const std::size_t* first,
+                                           const std::size_t* count,
+                                           std::size_t groups) {
+  PARTIB_ASSERT(groups >= 1 && groups <= group_first_.capacity());
+  group_first_.resize(groups);  // within reserved capacity: no allocation
+  group_count_.resize(groups);
+  std::size_t expect = 0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    PARTIB_ASSERT_MSG(first[g] == expect && count[g] >= 1,
+                      "group layout must cover [0, n) contiguously");
+    group_first_[g] = first[g];
+    group_count_[g] = count[g];
+    for (std::size_t i = 0; i < count[g]; ++i) {
+      part_group_[first[g] + i] = static_cast<std::uint16_t>(g);
+    }
+    expect += count[g];
+  }
+  PARTIB_ASSERT(expect == n_);
+  tp_ = groups;
+  plan_.transport_partitions = tp_;
+  group_size_ = n_ / tp_;
+}
+
+PARTIB_HOT void PsendRequest::replan_from_profile() {
+  if (profile_.epochs() == 0) return;  // still cold
+  const Duration* arr = profile_.predicted();
+  const model::ArrivalPlanResult cand = model::plan_from_arrivals(
+      plan_.model_params, buf_.size(), arr, n_, plan_.learn,
+      cand_first_.data(), cand_count_.data(), plan_scratch_);
+  const Duration incumbent = model::predict_grouped_completion(
+      plan_.model_params, psize_, arr, group_first_.data(),
+      group_count_.data(), tp_, plan_.timer_delta, plan_scratch_);
+  // Hysteresis on the drain tail, not the whole epoch: perceived
+  // bandwidth is bytes / (completion - last Pready), and the last arrival
+  // is a property of the workload the plan cannot move.  Comparing
+  // completion times directly would drown a 2x tail win in a 12 ms epoch
+  // and epsilon would never clear.  Both predictions share the arrival
+  // vector, so subtracting its max is exact.  Identical layouts predict
+  // identical times, so a converged profile cannot flap.
+  Duration a_last = arr[0];
+  for (std::size_t i = 1; i < n_; ++i) a_last = std::max(a_last, arr[i]);
+  const Duration cand_tail = cand.predicted - a_last;
+  const Duration inc_tail = incumbent - a_last;
+  if (static_cast<double>(cand_tail) <
+      static_cast<double>(inc_tail) *
+          (1.0 - plan_.learn.hysteresis_epsilon)) {
+    adopt_layout(cand_first_.data(), cand_count_.data(), cand.groups);
+    plan_.timer_delta = cand.delta;
+    ++replans_adopted_;
+  }
+}
+
+Status PsendRequest::seed_profile(std::span<const Duration> offsets) {
+  if (!plan_.learning) return Status::kInvalidState;
+  if (offsets.size() != n_) return Status::kInvalidArgument;
+  profile_.seed(offsets.data(), offsets.size());
+  return Status::kOk;
 }
 
 PARTIB_HOT Status PsendRequest::pready(std::size_t partition) {
@@ -263,12 +379,13 @@ PARTIB_HOT Status PsendRequest::pready(std::size_t partition) {
   const Time now = rank_.world().engine().now();
   if (round_first_pready_ < 0) round_first_pready_ = now;
   round_last_pready_ = now;
+  if (plan_.learning) profile_.record(partition, now);
 
   const std::size_t g = group_of(partition);
   Group& grp = groups_[g];
   ++grp.arrived;
 
-  if (grp.arrived == group_size_) {
+  if (grp.arrived == group_count_[g]) {
     on_partition_complete_group(g);
   } else if (plan_.timer_based) {
     if (grp.timer_fired) {
@@ -308,9 +425,10 @@ void PsendRequest::on_partition_complete_group(std::size_t g) {
     // The common case: the last arrival aggregates the whole group into a
     // single work request.
     grp.any_sent = true;
-    const std::size_t first = g * group_size_;
-    bitmap_set_range(sent_words_.data(), first, group_size_);
-    post_message(first, group_size_);
+    const std::size_t first = group_first_[g];
+    const std::size_t count = group_count_[g];
+    bitmap_set_range(sent_words_.data(), first, count);
+    post_message(first, count);
   } else {
     flush_group_runs(g);
   }
@@ -325,9 +443,8 @@ void PsendRequest::on_group_timer(std::size_t g) {
 }
 
 void PsendRequest::flush_group_runs(std::size_t g) {
-  const std::size_t base = g * group_size_;
-  flush_pending_runs(arrived_words_.data(), sent_words_.data(), base,
-                     group_size_,
+  flush_pending_runs(arrived_words_.data(), sent_words_.data(),
+                     group_first_[g], group_count_[g],
                      [this, g](std::size_t first, std::size_t count) {
                        groups_[g].any_sent = true;
                        post_message(first, count);

@@ -35,8 +35,10 @@
 
 #include "agg/aggregator.hpp"
 #include "common/status.hpp"
+#include "model/arrival_plan.hpp"
 #include "mpi/conn.hpp"
 #include "mpi/world.hpp"
+#include "part/arrival_profile.hpp"
 #include "part/options.hpp"
 #include "part/wire.hpp"
 #include "verbs/verbs.hpp"
@@ -104,6 +106,14 @@ class PsendRequest {
   void pbuf_prepare(Completion cb);
   bool buffer_prepared() const { return remote_ready_; }
 
+  /// Arrival-learning channels only: overwrite the learned profile with
+  /// an externally known arrival vector (offsets relative to the epoch's
+  /// first Pready).  The next Start re-plans from it immediately — this
+  /// is how the ablation oracle is fed the ground truth each epoch.
+  /// Discards any half-recorded epoch.  kInvalidState unless the plan is
+  /// learning; kInvalidArgument on a size mismatch.
+  Status seed_profile(std::span<const Duration> offsets);
+
   // -- introspection ---------------------------------------------------------
   const agg::Plan& plan() const { return plan_; }
   std::size_t user_partitions() const { return n_; }
@@ -111,6 +121,14 @@ class PsendRequest {
   std::size_t group_size() const { return group_size_; }
   std::size_t partition_bytes() const { return psize_; }
   int qp_count() const { return static_cast<int>(qps_.size()); }
+  /// Current contiguous group layout (learning plans re-shape it between
+  /// rounds; uniform plans show the tp_-way even split).
+  std::span<const std::size_t> group_firsts() const { return group_first_; }
+  std::span<const std::size_t> group_counts() const { return group_count_; }
+  /// Learning plans: epochs folded into the arrival profile so far and
+  /// how many Start-time replans cleared the hysteresis bar.
+  std::size_t profile_epochs() const { return profile_.epochs(); }
+  std::uint64_t replans_adopted() const { return replans_adopted_; }
 
   /// Threaded runtime (src/runtime/): tag this channel's CQ and QPs with
   /// the progress shard that owns them, for the shard-affinity auditor
@@ -181,8 +199,19 @@ class PsendRequest {
   void handle_send_wc(const verbs::Wc& wc);
 
   std::size_t group_of(std::size_t partition) const {
-    return partition / group_size_;
+    return part_group_[partition];
   }
+  /// Install the uniform tp-way layout (tp must divide n_).
+  void set_uniform_groups(std::size_t tp);
+  /// Install an explicit contiguous layout covering [0, n_) exactly.
+  /// Allocation-free: the layout arrays were reserved at init for the
+  /// plan's maximum group count.
+  void adopt_layout(const std::size_t* first, const std::size_t* count,
+                    std::size_t groups);
+  /// Learning plans, at Start: run the arrival planner on the profile's
+  /// predicted vector and adopt layout + delta on a predicted >= epsilon
+  /// win over the incumbent (no-op while the profile is cold).
+  void replan_from_profile();
   /// Post (or defer) one WR covering partitions [first, first+count).
   void post_message(std::size_t first, std::size_t count);
   std::uint32_t acquire_staged();
@@ -231,8 +260,17 @@ class PsendRequest {
   int comm_id_;
   Options opts_;
   agg::Plan plan_;
-  std::size_t tp_ = 1;          ///< transport partitions
-  std::size_t group_size_ = 1;  ///< user partitions per transport partition
+  std::size_t tp_ = 1;          ///< transport partitions (current groups)
+  /// Uniform-layout group width (n_ / tp_, floor) — introspection only;
+  /// all data-plane indexing goes through the explicit layout below.
+  std::size_t group_size_ = 1;
+  /// Contiguous group layout: group g covers
+  /// [group_first_[g], group_first_[g] + group_count_[g]); part_group_
+  /// inverts it for the O(1) pready lookup.  Reserved at init for the
+  /// plan's maximum group count so learning replans never allocate.
+  std::vector<std::size_t> group_first_;
+  std::vector<std::size_t> group_count_;
+  std::vector<std::uint16_t> part_group_;
 
   verbs::Cq* cq_ = nullptr;  ///< private CQ; nullptr in shared mode
   verbs::Mr* mr_ = nullptr;
@@ -259,6 +297,13 @@ class PsendRequest {
   Time round_first_pready_ = -1;
   Time round_last_pready_ = -1;
   Duration ewma_delay_ = -1;
+  // -- arrival learning (docs/ADAPTIVE.md) ------------------------------------
+  ArrivalProfile profile_;
+  model::ArrivalPlanScratch plan_scratch_;
+  /// Candidate layout the Start-time replan writes into (pre-sized).
+  std::vector<std::size_t> cand_first_;
+  std::vector<std::size_t> cand_count_;
+  std::uint64_t replans_adopted_ = 0;
   // Partition flags as uint64_t bitmaps: one cache line covers 512
   // partitions, and run detection for the timer flush works word-wise
   // (part/bitrun.hpp) instead of byte-by-byte.

@@ -44,8 +44,15 @@ enum class FaultShape : int {
   /// with QP-flush and retry-exhausted faults.  A fault on one chain must
   /// not lose or misattribute the sibling's completions.
   kSrqShared,
+  /// Arrival-learning channel under delay/drop faults: the fault plan
+  /// perturbs wire timing while the profile is learning and the
+  /// Start-time replan is re-shaping the layout.  Extra rounds so the
+  /// profile warms up and replans actually fire mid-fuzz; replay must
+  /// still be bit-identical (learned state is a pure function of the
+  /// seed-derived arrival pattern).
+  kArrivalPerturbed,
 };
-inline constexpr int kFaultShapeCount = 8;
+inline constexpr int kFaultShapeCount = 9;
 
 inline fabric::FaultPlanConfig make_fault_config(FaultShape shape,
                                                  sim::Rng& rng) {
@@ -88,6 +95,12 @@ inline fabric::FaultPlanConfig make_fault_config(FaultShape shape,
       f.qp_flush_rate = rng.uniform(0.02, 0.2);
       f.retry_exc_rate = rng.uniform(0.02, 0.2);
       break;
+    case FaultShape::kArrivalPerturbed:
+      // Timing-perturbing faults: delays skew the completion times the
+      // learner observes; occasional drops add retransmit jitter on top.
+      f.delay_rate = rng.uniform(0.05, 0.4);
+      f.drop_rate = rng.uniform(0.0, 0.15);
+      break;
   }
   return f;
 }
@@ -106,6 +119,20 @@ inline part::Options random_fuzz_options(sim::Rng& rng) {
   // Fuzz the recovery knobs too: tight budgets make budget exhaustion
   // reachable, generous ones make recovery-to-success reachable.
   o.max_send_retries = static_cast<int>(rng.uniform_int(1, 8));
+  o.retry_backoff = usec(rng.uniform_int(1, 16));
+  return o;
+}
+
+/// kArrivalPerturbed options: an arrival-learning channel with fuzzed
+/// learning knobs, so the fault-perturbed profile drives real replans.
+inline part::Options perturbed_learning_options(sim::Rng& rng) {
+  model::ArrivalLearnConfig cfg;
+  cfg.ewma_alpha = rng.uniform(0.2, 1.0);
+  cfg.hysteresis_epsilon = rng.uniform(0.0, 0.1);
+  cfg.quantum = usec(rng.uniform_int(8, 128));
+  part::Options o =
+      learning_options(usec(rng.uniform_int(50, 4000)), cfg);
+  o.max_send_retries = static_cast<int>(rng.uniform_int(2, 8));
   o.retry_backoff = usec(rng.uniform_int(1, 16));
   return o;
 }
@@ -243,9 +270,12 @@ inline LifecycleTrialResult run_lifecycle_trial(std::uint64_t seed) {
 
   const std::size_t partitions = std::size_t{1} << rng.uniform_int(0, 6);
   const std::size_t psize = std::size_t{1} << rng.uniform_int(6, 12);
-  const int rounds = static_cast<int>(rng.uniform_int(1, 3));
+  int rounds = static_cast<int>(rng.uniform_int(1, 3));
   result.shape = static_cast<FaultShape>(
       rng.uniform_int(0, kFaultShapeCount - 1));
+  // Learning needs epochs: enough rounds to fold the profile and reach
+  // the Start-time replan while faults are perturbing arrivals.
+  if (result.shape == FaultShape::kArrivalPerturbed) rounds += 3;
 
   mpi::WorldOptions wopts;
   wopts.faults = make_fault_config(result.shape, rng);
@@ -257,7 +287,10 @@ inline LifecycleTrialResult run_lifecycle_trial(std::uint64_t seed) {
   }
 
   check::DeterminismAuditor auditor;
-  ChannelFixture fx(partitions * psize, partitions, random_fuzz_options(rng),
+  ChannelFixture fx(partitions * psize, partitions,
+                    result.shape == FaultShape::kArrivalPerturbed
+                        ? perturbed_learning_options(rng)
+                        : random_fuzz_options(rng),
                     wopts);
   auditor.attach(fx.engine);
 

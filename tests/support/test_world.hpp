@@ -90,4 +90,10 @@ inline part::Options timer_options(Duration delta) {
       model::LogGPParams::niagara_mpi_measured(), delta));
 }
 
+inline part::Options learning_options(Duration delta0 = msec(4),
+                                      model::ArrivalLearnConfig cfg = {}) {
+  return options_with(std::make_shared<agg::ArrivalLearningAggregator>(
+      model::LogGPParams::niagara_mpi_measured(), delta0, cfg));
+}
+
 }  // namespace partib::test
