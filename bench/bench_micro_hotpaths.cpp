@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "agg/strategies.hpp"
+#include "backend/backend.hpp"
+#include "backend/shm/spsc_ring.hpp"
 #include "common/atomic_bits.hpp"
 #include "common/units.hpp"
 #include "model/arrival_plan.hpp"
@@ -187,6 +189,65 @@ void BM_PreadyFlush(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
 }
 BENCHMARK(BM_PreadyFlush);
+
+void BM_BackendDispatch(benchmark::State& state) {
+  // BM_PreadyFlush's exact workload, but with the World constructed
+  // through the backend registry so every transport touch goes via the
+  // backend::Transport vtable and the drive loop via run_until_idle().
+  // The gate (BENCH_hotpaths.json): <= 1.05x BM_PreadyFlush in the same
+  // run — the pluggable-backend indirection must be noise on the data
+  // path, because the per-op work (WR fill, wire model, CQ delivery)
+  // dwarfs one virtual call per fabric entry point.
+  auto be = backend::make_backend("des");
+  PARTIB_ASSERT(be != nullptr);
+  mpi::World world(*be, {});
+  std::vector<std::byte> sbuf(64 * KiB), rbuf(64 * KiB);
+  part::Options opts;
+  opts.aggregator = std::make_shared<agg::StaticAggregator>(64, 4);
+  std::unique_ptr<part::PsendRequest> send;
+  std::unique_ptr<part::PrecvRequest> recv;
+  PARTIB_ASSERT(ok(part::psend_init(world.rank(0), sbuf, 64, 1, 0, 0, opts,
+                                    &send)));
+  PARTIB_ASSERT(ok(part::precv_init(world.rank(1), rbuf, 64, 0, 0, 0, opts,
+                                    &recv)));
+  be->run_until_idle();  // handshake
+  for (auto _ : state) {
+    PARTIB_ASSERT(ok(send->start()));
+    PARTIB_ASSERT(ok(recv->start()));
+    for (std::size_t i = 0; i < 64; ++i) {
+      PARTIB_ASSERT(ok(send->pready(i)));
+    }
+    be->run_until_idle();
+    PARTIB_ASSERT(send->test() && recv->test());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_BackendDispatch);
+
+void BM_ShmRingRoundtrip(benchmark::State& state) {
+  // The shm transport's per-op skeleton: one pointer-sized record through
+  // the wire ring, one back through the ack ring (a full op round trip
+  // minus the memcpy and callbacks).  Single-threaded, so this is the
+  // ring arithmetic itself — the inter-thread cache-miss cost shows up in
+  // the threaded suites, not here.
+  backend::SpscRing<std::uint64_t> wire(1024);
+  backend::SpscRing<std::uint64_t> ack(1024);
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (std::uint64_t i = 0; i < 256; ++i) {
+      benchmark::DoNotOptimize(wire.try_push(i));
+      std::uint64_t v = 0;
+      benchmark::DoNotOptimize(wire.try_pop(&v));
+      benchmark::DoNotOptimize(ack.try_push(v));
+      benchmark::DoNotOptimize(ack.try_pop(&v));
+      sum += v;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          256);
+}
+BENCHMARK(BM_ShmRingRoundtrip);
 
 void BM_CqPollBurst(benchmark::State& state) {
   // Raw CQE fan-through: push a completion wave, drain it in 16-entry

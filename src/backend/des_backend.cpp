@@ -1,0 +1,12 @@
+#include "backend/des_backend.hpp"
+
+namespace partib::backend {
+
+DesBackend::DesBackend(const Config& config)
+    : engine_(), fabric_(engine_, config.nic, config.copy_data) {
+  if (config.faults.enabled()) {
+    fabric_.set_fault_plan(fabric::FaultPlan(config.faults));
+  }
+}
+
+}  // namespace partib::backend

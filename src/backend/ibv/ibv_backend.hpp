@@ -1,0 +1,30 @@
+// Hardware verbs backend stub (compile-gated).
+//
+// Built only with -DPARTIB_WITH_IBVERBS=ON, which requires libibverbs
+// headers on the build host; the default build ships without it and
+// make_backend("ibv") then reports an unknown backend.  The stub exists
+// to pin down the integration surface — everything a real port needs is
+// already expressed by backend::Transport + backend::Backend, and the
+// conformance suite (tests/backend/) is the acceptance test a real
+// implementation must pass.  See docs/BACKENDS.md §ibv for the mapping
+// (Transport::post_rdma_write -> ibv_post_send, send_control -> RDMA_CM
+// or a bootstrap TCP exchange, progress -> ibv_poll_cq).
+#pragma once
+
+#if defined(PARTIB_WITH_IBVERBS)
+
+#include <memory>
+
+#include "backend/backend.hpp"
+
+namespace partib::backend {
+
+/// Construct the hardware verbs backend.  The current stub aborts with a
+/// structured diagnostic on first use of the data plane: it compiles
+/// against real libibverbs (proving the interface maps) but the container
+/// environments this repo targets have no RDMA devices to open.
+std::unique_ptr<Backend> make_ibv_backend(const Config& config);
+
+}  // namespace partib::backend
+
+#endif  // PARTIB_WITH_IBVERBS

@@ -1,0 +1,61 @@
+#include "backend/shm/shm_backend.hpp"
+
+#include <ctime>
+
+#include "common/diag.hpp"
+
+namespace partib::backend {
+namespace {
+
+ShmTransportOptions transport_options(const Config& config) {
+  ShmTransportOptions o;
+  o.nic = config.nic;
+  o.copy_data = config.copy_data;
+  o.ring_capacity = config.shm_ring_capacity;
+  return o;
+}
+
+void backoff_sleep(Duration d) {
+  if (d <= 0) return;  // spin
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(d / kSecond);
+  ts.tv_nsec = static_cast<long>(d % kSecond);
+  nanosleep(&ts, nullptr);
+}
+
+}  // namespace
+
+ShmBackend::ShmBackend(const Config& config)
+    : transport_(transport_options(config)),
+      idle_backoff_(config.shm_idle_backoff) {
+  if (config.faults.enabled()) {
+    transport_.set_fault_plan(fabric::FaultPlan(config.faults));
+  }
+}
+
+void ShmBackend::progress() {
+  const Time t = now();
+  // Publish real elapsed time to the diagnostics clock so structured
+  // diagnostics raised from shm progress carry a timestamp, mirroring
+  // what engine dispatch does for DES callbacks.
+  diag_set_time(t);
+  engine_.run_until(t);
+  transport_.progress_all(t);
+}
+
+std::size_t ShmBackend::run_until_idle() {
+  std::size_t dispatched = 0;
+  for (;;) {
+    const Time t = now();
+    diag_set_time(t);
+    dispatched += engine_.run_until(t);
+    const std::size_t moved = transport_.progress_all(t);
+    if (engine_.empty() && transport_.idle()) break;
+    // Pending but nothing due yet (a future timer or a fault hold):
+    // real time has to pass, so yield rather than burn the core.
+    if (moved == 0) backoff_sleep(idle_backoff_);
+  }
+  return dispatched;
+}
+
+}  // namespace partib::backend

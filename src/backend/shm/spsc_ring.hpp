@@ -1,0 +1,91 @@
+// Bounded lock-free SPSC ring for the shared-memory transport.
+//
+// The shm data plane is a matrix of point-to-point channels: for every
+// (src, dst) node pair, exactly one producer thread (src's owner) pushes
+// and exactly one consumer thread (dst's owner) pops, so the classic
+// two-index SPSC layout applies — no CAS anywhere, one release store per
+// side.  Contrast common/mpsc_ring.hpp (Vyukov bounded queue), which pays
+// a tail CAS to admit N producers; here the pairing is fixed by
+// construction so the cheaper shape is correct.
+//
+// Memory-order contract: the producer's release store of tail_ publishes
+// the slot payload to the consumer's acquire load; symmetrically the
+// consumer's release store of head_ returns the slot to the producer.
+// TSan verifies both edges in tests/backend/shm_transport_test.cpp.
+//
+// T must be trivially copyable — the transport moves OpRec pointers, not
+// ops; payload ownership stays with the producing node's slab.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+
+#include "common/bits.hpp"
+
+namespace partib::backend {
+
+template <typename T>
+class SpscRing {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SpscRing hands slots off by value between threads");
+
+ public:
+  explicit SpscRing(std::size_t capacity)
+      : mask_(next_pow2(capacity < 2 ? 2 : capacity) - 1),
+        buf_(std::make_unique<T[]>(mask_ + 1)) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  // -- producer side ---------------------------------------------------------
+  /// False when the ring is full; never blocks.
+  bool try_push(const T& value) {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_.load(std::memory_order_acquire) > mask_) return false;
+    buf_[t & mask_] = value;
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Free slots right now (producer-side view; only grows concurrently).
+  std::size_t space() const {
+    return capacity() - (tail_.load(std::memory_order_relaxed) -
+                         head_.load(std::memory_order_acquire));
+  }
+
+  // -- consumer side ---------------------------------------------------------
+  /// Oldest element, or nullptr when empty.  Valid until pop_front().
+  const T* front() const {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    if (tail_.load(std::memory_order_acquire) == h) return nullptr;
+    return &buf_[h & mask_];
+  }
+
+  /// Retire the element returned by front().
+  void pop_front() {
+    head_.store(head_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+  }
+
+  bool try_pop(T* out) {
+    const T* f = front();
+    if (f == nullptr) return false;
+    *out = *f;
+    pop_front();
+    return true;
+  }
+
+ private:
+  const std::size_t mask_;
+  std::unique_ptr<T[]> buf_;
+  // Producer owns tail_, consumer owns head_; separate cache lines so
+  // neither side's store traffic invalidates the other's index line.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  alignas(64) std::atomic<std::size_t> head_{0};
+};
+
+}  // namespace partib::backend

@@ -6,6 +6,7 @@
 #include "common/assert.hpp"
 #include "common/bits.hpp"
 #include "common/units.hpp"
+#include "fabric/fabric.hpp"
 #include "sim/engine.hpp"
 #include "verbs/verbs.hpp"
 

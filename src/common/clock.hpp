@@ -1,0 +1,36 @@
+// The sanctioned monotonic clock for real-time backends.
+//
+// The deterministic layers (src/sim, src/fabric, src/verbs, src/part and
+// the backends under src/backend) are forbidden from touching wall-clock
+// sources directly — the partib-no-wall-clock-in-sim lint enforces it —
+// because an accidental `steady_clock::now()` in a DES code path silently
+// destroys replayability.  Real-time transports still need real time, so
+// this header is the single audited exemption: mono_now() is the only
+// place the process clock is read, and real-time code (backend/shm/,
+// runtime bridges) calls it by its partib name, which the lint recognises
+// as sanctioned.
+//
+// The value is nanoseconds on CLOCK_MONOTONIC, normalised by the caller
+// (backends subtract their construction instant so Time stays "ns since
+// backend start", mirroring the DES convention of "ns since simulation
+// start").  Never use this for DES timelines: virtual time comes from
+// sim::Engine::now().
+#pragma once
+
+#include <ctime>
+
+#include "common/time.hpp"
+
+namespace partib::common {
+
+/// Raw monotonic process clock in nanoseconds.  Monotone non-decreasing,
+/// unaffected by wall-clock adjustments.
+// NOLINTNEXTLINE(partib-no-wall-clock-in-sim)
+inline Time mono_now() {
+  timespec ts;                          // NOLINT(partib-no-wall-clock-in-sim)
+  clock_gettime(CLOCK_MONOTONIC, &ts);  // NOLINT(partib-no-wall-clock-in-sim)
+  return static_cast<Time>(ts.tv_sec) * kSecond +
+         static_cast<Time>(ts.tv_nsec);
+}
+
+}  // namespace partib::common

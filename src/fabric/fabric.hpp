@@ -24,110 +24,78 @@
 #include <memory>
 #include <vector>
 
+#include "backend/transport.hpp"
 #include "common/ring.hpp"
 #include "common/time.hpp"
 #include "fabric/fault.hpp"
 #include "fabric/fluid_network.hpp"
 #include "fabric/nic_params.hpp"
+#include "fabric/rdma_op.hpp"
 #include "fabric/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/resources.hpp"
 
 namespace partib::fabric {
 
-/// One RDMA operation handed down by the verbs layer.
-struct RdmaOp {
-  NodeId src = -1;
-  NodeId dst = -1;
-  /// Globally unique id of the sending QP (for ordering + activation).
-  std::uint64_t src_qp = 0;
-  std::size_t bytes = 0;
-  /// Scales the per-QP engine bandwidth share for this transfer (< 1 for
-  /// software paths that cannot keep the pipeline full).
-  double rate_cap_factor = 1.0;
-  /// Executed exactly when the last byte lands at the destination
-  /// (before the receive completion).  May be empty.
-  std::function<void()> move_data;
-  /// Local send completion (CQE on the sender's CQ).
-  std::function<void(Time)> on_send_complete;
-  /// Remote completion (CQE on the receiver's CQ, o_r after landing).
-  /// Empty for plain RDMA_WRITE (no immediate => no remote CQE).
-  std::function<void(Time)> on_recv_complete;
-  /// Fault path: the op failed in transport.  Exactly one of
-  /// {move_data + on_send_complete [+ on_recv_complete]} or
-  /// on_failed(when, failure) runs — a failed op never lands, never moves
-  /// data and never raises a receive CQE.  May be empty (failure is then
-  /// silently swallowed; the verbs layer always sets it).
-  std::function<void(Time, OpFailure)> on_failed;
-  /// Internal: trace record index (set by the fabric when tracing).
-  std::uint64_t trace_id = kNoTraceId;
-  /// Internal: fault decision drawn at post time (kNone when no plan).
-  FaultDecision fault;
-
-  static constexpr std::uint64_t kNoTraceId = ~std::uint64_t{0};
-};
-
-struct FabricStats {
-  std::uint64_t rdma_ops = 0;
-  std::uint64_t control_msgs = 0;
-  std::uint64_t payload_bytes = 0;
-  std::uint64_t wire_bytes = 0;  ///< payload + segment headers
-  // Fault-plane counters (all zero with faults disabled).
-  std::uint64_t faults_injected = 0;  ///< ops with a non-kNone decision
-  std::uint64_t retransmits = 0;      ///< dropped transfers re-sent
-  std::uint64_t failed_ops = 0;       ///< ops delivered via on_failed
-};
-
-class Fabric {
+/// The discrete-event transport backend (backend::Transport contract):
+/// the fluid network provides wire occupancy, the sim::Engine provides
+/// the clock, and every completion callback fires as a DES event — so the
+/// whole timeline is a deterministic function of the post sequence.
+class Fabric final : public backend::Transport {
  public:
   Fabric(sim::Engine& engine, NicParams params, bool copy_data = true);
 
-  NodeId add_node();
-  int node_count() const { return static_cast<int>(wqe_engines_.size()); }
+  std::string_view kind() const override { return "des-fluid"; }
+
+  NodeId add_node() override;
+  int node_count() const override {
+    return static_cast<int>(wqe_engines_.size());
+  }
 
   sim::Engine& engine() { return engine_; }
   const NicParams& nic() const { return params_; }
-  bool copies_data() const { return copy_data_; }
+  bool copies_data() const override { return copy_data_; }
 
   /// Post an RDMA write (with or without immediate).  Timing starts now;
   /// host-side posting costs are the caller's concern.
-  void post_rdma_write(RdmaOp op);
+  void post_rdma_write(RdmaOp op) override;
 
   /// Deliver a small out-of-band control message (QP exchange, match
   /// handshake).  `deliver` runs on the destination after
   /// L + ctrl_overhead.
-  void send_control(NodeId src, NodeId dst, std::function<void()> deliver);
+  void send_control(NodeId src, NodeId dst,
+                    std::function<void()> deliver) override;
 
-  const FabricStats& stats() const { return stats_; }
+  const FabricStats& stats() const override { return stats_; }
 
   /// Attach (or detach, with nullptr) a per-operation trace sink; see
   /// fabric/trace.hpp.  The sink must outlive all traced operations.
-  void set_trace(TraceSink* sink) { trace_ = sink; }
-  TraceSink* trace() { return trace_; }
+  void set_trace(TraceSink* sink) override { trace_ = sink; }
+  TraceSink* trace() override { return trace_; }
 
   // -- fault plane (fabric/fault.hpp) ----------------------------------------
   /// Install a fault plan.  Must be called before the first post; a plan
   /// with every rate at zero is free (the post path never consults it).
-  void set_fault_plan(const FaultPlan& plan);
-  const FaultPlan& fault_plan() const { return fault_plan_; }
+  void set_fault_plan(const FaultPlan& plan) override;
+  const FaultPlan& fault_plan() const override { return fault_plan_; }
 
   /// Test hook: force the QP's send context into the error state *now*.
   /// The op currently on the wire (if any) still completes — the error is
   /// in the QP context, not the link — but every queued op, and every op
   /// posted afterwards, fails with OpFailure::kFlushed in post order.
   /// Recovery requires reset_qp_chain() (driven by verbs::Qp::to_reset).
-  void inject_qp_error(std::uint64_t src_qp);
+  void inject_qp_error(std::uint64_t src_qp) override;
 
   /// True while the QP's chain is wedged in the error state.
-  bool qp_chain_errored(std::uint64_t src_qp);
+  bool qp_chain_errored(std::uint64_t src_qp) override;
 
   /// Recovery: clear the error mark so the chain accepts work again.  The
   /// chain must be fully drained (every flush delivered); QP context
   /// activation is charged again on next use, like a fresh QP.
-  void reset_qp_chain(std::uint64_t src_qp);
+  void reset_qp_chain(std::uint64_t src_qp) override;
 
   /// Wire bytes for a payload of `bytes` after MTU segmentation.
-  std::size_t wire_bytes_for(std::size_t bytes) const;
+  std::size_t wire_bytes_for(std::size_t bytes) const override;
 
  private:
   struct QpChain {

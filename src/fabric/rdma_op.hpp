@@ -1,0 +1,69 @@
+// The transport-neutral RDMA operation record.
+//
+// One RdmaOp is what the verbs layer hands to whichever transport backend
+// is active (backend/transport.hpp): the DES fluid-network fabric
+// (fabric/fabric.hpp), the real-time shared-memory transport
+// (backend/shm/), or a hardware verbs stub.  The struct deliberately
+// carries *callbacks*, not results: a transport's only obligations are the
+// delivery contract documented on each member, which is what the
+// cross-backend conformance suite (tests/backend/) holds every
+// implementation to.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "common/time.hpp"
+#include "fabric/fault.hpp"
+
+namespace partib::fabric {
+
+/// Dense node handle; allocated by Transport::add_node.  (Also the flat
+/// index into the fluid network's capacity tables in the DES backend.)
+using NodeId = int;
+
+/// One RDMA operation handed down by the verbs layer.
+struct RdmaOp {
+  NodeId src = -1;
+  NodeId dst = -1;
+  /// Globally unique id of the sending QP (for ordering + activation).
+  std::uint64_t src_qp = 0;
+  std::size_t bytes = 0;
+  /// Scales the per-QP engine bandwidth share for this transfer (< 1 for
+  /// software paths that cannot keep the pipeline full).
+  double rate_cap_factor = 1.0;
+  /// Executed exactly when the last byte lands at the destination
+  /// (before the receive completion).  May be empty.
+  std::function<void()> move_data;
+  /// Local send completion (CQE on the sender's CQ).
+  std::function<void(Time)> on_send_complete;
+  /// Remote completion (CQE on the receiver's CQ, o_r after landing).
+  /// Empty for plain RDMA_WRITE (no immediate => no remote CQE).
+  std::function<void(Time)> on_recv_complete;
+  /// Fault path: the op failed in transport.  Exactly one of
+  /// {move_data + on_send_complete [+ on_recv_complete]} or
+  /// on_failed(when, failure) runs — a failed op never lands, never moves
+  /// data and never raises a receive CQE.  May be empty (failure is then
+  /// silently swallowed; the verbs layer always sets it).
+  std::function<void(Time, OpFailure)> on_failed;
+  /// Internal: trace record index (set by the fabric when tracing).
+  std::uint64_t trace_id = kNoTraceId;
+  /// Internal: fault decision drawn at post time (kNone when no plan).
+  FaultDecision fault;
+
+  static constexpr std::uint64_t kNoTraceId = ~std::uint64_t{0};
+};
+
+struct FabricStats {
+  std::uint64_t rdma_ops = 0;
+  std::uint64_t control_msgs = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t wire_bytes = 0;  ///< payload + segment headers
+  // Fault-plane counters (all zero with faults disabled).
+  std::uint64_t faults_injected = 0;  ///< ops with a non-kNone decision
+  std::uint64_t retransmits = 0;      ///< dropped transfers re-sent
+  std::uint64_t failed_ops = 0;       ///< ops delivered via on_failed
+};
+
+}  // namespace partib::fabric

@@ -41,9 +41,27 @@ World::World(sim::Engine& engine, WorldOptions options)
   if (options_.faults.enabled()) {
     fabric_->set_fault_plan(fabric::FaultPlan(options_.faults));
   }
-  device_ = std::make_unique<verbs::Device>(*fabric_);
+  transport_ = fabric_.get();
+  build_ranks();
+}
+
+World::World(backend::Backend& backend, WorldOptions options)
+    : engine_(backend.engine()), options_(options), backend_(&backend) {
+  PARTIB_ASSERT(options.ranks > 0);
+  transport_ = &backend.transport();
+  // The backend already installed Config::faults at construction; a
+  // world-level plan (WorldOptions::faults) overrides it so existing
+  // fault tests keep one configuration surface.
+  if (options_.faults.enabled()) {
+    transport_->set_fault_plan(fabric::FaultPlan(options_.faults));
+  }
+  build_ranks();
+}
+
+void World::build_ranks() {
+  device_ = std::make_unique<verbs::Device>(*transport_);
   for (int i = 0; i < options_.ranks; ++i) {
-    const fabric::NodeId node = fabric_->add_node();
+    const fabric::NodeId node = transport_->add_node();
     verbs::Context& ctx = device_->open(node);
     ranks_.push_back(std::make_unique<Rank>(*this, i, node, ctx,
                                             options_.cores_per_rank));
@@ -52,8 +70,8 @@ World::World(sim::Engine& engine, WorldOptions options)
 
 void World::send_control(int from, int to, std::function<void()> deliver) {
   PARTIB_ASSERT(from >= 0 && from < size() && to >= 0 && to < size());
-  fabric_->send_control(rank(from).node(), rank(to).node(),
-                        std::move(deliver));
+  transport_->send_control(rank(from).node(), rank(to).node(),
+                           std::move(deliver));
 }
 
 }  // namespace partib::mpi

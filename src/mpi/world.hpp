@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "backend/backend.hpp"
 #include "common/assert.hpp"
 #include "fabric/fabric.hpp"
 #include "mpi/matcher.hpp"
@@ -112,7 +113,16 @@ class Rank {
 
 class World {
  public:
+  /// Classic DES construction: the world builds and owns its own fluid
+  /// fabric on `engine`.  Every pre-backend call site uses this form and
+  /// its timeline is pinned by the figure fingerprints.
   World(sim::Engine& engine, WorldOptions options);
+  /// Backend construction: run over `backend`'s transport and engine
+  /// (backend/backend.hpp).  The transport may be the DES fabric, the shm
+  /// transport, or anything else satisfying backend::Transport; for
+  /// real-time backends the caller pumps Backend::progress /
+  /// run_until_idle instead of engine().run().
+  World(backend::Backend& backend, WorldOptions options);
   World(const World&) = delete;
   World& operator=(const World&) = delete;
 
@@ -123,9 +133,12 @@ class World {
   }
 
   sim::Engine& engine() { return engine_; }
-  fabric::Fabric& fab() { return *fabric_; }
+  backend::Transport& fab() { return *transport_; }
   verbs::Device& device() { return *device_; }
   const WorldOptions& options() const { return options_; }
+  /// The backend this world runs over, nullptr for classic DES
+  /// construction (where the engine reference is the whole story).
+  backend::Backend* backend() { return backend_; }
 
   /// Out-of-band control message between ranks; `deliver` runs on the
   /// destination after the control-plane latency.
@@ -139,9 +152,13 @@ class World {
   }
 
  private:
+  void build_ranks();
+
   sim::Engine& engine_;
   WorldOptions options_;
-  std::unique_ptr<fabric::Fabric> fabric_;
+  backend::Backend* backend_ = nullptr;        ///< backend ctor only
+  std::unique_ptr<fabric::Fabric> fabric_;     ///< classic ctor only
+  backend::Transport* transport_ = nullptr;    ///< always valid
   std::unique_ptr<verbs::Device> device_;
   std::vector<std::unique_ptr<Rank>> ranks_;
   std::atomic<int> next_comm_id_{1};

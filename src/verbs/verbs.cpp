@@ -341,7 +341,7 @@ PARTIB_HOT Status Qp::post_send(const SendWr& wr) {
   ++outstanding_;
   bytes_posted_ += total;
   PARTIB_CHECK_HOOK(on_send_accepted(this));
-  fabric::Fabric& fab = pd_.context().device().fab();
+  backend::Transport& fab = pd_.context().device().fab();
   const bool with_imm = wr.opcode == Opcode::kRdmaWriteWithImm;
   const bool wants_recv_cqe = with_imm || wr.opcode == Opcode::kSend;
 

@@ -30,10 +30,10 @@
 #include <span>
 #include <vector>
 
+#include "backend/transport.hpp"
 #include "common/bits.hpp"
 #include "common/ring.hpp"
 #include "common/status.hpp"
-#include "fabric/fabric.hpp"
 #include "verbs/types.hpp"
 
 namespace partib::verbs {
@@ -61,22 +61,24 @@ struct ResourceFootprint {
   std::size_t resident_bytes = 0;
 };
 
-/// The "HCA": entry point tying contexts to the simulated fabric and
-/// providing device-wide qp_num / key allocation.
+/// The "HCA": entry point tying contexts to the transport backend and
+/// providing device-wide qp_num / key allocation.  The device consumes
+/// only the backend::Transport interface, so the same verbs object model
+/// runs over the DES fabric, the shm transport, or a hardware stub.
 class Device {
  public:
   /// qp_nums are dense from here (mirrors real HCAs not handing out 0..2;
   /// also keeps handles visually distinct from ranks/indices in traces).
   static constexpr std::uint32_t kFirstQpNum = 100;
 
-  explicit Device(fabric::Fabric& fab) : fabric_(fab) {}
+  explicit Device(backend::Transport& fab) : fabric_(fab) {}
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
 
   /// Open a context on a fabric node (creates the node's verbs state).
   Context& open(fabric::NodeId node);
 
-  fabric::Fabric& fab() { return fabric_; }
+  backend::Transport& fab() { return fabric_; }
 
   /// Device-wide QP lookup used to resolve a connected remote QP.
   Qp* find_qp(std::uint32_t qp_num) {
@@ -98,7 +100,7 @@ class Device {
     Mr* mr = nullptr;
   };
 
-  fabric::Fabric& fabric_;
+  backend::Transport& fabric_;
   std::vector<std::unique_ptr<Context>> contexts_;
   std::vector<Qp*> qp_by_num_;   // index == qp_num - kFirstQpNum
   std::vector<MrSlot> mr_by_rkey_;  // index == rkey / 2 - 1

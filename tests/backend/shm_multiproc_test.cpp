@@ -1,0 +1,96 @@
+// Multi-process shm smoke: the SPSC index discipline over memory that is
+// genuinely shared between two PROCESSES, not two threads.
+//
+// ShmTransport itself is in-process (OpRec pointers + std::function do not
+// survive a fork), so this test exercises the layout the cross-process
+// story rests on: a fixed-size, offset-based byte ring in a
+// MAP_SHARED|MAP_ANONYMOUS segment, forked child as consumer.  Everything
+// in the segment is a POD offset or index — no pointers — which is the
+// porting rule docs/BACKENDS.md states for a future process-spanning
+// transport.
+#include <gtest/gtest.h>
+
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+
+namespace partib::backend {
+namespace {
+
+constexpr std::size_t kSlots = 64;      // power of two
+constexpr std::size_t kSlotBytes = 256;
+constexpr std::uint64_t kMessages = 4096;
+
+/// Shared-segment layout: header + slot array, addressed by index only.
+struct SharedRing {
+  alignas(64) std::atomic<std::uint64_t> tail;  // producer-owned
+  alignas(64) std::atomic<std::uint64_t> head;  // consumer-owned
+  alignas(64) unsigned char slots[kSlots][kSlotBytes];
+};
+
+static_assert(std::is_trivially_destructible_v<SharedRing>);
+
+void fill_slot(unsigned char* slot, std::uint64_t seq) {
+  for (std::size_t i = 0; i < kSlotBytes; ++i) {
+    slot[i] = static_cast<unsigned char>((seq * 131 + i * 7 + 3) & 0xFF);
+  }
+}
+
+bool check_slot(const unsigned char* slot, std::uint64_t seq) {
+  for (std::size_t i = 0; i < kSlotBytes; ++i) {
+    if (slot[i] != static_cast<unsigned char>((seq * 131 + i * 7 + 3) & 0xFF)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(ShmMultiprocSmoke, ForkedConsumerSeesEveryMessageInOrder) {
+  void* mem = ::mmap(nullptr, sizeof(SharedRing), PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  ASSERT_NE(mem, MAP_FAILED);
+  auto* ring = new (mem) SharedRing;
+  ring->tail.store(0, std::memory_order_relaxed);
+  ring->head.store(0, std::memory_order_relaxed);
+
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+
+  if (child == 0) {
+    // Consumer process: pop kMessages in order, verify each payload.
+    // Exit code carries pass/fail across the process boundary.
+    for (std::uint64_t seq = 0; seq < kMessages; ++seq) {
+      std::uint64_t h = ring->head.load(std::memory_order_relaxed);
+      while (ring->tail.load(std::memory_order_acquire) == h) {
+        ::sched_yield();
+      }
+      if (!check_slot(ring->slots[h % kSlots], seq)) _exit(2);
+      ring->head.store(h + 1, std::memory_order_release);
+    }
+    _exit(0);
+  }
+
+  // Producer (parent): push kMessages, honoring ring-full backpressure.
+  for (std::uint64_t seq = 0; seq < kMessages; ++seq) {
+    std::uint64_t t = ring->tail.load(std::memory_order_relaxed);
+    while (t - ring->head.load(std::memory_order_acquire) >= kSlots) {
+      ::sched_yield();
+    }
+    fill_slot(ring->slots[t % kSlots], seq);
+    ring->tail.store(t + 1, std::memory_order_release);
+  }
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status)) << "child did not exit cleanly";
+  EXPECT_EQ(WEXITSTATUS(status), 0) << "child saw corrupt or out-of-order data";
+  EXPECT_EQ(ring->head.load(std::memory_order_acquire), kMessages);
+  ASSERT_EQ(::munmap(mem, sizeof(SharedRing)), 0);
+}
+
+}  // namespace
+}  // namespace partib::backend

@@ -1,0 +1,258 @@
+// ShmTransport internals: SpscRing index arithmetic (wraparound, full,
+// space), single-driver op round trips, and — the reason this binary
+// carries the `threaded` ctest label — real owner-thread-per-node traffic
+// that TSan checks against the ring's release/acquire contract.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "backend/backend.hpp"
+#include "backend/shm/shm_transport.hpp"
+#include "backend/shm/spsc_ring.hpp"
+#include "common/units.hpp"
+#include "fabric/rdma_op.hpp"
+
+namespace partib::backend {
+namespace {
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(1024).capacity(), 1024u);
+  EXPECT_EQ(SpscRing<int>(1025).capacity(), 2048u);
+}
+
+TEST(SpscRing, PushPopFifoAndEmpty) {
+  SpscRing<int> ring(4);
+  int out = 0;
+  EXPECT_FALSE(ring.try_pop(&out));
+  EXPECT_EQ(ring.front(), nullptr);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(i));
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.try_pop(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.try_pop(&out));
+}
+
+TEST(SpscRing, FullRejectsAndSpaceTracks) {
+  SpscRing<int> ring(4);
+  EXPECT_EQ(ring.space(), 4u);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(ring.try_push(i));
+  EXPECT_EQ(ring.space(), 0u);
+  EXPECT_FALSE(ring.try_push(99));  // full: rejected, not overwritten
+  int out = 0;
+  ASSERT_TRUE(ring.try_pop(&out));
+  EXPECT_EQ(out, 0);
+  EXPECT_EQ(ring.space(), 1u);
+  EXPECT_TRUE(ring.try_push(99));
+}
+
+TEST(SpscRing, WraparoundPreservesOrderPastIndexSeam) {
+  // Push/pop far beyond the capacity so head/tail wrap the mask many
+  // times; FIFO order must hold across every seam crossing.
+  SpscRing<std::uint64_t> ring(8);
+  std::uint64_t next_push = 0;
+  std::uint64_t next_pop = 0;
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    while (ring.try_push(next_push)) ++next_push;
+    std::uint64_t out = 0;
+    for (int i = 0; i < 5 && ring.try_pop(&out); ++i) {
+      ASSERT_EQ(out, next_pop);
+      ++next_pop;
+    }
+  }
+  EXPECT_GT(next_pop, 8u * 50);
+}
+
+TEST(SpscRing, FrontIsStableUntilPopFront) {
+  SpscRing<int> ring(4);
+  ASSERT_TRUE(ring.try_push(7));
+  ASSERT_TRUE(ring.try_push(8));
+  const int* f = ring.front();
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(*f, 7);
+  EXPECT_EQ(ring.front(), f);  // peeking does not consume
+  ring.pop_front();
+  ASSERT_NE(ring.front(), nullptr);
+  EXPECT_EQ(*ring.front(), 8);
+}
+
+TEST(ShmTransportSingleDriver, OpRoundTripUnderSingleThreadPump) {
+  ShmTransport t({});
+  const fabric::NodeId a = t.add_node();
+  const fabric::NodeId b = t.add_node();
+  std::vector<std::byte> src(8 * KiB, std::byte{0x5A});
+  std::vector<std::byte> dst(8 * KiB);
+
+  int moved = 0, sent = 0, recvd = 0, failed = 0;
+  fabric::RdmaOp op;
+  op.src = a;
+  op.dst = b;
+  op.src_qp = 3;
+  op.bytes = src.size();
+  op.move_data = [&] {
+    std::memcpy(dst.data(), src.data(), src.size());
+    ++moved;
+  };
+  op.on_send_complete = [&](Time) { ++sent; };
+  op.on_recv_complete = [&](Time) { ++recvd; };
+  op.on_failed = [&](Time, fabric::OpFailure) { ++failed; };
+  t.post_rdma_write(std::move(op));
+
+  EXPECT_FALSE(t.idle());
+  for (int pass = 0; pass < 64 && !t.idle(); ++pass) {
+    t.progress_all(t.now());
+  }
+  EXPECT_TRUE(t.idle());
+  EXPECT_EQ(moved, 1);
+  EXPECT_EQ(sent, 1);
+  EXPECT_EQ(recvd, 1);
+  EXPECT_EQ(failed, 0);
+  EXPECT_EQ(dst, src);
+}
+
+TEST(ShmTransportSingleDriver, RingFullBackpressureStagesWithoutLoss) {
+  // Post 4x the ring capacity in one burst: the overflow parks in the
+  // poster's staged queue and drains as the consumer frees slots.  Every
+  // op must complete exactly once, in post order.
+  ShmTransportOptions opts;
+  opts.ring_capacity = 8;
+  ShmTransport t(opts);
+  const fabric::NodeId a = t.add_node();
+  const fabric::NodeId b = t.add_node();
+
+  constexpr int kOps = 32;
+  std::vector<int> recv_order;
+  int sent = 0, failed = 0;
+  for (int i = 0; i < kOps; ++i) {
+    fabric::RdmaOp op;
+    op.src = a;
+    op.dst = b;
+    op.src_qp = 1;
+    op.bytes = 64;
+    op.on_recv_complete = [&recv_order, i](Time) { recv_order.push_back(i); };
+    op.on_send_complete = [&](Time) { ++sent; };
+    op.on_failed = [&](Time, fabric::OpFailure) { ++failed; };
+    t.post_rdma_write(std::move(op));
+  }
+  for (int pass = 0; pass < 1024 && !t.idle(); ++pass) {
+    t.progress_all(t.now());
+  }
+  ASSERT_TRUE(t.idle());
+  EXPECT_EQ(failed, 0);
+  EXPECT_EQ(sent, kOps);
+  ASSERT_EQ(recv_order.size(), static_cast<std::size_t>(kOps));
+  for (int i = 0; i < kOps; ++i) EXPECT_EQ(recv_order[i], i) << i;
+}
+
+// Real threads: one owner thread per node, each posting to the other and
+// pumping its own progress.  The assertions are the lifecycle-fuzz
+// contract at transport granularity — no lost completions (every op fires
+// exactly one path) and exact bytes on success — and the run doubles as
+// the TSan witness for SpscRing's publish/retire edges.
+TEST(ShmTransportThreaded, TwoOwnerThreadsNoLostCompletionsExactBytes) {
+  ShmTransportOptions opts;
+  opts.ring_capacity = 16;  // small: forces backpressure under contention
+  ShmTransport t(opts);
+  const fabric::NodeId a = t.add_node();
+  const fabric::NodeId b = t.add_node();
+
+  static constexpr int kOpsPerSide = 256;
+  static constexpr std::size_t kBytes = 1 * KiB;
+
+  struct Side {
+    fabric::NodeId self, peer;
+    std::vector<std::byte> src, dst;  // dst is written by the PEER's ops
+    std::atomic<int> sent{0}, recvd{0}, failed{0};
+  };
+  Side sides[2];
+  sides[0].self = a;
+  sides[0].peer = b;
+  sides[1].self = b;
+  sides[1].peer = a;
+  for (int s = 0; s < 2; ++s) {
+    sides[s].src.assign(kBytes * kOpsPerSide, std::byte(0xA0 + s));
+    sides[s].dst.assign(kBytes * kOpsPerSide, std::byte{0});
+  }
+
+  auto owner = [&](int s) {
+    Side& me = sides[s];
+    Side& peer = sides[1 - s];
+    for (int i = 0; i < kOpsPerSide; ++i) {
+      fabric::RdmaOp op;
+      op.src = me.self;
+      op.dst = me.peer;
+      op.src_qp = static_cast<std::uint64_t>(s) + 1;
+      op.bytes = kBytes;
+      std::byte* from = me.src.data() + static_cast<std::size_t>(i) * kBytes;
+      std::byte* to = peer.dst.data() + static_cast<std::size_t>(i) * kBytes;
+      // move_data runs on the destination's owner thread; the slices are
+      // disjoint per op, so the only cross-thread edge is the ring's.
+      op.move_data = [from, to] { std::memcpy(to, from, kBytes); };
+      op.on_send_complete = [&me](Time) {
+        me.sent.fetch_add(1, std::memory_order_relaxed);
+      };
+      op.on_recv_complete = [&peer](Time) {
+        peer.recvd.fetch_add(1, std::memory_order_relaxed);
+      };
+      op.on_failed = [&me](Time, fabric::OpFailure) {
+        me.failed.fetch_add(1, std::memory_order_relaxed);
+      };
+      t.post_rdma_write(std::move(op));
+      t.progress_node(me.self, t.now());
+    }
+    // Keep pumping until both directions drain.
+    while (me.sent.load(std::memory_order_relaxed) < kOpsPerSide ||
+           me.recvd.load(std::memory_order_relaxed) < kOpsPerSide) {
+      if (t.progress_node(me.self, t.now()) == 0) std::this_thread::yield();
+    }
+  };
+
+  std::thread t0(owner, 0);
+  std::thread t1(owner, 1);
+  t0.join();
+  t1.join();
+
+  for (int s = 0; s < 2; ++s) {
+    EXPECT_EQ(sides[s].sent.load(), kOpsPerSide) << "side " << s;
+    EXPECT_EQ(sides[s].recvd.load(), kOpsPerSide) << "side " << s;
+    EXPECT_EQ(sides[s].failed.load(), 0) << "side " << s;
+    // Exact bytes: my dst holds the peer's pattern, every slice.
+    EXPECT_EQ(sides[s].dst, sides[1 - s].src) << "side " << s;
+  }
+  EXPECT_TRUE(t.idle());
+  EXPECT_EQ(t.stats().rdma_ops, 2u * kOpsPerSide);
+  EXPECT_EQ(t.stats().failed_ops, 0u);
+}
+
+// Control-plane mailbox from a non-owner thread: posts may come from any
+// thread; delivery runs on the destination's pump.
+TEST(ShmTransportThreaded, ControlFromForeignThreadDeliversOnOwnerPump) {
+  ShmTransport t({});
+  const fabric::NodeId a = t.add_node();
+  const fabric::NodeId b = t.add_node();
+  std::atomic<int> delivered{0};
+
+  std::thread producer([&] {
+    for (int i = 0; i < 100; ++i) {
+      t.send_control(a, b, [&] {
+        delivered.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  });
+  while (delivered.load(std::memory_order_relaxed) < 100) {
+    if (t.progress_node(b, t.now()) == 0) std::this_thread::yield();
+  }
+  producer.join();
+  EXPECT_EQ(delivered.load(), 100);
+  EXPECT_EQ(t.stats().control_msgs, 100u);
+}
+
+}  // namespace
+}  // namespace partib::backend

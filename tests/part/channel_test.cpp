@@ -3,12 +3,20 @@
 #include <gtest/gtest.h>
 
 #include "common/units.hpp"
+#include "support/backend_fixture.hpp"
 #include "support/test_world.hpp"
 
 namespace partib::test {
 namespace {
 
-TEST(Channel, SingleRoundDeliversData) {
+// End-to-end channel behaviour is transport-independent, so the fixture
+// suite runs over every conformance backend.  The two matcher-ordering
+// tests at the bottom construct a classic DES world directly and stay
+// DES-only under a separate suite name (gtest forbids mixing TEST and
+// TEST_P in one suite).
+using Channel = test::BackendTest;
+
+TEST_P(Channel, SingleRoundDeliversData) {
   ChannelFixture fx(64 * KiB, 16, ploggp_options());
   fx.run_round(1);
   EXPECT_TRUE(fx.send->test());
@@ -16,15 +24,15 @@ TEST(Channel, SingleRoundDeliversData) {
   EXPECT_TRUE(buffers_equal(fx.sbuf, fx.rbuf));
 }
 
-TEST(Channel, HandshakeCompletesAfterInit) {
+TEST_P(Channel, HandshakeCompletesAfterInit) {
   ChannelFixture fx(4 * KiB, 4, ploggp_options());
   EXPECT_FALSE(fx.send->handshake_done());
-  fx.engine.run();
+  fx.drive();
   EXPECT_TRUE(fx.send->handshake_done());
   EXPECT_TRUE(fx.recv->matched());
 }
 
-TEST(Channel, PersistentBaselineSendsOneWrPerPartition) {
+TEST_P(Channel, PersistentBaselineSendsOneWrPerPartition) {
   ChannelFixture fx(64 * KiB, 16, persistent_options());
   fx.run_round(1);
   EXPECT_EQ(fx.send->wrs_posted_total(), 16u);
@@ -32,7 +40,7 @@ TEST(Channel, PersistentBaselineSendsOneWrPerPartition) {
   EXPECT_TRUE(buffers_equal(fx.sbuf, fx.rbuf));
 }
 
-TEST(Channel, FullAggregationSendsOneWr) {
+TEST_P(Channel, FullAggregationSendsOneWr) {
   ChannelFixture fx(64 * KiB, 16, static_options(/*tp=*/1, /*qps=*/1));
   fx.run_round(1);
   EXPECT_EQ(fx.send->wrs_posted_total(), 1u);
@@ -40,7 +48,7 @@ TEST(Channel, FullAggregationSendsOneWr) {
   EXPECT_TRUE(buffers_equal(fx.sbuf, fx.rbuf));
 }
 
-TEST(Channel, StaticPlanUsesRequestedTransportPartitions) {
+TEST_P(Channel, StaticPlanUsesRequestedTransportPartitions) {
   ChannelFixture fx(64 * KiB, 32, static_options(/*tp=*/8, /*qps=*/2));
   EXPECT_EQ(fx.send->transport_partitions(), 8u);
   EXPECT_EQ(fx.send->group_size(), 4u);
@@ -49,7 +57,7 @@ TEST(Channel, StaticPlanUsesRequestedTransportPartitions) {
   EXPECT_EQ(fx.send->wrs_posted_total(), 8u);
 }
 
-TEST(Channel, MultipleRoundsReuseTheChannel) {
+TEST_P(Channel, MultipleRoundsReuseTheChannel) {
   ChannelFixture fx(32 * KiB, 8, ploggp_options());
   for (int round = 1; round <= 5; ++round) {
     fx.run_round(round);
@@ -60,14 +68,14 @@ TEST(Channel, MultipleRoundsReuseTheChannel) {
   EXPECT_EQ(fx.send->round(), 5);
 }
 
-TEST(Channel, ParrivedTracksIndividualPartitions) {
+TEST_P(Channel, ParrivedTracksIndividualPartitions) {
   ChannelFixture fx(16 * KiB, 4, persistent_options());
   fill_pattern(fx.sbuf, 1);
   ASSERT_TRUE(ok(fx.send->start()));
   ASSERT_TRUE(ok(fx.recv->start()));
   // Only partition 2 is marked ready.
   ASSERT_TRUE(ok(fx.send->pready(2)));
-  fx.engine.run();
+  fx.drive();
   EXPECT_FALSE(fx.recv->test());
   EXPECT_TRUE(fx.recv->parrived(2));
   EXPECT_FALSE(fx.recv->parrived(0));
@@ -77,22 +85,22 @@ TEST(Channel, ParrivedTracksIndividualPartitions) {
   ASSERT_TRUE(ok(fx.send->pready(0)));
   ASSERT_TRUE(ok(fx.send->pready(1)));
   ASSERT_TRUE(ok(fx.send->pready(3)));
-  fx.engine.run();
+  fx.drive();
   EXPECT_TRUE(fx.recv->test());
   EXPECT_TRUE(fx.send->test());
 }
 
-TEST(Channel, PreadyRangeMarksInclusiveRange) {
+TEST_P(Channel, PreadyRangeMarksInclusiveRange) {
   ChannelFixture fx(16 * KiB, 8, static_options(8, 1));
   ASSERT_TRUE(ok(fx.send->start()));
   ASSERT_TRUE(ok(fx.recv->start()));
   ASSERT_TRUE(ok(fx.send->pready_range(0, 7)));
-  fx.engine.run();
+  fx.drive();
   EXPECT_TRUE(fx.send->test());
   EXPECT_TRUE(fx.recv->test());
 }
 
-TEST(Channel, WhenCompleteFiresOnRoundCompletion) {
+TEST_P(Channel, WhenCompleteFiresOnRoundCompletion) {
   ChannelFixture fx(8 * KiB, 4, ploggp_options());
   ASSERT_TRUE(ok(fx.send->start()));
   ASSERT_TRUE(ok(fx.recv->start()));
@@ -101,12 +109,12 @@ TEST(Channel, WhenCompleteFiresOnRoundCompletion) {
   fx.send->when_complete([&] { send_done = true; });
   fx.recv->when_complete([&] { recv_done = true; });
   for (std::size_t i = 0; i < 4; ++i) ASSERT_TRUE(ok(fx.send->pready(i)));
-  fx.engine.run();
+  fx.drive();
   EXPECT_TRUE(send_done);
   EXPECT_TRUE(recv_done);
 }
 
-TEST(Channel, RecvCompletionNotBeforeSendCompletion) {
+TEST_P(Channel, RecvCompletionNotBeforeSendCompletion) {
   // The receiver observes completion no later than the sender does plus
   // the ACK latency; both must see consistent round state afterwards.
   ChannelFixture fx(128 * KiB, 16, ploggp_options());
@@ -117,7 +125,7 @@ TEST(Channel, RecvCompletionNotBeforeSendCompletion) {
   fx.send->when_complete([&] { send_done = fx.engine.now(); });
   fx.recv->when_complete([&] { recv_done = fx.engine.now(); });
   for (std::size_t i = 0; i < 16; ++i) ASSERT_TRUE(ok(fx.send->pready(i)));
-  fx.engine.run();
+  fx.drive();
   ASSERT_GE(send_done, 0);
   ASSERT_GE(recv_done, 0);
   // RC semantics: the sender's completion implies remote delivery, so the
@@ -125,7 +133,7 @@ TEST(Channel, RecvCompletionNotBeforeSendCompletion) {
   EXPECT_LE(recv_done, send_done);
 }
 
-TEST(Channel, ReverseInitOrderStillMatches) {
+TEST(ChannelMatching, ReverseInitOrderStillMatches) {
   // Precv_init first, Psend_init second (matcher queues the recv side).
   sim::Engine engine;
   mpi::World world(engine, {});
@@ -143,7 +151,7 @@ TEST(Channel, ReverseInitOrderStillMatches) {
   EXPECT_TRUE(send->handshake_done());
 }
 
-TEST(Channel, TwoChannelsSameTagMatchInOrder) {
+TEST(ChannelMatching, TwoChannelsSameTagMatchInOrder) {
   // Two Psend_init/Precv_init pairs with identical (src, tag, comm) must
   // match in posted order (MPI Partitioned ordering rule).
   sim::Engine engine;
@@ -173,6 +181,8 @@ TEST(Channel, TwoChannelsSameTagMatchInOrder) {
   EXPECT_EQ(r1, s1);
   EXPECT_EQ(r2, s2);
 }
+
+PARTIB_INSTANTIATE_BACKENDS(Channel);
 
 }  // namespace
 }  // namespace partib::test

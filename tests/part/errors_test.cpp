@@ -4,21 +4,31 @@
 #include <gtest/gtest.h>
 
 #include "common/units.hpp"
+#include "support/backend_fixture.hpp"
 #include "support/test_world.hpp"
 
 namespace partib::test {
 namespace {
 
+// Validation happens before anything touches the wire, so rejecting on
+// one transport and not another would be a conformance bug — the whole
+// file (minus the DES-only death test) runs over every backend.
+using InitErrors = test::BackendTest;
+using UsageErrors = test::BackendTest;
+using Overrides = test::BackendTest;
+using Backpressure = test::BackendTest;
+
 struct ErrFixture {
-  sim::Engine engine;
-  mpi::World world{engine, {}};
+  std::unique_ptr<backend::Backend> backend =
+      backend::make_backend(current_backend());
+  mpi::World world{*backend, {}};
   std::vector<std::byte> buf = std::vector<std::byte>(16 * KiB);
   std::unique_ptr<part::PsendRequest> send;
   std::unique_ptr<part::PrecvRequest> recv;
   part::Options opts = ploggp_options();
 };
 
-TEST(InitErrors, NonPowerOfTwoPartitions) {
+TEST_P(InitErrors, NonPowerOfTwoPartitions) {
   ErrFixture fx;
   EXPECT_EQ(part::psend_init(fx.world.rank(0), fx.buf, 3, 1, 0, 0, fx.opts,
                              &fx.send),
@@ -28,14 +38,14 @@ TEST(InitErrors, NonPowerOfTwoPartitions) {
             Status::kInvalidArgument);
 }
 
-TEST(InitErrors, ZeroPartitions) {
+TEST_P(InitErrors, ZeroPartitions) {
   ErrFixture fx;
   EXPECT_EQ(part::psend_init(fx.world.rank(0), fx.buf, 0, 1, 0, 0, fx.opts,
                              &fx.send),
             Status::kInvalidArgument);
 }
 
-TEST(InitErrors, BufferNotDivisible) {
+TEST_P(InitErrors, BufferNotDivisible) {
   ErrFixture fx;
   std::vector<std::byte> odd(1000);  // not divisible by 16
   EXPECT_EQ(part::psend_init(fx.world.rank(0), odd, 16, 1, 0, 0, fx.opts,
@@ -43,7 +53,7 @@ TEST(InitErrors, BufferNotDivisible) {
             Status::kInvalidArgument);
 }
 
-TEST(InitErrors, EmptyBuffer) {
+TEST_P(InitErrors, EmptyBuffer) {
   ErrFixture fx;
   std::vector<std::byte> empty;
   EXPECT_EQ(part::psend_init(fx.world.rank(0), empty, 4, 1, 0, 0, fx.opts,
@@ -51,7 +61,7 @@ TEST(InitErrors, EmptyBuffer) {
             Status::kInvalidArgument);
 }
 
-TEST(InitErrors, WildcardLikeNegativeTagRejected) {
+TEST_P(InitErrors, WildcardLikeNegativeTagRejected) {
   ErrFixture fx;
   EXPECT_EQ(part::psend_init(fx.world.rank(0), fx.buf, 4, 1, -1, 0, fx.opts,
                              &fx.send),
@@ -61,21 +71,21 @@ TEST(InitErrors, WildcardLikeNegativeTagRejected) {
             Status::kInvalidArgument);
 }
 
-TEST(InitErrors, WildcardLikeNegativeSourceRejected) {
+TEST_P(InitErrors, WildcardLikeNegativeSourceRejected) {
   ErrFixture fx;
   EXPECT_EQ(part::precv_init(fx.world.rank(1), fx.buf, 4, -1, 0, 0, fx.opts,
                              &fx.recv),
             Status::kInvalidArgument);
 }
 
-TEST(InitErrors, PeerOutOfRange) {
+TEST_P(InitErrors, PeerOutOfRange) {
   ErrFixture fx;
   EXPECT_EQ(part::psend_init(fx.world.rank(0), fx.buf, 4, 9, 0, 0, fx.opts,
                              &fx.send),
             Status::kInvalidArgument);
 }
 
-TEST(InitErrors, SelfChannelUnsupported) {
+TEST_P(InitErrors, SelfChannelUnsupported) {
   ErrFixture fx;
   EXPECT_EQ(part::psend_init(fx.world.rank(0), fx.buf, 4, 0, 0, 0, fx.opts,
                              &fx.send),
@@ -85,7 +95,7 @@ TEST(InitErrors, SelfChannelUnsupported) {
             Status::kUnsupported);
 }
 
-TEST(InitErrors, MissingAggregator) {
+TEST_P(InitErrors, MissingAggregator) {
   ErrFixture fx;
   part::Options bad;  // aggregator left null
   EXPECT_EQ(part::psend_init(fx.world.rank(0), fx.buf, 4, 1, 0, 0, bad,
@@ -93,20 +103,20 @@ TEST(InitErrors, MissingAggregator) {
             Status::kInvalidArgument);
 }
 
-TEST(UsageErrors, PreadyBeforeStart) {
+TEST_P(UsageErrors, PreadyBeforeStart) {
   ChannelFixture fx(16 * KiB, 4, ploggp_options());
-  fx.engine.run();
+  fx.drive();
   EXPECT_EQ(fx.send->pready(0), Status::kInvalidState);
 }
 
-TEST(UsageErrors, PreadyOutOfRange) {
+TEST_P(UsageErrors, PreadyOutOfRange) {
   ChannelFixture fx(16 * KiB, 4, ploggp_options());
   ASSERT_TRUE(ok(fx.send->start()));
   EXPECT_EQ(fx.send->pready(4), Status::kInvalidArgument);
   EXPECT_EQ(fx.send->pready(1000), Status::kInvalidArgument);
 }
 
-TEST(UsageErrors, DoublePreadyIsErroneous) {
+TEST_P(UsageErrors, DoublePreadyIsErroneous) {
   ChannelFixture fx(16 * KiB, 4, ploggp_options());
   ASSERT_TRUE(ok(fx.send->start()));
   ASSERT_TRUE(ok(fx.recv->start()));
@@ -114,14 +124,14 @@ TEST(UsageErrors, DoublePreadyIsErroneous) {
   EXPECT_EQ(fx.send->pready(1), Status::kInvalidArgument);
 }
 
-TEST(UsageErrors, PreadyRangeBadBounds) {
+TEST_P(UsageErrors, PreadyRangeBadBounds) {
   ChannelFixture fx(16 * KiB, 4, ploggp_options());
   ASSERT_TRUE(ok(fx.send->start()));
   EXPECT_EQ(fx.send->pready_range(2, 1), Status::kInvalidArgument);
   EXPECT_EQ(fx.send->pready_range(0, 4), Status::kInvalidArgument);
 }
 
-TEST(UsageErrors, PreadyRangePartialSuccessKeepsEarlierPartitions) {
+TEST_P(UsageErrors, PreadyRangePartialSuccessKeepsEarlierPartitions) {
   // pready_range stops at the first failure but does NOT roll back the
   // partitions it already marked (the header's partial-success contract:
   // Pready is not undoable, groups may already be on the wire).
@@ -139,12 +149,12 @@ TEST(UsageErrors, PreadyRangePartialSuccessKeepsEarlierPartitions) {
   // The partitions after the failure point were never marked; the caller
   // resumes from there and the round completes normally.
   EXPECT_TRUE(ok(fx.send->pready_range(2, 3)));
-  fx.engine.run();
+  fx.drive();
   EXPECT_TRUE(fx.send->test());
   EXPECT_TRUE(fx.recv->test());
 }
 
-TEST(UsageErrors, StartWhileRoundInFlight) {
+TEST_P(UsageErrors, StartWhileRoundInFlight) {
   ChannelFixture fx(16 * KiB, 4, ploggp_options());
   ASSERT_TRUE(ok(fx.send->start()));
   ASSERT_TRUE(ok(fx.recv->start()));
@@ -154,13 +164,13 @@ TEST(UsageErrors, StartWhileRoundInFlight) {
   EXPECT_EQ(fx.recv->start(), Status::kInvalidState);
 }
 
-TEST(UsageErrors, InactiveRequestTestsComplete) {
+TEST_P(UsageErrors, InactiveRequestTestsComplete) {
   ChannelFixture fx(16 * KiB, 4, ploggp_options());
   EXPECT_TRUE(fx.send->test());
   EXPECT_TRUE(fx.recv->test());
 }
 
-TEST(UsageErrors, GeometryMismatchAborts) {
+TEST(GeometryDeath, GeometryMismatchAborts) {
   // Sender and receiver disagreeing on the *total buffer size* is a fatal
   // program error.  (Differing partition counts are legal per MPI-4.0 and
   // exercised in integration/uneven_test.cpp.)
@@ -176,39 +186,37 @@ TEST(UsageErrors, GeometryMismatchAborts) {
   EXPECT_DEATH(engine.run(), "geometry mismatch");
 }
 
-TEST(InitErrors, PartitionCountBeyondImmediateFieldRejected) {
+TEST_P(InitErrors, PartitionCountBeyondImmediateFieldRejected) {
   // The (start, count) pair must fit two 16-bit immediate halves.
-  sim::Engine engine;
-  mpi::World world(engine, {});
+  ErrFixture fx;
   std::vector<std::byte> big(128 * KiB);
-  std::unique_ptr<part::PsendRequest> send;
-  EXPECT_EQ(part::psend_init(world.rank(0), big, 1 << 17, 1, 0, 0,
-                             ploggp_options(), &send),
+  EXPECT_EQ(part::psend_init(fx.world.rank(0), big, 1 << 17, 1, 0, 0,
+                             fx.opts, &fx.send),
             Status::kInvalidArgument);
 }
 
-TEST(Overrides, TransportPartitionOverrideWins) {
+TEST_P(Overrides, TransportPartitionOverrideWins) {
   part::Options opts = ploggp_options();
   opts.transport_partitions_override = 16;
   ChannelFixture fx(64 * KiB, 16, opts);
   EXPECT_EQ(fx.send->transport_partitions(), 16u);
 }
 
-TEST(Overrides, QpCountOverrideWins) {
+TEST_P(Overrides, QpCountOverrideWins) {
   part::Options opts = ploggp_options();
   opts.qp_count_override = 4;
   ChannelFixture fx(64 * KiB, 16, opts);
   EXPECT_EQ(fx.send->qp_count(), 4);
 }
 
-TEST(Overrides, OverrideAboveUserCountClamps) {
+TEST_P(Overrides, OverrideAboveUserCountClamps) {
   part::Options opts = ploggp_options();
   opts.transport_partitions_override = 64;
   ChannelFixture fx(16 * KiB, 4, opts);
   EXPECT_EQ(fx.send->transport_partitions(), 4u);
 }
 
-TEST(Backpressure, WrSlotExhaustionMidFlushDrainsThroughBacklog) {
+TEST_P(Backpressure, WrSlotExhaustionMidFlushDrainsThroughBacklog) {
   // One QP, 64 single-partition messages per round, but only 16 WR slots
   // (QpCaps.max_send_wr): the flush must hit kResourceExhausted mid-round,
   // park the staged WRs on the per-QP backlog, and drain them as send CQEs
@@ -227,7 +235,7 @@ TEST(Backpressure, WrSlotExhaustionMidFlushDrainsThroughBacklog) {
   }
 }
 
-TEST(Backpressure, DeferredCallbacksReplayInPreadyOrder) {
+TEST_P(Backpressure, DeferredCallbacksReplayInPreadyOrder) {
   // Pready everything before the handshake completes: every post lands on
   // the deferred queue and must replay in pready order once the ack
   // arrives.  One QP and one partition per message make the wire order
@@ -247,11 +255,16 @@ TEST(Backpressure, DeferredCallbacksReplayInPreadyOrder) {
     last = when;
     arrivals.push_back(p);
   });
-  fx.engine.run();
+  fx.drive();
   EXPECT_TRUE(fx.send->test());
   EXPECT_TRUE(fx.recv->test());
   EXPECT_EQ(arrivals, pready_order);
 }
+
+PARTIB_INSTANTIATE_BACKENDS(InitErrors);
+PARTIB_INSTANTIATE_BACKENDS(UsageErrors);
+PARTIB_INSTANTIATE_BACKENDS(Overrides);
+PARTIB_INSTANTIATE_BACKENDS(Backpressure);
 
 }  // namespace
 }  // namespace partib::test

@@ -1,0 +1,138 @@
+// Cross-backend test scaffolding.
+//
+// The conformance strategy (docs/BACKENDS.md): the verbs/part lifecycle
+// suites are value-parameterized over backend names, each test body runs
+// unchanged against every registered conformance backend, and the fixture
+// (here, or ChannelFixture in test_world.hpp) consults
+// current_backend() when it constructs the world.  A suite opts in with
+//
+//   using MySuite = partib::test::BackendTest;        // or a subclass
+//   TEST_P(MySuite, DoesTheThing) { ... }
+//   PARTIB_INSTANTIATE_BACKENDS(MySuite);
+//
+// which yields Backends/MySuite.DoesTheThing/des and .../shm instances —
+// the `-R 'Backends/'` selector CI's backend-conformance job runs.
+//
+// Driving rule: test bodies must drive through Fx::drive() (or
+// ChannelFixture::drive()), never engine.run() directly — on the DES
+// backend drive() IS engine.run(); on real-time backends it is the
+// backend's progress pump and engine.run() would tear through pending
+// timers without letting real time pass.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "backend/backend.hpp"
+#include "common/assert.hpp"
+#include "common/units.hpp"
+#include "support/backend_select.hpp"
+#include "verbs/verbs.hpp"
+
+namespace partib::test {
+
+/// Value-parameterized base: selects the named backend for the test's
+/// duration.  Subclass or alias per suite name.
+class BackendTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override { current_backend() = GetParam(); }
+  void TearDown() override { current_backend() = "des"; }
+
+  /// True on the deterministic oracle — for assertions about exact
+  /// virtual timing that real-time backends cannot promise.
+  bool des() const { return GetParam() == "des"; }
+};
+
+#define PARTIB_INSTANTIATE_BACKENDS(Suite)                                  \
+  INSTANTIATE_TEST_SUITE_P(                                                 \
+      Backends, Suite,                                                      \
+      ::testing::ValuesIn(::partib::test::conformance_backends()),          \
+      [](const ::testing::TestParamInfo<std::string>& info) {               \
+        return info.param;                                                  \
+      })
+
+/// Two-node verbs harness over the selected backend: the cross-backend
+/// twin of the old per-file Fx structs in tests/verbs/.
+struct BackendVerbsFx {
+  std::unique_ptr<backend::Backend> be;
+  backend::Transport& fab;
+  verbs::Device dev;
+  verbs::Context* sctx;
+  verbs::Context* rctx;
+  verbs::Pd* spd;
+  verbs::Pd* rpd;
+  verbs::Cq* scq;
+  verbs::Cq* rcq;
+  std::vector<std::byte> sbuf;
+  std::vector<std::byte> rbuf;
+  verbs::Mr* smr;
+  verbs::Mr* rmr;
+
+  static backend::Backend& checked(std::unique_ptr<backend::Backend>& be) {
+    PARTIB_ASSERT(be != nullptr);
+    return *be;
+  }
+
+  explicit BackendVerbsFx(backend::Config cfg = {})
+      : be(backend::make_backend(current_backend(), cfg)),
+        fab(checked(be).transport()),
+        dev(fab),
+        sbuf(64 * KiB),
+        rbuf(64 * KiB) {
+    sctx = &dev.open(fab.add_node());
+    rctx = &dev.open(fab.add_node());
+    spd = &sctx->alloc_pd();
+    rpd = &rctx->alloc_pd();
+    scq = &sctx->create_cq(1024);
+    rcq = &rctx->create_cq(1024);
+    smr = &spd->register_mr(sbuf, verbs::kLocalRead);
+    rmr = &rpd->register_mr(rbuf, verbs::kLocalWrite | verbs::kRemoteWrite);
+  }
+
+  /// Drive to quiescence (DES: engine.run(); shm: real-time pump).
+  void drive() { be->run_until_idle(); }
+
+  std::pair<verbs::Qp*, verbs::Qp*> connected_pair(verbs::QpCaps caps = {},
+                                                   verbs::Srq* srq = nullptr) {
+    verbs::Qp& s = spd->create_qp(*scq, *scq, caps);
+    verbs::Qp& r = rpd->create_qp(*rcq, *rcq, caps, srq);
+    EXPECT_TRUE(ok(s.to_init()));
+    EXPECT_TRUE(ok(r.to_init()));
+    EXPECT_TRUE(ok(s.to_rtr(r.qp_num())));
+    EXPECT_TRUE(ok(r.to_rtr(s.qp_num())));
+    EXPECT_TRUE(ok(s.to_rts()));
+    EXPECT_TRUE(ok(r.to_rts()));
+    return {&s, &r};
+  }
+
+  verbs::SendWr write_wr(std::size_t bytes, std::uint32_t imm = 0,
+                         bool with_imm = true, std::uint64_t wr_id = 77) {
+    verbs::SendWr wr;
+    wr.wr_id = wr_id;
+    wr.opcode =
+        with_imm ? verbs::Opcode::kRdmaWriteWithImm : verbs::Opcode::kRdmaWrite;
+    wr.sg_list.push_back(
+        verbs::Sge{reinterpret_cast<std::uint64_t>(sbuf.data()),
+                   static_cast<std::uint32_t>(bytes), smr->lkey()});
+    wr.imm = imm;
+    wr.remote_addr = rmr->addr();
+    wr.rkey = rmr->rkey();
+    return wr;
+  }
+
+  std::vector<verbs::Wc> drain(verbs::Cq& cq) {
+    std::vector<verbs::Wc> out;
+    verbs::Wc wcs[8];
+    int n;
+    while ((n = cq.poll(std::span<verbs::Wc>(wcs))) > 0) {
+      out.insert(out.end(), wcs, wcs + n);
+    }
+    return out;
+  }
+};
+
+}  // namespace partib::test

@@ -1,0 +1,28 @@
+// Backend selection for cross-backend test fixtures (gtest-free so
+// test_world.hpp can consume it without pulling the gtest headers into
+// every support consumer).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace partib::test {
+
+/// The backend the currently running test's fixtures should build on.
+/// Fixtures (BackendVerbsFx, ChannelFixture) read this at construction;
+/// BackendTest::SetUp writes it from the test parameter.  thread_local
+/// for the same reason as the diag clock: gtest death tests and the
+/// runner's worker threads must not see each other's selection.
+inline std::string& current_backend() {
+  static thread_local std::string name = "des";
+  return name;
+}
+
+/// Backends every conformance-parameterized suite runs over.  "des"
+/// first: it is the oracle, and a cross-backend failure should fail
+/// first in the instance whose timeline is deterministic and replayable.
+inline std::vector<std::string> conformance_backends() {
+  return {"des", "shm"};
+}
+
+}  // namespace partib::test

@@ -368,4 +368,110 @@ inline LifecycleTrialResult run_lifecycle_trial(std::uint64_t seed) {
   return result;
 }
 
+/// Aggregators whose plan is a pure function of geometry (no timers, no
+/// learned arrival profile): on the real-time shm backend these are the
+/// ones whose post ordinals — and therefore the seed-driven fault
+/// schedule — replay exactly.
+inline part::Options shm_fuzz_options(sim::Rng& rng) {
+  part::Options o;
+  switch (rng.uniform_int(0, 2)) {
+    case 0: o = persistent_options(); break;
+    case 1: o = ploggp_options(); break;
+    default:
+      o = static_options(std::size_t{1} << rng.uniform_int(6, 12),
+                         static_cast<int>(rng.uniform_int(1, 4)));
+      break;
+  }
+  o.max_send_retries = static_cast<int>(rng.uniform_int(1, 8));
+  o.retry_backoff = usec(rng.uniform_int(1, 16));
+  return o;
+}
+
+/// One fuzz trial on the shm backend.  Same seed-derived geometry/fault
+/// recipe as the DES trial, but with the interleaving made causally
+/// deterministic (preadys fire immediately, in index order, from the
+/// single driver thread) because real-time scheduling offsets would not
+/// replay.  What MUST replay on shm is the outcome tuple — channel_failed,
+/// faults_injected, retransmits, failed_ops — since FaultPlan::decide()
+/// consumes post ordinals, not wall-clock time.  fingerprint/events stay 0:
+/// the DES event-stream auditor has no meaning over a slaved clock.
+///
+/// Invariants checked per round (docs/FAULTS.md, shm column):
+///   1. no lost completions — test() true on both sides at quiescence;
+///   2. exact bytes on success;
+///   3. structured failure symmetry + the part.retry_exhausted rule.
+inline LifecycleTrialResult run_shm_lifecycle_trial(std::uint64_t seed) {
+  LifecycleTrialResult result;
+  sim::Rng rng(seed);
+
+  check::reset();
+  check::ScopedPolicy policy(check::Policy::kCount);
+
+  const std::size_t partitions = std::size_t{1} << rng.uniform_int(0, 6);
+  const std::size_t psize = std::size_t{1} << rng.uniform_int(6, 12);
+  const int rounds = static_cast<int>(rng.uniform_int(1, 3));
+  // Shapes kNone..kMixed; the two DES-specific composites (SRQ siblings,
+  // arrival learning) are out of scope — their behaviour depends on
+  // observed *times*, which the shm backend does not replay.
+  result.shape = static_cast<FaultShape>(
+      rng.uniform_int(0, static_cast<int>(FaultShape::kMixed)));
+
+  mpi::WorldOptions wopts;
+  wopts.faults = make_fault_config(result.shape, rng);
+
+  const std::string prev_backend = current_backend();
+  current_backend() = "shm";
+  {
+    ChannelFixture fx(partitions * psize, partitions, shm_fuzz_options(rng),
+                      wopts);
+    for (int round = 1; round <= rounds; ++round) {
+      if (fx.send->failed()) break;
+      fill_pattern(fx.sbuf, round);
+      const Status s_start = fx.send->start();
+      const Status r_start = fx.recv->start();
+      EXPECT_TRUE(ok(s_start) || s_start == Status::kRemoteError) << seed;
+      EXPECT_TRUE(ok(r_start) || r_start == Status::kRemoteError) << seed;
+      if (!ok(s_start) || !ok(r_start)) break;
+
+      for (std::size_t i = 0; i < partitions; ++i) {
+        const Status st = fx.send->pready(i);
+        EXPECT_TRUE(ok(st) || st == Status::kRemoteError) << seed;
+        (void)fx.recv->parrived(i);  // mid-flight poll must never crash
+      }
+      fx.drive();
+
+      EXPECT_TRUE(fx.send->test()) << seed;
+      EXPECT_TRUE(fx.recv->test()) << seed;
+      EXPECT_EQ(fx.send->failed(), fx.recv->failed()) << seed;
+      if (!fx.send->failed()) {
+        EXPECT_TRUE(buffers_equal(fx.sbuf, fx.rbuf)) << seed;
+        EXPECT_EQ(fx.send->status(), Status::kOk) << seed;
+      } else {
+        EXPECT_EQ(fx.send->status(), Status::kRemoteError) << seed;
+        EXPECT_EQ(fx.recv->status(), Status::kRemoteError) << seed;
+      }
+    }
+
+    result.channel_failed = fx.send->failed();
+    if (check::hooks_compiled_in()) {
+      if (result.channel_failed) {
+        EXPECT_GE(check::count_rule("part.retry_exhausted"), 1u) << seed;
+        EXPECT_EQ(check::violation_count(),
+                  check::count_rule("part.retry_exhausted"))
+            << seed;
+      } else {
+        EXPECT_EQ(check::violation_count(), 0u) << seed;
+      }
+    }
+
+    const fabric::FabricStats& stats = fx.world->fab().stats();
+    result.faults_injected = stats.faults_injected;
+    result.retransmits = stats.retransmits;
+    result.failed_ops = stats.failed_ops;
+  }
+  current_backend() = prev_backend;
+  check::reset();
+  return result;
+}
+
 }  // namespace partib::test

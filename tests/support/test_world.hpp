@@ -8,9 +8,11 @@
 #include <vector>
 
 #include "agg/strategies.hpp"
+#include "backend/backend.hpp"
 #include "mpi/world.hpp"
 #include "part/partitioned.hpp"
 #include "sim/engine.hpp"
+#include "support/backend_select.hpp"
 
 namespace partib::test {
 
@@ -28,16 +30,40 @@ inline bool buffers_equal(const std::vector<std::byte>& a,
 }
 
 struct ChannelFixture {
-  sim::Engine engine;
+  /// Backend selected via current_backend() ("des" unless a
+  /// backend-parameterized suite chose otherwise).  Declared before
+  /// `engine`, which is a reference into it.  On "des" the construction
+  /// sequence (engine, then fabric on it) is identical to the pre-backend
+  /// fixture, so every DES timeline — including the pinned figure
+  /// fingerprints — is unchanged.
+  std::unique_ptr<backend::Backend> backend;
+  sim::Engine& engine;
   std::unique_ptr<mpi::World> world;
   std::vector<std::byte> sbuf;
   std::vector<std::byte> rbuf;
   std::unique_ptr<part::PsendRequest> send;
   std::unique_ptr<part::PrecvRequest> recv;
 
+  static backend::Backend& checked(std::unique_ptr<backend::Backend>& be) {
+    PARTIB_ASSERT(be != nullptr);
+    return *be;
+  }
+
+  static backend::Config backend_config(const mpi::WorldOptions& wopts) {
+    backend::Config cfg;
+    cfg.nic = wopts.nic;
+    cfg.copy_data = wopts.copy_data;
+    // Faults stay in WorldOptions: the World ctor installs them on the
+    // backend's transport, same single configuration surface as before.
+    return cfg;
+  }
+
   ChannelFixture(std::size_t bytes, std::size_t partitions,
-                 const part::Options& opts, mpi::WorldOptions wopts = {}) {
-    world = std::make_unique<mpi::World>(engine, wopts);
+                 const part::Options& opts, mpi::WorldOptions wopts = {})
+      : backend(backend::make_backend(current_backend(),
+                                      backend_config(wopts))),
+        engine(checked(backend).engine()) {
+    world = std::make_unique<mpi::World>(*backend, wopts);
     sbuf.resize(bytes);
     rbuf.resize(bytes);
     PARTIB_ASSERT(partib::ok(part::psend_init(world->rank(0), sbuf, partitions,
@@ -48,8 +74,13 @@ struct ChannelFixture {
                                               /*comm=*/0, opts, &recv)));
   }
 
+  /// Drive the backend to quiescence: engine.run() on DES, the real-time
+  /// progress pump on shm.  Cross-backend test bodies must use this (or
+  /// run_round) instead of engine.run().
+  void drive() { backend->run_until_idle(); }
+
   /// Run one full round: start both sides, mark every partition ready (in
-  /// index order, immediately), and drive the engine to quiescence.
+  /// index order, immediately), and drive the backend to quiescence.
   void run_round(int round) {
     fill_pattern(sbuf, round);
     PARTIB_ASSERT(partib::ok(send->start()));
@@ -57,7 +88,7 @@ struct ChannelFixture {
     for (std::size_t i = 0; i < send->user_partitions(); ++i) {
       PARTIB_ASSERT(partib::ok(send->pready(i)));
     }
-    engine.run();
+    drive();
   }
 };
 

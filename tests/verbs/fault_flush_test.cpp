@@ -9,79 +9,19 @@
 
 #include "check/check.hpp"
 #include "common/units.hpp"
-#include "fabric/fabric.hpp"
-#include "sim/engine.hpp"
+#include "fabric/fault.hpp"
+#include "support/backend_fixture.hpp"
 #include "verbs/verbs.hpp"
 
 namespace partib::verbs {
 namespace {
 
-struct Fx {
-  sim::Engine engine;
-  fabric::Fabric fab;
-  Device dev;
-  Context* sctx;
-  Context* rctx;
-  Pd* spd;
-  Pd* rpd;
-  Cq* scq;
-  Cq* rcq;
-  std::vector<std::byte> sbuf;
-  std::vector<std::byte> rbuf;
-  Mr* smr;
-  Mr* rmr;
+using Fx = test::BackendVerbsFx;
 
-  Fx()
-      : fab(engine, fabric::NicParams::connectx5_edr(), /*copy=*/true),
-        dev(fab),
-        sbuf(64 * KiB),
-        rbuf(64 * KiB) {
-    const auto n0 = fab.add_node();
-    const auto n1 = fab.add_node();
-    sctx = &dev.open(n0);
-    rctx = &dev.open(n1);
-    spd = &sctx->alloc_pd();
-    rpd = &rctx->alloc_pd();
-    scq = &sctx->create_cq(1024);
-    rcq = &rctx->create_cq(1024);
-    smr = &spd->register_mr(sbuf, kLocalRead);
-    rmr = &rpd->register_mr(rbuf, kLocalWrite | kRemoteWrite);
-  }
-
-  std::pair<Qp*, Qp*> connected_pair(QpCaps caps = {}) {
-    Qp& s = spd->create_qp(*scq, *scq, caps);
-    Qp& r = rpd->create_qp(*rcq, *rcq, caps);
-    EXPECT_TRUE(ok(s.to_init()));
-    EXPECT_TRUE(ok(r.to_init()));
-    EXPECT_TRUE(ok(s.to_rtr(r.qp_num())));
-    EXPECT_TRUE(ok(r.to_rtr(s.qp_num())));
-    EXPECT_TRUE(ok(s.to_rts()));
-    EXPECT_TRUE(ok(r.to_rts()));
-    return {&s, &r};
-  }
-
-  SendWr write_wr(std::uint64_t wr_id, std::size_t bytes = 1024) {
-    SendWr wr;
-    wr.wr_id = wr_id;
-    wr.opcode = Opcode::kRdmaWrite;
-    wr.sg_list.push_back(
-        Sge{reinterpret_cast<std::uint64_t>(sbuf.data()),
-            static_cast<std::uint32_t>(bytes), smr->lkey()});
-    wr.remote_addr = rmr->addr();
-    wr.rkey = rmr->rkey();
-    return wr;
-  }
-
-  std::vector<Wc> drain(Cq& cq) {
-    std::vector<Wc> out;
-    Wc wcs[8];
-    int n;
-    while ((n = cq.poll(std::span<Wc>(wcs))) > 0) {
-      out.insert(out.end(), wcs, wcs + n);
-    }
-    return out;
-  }
-};
+/// This file's WRs are plain RDMA writes identified by wr_id.
+inline SendWr flush_wr(Fx& fx, std::uint64_t wr_id, std::size_t bytes = 1024) {
+  return fx.write_wr(bytes, 0, /*with_imm=*/false, wr_id);
+}
 
 TEST(WcStatusDiagnostics, ToStringAndStreamInsertion) {
   EXPECT_STREQ(to_string(WcStatus::kRetryExcErr), "RETRY_EXC_ERR");
@@ -96,12 +36,18 @@ TEST(WcStatusDiagnostics, ToStringAndStreamInsertion) {
 // checker's thread-local MR shadow from an earlier test would alias the
 // new registrations (see check/example_diag_test.cpp) — reset around
 // every test.
-struct FaultFlush : ::testing::Test {
-  void SetUp() override { check::reset(); }
-  void TearDown() override { check::reset(); }
+struct FaultFlush : test::BackendTest {
+  void SetUp() override {
+    test::BackendTest::SetUp();
+    check::reset();
+  }
+  void TearDown() override {
+    check::reset();
+    test::BackendTest::TearDown();
+  }
 };
 
-TEST_F(FaultFlush, ErroredQpFlushesWholeSlabInPostOrder) {
+TEST_P(FaultFlush, ErroredQpFlushesWholeSlabInPostOrder) {
   // A 16-deep flush burst also grows the CQ entry ring through several
   // power-of-two doublings before anything is polled.
   Fx fx;
@@ -110,10 +56,10 @@ TEST_F(FaultFlush, ErroredQpFlushesWholeSlabInPostOrder) {
   auto [s, r] = fx.connected_pair(caps);
   fx.fab.inject_qp_error(s->qp_num());
   for (std::uint64_t i = 0; i < 16; ++i) {
-    ASSERT_TRUE(ok(s->post_send(fx.write_wr(i))));
+    ASSERT_TRUE(ok(s->post_send(flush_wr(fx, i))));
   }
   EXPECT_EQ(s->outstanding_send_wrs(), 16);
-  fx.engine.run();
+  fx.drive();
 
   const std::vector<Wc> wcs = fx.drain(*fx.scq);
   ASSERT_EQ(wcs.size(), 16u);
@@ -127,20 +73,26 @@ TEST_F(FaultFlush, ErroredQpFlushesWholeSlabInPostOrder) {
   for (std::byte b : fx.rbuf) EXPECT_EQ(b, std::byte{0});
 }
 
-TEST_F(FaultFlush, MidFlightErrorCompletesWireOpThenFlushesRest) {
+TEST_P(FaultFlush, MidFlightErrorCompletesWireOpThenFlushesRest) {
+  if (!des()) {
+    // Mid-flight semantics are backend-specific by design: on shm,
+    // inject_qp_error only fails ops posted *after* it, so all four ops
+    // here would succeed (docs/BACKENDS.md, semantic deltas).
+    GTEST_SKIP() << "DES chain-queue mid-flight semantics";
+  }
   Fx fx;
   QpCaps caps;
   caps.max_send_wr = 8;
   auto [s, r] = fx.connected_pair(caps);
   for (std::uint64_t i = 0; i < 4; ++i) {
-    ASSERT_TRUE(ok(s->post_send(fx.write_wr(i))));
+    ASSERT_TRUE(ok(s->post_send(flush_wr(fx, i))));
   }
   // The first op already owns the chain when the error lands; it rides
   // the wire to completion while the three queued behind it flush.  The
   // flush CQEs are raised at chain release, before the wire op's send
   // CQE (+L later), so CQ order is flush, flush, flush, success.
   fx.fab.inject_qp_error(s->qp_num());
-  fx.engine.run();
+  fx.drive();
 
   const std::vector<Wc> wcs = fx.drain(*fx.scq);
   ASSERT_EQ(wcs.size(), 4u);
@@ -156,7 +108,7 @@ TEST_F(FaultFlush, MidFlightErrorCompletesWireOpThenFlushesRest) {
   EXPECT_EQ(wcs.back().wr_id, 0u);
 }
 
-TEST_F(FaultFlush, RecycleRestoresDataPathAfterFlush) {
+TEST_P(FaultFlush, RecycleRestoresDataPathAfterFlush) {
   // ERROR -> RESET -> INIT -> RTR -> RTS against the remembered peer; the
   // slab slots released on the error path must be reusable afterwards.
   Fx fx;
@@ -165,9 +117,9 @@ TEST_F(FaultFlush, RecycleRestoresDataPathAfterFlush) {
   auto [s, r] = fx.connected_pair(caps);
   fx.fab.inject_qp_error(s->qp_num());
   for (std::uint64_t i = 0; i < 4; ++i) {
-    ASSERT_TRUE(ok(s->post_send(fx.write_wr(i))));
+    ASSERT_TRUE(ok(s->post_send(flush_wr(fx, i))));
   }
-  fx.engine.run();
+  fx.drive();
   ASSERT_EQ(s->state(), QpState::kError);
   ASSERT_EQ(s->outstanding_send_wrs(), 0);
   (void)fx.drain(*fx.scq);
@@ -184,9 +136,9 @@ TEST_F(FaultFlush, RecycleRestoresDataPathAfterFlush) {
     fx.sbuf[i] = static_cast<std::byte>(i * 37 + 5);
   }
   for (std::uint64_t i = 0; i < 4; ++i) {
-    ASSERT_TRUE(ok(s->post_send(fx.write_wr(100 + i))));
+    ASSERT_TRUE(ok(s->post_send(flush_wr(fx, 100 + i))));
   }
-  fx.engine.run();
+  fx.drive();
   const std::vector<Wc> wcs = fx.drain(*fx.scq);
   ASSERT_EQ(wcs.size(), 4u);
   for (const Wc& wc : wcs) EXPECT_EQ(wc.status, WcStatus::kSuccess);
@@ -195,22 +147,22 @@ TEST_F(FaultFlush, RecycleRestoresDataPathAfterFlush) {
   }
 }
 
-TEST_F(FaultFlush, ResetWithOutstandingWrsIsRejected) {
+TEST_P(FaultFlush, ResetWithOutstandingWrsIsRejected) {
   check::reset();
   check::ScopedPolicy policy(check::Policy::kCount);
   Fx fx;
   auto [s, r] = fx.connected_pair();
-  ASSERT_TRUE(ok(s->post_send(fx.write_wr(1))));
+  ASSERT_TRUE(ok(s->post_send(flush_wr(fx, 1))));
   EXPECT_EQ(s->to_reset(), Status::kInvalidState);
   if (check::hooks_compiled_in()) {
     EXPECT_EQ(check::count_rule("qp.reset_outstanding"), 1u);
   }
-  fx.engine.run();  // let the WR complete
+  fx.drive();  // let the WR complete
   EXPECT_TRUE(ok(s->to_reset()));
   check::reset();
 }
 
-TEST_F(FaultFlush, ResetDropsPostedReceives) {
+TEST_P(FaultFlush, ResetDropsPostedReceives) {
   Fx fx;
   auto [s, r] = fx.connected_pair();
   RecvWr rwr;
@@ -222,17 +174,17 @@ TEST_F(FaultFlush, ResetDropsPostedReceives) {
   ASSERT_TRUE(ok(r->to_rts()));
 
   // An RDMA_WRITE_WITH_IMM now finds no receive WR: kRemoteNotReady.
-  SendWr wr = fx.write_wr(2);
+  SendWr wr = flush_wr(fx, 2);
   wr.opcode = Opcode::kRdmaWriteWithImm;
   wr.imm = (1u << 16) | 1u;
   ASSERT_TRUE(ok(s->post_send(wr)));
-  fx.engine.run();
+  fx.drive();
   const std::vector<Wc> wcs = fx.drain(*fx.scq);
   ASSERT_EQ(wcs.size(), 1u);
   EXPECT_EQ(wcs[0].status, WcStatus::kRemoteNotReady);
 }
 
-TEST_F(FaultFlush, RetryStatusesDoNotErrorTheQp) {
+TEST_P(FaultFlush, RetryStatusesDoNotErrorTheQp) {
   // Transport retry exhaustion is retryable on the same QP: the CQE
   // carries the error but the QP stays in RTS.
   Fx fx;
@@ -241,8 +193,8 @@ TEST_F(FaultFlush, RetryStatusesDoNotErrorTheQp) {
   cfg.retry_exc_rate = 1.0;
   fx.fab.set_fault_plan(fabric::FaultPlan{cfg});
   auto [s, r] = fx.connected_pair();
-  ASSERT_TRUE(ok(s->post_send(fx.write_wr(1))));
-  fx.engine.run();
+  ASSERT_TRUE(ok(s->post_send(flush_wr(fx, 1))));
+  fx.drive();
   const std::vector<Wc> wcs = fx.drain(*fx.scq);
   ASSERT_EQ(wcs.size(), 1u);
   EXPECT_EQ(wcs[0].status, WcStatus::kRetryExcErr);
@@ -250,7 +202,7 @@ TEST_F(FaultFlush, RetryStatusesDoNotErrorTheQp) {
   EXPECT_EQ(s->outstanding_send_wrs(), 0);
 }
 
-TEST_F(FaultFlush, ReentrantRepostFromErrorCallbackFindsSlotFree) {
+TEST_P(FaultFlush, ReentrantRepostFromErrorCallbackFindsSlotFree) {
   // The single WQE slot must already be back on the free list when the
   // error CQE is raised, or a synchronous re-post from the completion
   // callback would trip the slab (the bug this ordering guards against).
@@ -273,16 +225,18 @@ TEST_F(FaultFlush, ReentrantRepostFromErrorCallbackFindsSlotFree) {
     ++attempts;
     if (attempts < 5) {
       // Re-post synchronously from inside the error completion.
-      ASSERT_TRUE(ok(qp->post_send(fx.write_wr(wc.wr_id + 1))));
+      ASSERT_TRUE(ok(qp->post_send(flush_wr(fx, wc.wr_id + 1))));
     }
   });
-  ASSERT_TRUE(ok(s->post_send(fx.write_wr(1))));
-  fx.engine.run();
+  ASSERT_TRUE(ok(s->post_send(flush_wr(fx, 1))));
+  fx.drive();
   EXPECT_EQ(attempts, 5);
   EXPECT_EQ(s->outstanding_send_wrs(), 0);
   EXPECT_EQ(s->state(), QpState::kRts);
   fx.scq->set_on_push(nullptr);
 }
+
+PARTIB_INSTANTIATE_BACKENDS(FaultFlush);
 
 }  // namespace
 }  // namespace partib::verbs

@@ -1,4 +1,9 @@
 // Protection-domain isolation and CQ overrun behaviour.
+//
+// The PdIsolation suite is backend-parameterized: key and PD checks are
+// node-local verbs state, so they must hold over any transport.  The
+// overrun death test stays DES-only — it pokes a raw Cq directly and
+// gains nothing from a second transport.
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -6,31 +11,22 @@
 #include "common/units.hpp"
 #include "fabric/fabric.hpp"
 #include "sim/engine.hpp"
+#include "support/backend_fixture.hpp"
 #include "verbs/verbs.hpp"
 
 namespace partib::verbs {
 namespace {
 
-TEST(PdIsolation, LkeyFromAnotherPdRejected) {
-  sim::Engine engine;
-  fabric::Fabric fab(engine, fabric::NicParams::connectx5_edr(), true);
-  Device dev(fab);
-  const auto n0 = fab.add_node();
-  const auto n1 = fab.add_node();
-  Context& c0 = dev.open(n0);
-  Context& c1 = dev.open(n1);
-  Pd& pd_a = c0.alloc_pd();
-  Pd& pd_b = c0.alloc_pd();  // second PD on the same node
-  Pd& pd_r = c1.alloc_pd();
-  Cq& cq = c0.create_cq(64);
-  Cq& rcq = c1.create_cq(64);
+using PdIsolation = test::BackendTest;
 
-  std::vector<std::byte> buf(4 * KiB), rbuf(4 * KiB);
+TEST_P(PdIsolation, LkeyFromAnotherPdRejected) {
+  test::BackendVerbsFx fx;
+  Pd& pd_b = fx.sctx->alloc_pd();  // second PD on the sender's node
+  std::vector<std::byte> buf(4 * KiB);
   Mr& mr_b = pd_b.register_mr(buf, kLocalRead);  // registered in PD B
-  Mr& rmr = pd_r.register_mr(rbuf, kLocalWrite | kRemoteWrite);
 
-  Qp& qp = pd_a.create_qp(cq, cq);  // QP lives in PD A
-  Qp& rqp = pd_r.create_qp(rcq, rcq);
+  Qp& qp = fx.spd->create_qp(*fx.scq, *fx.scq);  // QP lives in PD A
+  Qp& rqp = fx.rpd->create_qp(*fx.rcq, *fx.rcq);
   ASSERT_TRUE(ok(qp.to_init()));
   ASSERT_TRUE(ok(rqp.to_init()));
   ASSERT_TRUE(ok(qp.to_rtr(rqp.qp_num())));
@@ -40,45 +36,26 @@ TEST(PdIsolation, LkeyFromAnotherPdRejected) {
   wr.opcode = Opcode::kRdmaWrite;
   wr.sg_list.push_back(Sge{reinterpret_cast<std::uint64_t>(buf.data()), 64,
                            mr_b.lkey()});
-  wr.remote_addr = rmr.addr();
-  wr.rkey = rmr.rkey();
+  wr.remote_addr = fx.rmr->addr();
+  wr.rkey = fx.rmr->rkey();
   // PD A cannot use PD B's lkey.
   EXPECT_EQ(qp.post_send(wr), Status::kInvalidArgument);
 }
 
-TEST(PdIsolation, RkeyResolvedPerNodeNotPerPd) {
+TEST_P(PdIsolation, RkeyResolvedPerNodeNotPerPd) {
   // rkeys are validated against the *target node's* registry; a valid
   // rkey registered under any PD of the destination works (as with a real
   // HCA, the rkey itself carries the protection).
-  sim::Engine engine;
-  fabric::Fabric fab(engine, fabric::NicParams::connectx5_edr(), true);
-  Device dev(fab);
-  const auto n0 = fab.add_node();
-  const auto n1 = fab.add_node();
-  Context& c0 = dev.open(n0);
-  Context& c1 = dev.open(n1);
-  Pd& spd = c0.alloc_pd();
-  Pd& rpd = c1.alloc_pd();
-  Cq& scq = c0.create_cq(64);
-  Cq& rcq = c1.create_cq(64);
-  std::vector<std::byte> sbuf(1 * KiB, std::byte{0x42}), rbuf(1 * KiB);
-  Mr& smr = spd.register_mr(sbuf, kLocalRead);
-  Mr& rmr = rpd.register_mr(rbuf, kLocalWrite | kRemoteWrite);
-  Qp& sqp = spd.create_qp(scq, scq);
-  Qp& rqp = rpd.create_qp(rcq, rcq);
-  ASSERT_TRUE(ok(sqp.to_init()) && ok(rqp.to_init()));
-  ASSERT_TRUE(ok(sqp.to_rtr(rqp.qp_num())) && ok(rqp.to_rtr(sqp.qp_num())));
-  ASSERT_TRUE(ok(sqp.to_rts()) && ok(rqp.to_rts()));
-  SendWr wr;
-  wr.opcode = Opcode::kRdmaWrite;
-  wr.sg_list.push_back(Sge{reinterpret_cast<std::uint64_t>(sbuf.data()),
-                           1 * KiB, smr.lkey()});
-  wr.remote_addr = rmr.addr();
-  wr.rkey = rmr.rkey();
-  ASSERT_TRUE(ok(sqp.post_send(wr)));
-  engine.run();
-  EXPECT_EQ(rbuf, sbuf);
+  test::BackendVerbsFx fx;
+  std::fill(fx.sbuf.begin(), fx.sbuf.end(), std::byte{0x42});
+  auto [s, r] = fx.connected_pair();
+  (void)r;
+  ASSERT_TRUE(ok(s->post_send(fx.write_wr(1 * KiB, 0, /*with_imm=*/false))));
+  fx.drive();
+  EXPECT_EQ(std::memcmp(fx.rbuf.data(), fx.sbuf.data(), 1 * KiB), 0);
 }
+
+PARTIB_INSTANTIATE_BACKENDS(PdIsolation);
 
 TEST(CqOverrunDeath, PushBeyondDepthAborts) {
   sim::Engine engine;

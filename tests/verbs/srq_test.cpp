@@ -3,76 +3,29 @@
 // isolation (a sibling QP reset must not drop SRQ WRs), and the
 // provisioned/resident footprint accounting the connection-scale
 // comparison (docs/PERF.md) is built on.
+// Backend-parameterized (tests/support/backend_fixture.hpp): the SRQ is a
+// verbs-layer structure, so every suite below must behave identically no
+// matter which transport moves the bytes underneath.
 #include <gtest/gtest.h>
 
 #include <vector>
 
 #include "common/units.hpp"
-#include "fabric/fabric.hpp"
-#include "sim/engine.hpp"
+#include "support/backend_fixture.hpp"
 #include "verbs/verbs.hpp"
 
 namespace partib::verbs {
 namespace {
 
-struct Fx {
-  sim::Engine engine;
-  fabric::Fabric fab;
-  Device dev;
-  Context* sctx;
-  Context* rctx;
-  Pd* spd;
-  Pd* rpd;
-  Cq* scq;
-  Cq* rcq;
-  std::vector<std::byte> sbuf;
-  std::vector<std::byte> rbuf;
-  Mr* smr;
-  Mr* rmr;
+using Fx = test::BackendVerbsFx;
 
-  Fx()
-      : fab(engine, fabric::NicParams::connectx5_edr(), /*copy=*/true),
-        dev(fab),
-        sbuf(64 * KiB),
-        rbuf(64 * KiB) {
-    sctx = &dev.open(fab.add_node());
-    rctx = &dev.open(fab.add_node());
-    spd = &sctx->alloc_pd();
-    rpd = &rctx->alloc_pd();
-    scq = &sctx->create_cq(1024);
-    rcq = &rctx->create_cq(1024);
-    smr = &spd->register_mr(sbuf, kLocalRead);
-    rmr = &rpd->register_mr(rbuf, kLocalWrite | kRemoteWrite);
-  }
+using SrqBasics = test::BackendTest;
+using SrqLimit = test::BackendTest;
+using SrqResize = test::BackendTest;
+using SrqQpInteraction = test::BackendTest;
+using SrqFootprint = test::BackendTest;
 
-  /// Sender QP on spd connected to a receiver QP on rpd drawing from srq.
-  std::pair<Qp*, Qp*> connected_pair_with_srq(Srq* srq) {
-    Qp& s = spd->create_qp(*scq, *scq);
-    Qp& r = rpd->create_qp(*rcq, *rcq, QpCaps{}, srq);
-    EXPECT_TRUE(ok(s.to_init()));
-    EXPECT_TRUE(ok(r.to_init()));
-    EXPECT_TRUE(ok(s.to_rtr(r.qp_num())));
-    EXPECT_TRUE(ok(r.to_rtr(s.qp_num())));
-    EXPECT_TRUE(ok(s.to_rts()));
-    EXPECT_TRUE(ok(r.to_rts()));
-    return {&s, &r};
-  }
-
-  SendWr write_imm_wr(std::size_t bytes, std::uint32_t imm) {
-    SendWr wr;
-    wr.wr_id = 77;
-    wr.opcode = Opcode::kRdmaWriteWithImm;
-    wr.sg_list.push_back(
-        Sge{reinterpret_cast<std::uint64_t>(sbuf.data()),
-            static_cast<std::uint32_t>(bytes), smr->lkey()});
-    wr.imm = imm;
-    wr.remote_addr = rmr->addr();
-    wr.rkey = rmr->rkey();
-    return wr;
-  }
-};
-
-TEST(SrqBasics, PostConsumeAndCapacity) {
+TEST_P(SrqBasics, PostConsumeAndCapacity) {
   Fx fx;
   SrqAttrs attrs;
   attrs.max_wr = 4;
@@ -96,7 +49,7 @@ TEST(SrqBasics, PostConsumeAndCapacity) {
   EXPECT_EQ(srq.posted(), 2u);
 }
 
-TEST(SrqBasics, SgeValidationAgainstPd) {
+TEST_P(SrqBasics, SgeValidationAgainstPd) {
   Fx fx;
   Srq& srq = fx.rpd->create_srq();
   RecvWr wr;
@@ -104,7 +57,7 @@ TEST(SrqBasics, SgeValidationAgainstPd) {
   EXPECT_EQ(srq.post_recv(wr), Status::kInvalidArgument);
 }
 
-TEST(SrqLimit, ArmValidationAndOneShotEvent) {
+TEST_P(SrqLimit, ArmValidationAndOneShotEvent) {
   Fx fx;
   SrqAttrs attrs;
   attrs.max_wr = 8;
@@ -134,7 +87,7 @@ TEST(SrqLimit, ArmValidationAndOneShotEvent) {
   EXPECT_EQ(events, 2);
 }
 
-TEST(SrqResize, GrowsButNeverBelowPostedOrLimit) {
+TEST_P(SrqResize, GrowsButNeverBelowPostedOrLimit) {
   Fx fx;
   SrqAttrs attrs;
   attrs.max_wr = 4;
@@ -149,29 +102,29 @@ TEST(SrqResize, GrowsButNeverBelowPostedOrLimit) {
   EXPECT_EQ(srq.resize(2), Status::kInvalidArgument);  // below limit too
 }
 
-TEST(SrqQpInteraction, PostRecvOnAttachedQpIsEinval) {
+TEST_P(SrqQpInteraction, PostRecvOnAttachedQpIsEinval) {
   Fx fx;
   Srq& srq = fx.rpd->create_srq();
-  auto [s, r] = fx.connected_pair_with_srq(&srq);
+  auto [s, r] = fx.connected_pair(QpCaps{}, &srq);
   (void)s;
   // cf. ibv_post_recv on an SRQ-attached QP failing with EINVAL.
   EXPECT_EQ(r->post_recv(RecvWr{}), Status::kInvalidArgument);
 }
 
-TEST(SrqQpInteraction, TwoQpsDrainOneSrqDemuxedByQpNum) {
+TEST_P(SrqQpInteraction, TwoQpsDrainOneSrqDemuxedByQpNum) {
   Fx fx;
   Srq& srq = fx.rpd->create_srq();
-  auto [s1, r1] = fx.connected_pair_with_srq(&srq);
-  auto [s2, r2] = fx.connected_pair_with_srq(&srq);
+  auto [s1, r1] = fx.connected_pair(QpCaps{}, &srq);
+  auto [s2, r2] = fx.connected_pair(QpCaps{}, &srq);
   for (int i = 0; i < 2; ++i) {
     RecvWr wr;
     wr.wr_id = 1000 + static_cast<std::uint64_t>(i);
     ASSERT_TRUE(ok(srq.post_recv(wr)));
   }
 
-  ASSERT_TRUE(ok(s1->post_send(fx.write_imm_wr(256, 11))));
-  ASSERT_TRUE(ok(s2->post_send(fx.write_imm_wr(256, 22))));
-  fx.engine.run();
+  ASSERT_TRUE(ok(s1->post_send(fx.write_wr(256, 11))));
+  ASSERT_TRUE(ok(s2->post_send(fx.write_wr(256, 22))));
+  fx.drive();
 
   // Both receive CQEs land on the shared recv CQ, each naming its
   // consuming QP — the demux contract a WcRouter builds on.
@@ -195,11 +148,11 @@ TEST(SrqQpInteraction, TwoQpsDrainOneSrqDemuxedByQpNum) {
   EXPECT_EQ(srq.posted(), 0u);  // both WRs drawn from the shared pool
 }
 
-TEST(SrqQpInteraction, SiblingResetPreservesSrqWrs) {
+TEST_P(SrqQpInteraction, SiblingResetPreservesSrqWrs) {
   Fx fx;
   Srq& srq = fx.rpd->create_srq();
-  auto [s1, r1] = fx.connected_pair_with_srq(&srq);
-  auto [s2, r2] = fx.connected_pair_with_srq(&srq);
+  auto [s1, r1] = fx.connected_pair(QpCaps{}, &srq);
+  auto [s2, r2] = fx.connected_pair(QpCaps{}, &srq);
   (void)s2;
   for (int i = 0; i < 3; ++i) ASSERT_TRUE(ok(srq.post_recv(RecvWr{})));
 
@@ -209,8 +162,8 @@ TEST(SrqQpInteraction, SiblingResetPreservesSrqWrs) {
   EXPECT_EQ(srq.posted(), 3u);
 
   // The surviving sibling still drains the shared queue.
-  ASSERT_TRUE(ok(s1->post_send(fx.write_imm_wr(128, 7))));
-  fx.engine.run();
+  ASSERT_TRUE(ok(s1->post_send(fx.write_wr(128, 7))));
+  fx.drive();
   Wc wcs[4];
   const int n = fx.rcq->poll(std::span<Wc>(wcs));
   ASSERT_EQ(n, 1);
@@ -218,20 +171,20 @@ TEST(SrqQpInteraction, SiblingResetPreservesSrqWrs) {
   EXPECT_EQ(srq.posted(), 2u);
 }
 
-TEST(SrqQpInteraction, EmptySrqIsRemoteNotReady) {
+TEST_P(SrqQpInteraction, EmptySrqIsRemoteNotReady) {
   Fx fx;
   Srq& srq = fx.rpd->create_srq();
-  auto [s, r] = fx.connected_pair_with_srq(&srq);
+  auto [s, r] = fx.connected_pair(QpCaps{}, &srq);
   (void)r;
-  ASSERT_TRUE(ok(s->post_send(fx.write_imm_wr(128, 1))));
-  fx.engine.run();
+  ASSERT_TRUE(ok(s->post_send(fx.write_wr(128, 1))));
+  fx.drive();
   Wc wcs[4];
   const int n = fx.scq->poll(std::span<Wc>(wcs));
   ASSERT_EQ(n, 1);
   EXPECT_EQ(wcs[0].status, WcStatus::kRemoteNotReady);
 }
 
-TEST(SrqFootprint, SharedProvisioningBeatsPerQpRings) {
+TEST_P(SrqFootprint, SharedProvisioningBeatsPerQpRings) {
   Fx fx;
   // Dedicated shape: each of 8 QPs provisions its own receive ring.
   QpCaps dedicated;
@@ -257,6 +210,12 @@ TEST(SrqFootprint, SharedProvisioningBeatsPerQpRings) {
   // shrinks by the QP count.
   EXPECT_LT(shared.provisioned_bytes, per_qp.provisioned_bytes);
 }
+
+PARTIB_INSTANTIATE_BACKENDS(SrqBasics);
+PARTIB_INSTANTIATE_BACKENDS(SrqLimit);
+PARTIB_INSTANTIATE_BACKENDS(SrqResize);
+PARTIB_INSTANTIATE_BACKENDS(SrqQpInteraction);
+PARTIB_INSTANTIATE_BACKENDS(SrqFootprint);
 
 }  // namespace
 }  // namespace partib::verbs

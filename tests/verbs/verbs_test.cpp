@@ -1,79 +1,34 @@
 // The verbs layer: QP state machine, memory registration and key checks,
 // CQ semantics, the 16-outstanding-WR limit, immediate delivery, and
 // error completions.
+//
+// Backend-parameterized (tests/support/backend_fixture.hpp): every test
+// here runs against each conformance backend — the DES fluid fabric and
+// the real-time shared-memory transport — because nothing below asserts
+// virtual-time values, only ordering and verbs semantics.
 #include <gtest/gtest.h>
 
 #include <cstring>
 #include <vector>
 
 #include "common/units.hpp"
-#include "fabric/fabric.hpp"
-#include "sim/engine.hpp"
+#include "support/backend_fixture.hpp"
 #include "verbs/verbs.hpp"
 
 namespace partib::verbs {
 namespace {
 
-struct Fx {
-  sim::Engine engine;
-  fabric::Fabric fab;
-  Device dev;
-  Context* sctx;
-  Context* rctx;
-  Pd* spd;
-  Pd* rpd;
-  Cq* scq;
-  Cq* rcq;
-  std::vector<std::byte> sbuf;
-  std::vector<std::byte> rbuf;
-  Mr* smr;
-  Mr* rmr;
+using Fx = test::BackendVerbsFx;
 
-  Fx()
-      : fab(engine, fabric::NicParams::connectx5_edr(), /*copy=*/true),
-        dev(fab),
-        sbuf(64 * KiB),
-        rbuf(64 * KiB) {
-    const auto n0 = fab.add_node();
-    const auto n1 = fab.add_node();
-    sctx = &dev.open(n0);
-    rctx = &dev.open(n1);
-    spd = &sctx->alloc_pd();
-    rpd = &rctx->alloc_pd();
-    scq = &sctx->create_cq(1024);
-    rcq = &rctx->create_cq(1024);
-    smr = &spd->register_mr(sbuf, kLocalRead);
-    rmr = &rpd->register_mr(rbuf, kLocalWrite | kRemoteWrite);
-  }
+using QpStateMachine = test::BackendTest;
+using Memory = test::BackendTest;
+using RdmaWrite = test::BackendTest;
+using OutstandingLimit = test::BackendTest;
+using RecvQueueLimit = test::BackendTest;
+using TwoSided = test::BackendTest;
+using Cq = test::BackendTest;
 
-  std::pair<Qp*, Qp*> connected_pair(QpCaps caps = {}) {
-    Qp& s = spd->create_qp(*scq, *scq, caps);
-    Qp& r = rpd->create_qp(*rcq, *rcq, caps);
-    EXPECT_TRUE(ok(s.to_init()));
-    EXPECT_TRUE(ok(r.to_init()));
-    EXPECT_TRUE(ok(s.to_rtr(r.qp_num())));
-    EXPECT_TRUE(ok(r.to_rtr(s.qp_num())));
-    EXPECT_TRUE(ok(s.to_rts()));
-    EXPECT_TRUE(ok(r.to_rts()));
-    return {&s, &r};
-  }
-
-  SendWr write_wr(std::size_t bytes, std::uint32_t imm = 0,
-                  bool with_imm = true) {
-    SendWr wr;
-    wr.wr_id = 77;
-    wr.opcode = with_imm ? Opcode::kRdmaWriteWithImm : Opcode::kRdmaWrite;
-    wr.sg_list.push_back(
-        Sge{reinterpret_cast<std::uint64_t>(sbuf.data()),
-            static_cast<std::uint32_t>(bytes), smr->lkey()});
-    wr.imm = imm;
-    wr.remote_addr = rmr->addr();
-    wr.rkey = rmr->rkey();
-    return wr;
-  }
-};
-
-TEST(QpStateMachine, LegalTransitionChain) {
+TEST_P(QpStateMachine, LegalTransitionChain) {
   Fx fx;
   Qp& s = fx.spd->create_qp(*fx.scq, *fx.scq);
   Qp& r = fx.rpd->create_qp(*fx.rcq, *fx.rcq);
@@ -87,7 +42,7 @@ TEST(QpStateMachine, LegalTransitionChain) {
   EXPECT_EQ(s.state(), QpState::kRts);
 }
 
-TEST(QpStateMachine, IllegalTransitionsRejected) {
+TEST_P(QpStateMachine, IllegalTransitionsRejected) {
   Fx fx;
   Qp& s = fx.spd->create_qp(*fx.scq, *fx.scq);
   EXPECT_EQ(s.to_rts(), Status::kInvalidState);   // RESET -> RTS
@@ -97,7 +52,7 @@ TEST(QpStateMachine, IllegalTransitionsRejected) {
   EXPECT_EQ(s.to_rts(), Status::kInvalidState);   // INIT -> RTS
 }
 
-TEST(QpStateMachine, RtrUnknownRemoteQpIsNotFound) {
+TEST_P(QpStateMachine, RtrUnknownRemoteQpIsNotFound) {
   Fx fx;
   Qp& s = fx.spd->create_qp(*fx.scq, *fx.scq);
   ASSERT_TRUE(ok(s.to_init()));
@@ -105,14 +60,14 @@ TEST(QpStateMachine, RtrUnknownRemoteQpIsNotFound) {
   EXPECT_EQ(s.state(), QpState::kInit);  // unchanged on failure
 }
 
-TEST(QpStateMachine, PostSendRequiresRts) {
+TEST_P(QpStateMachine, PostSendRequiresRts) {
   Fx fx;
   Qp& s = fx.spd->create_qp(*fx.scq, *fx.scq);
   ASSERT_TRUE(ok(s.to_init()));
   EXPECT_EQ(s.post_send(fx.write_wr(16)), Status::kInvalidState);
 }
 
-TEST(QpStateMachine, PostRecvAllowedFromInit) {
+TEST_P(QpStateMachine, PostRecvAllowedFromInit) {
   Fx fx;
   Qp& r = fx.rpd->create_qp(*fx.rcq, *fx.rcq);
   EXPECT_EQ(r.post_recv(RecvWr{}), Status::kInvalidState);  // RESET
@@ -120,7 +75,7 @@ TEST(QpStateMachine, PostRecvAllowedFromInit) {
   EXPECT_TRUE(ok(r.post_recv(RecvWr{})));
 }
 
-TEST(Memory, MrContainsExactRange) {
+TEST_P(Memory, MrContainsExactRange) {
   Fx fx;
   const auto base = fx.smr->addr();
   EXPECT_TRUE(fx.smr->contains(base, fx.sbuf.size()));
@@ -129,7 +84,7 @@ TEST(Memory, MrContainsExactRange) {
   EXPECT_FALSE(fx.smr->contains(base - 1, 10));
 }
 
-TEST(Memory, DistinctKeysPerRegistration) {
+TEST_P(Memory, DistinctKeysPerRegistration) {
   Fx fx;
   Mr& a = fx.spd->register_mr(fx.sbuf, kLocalRead);
   Mr& b = fx.spd->register_mr(fx.sbuf, kLocalRead);
@@ -138,7 +93,7 @@ TEST(Memory, DistinctKeysPerRegistration) {
   EXPECT_NE(a.lkey(), a.rkey());
 }
 
-TEST(Memory, InvalidLkeyRejectedAtPost) {
+TEST_P(Memory, InvalidLkeyRejectedAtPost) {
   Fx fx;
   auto [s, r] = fx.connected_pair();
   SendWr wr = fx.write_wr(64);
@@ -146,7 +101,7 @@ TEST(Memory, InvalidLkeyRejectedAtPost) {
   EXPECT_EQ(s->post_send(wr), Status::kInvalidArgument);
 }
 
-TEST(Memory, SgeOutsideMrRejectedAtPost) {
+TEST_P(Memory, SgeOutsideMrRejectedAtPost) {
   Fx fx;
   auto [s, r] = fx.connected_pair();
   SendWr wr = fx.write_wr(64);
@@ -154,7 +109,7 @@ TEST(Memory, SgeOutsideMrRejectedAtPost) {
   EXPECT_EQ(s->post_send(wr), Status::kInvalidArgument);
 }
 
-TEST(Memory, RecvBufferNeedsLocalWrite) {
+TEST_P(Memory, RecvBufferNeedsLocalWrite) {
   Fx fx;
   Qp& r = fx.rpd->create_qp(*fx.rcq, *fx.rcq);
   ASSERT_TRUE(ok(r.to_init()));
@@ -166,13 +121,13 @@ TEST(Memory, RecvBufferNeedsLocalWrite) {
   EXPECT_EQ(r.post_recv(wr), Status::kInvalidArgument);
 }
 
-TEST(RdmaWrite, DeliversDataAndImm) {
+TEST_P(RdmaWrite, DeliversDataAndImm) {
   Fx fx;
   auto [s, r] = fx.connected_pair();
   std::memset(fx.sbuf.data(), 0xAB, 256);
   ASSERT_TRUE(ok(r->post_recv(RecvWr{42, {}})));
   ASSERT_TRUE(ok(s->post_send(fx.write_wr(256, 0x12340007))));
-  fx.engine.run();
+  fx.drive();
 
   Wc wc[4];
   ASSERT_EQ(fx.rcq->poll(std::span<Wc>(wc)), 1);
@@ -190,54 +145,54 @@ TEST(RdmaWrite, DeliversDataAndImm) {
   EXPECT_EQ(wc[0].wr_id, 77u);
 }
 
-TEST(RdmaWrite, PlainWriteRaisesNoRecvCompletion) {
+TEST_P(RdmaWrite, PlainWriteRaisesNoRecvCompletion) {
   Fx fx;
   auto [s, r] = fx.connected_pair();
   ASSERT_TRUE(ok(s->post_send(fx.write_wr(64, 0, /*with_imm=*/false))));
-  fx.engine.run();
+  fx.drive();
   Wc wc[4];
   EXPECT_EQ(fx.rcq->poll(std::span<Wc>(wc)), 0);  // silent at receiver
   EXPECT_EQ(fx.scq->poll(std::span<Wc>(wc)), 1);  // sender still completes
 }
 
-TEST(RdmaWrite, WithImmWithoutRecvWrIsRemoteNotReady) {
+TEST_P(RdmaWrite, WithImmWithoutRecvWrIsRemoteNotReady) {
   Fx fx;
   auto [s, r] = fx.connected_pair();
   ASSERT_TRUE(ok(s->post_send(fx.write_wr(64, 1))));
-  fx.engine.run();
+  fx.drive();
   Wc wc[4];
   ASSERT_EQ(fx.scq->poll(std::span<Wc>(wc)), 1);
   EXPECT_EQ(wc[0].status, WcStatus::kRemoteNotReady);
   EXPECT_EQ(s->state(), QpState::kError);
 }
 
-TEST(RdmaWrite, BadRkeyIsRemoteAccessError) {
+TEST_P(RdmaWrite, BadRkeyIsRemoteAccessError) {
   Fx fx;
   auto [s, r] = fx.connected_pair();
   ASSERT_TRUE(ok(r->post_recv(RecvWr{})));
   SendWr wr = fx.write_wr(64, 1);
   wr.rkey = 0xDEAD;
   ASSERT_TRUE(ok(s->post_send(wr)));
-  fx.engine.run();
+  fx.drive();
   Wc wc[4];
   ASSERT_EQ(fx.scq->poll(std::span<Wc>(wc)), 1);
   EXPECT_EQ(wc[0].status, WcStatus::kRemoteAccessError);
 }
 
-TEST(RdmaWrite, RangeBeyondRemoteMrIsRemoteAccessError) {
+TEST_P(RdmaWrite, RangeBeyondRemoteMrIsRemoteAccessError) {
   Fx fx;
   auto [s, r] = fx.connected_pair();
   ASSERT_TRUE(ok(r->post_recv(RecvWr{})));
   SendWr wr = fx.write_wr(64, 1);
   wr.remote_addr = fx.rmr->addr() + fx.rbuf.size() - 16;
   ASSERT_TRUE(ok(s->post_send(wr)));
-  fx.engine.run();
+  fx.drive();
   Wc wc[4];
   ASSERT_EQ(fx.scq->poll(std::span<Wc>(wc)), 1);
   EXPECT_EQ(wc[0].status, WcStatus::kRemoteAccessError);
 }
 
-TEST(RdmaWrite, RemoteWriteAccessRequired) {
+TEST_P(RdmaWrite, RemoteWriteAccessRequired) {
   Fx fx;
   auto [s, r] = fx.connected_pair();
   ASSERT_TRUE(ok(r->post_recv(RecvWr{})));
@@ -247,23 +202,23 @@ TEST(RdmaWrite, RemoteWriteAccessRequired) {
   wr.remote_addr = romr.addr();
   wr.rkey = romr.rkey();
   ASSERT_TRUE(ok(s->post_send(wr)));
-  fx.engine.run();
+  fx.drive();
   Wc wc[4];
   ASSERT_EQ(fx.scq->poll(std::span<Wc>(wc)), 1);
   EXPECT_EQ(wc[0].status, WcStatus::kRemoteAccessError);
 }
 
-TEST(RdmaWrite, ErrorQpRejectsFurtherPosts) {
+TEST_P(RdmaWrite, ErrorQpRejectsFurtherPosts) {
   Fx fx;
   auto [s, r] = fx.connected_pair();
   ASSERT_TRUE(ok(s->post_send(fx.write_wr(64, 1))));  // no recv WR -> RNR
-  fx.engine.run();
+  fx.drive();
   Wc wc[4];
   fx.scq->poll(std::span<Wc>(wc));
   EXPECT_EQ(s->post_send(fx.write_wr(64, 1)), Status::kInvalidState);
 }
 
-TEST(RdmaWrite, MultiSgeGathersContiguously) {
+TEST_P(RdmaWrite, MultiSgeGathersContiguously) {
   Fx fx;
   auto [s, r] = fx.connected_pair();
   for (std::size_t i = 0; i < 128; ++i) {
@@ -278,11 +233,11 @@ TEST(RdmaWrite, MultiSgeGathersContiguously) {
   wr.remote_addr = fx.rmr->addr();
   wr.rkey = fx.rmr->rkey();
   ASSERT_TRUE(ok(s->post_send(wr)));
-  fx.engine.run();
+  fx.drive();
   EXPECT_EQ(std::memcmp(fx.rbuf.data(), fx.sbuf.data(), 128), 0);
 }
 
-TEST(OutstandingLimit, SixteenthPostSucceedsSeventeenthFails) {
+TEST_P(OutstandingLimit, SixteenthPostSucceedsSeventeenthFails) {
   Fx fx;
   QpCaps caps;
   caps.max_send_wr = 16;  // the ConnectX-5 constraint from the paper
@@ -294,12 +249,12 @@ TEST(OutstandingLimit, SixteenthPostSucceedsSeventeenthFails) {
   EXPECT_EQ(s->post_send(fx.write_wr(64, 1)), Status::kResourceExhausted);
   EXPECT_EQ(s->outstanding_send_wrs(), 16);
   // Completions free slots.
-  fx.engine.run();
+  fx.drive();
   EXPECT_EQ(s->outstanding_send_wrs(), 0);
   EXPECT_TRUE(ok(s->post_send(fx.write_wr(64, 1))));
 }
 
-TEST(RecvQueueLimit, PostRecvBeyondCapFails) {
+TEST_P(RecvQueueLimit, PostRecvBeyondCapFails) {
   Fx fx;
   QpCaps caps;
   caps.max_recv_wr = 4;
@@ -308,7 +263,7 @@ TEST(RecvQueueLimit, PostRecvBeyondCapFails) {
   EXPECT_EQ(r->post_recv(RecvWr{}), Status::kResourceExhausted);
 }
 
-TEST(TwoSided, SendRecvDeliversIntoPostedBuffer) {
+TEST_P(TwoSided, SendRecvDeliversIntoPostedBuffer) {
   Fx fx;
   auto [s, r] = fx.connected_pair();
   std::memset(fx.sbuf.data(), 0x5C, 512);
@@ -321,7 +276,7 @@ TEST(TwoSided, SendRecvDeliversIntoPostedBuffer) {
   wr.sg_list.push_back(Sge{reinterpret_cast<std::uint64_t>(fx.sbuf.data()),
                            512, fx.smr->lkey()});
   ASSERT_TRUE(ok(s->post_send(wr)));
-  fx.engine.run();
+  fx.drive();
   Wc wc[4];
   ASSERT_EQ(fx.rcq->poll(std::span<Wc>(wc)), 1);
   EXPECT_EQ(wc[0].opcode, WcOpcode::kRecv);
@@ -331,7 +286,7 @@ TEST(TwoSided, SendRecvDeliversIntoPostedBuffer) {
   EXPECT_EQ(std::memcmp(fx.rbuf.data(), fx.sbuf.data(), 512), 0);
 }
 
-TEST(TwoSided, SendLargerThanRecvBufferIsLengthError) {
+TEST_P(TwoSided, SendLargerThanRecvBufferIsLengthError) {
   Fx fx;
   auto [s, r] = fx.connected_pair();
   RecvWr rwr;
@@ -342,18 +297,18 @@ TEST(TwoSided, SendLargerThanRecvBufferIsLengthError) {
   wr.sg_list.push_back(Sge{reinterpret_cast<std::uint64_t>(fx.sbuf.data()),
                            128, fx.smr->lkey()});
   ASSERT_TRUE(ok(s->post_send(wr)));
-  fx.engine.run();
+  fx.drive();
   Wc wc[4];
   ASSERT_EQ(fx.rcq->poll(std::span<Wc>(wc)), 1);
   EXPECT_EQ(wc[0].status, WcStatus::kLocalLengthError);
 }
 
-TEST(Cq, PollReturnsAtMostRequested) {
+TEST_P(Cq, PollReturnsAtMostRequested) {
   Fx fx;
   auto [s, r] = fx.connected_pair();
   for (int i = 0; i < 8; ++i) ASSERT_TRUE(ok(r->post_recv(RecvWr{})));
   for (int i = 0; i < 8; ++i) ASSERT_TRUE(ok(s->post_send(fx.write_wr(16, 1))));
-  fx.engine.run();
+  fx.drive();
   Wc wc[3];
   EXPECT_EQ(fx.rcq->poll(std::span<Wc>(wc)), 3);
   EXPECT_EQ(fx.rcq->poll(std::span<Wc>(wc)), 3);
@@ -361,31 +316,39 @@ TEST(Cq, PollReturnsAtMostRequested) {
   EXPECT_EQ(fx.rcq->poll(std::span<Wc>(wc)), 0);
 }
 
-TEST(Cq, OnPushHookFiresPerCompletion) {
+TEST_P(Cq, OnPushHookFiresPerCompletion) {
   Fx fx;
   auto [s, r] = fx.connected_pair();
   int pushes = 0;
   fx.rcq->set_on_push([&] { ++pushes; });
   for (int i = 0; i < 4; ++i) ASSERT_TRUE(ok(r->post_recv(RecvWr{})));
   for (int i = 0; i < 4; ++i) ASSERT_TRUE(ok(s->post_send(fx.write_wr(16, 1))));
-  fx.engine.run();
+  fx.drive();
   EXPECT_EQ(pushes, 4);
 }
 
-TEST(Cq, CompletionTimesMonotonicPerQp) {
+TEST_P(Cq, CompletionTimesMonotonicPerQp) {
   Fx fx;
   auto [s, r] = fx.connected_pair();
   for (int i = 0; i < 8; ++i) ASSERT_TRUE(ok(r->post_recv(RecvWr{})));
   for (int i = 0; i < 8; ++i) {
     ASSERT_TRUE(ok(s->post_send(fx.write_wr(4096, 1))));
   }
-  fx.engine.run();
+  fx.drive();
   Wc wc[8];
   ASSERT_EQ(fx.rcq->poll(std::span<Wc>(wc)), 8);
   for (int i = 1; i < 8; ++i) {
     EXPECT_GE(wc[i].completion_time, wc[i - 1].completion_time);
   }
 }
+
+PARTIB_INSTANTIATE_BACKENDS(QpStateMachine);
+PARTIB_INSTANTIATE_BACKENDS(Memory);
+PARTIB_INSTANTIATE_BACKENDS(RdmaWrite);
+PARTIB_INSTANTIATE_BACKENDS(OutstandingLimit);
+PARTIB_INSTANTIATE_BACKENDS(RecvQueueLimit);
+PARTIB_INSTANTIATE_BACKENDS(TwoSided);
+PARTIB_INSTANTIATE_BACKENDS(Cq);
 
 }  // namespace
 }  // namespace partib::verbs

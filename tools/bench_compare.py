@@ -23,6 +23,17 @@ The baseline file keeps two numbers per benchmark: `before_ns` (the
 std::map engine / allocating fluid network, measured at the commit that
 introduced the rewrite — a historical record, never updated by this tool)
 and `after_ns` (the current expected cost, the comparison target).
+
+The baseline may also carry a `relative_gates` list.  Each entry pins one
+benchmark to a multiple of another FROM THE SAME RUN, which stays
+meaningful on hosts whose absolute timings differ from the baseline's:
+
+    {"bench": "BM_BackendDispatch", "baseline": "BM_PreadyFlush",
+     "max_ratio": 1.05}
+
+asserts that the backend-registry indirection costs at most 5% over the
+direct-construction hot path.  Relative gates use the same --warn-only
+escape hatch but ignore --threshold (the ratio bound is the contract).
 """
 
 import argparse
@@ -134,12 +145,34 @@ def main():
         print("%-*s %12.0f %12.0f %7.2fx%s" % (width, name, base, t, ratio,
                                                flag))
 
-    if failures:
-        print("\n%d benchmark(s) regressed more than %.0f%%:"
-              % (len(failures), args.threshold * 100), file=sys.stderr)
-        for name, base, t, ratio in failures:
-            print("  %s: %.0f ns -> %.0f ns (%.2fx)"
-                  % (name, base, t, ratio), file=sys.stderr)
+    gate_failures = []
+    for gate in baseline.get("relative_gates", []):
+        name, ref = gate["bench"], gate["baseline"]
+        if name not in measured or ref not in measured:
+            print("relative gate %s vs %s: benchmark missing from run"
+                  % (name, ref), file=sys.stderr)
+            gate_failures.append((name, ref, gate["max_ratio"], None))
+            continue
+        ratio = measured[name] / measured[ref]
+        ok = ratio <= gate["max_ratio"]
+        print("relative gate: %s <= %.2fx %s  (measured %.2fx)%s"
+              % (name, gate["max_ratio"], ref, ratio,
+                 "" if ok else "  FAILED"))
+        if not ok:
+            gate_failures.append((name, ref, gate["max_ratio"], ratio))
+
+    if failures or gate_failures:
+        if failures:
+            print("\n%d benchmark(s) regressed more than %.0f%%:"
+                  % (len(failures), args.threshold * 100), file=sys.stderr)
+            for name, base, t, ratio in failures:
+                print("  %s: %.0f ns -> %.0f ns (%.2fx)"
+                      % (name, base, t, ratio), file=sys.stderr)
+        for name, ref, bound, ratio in gate_failures:
+            print("  relative gate failed: %s vs %s, bound %.2fx, got %s"
+                  % (name, ref, bound,
+                     "no data" if ratio is None else "%.2fx" % ratio),
+                  file=sys.stderr)
         if args.warn_only:
             print("(--warn-only: not failing the build)", file=sys.stderr)
             return 0

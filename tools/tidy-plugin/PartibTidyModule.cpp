@@ -30,9 +30,11 @@ using namespace clang::ast_matchers;
 namespace {
 
 /// True when `loc` spells a file inside one of the deterministic
-/// simulation layers.
+/// simulation layers.  src/backend included: real-time backends read the
+/// clock only through common::mono_now() (common/clock.hpp, the audited
+/// exemption), and the DES backend must stay wall-clock free for replay.
 bool inSimLayer(const SourceManager &SM, SourceLocation loc) {
-  static llvm::Regex re("(^|/)src/(sim|fabric|verbs|part)/");
+  static llvm::Regex re("(^|/)src/(sim|fabric|verbs|part|backend)/");
   return re.match(SM.getFilename(SM.getSpellingLoc(loc)));
 }
 

@@ -297,8 +297,13 @@ class Linter {
   }
 
   bool in_sim_layer() const {
+    // src/backend is in scope even though shm/ibv are real-time: they must
+    // read the clock through common::mono_now() (the audited exemption in
+    // common/clock.hpp), never a raw chrono/libc source — and the DES
+    // backend shares the directory, where a leak would corrupt replay.
     return path_has_dir("src/sim") || path_has_dir("src/fabric") ||
-           path_has_dir("src/verbs") || path_has_dir("src/part");
+           path_has_dir("src/verbs") || path_has_dir("src/part") ||
+           path_has_dir("src/backend");
   }
 
   bool in_common() const { return path_has_dir("src/common"); }

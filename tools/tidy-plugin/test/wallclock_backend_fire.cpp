@@ -1,0 +1,14 @@
+// Fixture: partib-no-wall-clock-in-sim covers src/backend — a raw clock
+// read in a transport (even a real-time one) must fire; real-time code
+// goes through common::mono_now(), the audited exemption in
+// common/clock.hpp.  Linted as src/backend/wallclock_backend_fire.cpp.
+
+// CHECK: src/backend/wallclock_backend_fire.cpp:[[@LINE+2]]:23: warning: wall-clock source 'std::chrono::steady_clock' in the deterministic simulation layer; time comes from sim::Engine::now() [partib-no-wall-clock-in-sim]
+long transport_now() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+// CHECK: src/backend/wallclock_backend_fire.cpp:[[@LINE+2]]:10: warning: non-deterministic libc call 'clock()' in the simulation layer; use the DES clock or a seeded RNG [partib-no-wall-clock-in-sim]
+long cpu_stamp() {
+  return clock();
+}
